@@ -1,0 +1,70 @@
+//! The actuator: applying `(t, c)` configurations to a running system (§VI).
+
+use crate::space::Config;
+
+/// Anything that can enact a parallelism-degree configuration.
+pub trait Actuator {
+    /// Apply `cfg`; running transactions finish under their old admission,
+    /// new ones observe the new limits.
+    fn apply(&mut self, cfg: Config);
+
+    /// The configuration currently in force.
+    fn current(&self) -> Config;
+}
+
+/// Actuator over a live [`pnstm::Stm`] instance: reconfigures the semaphore
+/// throttle, mirroring the paper's transparent interception of transaction
+/// begins.
+///
+/// The "ad-hoc API" of §VI — letting applications query the tuned optimum —
+/// is [`PnstmActuator::current`] plus [`pnstm::Stm::degree`] on the wrapped
+/// instance.
+pub struct PnstmActuator {
+    stm: pnstm::Stm,
+}
+
+impl PnstmActuator {
+    pub fn new(stm: pnstm::Stm) -> Self {
+        Self { stm }
+    }
+
+    /// Access the wrapped STM.
+    pub fn stm(&self) -> &pnstm::Stm {
+        &self.stm
+    }
+}
+
+impl Actuator for PnstmActuator {
+    fn apply(&mut self, cfg: Config) {
+        self.stm.set_degree(cfg.into());
+    }
+
+    fn current(&self) -> Config {
+        let d = self.stm.degree();
+        Config::new(d.top_level, d.nested_per_tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnstm::{Stm, StmConfig};
+
+    #[test]
+    fn applies_to_live_stm() {
+        let stm = Stm::new(StmConfig::default());
+        let mut act = PnstmActuator::new(stm.clone());
+        act.apply(Config::new(7, 3));
+        assert_eq!(act.current(), Config::new(7, 3));
+        assert_eq!(stm.degree(), pnstm::ParallelismDegree::new(7, 3));
+    }
+
+    #[test]
+    fn reapplication_is_idempotent() {
+        let stm = Stm::new(StmConfig::default());
+        let mut act = PnstmActuator::new(stm);
+        act.apply(Config::new(2, 2));
+        act.apply(Config::new(2, 2));
+        assert_eq!(act.current(), Config::new(2, 2));
+    }
+}

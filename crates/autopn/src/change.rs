@@ -1,0 +1,171 @@
+//! Workload-change detection (§V, "Dynamic workloads").
+//!
+//! The paper: *"AutoPN can easily be extended to cope with dynamically
+//! shifting workloads [...] by coupling it with a change detector (e.g.,
+//! based on the CUSUM algorithm). This would allow for identifying
+//! statistically relevant alteration of the workload characteristics (e.g.,
+//! sudden throughput changes) and, accordingly, activate a new self-tuning
+//! process."* This module implements that extension: a two-sided,
+//! self-normalizing CUSUM detector over throughput samples, plus a
+//! controller loop that re-tunes when the detector fires.
+
+use crate::kpi::RunningStats;
+
+/// Two-sided CUSUM detector over relative throughput deviations.
+///
+/// A reference mean `μ` is (re)estimated from the first
+/// [`calibration_samples`](Self::calibration_samples) observations after each
+/// reset; subsequent samples update the cumulative sums
+/// `S⁺ = max(0, S⁺ + (x̂ − k))` and `S⁻ = max(0, S⁻ − (x̂ + k))` of the
+/// normalized deviation `x̂ = (x − μ)/μ`, with drift allowance `k`. The
+/// detector fires when either sum exceeds the threshold `h`.
+#[derive(Debug, Clone)]
+pub struct CusumDetector {
+    /// Drift allowance (relative units): deviations below this are ignored.
+    pub drift: f64,
+    /// Decision threshold (relative units, accumulated).
+    pub threshold: f64,
+    /// Samples used to (re)estimate the reference mean after a reset.
+    pub calibration_samples: u64,
+    reference: RunningStats,
+    s_pos: f64,
+    s_neg: f64,
+}
+
+impl Default for CusumDetector {
+    fn default() -> Self {
+        // Deviations within ±10% are tolerated as noise (adaptive windows
+        // close at CV <= 10%, so individual measurements wobble that much);
+        // an accumulated excess of 80 percentage points triggers (e.g. four
+        // windows at 30% deviation, or two at 50%).
+        Self::new(0.10, 0.8, 5)
+    }
+}
+
+impl CusumDetector {
+    pub fn new(drift: f64, threshold: f64, calibration_samples: u64) -> Self {
+        assert!(drift >= 0.0 && threshold > 0.0);
+        Self {
+            drift,
+            threshold,
+            calibration_samples: calibration_samples.max(1),
+            reference: RunningStats::new(),
+            s_pos: 0.0,
+            s_neg: 0.0,
+        }
+    }
+
+    /// Whether the detector has a calibrated reference yet.
+    pub fn calibrated(&self) -> bool {
+        self.reference.count() >= self.calibration_samples
+    }
+
+    /// The current reference throughput, if calibrated.
+    pub fn reference_mean(&self) -> Option<f64> {
+        self.calibrated().then(|| self.reference.mean())
+    }
+
+    /// Feed a throughput observation; returns `true` when a statistically
+    /// relevant shift has accumulated (the caller should then re-tune and
+    /// [`reset`](Self::reset) the detector).
+    pub fn observe(&mut self, throughput: f64) -> bool {
+        if !self.calibrated() {
+            self.reference.push(throughput);
+            return false;
+        }
+        let mu = self.reference.mean();
+        if mu <= 0.0 {
+            // Degenerate reference (e.g. a dead configuration): any activity
+            // is a change.
+            return throughput > 0.0;
+        }
+        let x = (throughput - mu) / mu;
+        self.s_pos = (self.s_pos + x - self.drift).max(0.0);
+        self.s_neg = (self.s_neg - x - self.drift).max(0.0);
+        self.s_pos > self.threshold || self.s_neg > self.threshold
+    }
+
+    /// Current cumulative sums `(S⁺, S⁻)` (introspection).
+    pub fn sums(&self) -> (f64, f64) {
+        (self.s_pos, self.s_neg)
+    }
+
+    /// Forget everything: a new reference is calibrated from the next
+    /// observations.
+    pub fn reset(&mut self) {
+        self.reference.reset();
+        self.s_pos = 0.0;
+        self.s_neg = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(d: &mut CusumDetector, xs: &[f64]) -> Option<usize> {
+        for (i, &x) in xs.iter().enumerate() {
+            if d.observe(x) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn stable_stream_never_fires() {
+        let mut d = CusumDetector::default();
+        let xs: Vec<f64> = (0..500).map(|i| 1000.0 + ((i * 37) % 60) as f64 - 30.0).collect();
+        assert_eq!(feed(&mut d, &xs), None, "±3% wiggle must not trigger");
+        assert!(d.calibrated());
+        assert!((d.reference_mean().unwrap() - 1000.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn throughput_drop_fires() {
+        let mut d = CusumDetector::default();
+        let mut xs = vec![1000.0; 20];
+        xs.extend(vec![550.0; 20]); // -45% shift
+        let fired_at = feed(&mut d, &xs).expect("must detect the drop");
+        assert!(fired_at >= 20, "fired during the stable phase");
+        assert!(fired_at <= 24, "took too long: {fired_at}");
+    }
+
+    #[test]
+    fn throughput_rise_fires() {
+        let mut d = CusumDetector::default();
+        let mut xs = vec![1000.0; 20];
+        xs.extend(vec![1600.0; 20]);
+        assert!(feed(&mut d, &xs).is_some(), "two-sided: rises are changes too");
+    }
+
+    #[test]
+    fn slow_drift_below_allowance_tolerated() {
+        // 0.02% per-sample drift stays under the 5% allowance for a long
+        // time; the detector must not fire spuriously within the horizon.
+        let mut d = CusumDetector::new(0.10, 1.0, 5);
+        let xs: Vec<f64> = (0..200).map(|i| 1000.0 + i as f64 * 0.2).collect();
+        assert_eq!(feed(&mut d, &xs), None);
+    }
+
+    #[test]
+    fn reset_recalibrates() {
+        let mut d = CusumDetector::default();
+        let mut xs = vec![1000.0; 10];
+        xs.extend(vec![400.0; 10]);
+        assert!(feed(&mut d, &xs).is_some());
+        d.reset();
+        assert!(!d.calibrated());
+        // New regime at 400: now it is the reference; stable → no firing.
+        assert_eq!(feed(&mut d, &vec![400.0; 50]), None);
+        assert!((d.reference_mean().unwrap() - 400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn dead_reference_fires_on_revival() {
+        let mut d = CusumDetector::new(0.05, 0.5, 2);
+        assert!(!d.observe(0.0));
+        assert!(!d.observe(0.0));
+        assert!(d.observe(10.0), "activity after a dead reference is a change");
+    }
+}

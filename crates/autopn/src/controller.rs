@@ -1,0 +1,244 @@
+//! The tuning controller: drives a [`Tuner`] against a [`TunableSystem`]
+//! through a [`MonitorPolicy`], tying together the optimizer, the monitor and
+//! the actuator (Fig. 2 of the paper).
+
+use crate::kpi::Measurement;
+use crate::monitor::{MonitorPolicy, Verdict};
+use crate::optimizer::Tuner;
+use crate::space::Config;
+
+/// A system whose parallelism degree can be tuned and whose top-level commit
+/// events can be observed. Implemented by the `simtm` simulator wrapper and
+/// by live `pnstm` workload drivers (see the `workloads` crate), and by
+/// trace replayers.
+pub trait TunableSystem {
+    /// Enact configuration `cfg`.
+    fn apply(&mut self, cfg: Config);
+
+    /// Block (or advance virtual time) until the next top-level commit, at
+    /// most `max_wait_ns`. Returns the commit's timestamp on the system
+    /// clock, or `None` on timeout.
+    fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64>;
+
+    /// Current time on the system clock (ns).
+    fn now_ns(&self) -> u64;
+
+    /// Wait (or advance virtual time) until transactions admitted under the
+    /// previous configuration have drained, so the next measurement window
+    /// only observes the configuration in force. Default: no-op.
+    fn quiesce(&mut self) {}
+}
+
+/// Result of a completed tuning session.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// Every exploration in order: configuration and its measurement.
+    pub explored: Vec<(Config, Measurement)>,
+    /// The configuration the tuner settled on.
+    pub best: Config,
+    /// Its measured throughput.
+    pub best_throughput: f64,
+    /// System time consumed by the whole tuning session (ns).
+    pub elapsed_ns: u64,
+}
+
+/// Outcome of a supervised (re-tuning) session.
+#[derive(Debug, Clone)]
+pub struct SupervisedOutcome {
+    /// Every tuning session that ran, in order (a new one per detected
+    /// workload change).
+    pub sessions: Vec<TuningOutcome>,
+    /// Supervision measurements taken between tuning sessions.
+    pub supervision_windows: usize,
+    /// How many workload changes the detector reported.
+    pub changes_detected: usize,
+}
+
+/// Drives tuning sessions.
+pub struct Controller;
+
+impl Controller {
+    /// Measure the system's current configuration under `policy`.
+    pub fn measure(system: &mut dyn TunableSystem, policy: &mut dyn MonitorPolicy) -> Measurement {
+        policy.begin_window(system.now_ns());
+        loop {
+            match system.wait_commit(policy.poll_interval_ns()) {
+                Some(ts) => {
+                    if let Verdict::Complete(m) = policy.on_commit(ts) {
+                        return m;
+                    }
+                }
+                None => {
+                    if let Verdict::Complete(m) = policy.on_idle(system.now_ns()) {
+                        return m;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run a full tuning session: propose → apply → measure → observe, until
+    /// the tuner converges; then apply the best configuration.
+    pub fn tune(
+        system: &mut dyn TunableSystem,
+        tuner: &mut dyn Tuner,
+        policy: &mut dyn MonitorPolicy,
+    ) -> TuningOutcome {
+        let started = system.now_ns();
+        let mut explored = Vec::new();
+        while let Some(cfg) = tuner.propose() {
+            system.apply(cfg);
+            system.quiesce();
+            let m = Self::measure(system, policy);
+            policy.measurement_taken(cfg, &m);
+            tuner.observe_noisy(cfg, m.throughput, m.cv, m.timed_out);
+            explored.push((cfg, m));
+        }
+        let (best, best_throughput) =
+            tuner.best().expect("tuner explored at least one configuration");
+        system.apply(best);
+        TuningOutcome {
+            explored,
+            best,
+            best_throughput,
+            elapsed_ns: system.now_ns().saturating_sub(started),
+        }
+    }
+
+    /// The §V "dynamic workloads" extension: tune, then supervise the chosen
+    /// configuration with periodic measurements fed to a CUSUM change
+    /// detector; when the detector fires, run a fresh tuning session.
+    ///
+    /// `make_tuner` builds a new optimizer per session (AutoPN keeps no
+    /// cross-workload knowledge by design, §V-B). Supervision runs until
+    /// `max_windows` measurements have been taken.
+    pub fn tune_with_retuning(
+        system: &mut dyn TunableSystem,
+        make_tuner: &mut dyn FnMut() -> Box<dyn crate::optimizer::Tuner>,
+        policy: &mut dyn MonitorPolicy,
+        detector: &mut crate::change::CusumDetector,
+        max_windows: usize,
+    ) -> SupervisedOutcome {
+        let mut sessions = Vec::new();
+        let mut windows = 0usize;
+        let mut changes = 0usize;
+        'sessions: loop {
+            let mut tuner = make_tuner();
+            // A (suspected) new workload invalidates the 1/T(1,1) reference.
+            policy.reset_reference();
+            let outcome = Self::tune(system, tuner.as_mut(), policy);
+            let best = outcome.best;
+            sessions.push(outcome);
+            detector.reset();
+            while windows < max_windows {
+                let m = Self::measure(system, policy);
+                policy.measurement_taken(best, &m);
+                windows += 1;
+                if detector.observe(m.throughput) {
+                    changes += 1;
+                    continue 'sessions;
+                }
+            }
+            return SupervisedOutcome {
+                sessions,
+                supervision_windows: windows,
+                changes_detected: changes,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::AdaptiveMonitor;
+    use crate::optimizer::{AutoPn, AutoPnConfig};
+    use crate::space::SearchSpace;
+
+    /// A deterministic fake system: commits arrive with a period that
+    /// depends on the configuration (best at (6,2)).
+    struct FakeSystem {
+        now: u64,
+        period_ns: u64,
+    }
+
+    impl FakeSystem {
+        fn new() -> Self {
+            Self { now: 0, period_ns: 1_000_000 }
+        }
+        fn period_for(cfg: Config) -> u64 {
+            let penalty =
+                (cfg.t as f64 - 6.0).powi(2) * 40_000.0 + (cfg.c as f64 - 2.0).powi(2) * 90_000.0;
+            (200_000.0 + penalty) as u64
+        }
+    }
+
+    impl TunableSystem for FakeSystem {
+        fn apply(&mut self, cfg: Config) {
+            self.period_ns = Self::period_for(cfg);
+        }
+        fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+            if self.period_ns <= max_wait_ns {
+                self.now += self.period_ns;
+                Some(self.now)
+            } else {
+                self.now += max_wait_ns;
+                None
+            }
+        }
+        fn now_ns(&self) -> u64 {
+            self.now
+        }
+    }
+
+    #[test]
+    fn measure_returns_stable_throughput() {
+        let mut sys = FakeSystem::new();
+        sys.apply(Config::new(6, 2));
+        let mut policy = AdaptiveMonitor::default();
+        let m = Controller::measure(&mut sys, &mut policy);
+        let want = 1e9 / FakeSystem::period_for(Config::new(6, 2)) as f64;
+        assert!((m.throughput - want).abs() / want < 0.05, "tp {} want {}", m.throughput, want);
+        assert!(!m.timed_out);
+    }
+
+    #[test]
+    fn full_tuning_session_finds_good_config() {
+        let mut sys = FakeSystem::new();
+        let mut tuner = AutoPn::new(SearchSpace::new(16), AutoPnConfig::default());
+        let mut policy = AdaptiveMonitor::default();
+        let outcome = Controller::tune(&mut sys, &mut tuner, &mut policy);
+        assert!(!outcome.explored.is_empty());
+        let best = outcome.best;
+        assert!(
+            (best.t as i64 - 6).abs() <= 1 && (best.c as i64 - 2).abs() <= 1,
+            "best {best} too far from (6,2)"
+        );
+        assert!(outcome.elapsed_ns > 0);
+        // The system was left running the chosen configuration.
+        assert_eq!(sys.period_ns, FakeSystem::period_for(best));
+    }
+
+    #[test]
+    fn timeout_path_produces_timed_out_measurement() {
+        struct SilentSystem {
+            now: u64,
+        }
+        impl TunableSystem for SilentSystem {
+            fn apply(&mut self, _cfg: Config) {}
+            fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+                self.now += max_wait_ns;
+                None
+            }
+            fn now_ns(&self) -> u64 {
+                self.now
+            }
+        }
+        let mut sys = SilentSystem { now: 0 };
+        let mut policy = AdaptiveMonitor::default();
+        policy.set_reference_throughput(100.0); // 10ms timeout
+        let m = Controller::measure(&mut sys, &mut policy);
+        assert!(m.timed_out);
+        assert_eq!(m.commits, 0);
+    }
+}

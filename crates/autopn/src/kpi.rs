@@ -1,0 +1,223 @@
+//! KPI measurements produced by the monitor.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of one measurement window on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Committed top-level transactions per second (the paper's target KPI).
+    pub throughput: f64,
+    /// Commits observed inside the window.
+    pub commits: u64,
+    /// Window length in nanoseconds.
+    pub window_ns: u64,
+    /// Whether the window was cut short by the adaptive timeout (the
+    /// configuration is then known to be of very low quality).
+    pub timed_out: bool,
+    /// Coefficient of variation of the per-commit throughput estimates at
+    /// window close, when the policy tracks it.
+    pub cv: Option<f64>,
+}
+
+impl Measurement {
+    /// A window that saw `commits` commits over `window_ns`.
+    pub fn from_counts(commits: u64, window_ns: u64, timed_out: bool, cv: Option<f64>) -> Self {
+        let throughput = if window_ns == 0 {
+            0.0
+        } else {
+            commits as f64 * 1e9 / window_ns as f64
+        };
+        Self { throughput, commits, window_ns, timed_out, cv }
+    }
+}
+
+/// Incremental mean/variance tracker (Welford) for the per-commit throughput
+/// series the CV policy needs.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation `σ/μ`; `None` until two samples arrived or
+    /// when the mean is 0.
+    pub fn cv(&self) -> Option<f64> {
+        if self.n < 2 || self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev() / self.mean.abs())
+        }
+    }
+
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Mean/variance over a sliding window of the most recent samples.
+///
+/// The adaptive monitor uses this instead of full-series statistics so that
+/// transients at the start of a measurement window (e.g. commits from
+/// transactions admitted under the previous configuration) age out instead
+/// of inflating the CV forever.
+#[derive(Debug, Clone)]
+pub struct WindowedStats {
+    window: std::collections::VecDeque<f64>,
+    capacity: usize,
+}
+
+impl WindowedStats {
+    /// `capacity` = 0 keeps every sample (full-series statistics).
+    pub fn new(capacity: usize) -> Self {
+        Self { window: std::collections::VecDeque::new(), capacity }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        if self.capacity > 0 && self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+    }
+
+    pub fn count(&self) -> usize {
+        self.window.len()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.window.iter().sum::<f64>() / self.window.len() as f64
+        }
+    }
+
+    /// Coefficient of variation of the retained samples; `None` until two
+    /// samples arrived or when the mean is 0.
+    pub fn cv(&self) -> Option<f64> {
+        if self.window.len() < 2 {
+            return None;
+        }
+        let mean = self.mean();
+        if mean == 0.0 {
+            return None;
+        }
+        let var =
+            self.window.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.window.len() as f64;
+        Some(var.sqrt() / mean.abs())
+    }
+
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_stats_age_out_outliers() {
+        let mut w = WindowedStats::new(4);
+        w.push(1000.0); // transient outlier
+        for _ in 0..4 {
+            w.push(10.0);
+        }
+        assert_eq!(w.count(), 4);
+        assert_eq!(w.mean(), 10.0);
+        assert_eq!(w.cv(), Some(0.0), "outlier aged out of the window");
+    }
+
+    #[test]
+    fn windowed_stats_unbounded_when_zero_capacity() {
+        let mut w = WindowedStats::new(0);
+        for i in 0..100 {
+            w.push(i as f64);
+        }
+        assert_eq!(w.count(), 100);
+    }
+
+    #[test]
+    fn windowed_cv_undefined_early() {
+        let mut w = WindowedStats::new(8);
+        assert_eq!(w.cv(), None);
+        w.push(5.0);
+        assert_eq!(w.cv(), None);
+        w.push(5.0);
+        assert_eq!(w.cv(), Some(0.0));
+    }
+
+    #[test]
+    fn measurement_throughput_units() {
+        let m = Measurement::from_counts(100, 1_000_000_000, false, None);
+        assert!((m.throughput - 100.0).abs() < 1e-9);
+        let empty = Measurement::from_counts(0, 0, true, None);
+        assert_eq!(empty.throughput, 0.0);
+    }
+
+    #[test]
+    fn running_stats_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - 5.0).abs() < 1e-12);
+        assert!((rs.std_dev() - 2.0).abs() < 1e-12);
+        assert!((rs.cv().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_undefined_for_small_samples() {
+        let mut rs = RunningStats::new();
+        assert_eq!(rs.cv(), None);
+        rs.push(3.0);
+        assert_eq!(rs.cv(), None);
+        rs.push(3.0);
+        assert_eq!(rs.cv(), Some(0.0));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut rs = RunningStats::new();
+        rs.push(1.0);
+        rs.push(2.0);
+        rs.reset();
+        assert_eq!(rs.count(), 0);
+        assert_eq!(rs.mean(), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Bagging ensemble of M5 model trees.
+//!
+//! §V-B of the paper: *"AutoPN builds a bagging ensemble of k M5P-based
+//! learners, each trained with a random subset (obtained via uniform sampling
+//! with replacement) of the whole training set. μ and σ² are computed,
+//! respectively, as the average and variance of the predictions of the
+//! ensemble"* — with `k = 10` by default.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::m5::{M5Params, M5Tree};
+use super::{Regressor, Sample};
+
+/// A bagged ensemble of M5 trees supplying predictive mean and variance.
+#[derive(Debug, Clone)]
+pub struct BaggedM5 {
+    learners: Vec<M5Tree>,
+}
+
+impl BaggedM5 {
+    /// Default ensemble size used by AutoPN.
+    pub const DEFAULT_LEARNERS: usize = 10;
+
+    /// Train `k` learners on bootstrap resamples of `samples`.
+    ///
+    /// The first learner is trained on the full training set (so the
+    /// ensemble mean is anchored on all observed data even when `samples`
+    /// is tiny); the rest use bootstrap resamples.
+    pub fn fit(samples: &[Sample], k: usize, seed: u64) -> Self {
+        Self::fit_with(samples, k, seed, M5Params::default())
+    }
+
+    /// Train with explicit tree parameters.
+    pub fn fit_with(samples: &[Sample], k: usize, seed: u64, params: M5Params) -> Self {
+        let k = k.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut learners = Vec::with_capacity(k);
+        learners.push(M5Tree::fit_with(samples, params));
+        // Weighted bootstrap: confident samples are drawn proportionally
+        // more often (§VIII noise-aware modeling; uniform when all weights
+        // are equal).
+        let cumulative: Vec<f64> = samples
+            .iter()
+            .scan(0.0, |acc, s| {
+                *acc += s.w.max(0.0);
+                Some(*acc)
+            })
+            .collect();
+        let total_w = cumulative.last().copied().unwrap_or(0.0);
+        for _ in 1..k {
+            let boot: Vec<Sample> = if samples.is_empty() || total_w <= 0.0 {
+                samples.to_vec()
+            } else {
+                (0..samples.len())
+                    .map(|_| {
+                        let r = rng.gen::<f64>() * total_w;
+                        let idx = cumulative.partition_point(|&c| c < r).min(samples.len() - 1);
+                        samples[idx]
+                    })
+                    .collect()
+            };
+            learners.push(M5Tree::fit_with(&boot, params));
+        }
+        Self { learners }
+    }
+
+    /// Number of learners.
+    pub fn len(&self) -> usize {
+        self.learners.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.learners.is_empty()
+    }
+
+    /// Predictive mean and standard deviation at `(t, c)`.
+    pub fn predict_dist(&self, t: f64, c: f64) -> (f64, f64) {
+        let preds: Vec<f64> = self.learners.iter().map(|m| m.predict(t, c)).collect();
+        let n = preds.len() as f64;
+        let mean = preds.iter().sum::<f64>() / n;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+}
+
+impl Regressor for BaggedM5 {
+    fn predict(&self, t: f64, c: f64) -> f64 {
+        self.predict_dist(t, c).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(f: impl Fn(f64, f64) -> f64) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for t in 1..=8 {
+            for c in 1..=8 {
+                out.push(Sample::new(t as f64, c as f64, f(t as f64, c as f64)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ensemble_mean_tracks_function() {
+        let samples = grid(|t, c| 100.0 + 2.0 * t - c);
+        let ens = BaggedM5::fit(&samples, 10, 1);
+        assert_eq!(ens.len(), 10);
+        let (mu, _) = ens.predict_dist(4.0, 4.0);
+        assert!((mu - 104.0).abs() < 2.0, "mu = {mu}");
+    }
+
+    #[test]
+    fn variance_zero_on_abundant_clean_data() {
+        // All bootstrap fits of an exactly linear function are identical.
+        let samples = grid(|t, c| t + c);
+        let ens = BaggedM5::fit(&samples, 8, 2);
+        let (_, sigma) = ens.predict_dist(4.0, 4.0);
+        assert!(sigma < 0.5, "sigma = {sigma}");
+    }
+
+    #[test]
+    fn variance_positive_when_data_scarce_and_noisy() {
+        // Few scattered points with a bumpy target: bootstrap resamples
+        // disagree away from the data.
+        let samples = vec![
+            Sample::new(1.0, 1.0, 10.0),
+            Sample::new(48.0, 1.0, 200.0),
+            Sample::new(1.0, 48.0, 30.0),
+            Sample::new(8.0, 6.0, 400.0),
+            Sample::new(24.0, 2.0, 350.0),
+        ];
+        let ens = BaggedM5::fit(&samples, 10, 3);
+        let (_, sigma) = ens.predict_dist(16.0, 3.0);
+        assert!(sigma > 0.0, "bootstrap diversity must produce variance");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = grid(|t, c| t * c);
+        let a = BaggedM5::fit(&samples, 10, 42).predict_dist(5.0, 5.0);
+        let b = BaggedM5::fit(&samples, 10, 42).predict_dist(5.0, 5.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_is_clamped_to_one() {
+        let samples = grid(|t, _| t);
+        let ens = BaggedM5::fit(&samples, 0, 1);
+        assert_eq!(ens.len(), 1);
+        assert!(!ens.is_empty());
+    }
+
+    #[test]
+    fn empty_training_set_predicts_zero() {
+        let ens = BaggedM5::fit(&[], 5, 1);
+        let (mu, sigma) = ens.predict_dist(3.0, 3.0);
+        assert_eq!(mu, 0.0);
+        assert_eq!(sigma, 0.0);
+    }
+}

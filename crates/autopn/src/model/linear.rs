@@ -1,0 +1,241 @@
+//! Multivariate linear leaf models `y = b0 + b1·t + b2·c`, fit by ridge-
+//! regularized least squares (3×3 normal equations).
+
+use super::{mean, Regressor, Sample};
+
+/// A fitted linear model over the two configuration features.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Intercept.
+    pub b0: f64,
+    /// Coefficient of `t`.
+    pub b1: f64,
+    /// Coefficient of `c`.
+    pub b2: f64,
+}
+
+impl LinearModel {
+    /// Fit by (weighted) least squares with a small ridge term for numerical
+    /// stability. Sample weights implement the §VIII noise-aware modeling
+    /// extension (weight 1 everywhere = ordinary least squares). Degenerate
+    /// inputs (too few or collinear points) gracefully fall back toward the
+    /// weighted-mean predictor.
+    pub fn fit(samples: &[Sample]) -> Self {
+        if samples.is_empty() {
+            return Self { b0: 0.0, b1: 0.0, b2: 0.0 };
+        }
+        let w_total: f64 = samples.iter().map(|s| s.w).sum();
+        let y_mean = if w_total > 0.0 {
+            samples.iter().map(|s| s.w * s.y).sum::<f64>() / w_total
+        } else {
+            mean(samples.iter().map(|s| s.y))
+        };
+        if samples.len() < 3 {
+            return Self { b0: y_mean, b1: 0.0, b2: 0.0 };
+        }
+        // Weighted normal equations A·b = v with A = XᵀWX + λI
+        // (X columns: 1, t, c; W = diag(w)).
+        let n = w_total;
+        let (mut st, mut sc, mut stt, mut scc, mut stc, mut sy, mut sty, mut scy) =
+            (0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        for s in samples {
+            let w = s.w;
+            st += w * s.t;
+            sc += w * s.c;
+            stt += w * s.t * s.t;
+            scc += w * s.c * s.c;
+            stc += w * s.t * s.c;
+            sy += w * s.y;
+            sty += w * s.t * s.y;
+            scy += w * s.c * s.y;
+        }
+        let lambda = 1e-8 * (stt + scc + n).max(1.0);
+        let a = [
+            [n + lambda, st, sc],
+            [st, stt + lambda, stc],
+            [sc, stc, scc + lambda],
+        ];
+        let v = [sy, sty, scy];
+        match solve3(a, v) {
+            Some([b0, b1, b2]) if b0.is_finite() && b1.is_finite() && b2.is_finite() => {
+                Self { b0, b1, b2 }
+            }
+            _ => Self { b0: y_mean, b1: 0.0, b2: 0.0 },
+        }
+    }
+
+    /// Root-mean-square error on a sample set.
+    pub fn rmse(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = samples
+            .iter()
+            .map(|s| (self.predict(s.t, s.c) - s.y).powi(2))
+            .sum();
+        (sse / samples.len() as f64).sqrt()
+    }
+
+    /// Mean absolute error on a sample set.
+    pub fn mae(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples
+            .iter()
+            .map(|s| (self.predict(s.t, s.c) - s.y).abs())
+            .sum::<f64>()
+            / samples.len() as f64
+    }
+}
+
+impl Regressor for LinearModel {
+    fn predict(&self, t: f64, c: f64) -> f64 {
+        self.b0 + self.b1 * t + self.b2 * c
+    }
+}
+
+/// Solve a 3×3 linear system by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // index math mirrors the textbook algorithm
+fn solve3(mut a: [[f64; 3]; 3], mut v: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Pivot.
+        let pivot = (col..3).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        v.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..3 {
+            let f = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= f * a[col][k];
+            }
+            v[row] -= f * v[col];
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = v[row];
+        for k in (row + 1)..3 {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_samples(f: impl Fn(f64, f64) -> f64) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for t in 1..=6 {
+            for c in 1..=6 {
+                out.push(Sample::new(t as f64, c as f64, f(t as f64, c as f64)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        let samples = grid_samples(|t, c| 3.0 + 2.0 * t - 5.0 * c);
+        let m = LinearModel::fit(&samples);
+        // Tolerances account for the ridge term's tiny bias.
+        assert!((m.b0 - 3.0).abs() < 1e-3, "b0 = {}", m.b0);
+        assert!((m.b1 - 2.0).abs() < 1e-4, "b1 = {}", m.b1);
+        assert!((m.b2 + 5.0).abs() < 1e-4, "b2 = {}", m.b2);
+        assert!(m.rmse(&samples) < 1e-3);
+    }
+
+    #[test]
+    fn predict_extrapolates_linearly() {
+        let samples = grid_samples(|t, c| 10.0 + t + c);
+        let m = LinearModel::fit(&samples);
+        assert!((m.predict(100.0, 50.0) - 160.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_fit_is_zero() {
+        let m = LinearModel::fit(&[]);
+        assert_eq!(m.predict(5.0, 5.0), 0.0);
+        assert_eq!(m.rmse(&[]), 0.0);
+        assert_eq!(m.mae(&[]), 0.0);
+    }
+
+    #[test]
+    fn tiny_fit_falls_back_to_mean() {
+        let samples = vec![Sample::new(1.0, 1.0, 10.0), Sample::new(2.0, 1.0, 20.0)];
+        let m = LinearModel::fit(&samples);
+        assert_eq!(m.b1, 0.0);
+        assert_eq!(m.predict(9.0, 9.0), 15.0);
+    }
+
+    #[test]
+    fn collinear_inputs_do_not_explode() {
+        // All points share t == c: the design matrix is singular; the ridge
+        // or the fallback must keep predictions finite and sensible.
+        let samples: Vec<Sample> =
+            (1..=8).map(|i| Sample::new(i as f64, i as f64, 2.0 * i as f64)).collect();
+        let m = LinearModel::fit(&samples);
+        let p = m.predict(4.0, 4.0);
+        assert!(p.is_finite());
+        assert!((p - 8.0).abs() < 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn rmse_and_mae_on_noisy_fit() {
+        let samples = grid_samples(|t, c| t + c);
+        let m = LinearModel { b0: 0.0, b1: 1.0, b2: 1.0 };
+        assert_eq!(m.rmse(&samples), 0.0);
+        let biased = LinearModel { b0: 1.0, b1: 1.0, b2: 1.0 };
+        assert!((biased.rmse(&samples) - 1.0).abs() < 1e-12);
+        assert!((biased.mae(&samples) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fit_discounts_noisy_outlier() {
+        // A clean linear trend plus one wild outlier: with a tiny weight the
+        // outlier barely moves the fit; with weight 1 it visibly does.
+        let mut clean = grid_samples(|t, c| 10.0 + 2.0 * t + c);
+        let outlier_heavy = {
+            let mut s = clean.clone();
+            s.push(Sample::new(3.0, 3.0, 500.0));
+            LinearModel::fit(&s)
+        };
+        clean.push(Sample::weighted(3.0, 3.0, 500.0, 0.05));
+        let outlier_light = LinearModel::fit(&clean);
+        let truth = 10.0 + 2.0 * 3.0 + 3.0;
+        let err_heavy = (outlier_heavy.predict(3.0, 3.0) - truth).abs();
+        let err_light = (outlier_light.predict(3.0, 3.0) - truth).abs();
+        assert!(
+            err_light < err_heavy / 5.0,
+            "downweighting must shrink the outlier's pull: {err_light} vs {err_heavy}"
+        );
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted() {
+        let samples = grid_samples(|t, c| 5.0 - t + 2.0 * c);
+        let reweighted: Vec<Sample> =
+            samples.iter().map(|s| Sample::weighted(s.t, s.c, s.y, 3.0)).collect();
+        let a = LinearModel::fit(&samples);
+        let b = LinearModel::fit(&reweighted);
+        assert!((a.b0 - b.b0).abs() < 1e-6 && (a.b1 - b.b1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve3_identity() {
+        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(x, [4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn solve3_singular_returns_none() {
+        assert!(solve3([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]], [1.0, 2.0, 3.0]).is_none());
+    }
+}

@@ -1,0 +1,136 @@
+//! Regression models: linear leaf models, the M5 model tree, and the bagging
+//! ensemble that supplies SMBO's predictive mean and variance.
+
+pub mod bagging;
+pub mod linear;
+pub mod m5;
+
+pub use bagging::BaggedM5;
+pub use linear::LinearModel;
+pub use m5::M5Tree;
+
+/// A training observation: features `(t, c)`, the measured KPI, and a
+/// confidence weight.
+///
+/// The weight implements the paper's §VIII suggestion of feeding the
+/// *noisiness* of each measurement (its coefficient of variation) into the
+/// modeling phase: precise measurements get weight > 1, noisy or truncated
+/// ones < 1. `Sample::new` uses weight 1 (the paper's baseline behaviour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    pub t: f64,
+    pub c: f64,
+    pub y: f64,
+    /// Relative confidence in `y` (1.0 = nominal).
+    pub w: f64,
+}
+
+impl Sample {
+    pub fn new(t: f64, c: f64, y: f64) -> Self {
+        Self { t, c, y, w: 1.0 }
+    }
+
+    /// A sample with an explicit confidence weight (clamped to a sane
+    /// positive range so one observation can neither vanish nor dominate).
+    pub fn weighted(t: f64, c: f64, y: f64, w: f64) -> Self {
+        Self { t, c, y, w: w.clamp(0.05, 20.0) }
+    }
+
+    /// Derive a confidence weight from a measurement's throughput CV:
+    /// `w = (cv_ref / cv)²` with `cv_ref = 10%` (the monitor's stability
+    /// threshold), so a window that stabilized exactly at the threshold gets
+    /// weight 1. Timed-out windows (`cv = None`) are low-information.
+    pub fn weight_from_cv(cv: Option<f64>, timed_out: bool) -> f64 {
+        if timed_out {
+            return 0.25;
+        }
+        match cv {
+            Some(cv) if cv > 0.0 => (0.10 / cv.max(0.005)).powi(2).clamp(0.05, 20.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Feature accessor by index (0 = `t`, 1 = `c`).
+    pub fn feature(&self, i: usize) -> f64 {
+        match i {
+            0 => self.t,
+            1 => self.c,
+            _ => panic!("feature index {i} out of range (2 features)"),
+        }
+    }
+}
+
+/// Anything that predicts a KPI from a configuration.
+pub trait Regressor {
+    /// Predicted KPI at `(t, c)`.
+    fn predict(&self, t: f64, c: f64) -> f64;
+}
+
+pub(crate) fn mean(ys: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for y in ys {
+        sum += y;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+pub(crate) fn std_dev(samples: &[Sample]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples.iter().map(|s| s.y));
+    let var = samples.iter().map(|s| (s.y - m).powi(2)).sum::<f64>() / samples.len() as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_feature_access() {
+        let s = Sample::new(3.0, 5.0, 7.0);
+        assert_eq!(s.feature(0), 3.0);
+        assert_eq!(s.feature(1), 5.0);
+        assert_eq!(s.w, 1.0);
+    }
+
+    #[test]
+    fn weighted_sample_clamps() {
+        assert_eq!(Sample::weighted(1.0, 1.0, 1.0, 1e9).w, 20.0);
+        assert_eq!(Sample::weighted(1.0, 1.0, 1.0, 0.0).w, 0.05);
+    }
+
+    #[test]
+    fn weight_from_cv_semantics() {
+        // Stabilized exactly at the 10% threshold → nominal weight.
+        assert!((Sample::weight_from_cv(Some(0.10), false) - 1.0).abs() < 1e-12);
+        // Tighter CV → more confident.
+        assert!(Sample::weight_from_cv(Some(0.02), false) > 5.0);
+        // Sloppier CV → less confident.
+        assert!(Sample::weight_from_cv(Some(0.5), false) < 0.1);
+        // Timeout-truncated windows are low-information.
+        assert_eq!(Sample::weight_from_cv(Some(0.01), true), 0.25);
+        assert_eq!(Sample::weight_from_cv(None, false), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_feature_index() {
+        let _ = Sample::new(0.0, 0.0, 0.0).feature(2);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mean([].into_iter()), 0.0);
+        assert_eq!(mean([2.0, 4.0].into_iter()), 3.0);
+        let samples = vec![Sample::new(0.0, 0.0, 2.0), Sample::new(0.0, 0.0, 4.0)];
+        assert!((std_dev(&samples) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&samples[..1]), 0.0);
+    }
+}

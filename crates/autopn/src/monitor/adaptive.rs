@@ -1,0 +1,351 @@
+//! AutoPN's adaptive monitoring policy: CV-based stability detection plus the
+//! `1/T(1,1)` adaptive timeout (§VI).
+
+use super::{MonitorPolicy, Verdict, HARD_WINDOW_CAP_NS};
+use crate::kpi::{Measurement, WindowedStats};
+use crate::space::Config;
+
+/// Adaptive measurement windows.
+///
+/// On every commit `i` the policy computes the running throughput estimate
+/// `T(i) = i / time(i)` and closes the window once the coefficient of
+/// variation of `T(1..=i)` drops to [`cv_threshold`](Self::cv_threshold)
+/// (after at least [`min_commits`](Self::min_commits) commits). If no commit
+/// arrives for the adaptive timeout — `κ / T(1,1)`, derived automatically
+/// from the measurement of the `(1,1)` pivot — the window is cut short and
+/// flagged `timed_out`: such a configuration is known to be far from optimal
+/// and not worth measuring precisely.
+#[derive(Debug, Clone)]
+pub struct AdaptiveMonitor {
+    /// CV stability threshold (paper default: 0.10).
+    pub cv_threshold: f64,
+    /// Minimum commits before the CV test may close the window.
+    pub min_commits: u64,
+    /// Timeout multiplier κ applied to the sequential-transaction timescale
+    /// `1/T(1,1)`: a window with no commit for κ timescales is cut short.
+    /// κ = 3 keeps configurations that are merely *slower than sequential by
+    /// a small factor* measurable (on weakly-scaling workloads much of the
+    /// space commits near the sequential rate), while still escaping truly
+    /// starving configurations quickly.
+    pub timeout_multiplier: f64,
+    /// Commits discarded at the start of each window before measurement
+    /// begins. Right after a reconfiguration the commit stream still carries
+    /// transactions admitted under the previous configuration; folding them
+    /// into the `T(i)` series inflates its CV and stalls convergence.
+    pub warmup_commits: u64,
+    /// One sequential-transaction timescale, `1e9 / T(1,1)` ns.
+    timescale_ns: Option<u64>,
+    /// When the window was opened (before warm-up discarding).
+    window_open_ns: u64,
+    start_ns: u64,
+    last_event_ns: u64,
+    discarded: u64,
+    commits: u64,
+    stats: WindowedStats,
+}
+
+impl Default for AdaptiveMonitor {
+    fn default() -> Self {
+        Self::new(0.10, 5)
+    }
+}
+
+impl AdaptiveMonitor {
+    pub fn new(cv_threshold: f64, min_commits: u64) -> Self {
+        Self {
+            cv_threshold,
+            min_commits: min_commits.max(2),
+            timeout_multiplier: 3.0,
+            warmup_commits: 3,
+            timescale_ns: None,
+            window_open_ns: 0,
+            start_ns: 0,
+            last_event_ns: 0,
+            discarded: 0,
+            commits: 0,
+            // Sliding CV window: reconfiguration transients age out instead
+            // of inflating the series CV forever.
+            stats: WindowedStats::new(15),
+        }
+    }
+
+    /// Derive the adaptive timescale from the sequential configuration's
+    /// throughput `t11` (commits/s); the timeout is κ timescales.
+    pub fn set_reference_throughput(&mut self, t11: f64) {
+        if t11 > 0.0 {
+            self.timescale_ns = Some((1e9 / t11) as u64);
+        }
+    }
+
+    /// The currently armed timeout (κ timescales), if any.
+    pub fn timeout_ns(&self) -> Option<u64> {
+        self.timescale_ns.map(|t| (t as f64 * self.timeout_multiplier) as u64)
+    }
+
+    fn close(&self, now_ns: u64, timed_out: bool) -> Measurement {
+        Measurement::from_counts(
+            self.commits,
+            now_ns.saturating_sub(self.start_ns).max(1),
+            timed_out,
+            self.stats.cv(),
+        )
+    }
+}
+
+impl MonitorPolicy for AdaptiveMonitor {
+    fn begin_window(&mut self, now_ns: u64) {
+        self.window_open_ns = now_ns;
+        self.start_ns = now_ns;
+        self.last_event_ns = now_ns;
+        self.discarded = 0;
+        self.commits = 0;
+        self.stats.reset();
+    }
+
+    fn on_commit(&mut self, at_ns: u64) -> Verdict {
+        // A commit arriving after a silent period longer than the adaptive
+        // timeout still means the window should have been cut: the poll loop
+        // only observes idle time at poll granularity, so catch it here too.
+        if let Some(timeout) = self.timeout_ns() {
+            if at_ns.saturating_sub(self.last_event_ns) >= timeout {
+                return Verdict::Complete(self.close(at_ns, true));
+            }
+        }
+        // Warm-up: discard commits still attributable to the previous
+        // configuration. Two criteria must both be satisfied before
+        // measuring starts: a few commits have passed (covers the
+        // no-reference case) AND one sequential-transaction timescale has
+        // elapsed since the window opened — after a reconfiguration,
+        // transactions admitted under the *old* configuration (up to the old
+        // `t` of them) all drain within about one transaction latency, and
+        // counting that burst would wildly overestimate the new
+        // configuration's throughput.
+        let in_commit_warmup = self.discarded < self.warmup_commits;
+        let in_time_warmup = self
+            .timescale_ns
+            .map(|t| at_ns.saturating_sub(self.window_open_ns) < t)
+            .unwrap_or(false);
+        if in_commit_warmup || in_time_warmup {
+            self.discarded += 1;
+            self.start_ns = at_ns;
+            self.last_event_ns = at_ns;
+            return Verdict::Continue;
+        }
+        self.commits += 1;
+        self.last_event_ns = at_ns;
+        let elapsed = at_ns.saturating_sub(self.start_ns).max(1);
+        let t_i = self.commits as f64 * 1e9 / elapsed as f64;
+        self.stats.push(t_i);
+        // The CV test may only close a window that spans at least one
+        // sequential-transaction timescale (1/T(1,1), the same quantity the
+        // timeout is derived from): commits leave the serialized commit
+        // section in bursts, and a window closed inside one burst would
+        // wildly overestimate throughput.
+        let spans_timescale = self.timescale_ns.map(|t| elapsed >= t).unwrap_or(true);
+        if self.commits >= self.min_commits && spans_timescale {
+            if let Some(cv) = self.stats.cv() {
+                if cv <= self.cv_threshold {
+                    return Verdict::Complete(self.close(at_ns, false));
+                }
+            }
+        }
+        if elapsed >= HARD_WINDOW_CAP_NS {
+            return Verdict::Complete(self.close(at_ns, true));
+        }
+        Verdict::Continue
+    }
+
+    fn on_idle(&mut self, now_ns: u64) -> Verdict {
+        if let Some(timeout) = self.timeout_ns() {
+            if now_ns.saturating_sub(self.last_event_ns) >= timeout {
+                return Verdict::Complete(self.close(now_ns, true));
+            }
+        }
+        if now_ns.saturating_sub(self.start_ns) >= HARD_WINDOW_CAP_NS {
+            return Verdict::Complete(self.close(now_ns, true));
+        }
+        Verdict::Continue
+    }
+
+    fn poll_interval_ns(&self) -> u64 {
+        self.timeout_ns().map(|t| (t / 4).clamp(100_000, 50_000_000)).unwrap_or(1_000_000)
+    }
+
+    fn measurement_taken(&mut self, cfg: Config, m: &Measurement) {
+        if cfg == Config::new(1, 1) && !m.timed_out {
+            self.set_reference_throughput(m.throughput);
+        }
+    }
+
+    fn reset_reference(&mut self) {
+        self.timescale_ns = None;
+    }
+
+    fn name(&self) -> String {
+        format!("adaptive(cv={:.0}%)", self.cv_threshold * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::test_util::drive_uniform;
+
+    #[test]
+    fn steady_stream_converges_quickly() {
+        let mut m = AdaptiveMonitor::default();
+        // Perfectly regular commits every 1ms: CV of T(i) shrinks fast.
+        let (n, meas) = drive_uniform(&mut m, 0, 1_000_000, 10_000).expect("must complete");
+        assert!(n <= 50, "took {n} commits");
+        assert!(!meas.timed_out);
+        assert!((meas.throughput - 1000.0).abs() / 1000.0 < 0.05, "tp {}", meas.throughput);
+        assert!(meas.cv.unwrap() <= 0.10);
+    }
+
+    #[test]
+    fn jittery_stream_needs_more_commits() {
+        let mut steady = AdaptiveMonitor::default();
+        let (n_steady, _) = drive_uniform(&mut steady, 0, 1_000_000, 100_000).unwrap();
+
+        // Alternating fast/slow inter-commit gaps: higher CV, later close.
+        let mut jittery = AdaptiveMonitor::default();
+        jittery.begin_window(0);
+        let mut at = 0u64;
+        let mut n_jittery = None;
+        for i in 1..100_000 {
+            at += if i % 2 == 0 { 200_000 } else { 3_800_000 };
+            if let Verdict::Complete(_) = jittery.on_commit(at) {
+                n_jittery = Some(i);
+                break;
+            }
+        }
+        let n_jittery = n_jittery.expect("eventually stabilizes");
+        assert!(
+            n_jittery > n_steady,
+            "jittery ({n_jittery}) must need more commits than steady ({n_steady})"
+        );
+    }
+
+    #[test]
+    fn min_commits_enforced_after_warmup() {
+        let mut m = AdaptiveMonitor::new(0.99, 5); // absurdly lax CV
+        m.begin_window(0);
+        // Default warm-up discards the first 3 commits...
+        for i in 1..=3u64 {
+            assert_eq!(m.on_commit(i * 1_000), Verdict::Continue, "warm-up commit {i}");
+        }
+        // ...then min_commits measured commits are required.
+        for i in 4..=7u64 {
+            assert_eq!(m.on_commit(i * 1_000), Verdict::Continue, "measured commit {i}");
+        }
+        assert!(matches!(m.on_commit(8_000), Verdict::Complete(_)), "5th measured commit closes");
+    }
+
+    #[test]
+    fn warmup_resets_measurement_origin() {
+        let mut m = AdaptiveMonitor::new(0.10, 2);
+        m.warmup_commits = 1;
+        m.begin_window(0);
+        // A straggler from the previous configuration arrives late...
+        assert_eq!(m.on_commit(10_000_000), Verdict::Continue);
+        // ...then the new configuration commits at a steady 1 ms.
+        let _ = m.on_commit(11_000_000);
+        match m.on_commit(12_000_000) {
+            Verdict::Complete(meas) => {
+                // Throughput reflects the 1 ms cadence, not the straggler gap.
+                assert!((meas.throughput - 1000.0).abs() < 50.0, "tp {}", meas.throughput);
+            }
+            v => panic!("expected completion, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_fires_on_silent_config() {
+        let mut m = AdaptiveMonitor::default();
+        m.set_reference_throughput(1000.0); // timescale 1ms, timeout 3ms
+        assert_eq!(m.timeout_ns(), Some(3_000_000));
+        m.begin_window(0);
+        assert_eq!(m.on_idle(500_000), Verdict::Continue);
+        assert_eq!(m.on_idle(2_500_000), Verdict::Continue);
+        match m.on_idle(3_200_000) {
+            Verdict::Complete(meas) => {
+                assert!(meas.timed_out);
+                assert_eq!(meas.commits, 0);
+                assert_eq!(meas.throughput, 0.0);
+            }
+            v => panic!("expected timeout, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_measured_since_last_commit() {
+        let mut m = AdaptiveMonitor::default();
+        m.set_reference_throughput(1000.0);
+        m.begin_window(0);
+        let _ = m.on_commit(900_000);
+        // 2.9ms after the commit: not yet 3ms (= 3 timescales) since the
+        // last event.
+        assert_eq!(m.on_idle(3_800_000), Verdict::Continue);
+        assert!(matches!(m.on_idle(3_950_000), Verdict::Complete(_)));
+    }
+
+    #[test]
+    fn no_timeout_until_reference_known() {
+        let mut m = AdaptiveMonitor::default();
+        m.begin_window(0);
+        assert_eq!(m.on_idle(10_000_000_000), Verdict::Continue, "no reference, no timeout");
+        // But the hard cap still protects the driver.
+        assert!(matches!(m.on_idle(HARD_WINDOW_CAP_NS + 1), Verdict::Complete(_)));
+    }
+
+    #[test]
+    fn reference_set_from_1_1_measurement() {
+        let mut m = AdaptiveMonitor::default();
+        let meas = Measurement::from_counts(100, 1_000_000_000, false, Some(0.05));
+        m.measurement_taken(Config::new(4, 4), &meas);
+        assert_eq!(m.timeout_ns(), None, "only (1,1) sets the reference");
+        m.measurement_taken(Config::new(1, 1), &meas);
+        assert_eq!(m.timeout_ns(), Some(30_000_000)); // 3 x (1/100 s)
+    }
+
+    #[test]
+    fn commit_bursts_cannot_close_a_window_early() {
+        // Reference: sequential rate 100 tx/s → timescale 10 ms. A burst of
+        // commits 10 µs apart must NOT close the window, even though the
+        // T(i) series inside the burst looks perfectly stable.
+        let mut m = AdaptiveMonitor::default();
+        m.set_reference_throughput(100.0);
+        m.begin_window(0);
+        let mut at = 0u64;
+        for _ in 0..12 {
+            at += 10_000; // 10 µs
+            assert_eq!(m.on_commit(at), Verdict::Continue, "burst must not close the window");
+        }
+        // Steady post-burst commits every 1 ms eventually close it, and the
+        // measurement reflects the long-run rate, not the burst.
+        let mut result = None;
+        for _ in 0..200 {
+            at += 1_000_000;
+            if let Verdict::Complete(meas) = m.on_commit(at) {
+                result = Some(meas);
+                break;
+            }
+        }
+        let meas = result.expect("must eventually close");
+        assert!(
+            meas.throughput < 5_000.0,
+            "burst inflated the estimate: {:.0} tx/s",
+            meas.throughput
+        );
+    }
+
+    #[test]
+    fn windows_reset_cleanly() {
+        let mut m = AdaptiveMonitor::default();
+        drive_uniform(&mut m, 0, 1_000_000, 10_000).unwrap();
+        // Second window starting much later must not inherit state.
+        let (n, meas) = drive_uniform(&mut m, 77_000_000_000, 2_000_000, 10_000).unwrap();
+        assert!(n <= 50);
+        assert!((meas.throughput - 500.0).abs() / 500.0 < 0.05);
+    }
+}

@@ -1,0 +1,156 @@
+//! Fixed-commit-count windows (the paper's WPNOC-k baselines), optionally
+//! guarded by AutoPN's adaptive timeout (Fig. 7c).
+
+use super::{MonitorPolicy, Verdict, HARD_WINDOW_CAP_NS};
+use crate::kpi::Measurement;
+use crate::space::Config;
+
+/// Wait for `k` commits, then close the window. Without a timeout this
+/// policy hangs on starving configurations — exactly the vulnerability §VI
+/// describes; enable
+/// [`with_adaptive_timeout`](CommitCountMonitor::with_adaptive_timeout) to
+/// add the `1/T(1,1)` guard.
+#[derive(Debug, Clone)]
+pub struct CommitCountMonitor {
+    k: u64,
+    adaptive_timeout: bool,
+    timeout_multiplier: f64,
+    timeout_ns: Option<u64>,
+    start_ns: u64,
+    last_event_ns: u64,
+    commits: u64,
+}
+
+impl CommitCountMonitor {
+    /// Plain WPNOC-k: wait for `k` commits.
+    pub fn new(k: u64) -> Self {
+        Self {
+            k: k.max(1),
+            adaptive_timeout: false,
+            timeout_multiplier: 3.0,
+            timeout_ns: None,
+            start_ns: 0,
+            last_event_ns: 0,
+            commits: 0,
+        }
+    }
+
+    /// Arm the adaptive timeout (derived from the `(1,1)` measurement).
+    pub fn with_adaptive_timeout(mut self) -> Self {
+        self.adaptive_timeout = true;
+        self
+    }
+
+    /// The commit target `k`.
+    pub fn target(&self) -> u64 {
+        self.k
+    }
+
+    fn close(&self, now_ns: u64, timed_out: bool) -> Measurement {
+        Measurement::from_counts(self.commits, now_ns.saturating_sub(self.start_ns).max(1), timed_out, None)
+    }
+}
+
+impl MonitorPolicy for CommitCountMonitor {
+    fn begin_window(&mut self, now_ns: u64) {
+        self.start_ns = now_ns;
+        self.last_event_ns = now_ns;
+        self.commits = 0;
+    }
+
+    fn on_commit(&mut self, at_ns: u64) -> Verdict {
+        self.commits += 1;
+        self.last_event_ns = at_ns;
+        if self.commits >= self.k {
+            Verdict::Complete(self.close(at_ns, false))
+        } else {
+            Verdict::Continue
+        }
+    }
+
+    fn on_idle(&mut self, now_ns: u64) -> Verdict {
+        if let Some(timeout) = self.timeout_ns {
+            if now_ns.saturating_sub(self.last_event_ns) >= timeout {
+                return Verdict::Complete(self.close(now_ns, true));
+            }
+        }
+        if now_ns.saturating_sub(self.start_ns) >= HARD_WINDOW_CAP_NS {
+            return Verdict::Complete(self.close(now_ns, true));
+        }
+        Verdict::Continue
+    }
+
+    fn measurement_taken(&mut self, cfg: Config, m: &Measurement) {
+        if self.adaptive_timeout && cfg == Config::new(1, 1) && !m.timed_out && m.throughput > 0.0 {
+            self.timeout_ns = Some((self.timeout_multiplier * 1e9 / m.throughput) as u64);
+        }
+    }
+
+    fn reset_reference(&mut self) {
+        self.timeout_ns = None;
+    }
+
+    fn name(&self) -> String {
+        if self.adaptive_timeout {
+            format!("wpnoc{}+adaptTO", self.k)
+        } else {
+            format!("wpnoc{}", self.k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::test_util::drive_uniform;
+
+    #[test]
+    fn closes_after_k_commits() {
+        let mut m = CommitCountMonitor::new(10);
+        let (n, meas) = drive_uniform(&mut m, 0, 2_000_000, 100).unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(meas.commits, 10);
+        assert!((meas.throughput - 500.0).abs() < 1.0);
+        assert!(!meas.timed_out);
+    }
+
+    #[test]
+    fn without_timeout_never_closes_on_idle() {
+        let mut m = CommitCountMonitor::new(10);
+        m.begin_window(0);
+        assert_eq!(m.on_idle(10_000_000_000), Verdict::Continue);
+        // Only the hard cap saves the driver.
+        assert!(matches!(m.on_idle(HARD_WINDOW_CAP_NS), Verdict::Complete(_)));
+    }
+
+    #[test]
+    fn adaptive_timeout_rescues_starving_config() {
+        let mut m = CommitCountMonitor::new(30).with_adaptive_timeout();
+        // (1,1) measured at 1000 commits/s → timeout 3ms (κ = 3 timescales).
+        m.measurement_taken(Config::new(1, 1), &Measurement::from_counts(1000, 1_000_000_000, false, None));
+        m.begin_window(0);
+        let _ = m.on_commit(100_000);
+        assert_eq!(m.on_idle(1_200_000), Verdict::Continue);
+        match m.on_idle(3_200_000) {
+            Verdict::Complete(meas) => {
+                assert!(meas.timed_out);
+                assert_eq!(meas.commits, 1);
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(CommitCountMonitor::new(10).name(), "wpnoc10");
+        assert_eq!(CommitCountMonitor::new(30).with_adaptive_timeout().name(), "wpnoc30+adaptTO");
+    }
+
+    #[test]
+    fn non_pivot_measurements_do_not_arm_timeout() {
+        let mut m = CommitCountMonitor::new(5).with_adaptive_timeout();
+        m.measurement_taken(Config::new(8, 2), &Measurement::from_counts(100, 1_000_000_000, false, None));
+        m.begin_window(0);
+        assert_eq!(m.on_idle(60_000_000_000), Verdict::Continue);
+    }
+}

@@ -1,0 +1,94 @@
+//! KPI monitoring policies (§VI).
+//!
+//! A monitor policy decides when a measurement window is *complete*: it
+//! consumes the stream of top-level commit events (timestamps on the
+//! system's clock, virtual or real) and either keeps waiting or closes the
+//! window with a [`Measurement`]. The paper contrasts:
+//!
+//! * [`StaticTimeMonitor`] — fixed-duration windows (needs workload-specific
+//!   tuning; Fig. 7a/7b).
+//! * [`CommitCountMonitor`] — wait for a fixed number of commits (WPNOC-k),
+//!   optionally guarded by the adaptive timeout (Fig. 7c).
+//! * [`AdaptiveMonitor`] — AutoPN's policy: close the window when the
+//!   coefficient of variation of the per-commit throughput estimates drops
+//!   below a threshold (default 10%), with an adaptive timeout of
+//!   `1/T(1,1)` to escape starving configurations.
+
+pub mod adaptive;
+pub mod commit_count;
+pub mod static_time;
+
+pub use adaptive::AdaptiveMonitor;
+pub use commit_count::CommitCountMonitor;
+pub use static_time::StaticTimeMonitor;
+
+use crate::kpi::Measurement;
+use crate::space::Config;
+
+/// Outcome of feeding one event to a policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Keep measuring.
+    Continue,
+    /// Window complete.
+    Complete(Measurement),
+}
+
+/// A measurement-window policy over commit-event streams.
+pub trait MonitorPolicy {
+    /// Start a fresh window at time `now_ns`.
+    fn begin_window(&mut self, now_ns: u64);
+
+    /// A top-level commit occurred at `at_ns`.
+    fn on_commit(&mut self, at_ns: u64) -> Verdict;
+
+    /// No commit occurred; the clock is now `now_ns`. Lets timeout-based
+    /// policies close windows on silent (starving) configurations.
+    fn on_idle(&mut self, now_ns: u64) -> Verdict;
+
+    /// How long the driver may block waiting for a commit before it must
+    /// call [`MonitorPolicy::on_idle`].
+    fn poll_interval_ns(&self) -> u64 {
+        1_000_000 // 1 ms
+    }
+
+    /// Hook called by the controller after every completed measurement; the
+    /// adaptive policy uses the `(1,1)` measurement to derive its timeout.
+    fn measurement_taken(&mut self, _cfg: Config, _m: &Measurement) {}
+
+    /// Forget workload-derived calibration (e.g. the `1/T(1,1)` timeout).
+    /// Called by the controller when a workload change triggers a fresh
+    /// tuning session: the old reference no longer describes the system.
+    fn reset_reference(&mut self) {}
+
+    /// Display name for reports.
+    fn name(&self) -> String;
+}
+
+/// Hard safety cap shared by the policies: no window outlives this, whatever
+/// the policy state (keeps drivers loop-safe on pathological configs).
+pub const HARD_WINDOW_CAP_NS: u64 = 120_000_000_000; // 120 s
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Feed a policy a uniform commit stream and return how many commits it
+    /// took to complete (None if it never completed within `max`).
+    pub fn drive_uniform(
+        policy: &mut dyn MonitorPolicy,
+        start_ns: u64,
+        period_ns: u64,
+        max: usize,
+    ) -> Option<(usize, Measurement)> {
+        policy.begin_window(start_ns);
+        let mut at = start_ns;
+        for i in 1..=max {
+            at += period_ns;
+            if let Verdict::Complete(m) = policy.on_commit(at) {
+                return Some((i, m));
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,109 @@
+//! Fixed-duration measurement windows (the conventional policy of e.g.
+//! F2C2-STM that Fig. 7a/7b shows to be brittle across workloads).
+
+use std::time::Duration;
+
+use super::{MonitorPolicy, Verdict};
+use crate::kpi::Measurement;
+
+/// Close every window after exactly `window_ns`, whatever happened inside.
+#[derive(Debug, Clone)]
+pub struct StaticTimeMonitor {
+    window_ns: u64,
+    start_ns: u64,
+    commits: u64,
+}
+
+impl StaticTimeMonitor {
+    pub fn new(window: Duration) -> Self {
+        Self { window_ns: (window.as_nanos() as u64).max(1), start_ns: 0, commits: 0 }
+    }
+
+    /// The configured window length.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    fn maybe_close(&self, now_ns: u64) -> Verdict {
+        let elapsed = now_ns.saturating_sub(self.start_ns);
+        if elapsed >= self.window_ns {
+            Verdict::Complete(Measurement::from_counts(self.commits, elapsed.max(1), false, None))
+        } else {
+            Verdict::Continue
+        }
+    }
+}
+
+impl MonitorPolicy for StaticTimeMonitor {
+    fn begin_window(&mut self, now_ns: u64) {
+        self.start_ns = now_ns;
+        self.commits = 0;
+    }
+
+    fn on_commit(&mut self, at_ns: u64) -> Verdict {
+        self.commits += 1;
+        self.maybe_close(at_ns)
+    }
+
+    fn on_idle(&mut self, now_ns: u64) -> Verdict {
+        self.maybe_close(now_ns)
+    }
+
+    fn poll_interval_ns(&self) -> u64 {
+        (self.window_ns / 8).clamp(100_000, 100_000_000)
+    }
+
+    fn name(&self) -> String {
+        format!("static({:?})", Duration::from_nanos(self.window_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closes_exactly_at_window() {
+        let mut m = StaticTimeMonitor::new(Duration::from_millis(10));
+        m.begin_window(1_000_000);
+        assert_eq!(m.on_commit(2_000_000), Verdict::Continue);
+        assert_eq!(m.on_commit(5_000_000), Verdict::Continue);
+        match m.on_commit(11_000_001) {
+            Verdict::Complete(meas) => {
+                assert_eq!(meas.commits, 3);
+                assert!(!meas.timed_out);
+                assert!((meas.throughput - 300.0).abs() < 1.0, "tp {}", meas.throughput);
+            }
+            v => panic!("expected completion, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn closes_on_idle_with_zero_commits() {
+        let mut m = StaticTimeMonitor::new(Duration::from_millis(1));
+        m.begin_window(0);
+        assert_eq!(m.on_idle(500_000), Verdict::Continue);
+        match m.on_idle(1_000_000) {
+            Verdict::Complete(meas) => {
+                assert_eq!(meas.commits, 0);
+                assert_eq!(meas.throughput, 0.0);
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn window_resets() {
+        let mut m = StaticTimeMonitor::new(Duration::from_millis(1));
+        m.begin_window(0);
+        let _ = m.on_commit(2_000_000);
+        m.begin_window(10_000_000);
+        assert_eq!(m.on_commit(10_500_000), Verdict::Continue, "new window not over yet");
+    }
+
+    #[test]
+    fn name_mentions_duration() {
+        let m = StaticTimeMonitor::new(Duration::from_secs(2));
+        assert!(m.name().contains("2s"), "{}", m.name());
+    }
+}

@@ -1,0 +1,331 @@
+//! Heterogeneous transaction types — the §VIII future-work extension.
+//!
+//! The paper: *"it would be relatively straightforward to extend AutoPN to
+//! support this problem of higher dimensionality, by modeling the search
+//! space as a set of distinct (t_k, c_k) pairs for each type of top-level
+//! transaction. It is unclear, though, whether its efficiency would still
+//! remain acceptable when faced with such a larger search space."*
+//!
+//! This module implements that extension by **coordinate descent over
+//! types under explicit per-type core caps**: each type `k` owns a core
+//! budget `cap_k` (Σ cap_k ≤ n) and its `(t_k, c_k)` is tuned with a full
+//! AutoPN pipeline over `{(t, c) : t·c ≤ cap_k}` while the other types hold
+//! their current assignment. Fixed caps keep the coordinates decoupled —
+//! naive budgeting by "whatever the others left over" lets the first
+//! coordinate greedily absorb the whole machine. The split across types is
+//! an outer, low-dimensional search (see `bench --bin ext_heterogeneous`,
+//! which sweeps it). Passes over the types repeat until a pass stops
+//! improving; the paper's open efficiency question is answered empirically
+//! by that experiment.
+
+use crate::optimizer::{AutoPn, AutoPnConfig, Tuner};
+use crate::space::{Config, SearchSpace};
+
+/// A per-type assignment of parallelism degrees.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MultiConfig {
+    /// `(t_k, c_k)` for each transaction type `k`.
+    pub per_type: Vec<Config>,
+}
+
+impl MultiConfig {
+    /// Every type at `(1, 1)`.
+    pub fn sequential(types: usize) -> Self {
+        Self { per_type: vec![Config::new(1, 1); types] }
+    }
+
+    /// Total core demand `Σ t_k · c_k`.
+    pub fn cores(&self) -> usize {
+        self.per_type.iter().map(|c| c.cores()).sum()
+    }
+
+    /// Admissibility on an `n`-core machine.
+    pub fn fits(&self, n_cores: usize) -> bool {
+        self.cores() <= n_cores
+    }
+
+    /// This assignment with type `k` replaced by `cfg`.
+    pub fn with_type(&self, k: usize, cfg: Config) -> Self {
+        let mut out = self.clone();
+        out.per_type[k] = cfg;
+        out
+    }
+}
+
+impl std::fmt::Display for MultiConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.per_type.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Configuration of the multi-type tuner.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiAutoPnConfig {
+    /// Per-coordinate AutoPN settings.
+    pub inner: AutoPnConfig,
+    /// Maximum coordinate-descent passes over the types.
+    pub max_passes: usize,
+    /// A pass must improve the best KPI by at least this relative amount to
+    /// warrant another pass.
+    pub min_pass_gain: f64,
+}
+
+impl Default for MultiAutoPnConfig {
+    fn default() -> Self {
+        Self { inner: AutoPnConfig::default(), max_passes: 3, min_pass_gain: 0.02 }
+    }
+}
+
+enum Phase {
+    /// Measure the starting all-(1,1) assignment.
+    Baseline,
+    /// Tuning coordinate `k` with an inner AutoPN.
+    Coordinate { k: usize, inner: Box<AutoPn> },
+    Done,
+}
+
+/// Ask–tell tuner over [`MultiConfig`] assignments.
+pub struct MultiAutoPn {
+    caps: Vec<usize>,
+    n_cores: usize,
+    types: usize,
+    cfg: MultiAutoPnConfig,
+    phase: Phase,
+    assignment: MultiConfig,
+    best: Option<(MultiConfig, f64)>,
+    pass: usize,
+    pass_start_best: f64,
+    explored: usize,
+    pending: Option<MultiConfig>,
+    seed_counter: u64,
+}
+
+impl MultiAutoPn {
+    /// Equal split: each of `types` types gets `n_cores / types` cores.
+    pub fn new(n_cores: usize, types: usize, cfg: MultiAutoPnConfig) -> Self {
+        assert!(types >= 1);
+        assert!(n_cores >= types, "need at least one core per type");
+        let caps = vec![(n_cores / types).max(1); types];
+        Self::with_caps(n_cores, caps, cfg)
+    }
+
+    /// Explicit per-type core caps (Σ caps must not exceed `n_cores`).
+    pub fn with_caps(n_cores: usize, caps: Vec<usize>, cfg: MultiAutoPnConfig) -> Self {
+        let types = caps.len();
+        assert!(types >= 1);
+        assert!(caps.iter().all(|&c| c >= 1), "every type needs at least one core");
+        assert!(
+            caps.iter().sum::<usize>() <= n_cores,
+            "caps {caps:?} oversubscribe {n_cores} cores"
+        );
+        Self {
+            caps,
+            n_cores,
+            types,
+            cfg,
+            phase: Phase::Baseline,
+            assignment: MultiConfig::sequential(types),
+            best: None,
+            pass: 0,
+            pass_start_best: f64::NEG_INFINITY,
+            explored: 0,
+            pending: None,
+            seed_counter: 0,
+        }
+    }
+
+    /// Budget for type `k`: its fixed cap.
+    fn budget_for(&self, k: usize) -> usize {
+        self.caps[k]
+    }
+
+    fn start_coordinate(&mut self, k: usize) {
+        let budget = self.budget_for(k);
+        self.seed_counter += 1;
+        let inner = AutoPn::new(
+            SearchSpace::new(budget),
+            AutoPnConfig {
+                seed: self.cfg.inner.seed.wrapping_add(self.seed_counter * 7919),
+                ..self.cfg.inner
+            },
+        );
+        self.phase = Phase::Coordinate { k, inner: Box::new(inner) };
+    }
+
+    fn advance_after_coordinate(&mut self, k: usize) {
+        // Adopt the coordinate's winner into the assignment.
+        if let Phase::Coordinate { inner, .. } = &self.phase {
+            if let Some((cfg, _)) = inner.best() {
+                self.assignment = self.assignment.with_type(k, cfg);
+            }
+        }
+        if k + 1 < self.types {
+            self.start_coordinate(k + 1);
+            return;
+        }
+        // Pass complete.
+        self.pass += 1;
+        let best_now = self.best.as_ref().map(|(_, v)| *v).unwrap_or(f64::NEG_INFINITY);
+        let improved = best_now
+            > self.pass_start_best * (1.0 + self.cfg.min_pass_gain)
+            || !self.pass_start_best.is_finite();
+        if improved && self.pass < self.cfg.max_passes {
+            self.pass_start_best = best_now;
+            self.start_coordinate(0);
+        } else {
+            self.phase = Phase::Done;
+        }
+    }
+
+    /// Next assignment to measure; `None` once converged.
+    pub fn propose(&mut self) -> Option<MultiConfig> {
+        loop {
+            match &mut self.phase {
+                Phase::Baseline => {
+                    let mc = self.assignment.clone();
+                    self.pending = Some(mc.clone());
+                    return Some(mc);
+                }
+                Phase::Coordinate { k, inner } => {
+                    let k = *k;
+                    match inner.propose() {
+                        Some(cfg) => {
+                            let mc = self.assignment.with_type(k, cfg);
+                            debug_assert!(mc.fits(self.n_cores), "budgeting keeps proposals admissible");
+                            self.pending = Some(mc.clone());
+                            return Some(mc);
+                        }
+                        None => self.advance_after_coordinate(k),
+                    }
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+
+    /// Report the measured KPI of a proposed assignment.
+    pub fn observe(&mut self, mc: MultiConfig, kpi: f64) {
+        debug_assert_eq!(self.pending.as_ref(), Some(&mc), "observe must match the last proposal");
+        self.pending = None;
+        self.explored += 1;
+        if self.best.as_ref().map(|(_, b)| kpi > *b).unwrap_or(true) {
+            self.best = Some((mc.clone(), kpi));
+        }
+        match &mut self.phase {
+            Phase::Baseline => {
+                self.pass_start_best = kpi;
+                self.start_coordinate(0);
+            }
+            Phase::Coordinate { k, inner } => {
+                let cfg = mc.per_type[*k];
+                inner.observe(cfg, kpi);
+            }
+            Phase::Done => {}
+        }
+    }
+
+    /// Best assignment observed so far.
+    pub fn best(&self) -> Option<(MultiConfig, f64)> {
+        self.best.clone()
+    }
+
+    /// Assignments measured so far.
+    pub fn explored(&self) -> usize {
+        self.explored
+    }
+
+    /// Coordinate-descent passes completed.
+    pub fn passes(&self) -> usize {
+        self.pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_config_algebra() {
+        let mc = MultiConfig::sequential(3);
+        assert_eq!(mc.cores(), 3);
+        assert!(mc.fits(3));
+        let mc2 = mc.with_type(1, Config::new(4, 2));
+        assert_eq!(mc2.cores(), 10);
+        assert_eq!(mc2.to_string(), "[(1,1) (4,2) (1,1)]");
+        assert_eq!(mc.cores(), 3, "with_type does not mutate the original");
+    }
+
+    /// Separable objective: each type has its own bowl; the global optimum
+    /// combines the per-type optima (within the core budget).
+    fn separable(mc: &MultiConfig) -> f64 {
+        let a = mc.per_type[0];
+        let b = mc.per_type[1];
+        let f_a = 300.0 - 4.0 * (a.t as f64 - 6.0).powi(2) - 30.0 * (a.c as f64 - 1.0).powi(2);
+        let f_b = 300.0 - 4.0 * (b.t as f64 - 2.0).powi(2) - 10.0 * (b.c as f64 - 4.0).powi(2);
+        f_a + f_b
+    }
+
+    #[test]
+    fn coordinate_descent_finds_per_type_shapes() {
+        let mut tuner = MultiAutoPn::new(24, 2, MultiAutoPnConfig::default());
+        let mut steps = 0;
+        while let Some(mc) = tuner.propose() {
+            assert!(mc.fits(24), "{mc} oversubscribes");
+            tuner.observe(mc.clone(), separable(&mc));
+            steps += 1;
+            assert!(steps < 500, "did not converge");
+        }
+        let (best, _) = tuner.best().expect("found something");
+        let (a, b) = (best.per_type[0], best.per_type[1]);
+        assert!((a.t as i64 - 6).abs() <= 2 && a.c <= 2, "type 0 wants ~(6,1), got {a}");
+        assert!((b.c as i64 - 4).abs() <= 2, "type 1 wants c~4, got {b}");
+        assert!(tuner.passes() >= 1);
+    }
+
+    #[test]
+    fn proposals_respect_shrinking_budget() {
+        // With type 0 holding a large allocation, type 1's proposals must
+        // fit the remaining cores.
+        let mut tuner = MultiAutoPn::new(12, 2, MultiAutoPnConfig::default());
+        let f = |mc: &MultiConfig| {
+            // Type 0 strongly prefers (8, 1).
+            let a = mc.per_type[0];
+            let b = mc.per_type[1];
+            -((a.t as f64 - 8.0).powi(2)) * 100.0 - (b.t as f64 + b.c as f64)
+        };
+        while let Some(mc) = tuner.propose() {
+            assert!(mc.fits(12));
+            tuner.observe(mc.clone(), f(&mc));
+        }
+        let (best, _) = tuner.best().unwrap();
+        assert!(best.fits(12));
+    }
+
+    #[test]
+    fn single_type_degenerates_to_autopn_shape() {
+        let mut tuner = MultiAutoPn::new(16, 1, MultiAutoPnConfig::default());
+        let f = |mc: &MultiConfig| {
+            let c = mc.per_type[0];
+            -((c.t as f64 - 4.0).powi(2)) - (c.c as f64 - 2.0).powi(2)
+        };
+        while let Some(mc) = tuner.propose() {
+            tuner.observe(mc.clone(), f(&mc));
+        }
+        let (best, _) = tuner.best().unwrap();
+        let c = best.per_type[0];
+        assert!((c.t as i64 - 4).abs() <= 1 && (c.c as i64 - 2).abs() <= 1, "got {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core per type")]
+    fn too_many_types_rejected() {
+        let _ = MultiAutoPn::new(2, 3, MultiAutoPnConfig::default());
+    }
+}

@@ -1,0 +1,138 @@
+//! Closed-form Expected Improvement under a Gaussian predictive
+//! distribution (Eq. 1 of the paper).
+
+use super::normal;
+
+/// Expected improvement of sampling a point whose predicted KPI is
+/// `N(mu, sigma²)` over the incumbent `f_best` (maximization):
+///
+/// `EI = (μ − f*) · Φ(z) + σ · φ(z)` with `z = (μ − f*) / σ`.
+///
+/// With `σ = 0` this degenerates to `max(μ − f*, 0)`.
+pub fn expected_improvement(mu: f64, sigma: f64, f_best: f64) -> f64 {
+    let delta = mu - f_best;
+    if sigma <= 0.0 {
+        return delta.max(0.0);
+    }
+    let z = delta / sigma;
+    (delta * normal::cdf(z) + sigma * normal::pdf(z)).max(0.0)
+}
+
+/// Probability of improvement `PI = Φ((μ − f*) / σ)` — the alternative
+/// acquisition §V-B mentions and rejects because it "reflects potential
+/// gain" less directly than EI (a tiny-but-certain gain scores 1.0).
+pub fn probability_of_improvement(mu: f64, sigma: f64, f_best: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if mu > f_best { 1.0 } else { 0.0 };
+    }
+    normal::cdf((mu - f_best) / sigma)
+}
+
+/// Gaussian-process upper confidence bound `UCB = μ + κ·σ` — the second
+/// alternative of §V-B, rejected because κ needs workload-dependent tuning.
+pub fn upper_confidence_bound(mu: f64, sigma: f64, kappa: f64) -> f64 {
+    mu + kappa * sigma.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_relu_of_delta() {
+        assert_eq!(expected_improvement(10.0, 0.0, 8.0), 2.0);
+        assert_eq!(expected_improvement(5.0, 0.0, 8.0), 0.0);
+    }
+
+    #[test]
+    fn symmetric_case_mu_equals_best() {
+        // EI = sigma * phi(0) ≈ 0.3989 sigma.
+        let ei = expected_improvement(5.0, 2.0, 5.0);
+        assert!((ei - 2.0 * 0.398_942_280_4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ei_nonnegative_everywhere() {
+        for mu in [-10.0, 0.0, 3.0, 100.0] {
+            for sigma in [0.0, 0.1, 1.0, 50.0] {
+                for best in [-5.0, 0.0, 42.0] {
+                    assert!(expected_improvement(mu, sigma, best) >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ei_monotone_in_sigma() {
+        // For fixed mu <= f_best, more uncertainty means more EI.
+        let mut prev = 0.0;
+        for s in 1..=20 {
+            let ei = expected_improvement(4.0, s as f64 * 0.25, 5.0);
+            assert!(ei >= prev, "EI must grow with sigma");
+            prev = ei;
+        }
+    }
+
+    #[test]
+    fn ei_monotone_in_mu() {
+        let mut prev = 0.0;
+        for m in 0..=20 {
+            let ei = expected_improvement(m as f64, 1.0, 5.0);
+            assert!(ei >= prev);
+            prev = ei;
+        }
+    }
+
+    #[test]
+    fn ei_matches_numeric_integration() {
+        // EI = ∫_{f*}^{∞} (y − f*) N(y; mu, sigma) dy, integrated numerically.
+        let (mu, sigma, best) = (3.0, 1.5, 4.0);
+        let mut acc = 0.0;
+        let dy = 0.001;
+        let mut y = best;
+        while y < mu + 10.0 * sigma {
+            let density = normal::pdf((y - mu) / sigma) / sigma;
+            acc += (y - best) * density * dy;
+            y += dy;
+        }
+        let ei = expected_improvement(mu, sigma, best);
+        assert!((ei - acc).abs() < 1e-3, "closed form {ei} vs numeric {acc}");
+    }
+
+    #[test]
+    fn deep_below_best_ei_is_tiny() {
+        let ei = expected_improvement(0.0, 1.0, 10.0);
+        assert!(ei < 1e-12);
+    }
+
+    #[test]
+    fn pi_bounds_and_midpoint() {
+        assert!((probability_of_improvement(5.0, 2.0, 5.0) - 0.5).abs() < 1e-7);
+        assert_eq!(probability_of_improvement(6.0, 0.0, 5.0), 1.0);
+        assert_eq!(probability_of_improvement(4.0, 0.0, 5.0), 0.0);
+        for mu in [-3.0, 0.0, 8.0] {
+            let p = probability_of_improvement(mu, 1.5, 2.0);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn pi_ignores_gain_magnitude_unlike_ei() {
+        // A certain epsilon gain: PI says 1.0, EI says epsilon — the paper's
+        // argument for EI over PI.
+        let (pi, ei) = (
+            probability_of_improvement(5.001, 1e-9, 5.0),
+            expected_improvement(5.001, 1e-9, 5.0),
+        );
+        assert!(pi > 0.999);
+        assert!(ei < 0.01);
+    }
+
+    #[test]
+    fn ucb_linear_in_kappa() {
+        assert_eq!(upper_confidence_bound(10.0, 2.0, 0.0), 10.0);
+        assert_eq!(upper_confidence_bound(10.0, 2.0, 1.0), 12.0);
+        assert_eq!(upper_confidence_bound(10.0, 2.0, 3.0), 16.0);
+        assert_eq!(upper_confidence_bound(10.0, -1.0, 5.0), 10.0, "negative sigma clamped");
+    }
+}

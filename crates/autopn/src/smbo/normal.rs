@@ -1,0 +1,83 @@
+//! Standard normal pdf/cdf, implemented from scratch (no special-function
+//! crates offline).
+
+use std::f64::consts::PI;
+
+/// Standard normal probability density function φ(x).
+pub fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function Φ(x).
+///
+/// Uses `Φ(x) = (1 + erf(x/√2)) / 2` with a high-accuracy rational erf
+/// approximation (Abramowitz & Stegun 7.1.26, |ε| < 1.5e-7).
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (A&S 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_known_values() {
+        assert!((pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+        assert!((pdf(1.0) - 0.241_970_724_5).abs() < 1e-9);
+        assert!((pdf(3.0) - pdf(-3.0)).abs() < 1e-15, "pdf is even");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cdf(1.0) - 0.841_344_746_1).abs() < 1e-6);
+        assert!((cdf(-1.0) - 0.158_655_253_9).abs() < 1e-6);
+        assert!((cdf(1.959_964) - 0.975).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cdf_limits() {
+        assert!(cdf(-8.0) < 1e-12);
+        assert!(cdf(8.0) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut prev = -1.0;
+        let mut x = -5.0;
+        while x <= 5.0 {
+            let v = cdf(x);
+            assert!(v >= prev - 1e-12, "cdf not monotone at {x}");
+            prev = v;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn erf_symmetry_and_values() {
+        // The A&S 7.1.26 polynomial is accurate to ~1.5e-7, not exact at 0.
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_is_derivative_of_cdf() {
+        for &x in &[-2.0, -0.5, 0.0, 0.7, 1.8] {
+            let h = 1e-5;
+            let numeric = (cdf(x + h) - cdf(x - h)) / (2.0 * h);
+            assert!((numeric - pdf(x)).abs() < 1e-4, "mismatch at {x}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Stopping criteria for the SMBO exploration phase (§V-B and §VII-C).
+
+/// When to conclude model-driven exploration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Stop when the best relative Expected Improvement falls below the
+    /// threshold (the paper's default policy; typical values 1%–10%).
+    EiBelow(f64),
+    /// Stop when the best KPI has not improved by more than `min_gain`
+    /// (relative) over the last `k` explorations.
+    NoImprovement {
+        /// Window of recent explorations considered.
+        k: usize,
+        /// Minimum relative improvement that counts as progress.
+        min_gain: f64,
+    },
+    /// Hybrid: EI threshold *and* no-improvement must both hold.
+    HybridAnd {
+        /// Relative EI threshold.
+        ei: f64,
+        /// No-improvement window.
+        k: usize,
+        /// Minimum relative improvement that counts as progress.
+        min_gain: f64,
+    },
+    /// Hybrid: either criterion suffices.
+    HybridOr {
+        /// Relative EI threshold.
+        ei: f64,
+        /// No-improvement window.
+        k: usize,
+        /// Minimum relative improvement that counts as progress.
+        min_gain: f64,
+    },
+    /// Idealized oracle that stops only once a KPI within `tolerance`
+    /// (relative) of the known optimum `target` has been observed. Not
+    /// implementable in practice (the optimum is unknown); used in §VII-C to
+    /// show that chasing exact optimality with the model is counterproductive.
+    Stubborn {
+        /// The known optimal KPI value.
+        target: f64,
+        /// Relative tolerance around the target.
+        tolerance: f64,
+    },
+}
+
+impl Default for StopCondition {
+    fn default() -> Self {
+        StopCondition::EiBelow(0.10)
+    }
+}
+
+impl StopCondition {
+    /// Decide whether to stop, given the KPIs observed so far (exploration
+    /// order) and the best relative EI among unexplored configurations
+    /// (`None` when the model cannot propose, which always stops).
+    pub fn should_stop(&self, history: &[f64], relative_ei: Option<f64>) -> bool {
+        let Some(rel_ei) = relative_ei else { return true };
+        match *self {
+            StopCondition::EiBelow(threshold) => rel_ei < threshold,
+            StopCondition::NoImprovement { k, min_gain } => no_improvement(history, k, min_gain),
+            StopCondition::HybridAnd { ei, k, min_gain } => {
+                rel_ei < ei && no_improvement(history, k, min_gain)
+            }
+            StopCondition::HybridOr { ei, k, min_gain } => {
+                rel_ei < ei || no_improvement(history, k, min_gain)
+            }
+            StopCondition::Stubborn { target, tolerance } => {
+                let best = history.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                best >= target * (1.0 - tolerance)
+            }
+        }
+    }
+}
+
+/// True when the best of the last `k` observations improves the best of the
+/// earlier observations by at most `min_gain` (relative).
+fn no_improvement(history: &[f64], k: usize, min_gain: f64) -> bool {
+    if history.len() <= k {
+        return false; // not enough evidence yet
+    }
+    let split = history.len() - k;
+    let best_before = history[..split].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let best_recent = history[split..].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    best_recent <= best_before * (1.0 + min_gain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ei_threshold() {
+        let s = StopCondition::EiBelow(0.10);
+        assert!(!s.should_stop(&[1.0], Some(0.5)));
+        assert!(s.should_stop(&[1.0], Some(0.05)));
+        assert!(s.should_stop(&[1.0], None), "no proposal always stops");
+    }
+
+    #[test]
+    fn no_improvement_needs_full_window() {
+        let s = StopCondition::NoImprovement { k: 5, min_gain: 0.10 };
+        assert!(!s.should_stop(&[1.0, 2.0, 3.0], Some(1.0)), "window not full");
+        // 6 samples, last 5 never beat the first (10.0) by >10%.
+        assert!(s.should_stop(&[10.0, 1.0, 2.0, 10.5, 3.0, 4.0], Some(1.0)));
+        // A recent sample beats it by more than 10%.
+        assert!(!s.should_stop(&[10.0, 1.0, 2.0, 12.0, 3.0, 4.0], Some(1.0)));
+    }
+
+    #[test]
+    fn hybrid_and_requires_both() {
+        let s = StopCondition::HybridAnd { ei: 0.10, k: 2, min_gain: 0.0 };
+        let flat = &[5.0, 5.0, 5.0, 5.0];
+        assert!(s.should_stop(flat, Some(0.01)));
+        assert!(!s.should_stop(flat, Some(0.5)), "EI still high");
+        let improving = &[1.0, 2.0, 4.0, 8.0];
+        assert!(!s.should_stop(improving, Some(0.01)), "still improving");
+    }
+
+    #[test]
+    fn hybrid_or_takes_either() {
+        let s = StopCondition::HybridOr { ei: 0.10, k: 2, min_gain: 0.0 };
+        assert!(s.should_stop(&[1.0, 2.0, 4.0, 8.0], Some(0.01)), "EI low");
+        assert!(s.should_stop(&[5.0, 5.0, 5.0, 5.0], Some(0.9)), "no improvement");
+        assert!(!s.should_stop(&[1.0, 2.0, 4.0, 8.0], Some(0.9)));
+    }
+
+    #[test]
+    fn stubborn_stops_only_at_target() {
+        let s = StopCondition::Stubborn { target: 100.0, tolerance: 0.01 };
+        assert!(!s.should_stop(&[50.0, 80.0, 98.0], Some(0.0001)), "EI irrelevant");
+        assert!(s.should_stop(&[50.0, 99.5], Some(0.9)));
+        assert!(s.should_stop(&[120.0], Some(0.9)), "beyond target counts");
+    }
+
+    #[test]
+    fn default_is_ei_10_percent() {
+        assert_eq!(StopCondition::default(), StopCondition::EiBelow(0.10));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the optimizer machinery: search-space algebra,
+//! model invariants, EI properties, sampling validity, monitor and detector
+//! behaviour under random inputs.
+
+use proptest::prelude::*;
+
+use autopn::model::{BaggedM5, M5Tree, Regressor, Sample};
+use autopn::monitor::{AdaptiveMonitor, MonitorPolicy, Verdict};
+use autopn::smbo::expected_improvement;
+use autopn::{AutoPn, AutoPnConfig, Config, CusumDetector, InitialSampling, SearchSpace, Tuner};
+
+proptest! {
+    #[test]
+    fn space_enumeration_is_exact(n in 1usize..96) {
+        let space = SearchSpace::new(n);
+        // |S| = Σ_t ⌊n/t⌋ and every member is admissible and unique.
+        let expected: usize = (1..=n).map(|t| n / t).sum();
+        prop_assert_eq!(space.len(), expected);
+        let set: std::collections::HashSet<_> = space.configs().iter().collect();
+        prop_assert_eq!(set.len(), space.len());
+        prop_assert!(space.configs().iter().all(|c| c.t * c.c <= n));
+    }
+
+    #[test]
+    fn neighbors_always_valid(n in 2usize..64, t in 1usize..64, c in 1usize..64) {
+        let space = SearchSpace::new(n);
+        let cfg = Config::new(t.min(n), c.min(n / t.min(n).max(1)).max(1));
+        prop_assume!(space.contains(cfg));
+        for variant in [space.neighbors(cfg), space.von_neumann_neighbors(cfg)] {
+            let set: std::collections::HashSet<_> = variant.iter().collect();
+            prop_assert_eq!(set.len(), variant.len(), "duplicate neighbors");
+            for nb in &variant {
+                prop_assert!(space.contains(*nb));
+                prop_assert!(*nb != cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn biased_sampling_always_admissible(n in 1usize..128, k in 0usize..12) {
+        let space = SearchSpace::new(n);
+        let cfgs = InitialSampling::Biased(k).configs(&space);
+        let set: std::collections::HashSet<_> = cfgs.iter().collect();
+        prop_assert_eq!(set.len(), cfgs.len());
+        prop_assert!(cfgs.iter().all(|c| space.contains(*c)));
+        prop_assert!(cfgs.len() <= k.min(9).min(space.len()));
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_bounded(
+        mu in -1e6f64..1e6,
+        sigma in 0.0f64..1e5,
+        best in -1e6f64..1e6,
+    ) {
+        let ei = expected_improvement(mu, sigma, best);
+        prop_assert!(ei >= 0.0);
+        prop_assert!(ei.is_finite());
+        // EI is bounded by E[max(X - best, 0)] <= |mu - best| + sigma.
+        prop_assert!(ei <= (mu - best).abs() + sigma + 1e-9);
+    }
+
+    #[test]
+    fn m5_predictions_are_finite(
+        points in proptest::collection::vec(
+            (1.0f64..48.0, 1.0f64..16.0, -1e5f64..1e5), 0..40),
+        query in (1.0f64..48.0, 1.0f64..16.0),
+    ) {
+        let samples: Vec<Sample> =
+            points.iter().map(|&(t, c, y)| Sample::new(t, c, y)).collect();
+        let tree = M5Tree::fit(&samples);
+        prop_assert!(tree.predict(query.0, query.1).is_finite());
+        let ens = BaggedM5::fit(&samples, 5, 7);
+        let (mu, sigma) = ens.predict_dist(query.0, query.1);
+        prop_assert!(mu.is_finite());
+        prop_assert!(sigma.is_finite() && sigma >= 0.0);
+    }
+
+    #[test]
+    fn m5_interpolates_constants(value in -1e4f64..1e4) {
+        let samples: Vec<Sample> = (1..=6)
+            .flat_map(|t| (1..=6).map(move |c| Sample::new(t as f64, c as f64, value)))
+            .collect();
+        let tree = M5Tree::fit(&samples);
+        // The ridge term in the leaf models biases large constants slightly;
+        // allow a small relative tolerance.
+        prop_assert!((tree.predict(3.5, 2.5) - value).abs() < 0.01 + value.abs() * 1e-4);
+    }
+
+    #[test]
+    fn autopn_terminates_and_stays_in_space(
+        n in 2usize..32,
+        seed in 0u64..1000,
+        peak_t in 1usize..32,
+        peak_c in 1usize..8,
+    ) {
+        let space = SearchSpace::new(n);
+        let f = move |cfg: Config| {
+            -((cfg.t as f64 - peak_t as f64).powi(2)) - (cfg.c as f64 - peak_c as f64).powi(2)
+        };
+        let mut tuner = AutoPn::new(space.clone(), AutoPnConfig { seed, ..AutoPnConfig::default() });
+        let mut seen = std::collections::HashSet::new();
+        let mut steps = 0;
+        while let Some(cfg) = tuner.propose() {
+            prop_assert!(space.contains(cfg), "proposed {cfg} outside the space");
+            prop_assert!(seen.insert(cfg), "duplicate proposal {cfg}");
+            tuner.observe(cfg, f(cfg));
+            steps += 1;
+            prop_assert!(steps <= space.len(), "did not terminate");
+        }
+        prop_assert!(tuner.best().is_some());
+    }
+
+    #[test]
+    fn adaptive_monitor_measures_uniform_streams_accurately(
+        period_us in 10u64..100_000,
+        start_ms in 0u64..10_000,
+    ) {
+        let mut m = AdaptiveMonitor::default();
+        let start = start_ms * 1_000_000;
+        m.begin_window(start);
+        let mut at = start;
+        let mut result = None;
+        for _ in 0..10_000 {
+            at += period_us * 1_000;
+            if let Verdict::Complete(meas) = m.on_commit(at) {
+                result = Some(meas);
+                break;
+            }
+        }
+        let meas = result.expect("uniform stream must stabilize");
+        let want = 1e9 / (period_us as f64 * 1_000.0);
+        prop_assert!(!meas.timed_out);
+        prop_assert!(
+            (meas.throughput - want).abs() / want < 0.05,
+            "measured {} want {want}", meas.throughput
+        );
+    }
+
+    #[test]
+    fn cusum_ignores_scale(scale in 1e-3f64..1e9) {
+        // Stability detection must be scale-free (relative deviations).
+        let mut d = CusumDetector::default();
+        for i in 0..200 {
+            let wiggle = 1.0 + 0.02 * ((i % 7) as f64 - 3.0) / 3.0;
+            prop_assert!(!d.observe(scale * wiggle), "false positive at scale {scale}");
+        }
+    }
+
+    #[test]
+    fn cusum_catches_halving(scale in 1e-3f64..1e9) {
+        let mut d = CusumDetector::default();
+        for _ in 0..10 {
+            let _ = d.observe(scale);
+        }
+        let mut fired = false;
+        for _ in 0..10 {
+            if d.observe(scale * 0.5) {
+                fired = true;
+                break;
+            }
+        }
+        prop_assert!(fired, "halving must be detected at scale {scale}");
+    }
+}

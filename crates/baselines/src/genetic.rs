@@ -1,0 +1,326 @@
+//! Genetic algorithm (baseline v of §VII-A): bit-string chromosomes encoding
+//! `(t, c)`, elitism, single-point crossover and bit-flip mutation.
+
+use autopn::{Config, SearchSpace, Tuner};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// GA meta-parameters (selected offline by [`crate::metatune`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaParams {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Elites copied unchanged into the next generation.
+    pub elites: usize,
+    /// Per-bit mutation probability.
+    pub mutation_rate: f64,
+    /// Probability of crossover (vs. cloning a parent).
+    pub crossover_rate: f64,
+    /// Stop after this many generations without improving the best KPI.
+    pub patience: usize,
+    /// Hard cap on generations.
+    pub max_generations: usize,
+    /// Reuse cached KPIs for repeated genotypes instead of re-measuring
+    /// them. Off by default: in the online setting every individual
+    /// evaluation is a real (noisy) measurement, which is what makes GA
+    /// "data greedy" in the paper's comparison.
+    pub reuse_cache: bool,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        Self {
+            population: 10,
+            elites: 2,
+            mutation_rate: 0.10,
+            crossover_rate: 0.8,
+            patience: 3,
+            max_generations: 40,
+            reuse_cache: false,
+        }
+    }
+}
+
+/// A chromosome: `bits_per_gene` bits for `t` followed by the same for `c`.
+#[derive(Debug, Clone, PartialEq)]
+struct Chromosome {
+    bits: Vec<bool>,
+}
+
+impl Chromosome {
+    fn encode(cfg: Config, bits_per_gene: usize) -> Self {
+        let mut bits = Vec::with_capacity(2 * bits_per_gene);
+        for gene in [cfg.t - 1, cfg.c - 1] {
+            for b in (0..bits_per_gene).rev() {
+                bits.push((gene >> b) & 1 == 1);
+            }
+        }
+        Self { bits }
+    }
+
+    /// Decode and *repair* into the admissible space: values are clamped to
+    /// `[1, n]` and `c` is reduced to `n / t` when over-subscribed.
+    fn decode(&self, space: &SearchSpace, bits_per_gene: usize) -> Config {
+        let n = space.n_cores();
+        let gene = |offset: usize| -> usize {
+            self.bits[offset..offset + bits_per_gene]
+                .iter()
+                .fold(0usize, |acc, &b| (acc << 1) | usize::from(b))
+        };
+        let t = (gene(0) + 1).min(n);
+        let c = (gene(bits_per_gene) + 1).min(n / t.max(1)).max(1);
+        Config::new(t, c)
+    }
+}
+
+/// The genetic algorithm, in ask–tell form: one generation is evaluated
+/// configuration by configuration, then bred into the next.
+pub struct GeneticAlgorithm {
+    space: SearchSpace,
+    params: GaParams,
+    rng: StdRng,
+    bits_per_gene: usize,
+    /// Individuals of the current generation awaiting evaluation.
+    pending: VecDeque<Chromosome>,
+    /// Evaluated individuals of the current generation.
+    evaluated: Vec<(Chromosome, f64)>,
+    /// Config KPI cache: repeated genotypes are not re-proposed.
+    cache: HashMap<Config, f64>,
+    awaiting: Option<Chromosome>,
+    generation: usize,
+    best: Option<(Config, f64)>,
+    stale_generations: usize,
+    done: bool,
+    history_len: usize,
+}
+
+impl GeneticAlgorithm {
+    pub fn new(space: SearchSpace, params: GaParams, seed: u64) -> Self {
+        let n = space.n_cores();
+        let bits_per_gene = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pending = VecDeque::new();
+        for _ in 0..params.population.max(2) {
+            let cfg = space.configs()[rng.gen_range(0..space.len())];
+            pending.push_back(Chromosome::encode(cfg, bits_per_gene.max(1)));
+        }
+        Self {
+            space,
+            params,
+            rng,
+            bits_per_gene: bits_per_gene.max(1),
+            pending,
+            evaluated: Vec::new(),
+            cache: HashMap::new(),
+            awaiting: None,
+            generation: 0,
+            best: None,
+            stale_generations: 0,
+            done: false,
+            history_len: 0,
+        }
+    }
+
+    /// Generation counter (introspection).
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    fn breed(&mut self) {
+        self.generation += 1;
+        // Sort descending by fitness.
+        self.evaluated.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let gen_best = self.evaluated.first().map(|(_, f)| *f).unwrap_or(f64::NEG_INFINITY);
+        let improved = self.best.map(|(_, b)| gen_best > b * (1.0 + 1e-9)).unwrap_or(true);
+        if improved {
+            self.stale_generations = 0;
+        } else {
+            self.stale_generations += 1;
+        }
+        if self.stale_generations >= self.params.patience
+            || self.generation >= self.params.max_generations
+        {
+            self.done = true;
+            return;
+        }
+        let mut next: Vec<Chromosome> = self
+            .evaluated
+            .iter()
+            .take(self.params.elites.min(self.evaluated.len()))
+            .map(|(c, _)| c.clone())
+            .collect();
+        while next.len() < self.params.population {
+            let a = self.select();
+            let child = if self.rng.gen::<f64>() < self.params.crossover_rate {
+                let b = self.select();
+                self.crossover(&a, &b)
+            } else {
+                a
+            };
+            next.push(self.mutate(child));
+        }
+        self.evaluated.clear();
+        self.pending = next.into();
+    }
+
+    /// Binary tournament selection.
+    fn select(&mut self) -> Chromosome {
+        let pick = |rng: &mut StdRng, n: usize| rng.gen_range(0..n);
+        let n = self.evaluated.len();
+        let (i, j) = (pick(&mut self.rng, n), pick(&mut self.rng, n));
+        let winner = if self.evaluated[i].1 >= self.evaluated[j].1 { i } else { j };
+        self.evaluated[winner].0.clone()
+    }
+
+    fn crossover(&mut self, a: &Chromosome, b: &Chromosome) -> Chromosome {
+        let point = self.rng.gen_range(1..a.bits.len());
+        let bits = a.bits[..point].iter().chain(b.bits[point..].iter()).copied().collect();
+        Chromosome { bits }
+    }
+
+    fn mutate(&mut self, mut c: Chromosome) -> Chromosome {
+        for bit in c.bits.iter_mut() {
+            if self.rng.gen::<f64>() < self.params.mutation_rate {
+                *bit = !*bit;
+            }
+        }
+        c
+    }
+}
+
+impl Tuner for GeneticAlgorithm {
+    fn propose(&mut self) -> Option<Config> {
+        loop {
+            if self.done {
+                return None;
+            }
+            match self.pending.pop_front() {
+                Some(chrom) => {
+                    let cfg = chrom.decode(&self.space, self.bits_per_gene);
+                    if self.params.reuse_cache {
+                        if let Some(&kpi) = self.cache.get(&cfg) {
+                            // Known genotype: consume without a measurement.
+                            self.evaluated.push((chrom, kpi));
+                            if self.pending.is_empty() && self.awaiting.is_none() {
+                                self.breed();
+                            }
+                            continue;
+                        }
+                    }
+                    self.awaiting = Some(chrom);
+                    return Some(cfg);
+                }
+                None => {
+                    if self.evaluated.is_empty() {
+                        return None;
+                    }
+                    self.breed();
+                }
+            }
+        }
+    }
+
+    fn observe(&mut self, cfg: Config, kpi: f64) {
+        self.history_len += 1;
+        self.cache.insert(cfg, kpi);
+        if self.best.map(|(_, b)| kpi > b).unwrap_or(true) {
+            self.best = Some((cfg, kpi));
+        }
+        if let Some(chrom) = self.awaiting.take() {
+            self.evaluated.push((chrom, kpi));
+        }
+        if self.pending.is_empty() && self.awaiting.is_none() && !self.done {
+            self.breed();
+        }
+    }
+
+    fn best(&self) -> Option<(Config, f64)> {
+        self.best
+    }
+
+    fn explored(&self) -> usize {
+        self.history_len
+    }
+
+    fn name(&self) -> String {
+        "genetic-algorithm".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_to_completion;
+
+    #[test]
+    fn chromosome_round_trip() {
+        let space = SearchSpace::new(48);
+        for &cfg in space.configs() {
+            let chrom = Chromosome::encode(cfg, 6);
+            assert_eq!(chrom.decode(&space, 6), cfg, "round trip failed for {cfg}");
+        }
+    }
+
+    #[test]
+    fn decode_repairs_oversubscription() {
+        let space = SearchSpace::new(48);
+        // (48, 48) encoded directly would be invalid; decode must repair c.
+        let chrom = Chromosome::encode(Config::new(48, 48), 6);
+        let cfg = chrom.decode(&space, 6);
+        assert!(space.contains(cfg));
+        assert_eq!(cfg, Config::new(48, 1));
+    }
+
+    #[test]
+    fn finds_good_region_on_bowl() {
+        let space = SearchSpace::new(48);
+        let f = |c: Config| 1000.0 - 2.0 * (c.t as f64 - 16.0).powi(2) - 50.0 * (c.c as f64 - 2.0).powi(2);
+        let mut best_val = f64::NEG_INFINITY;
+        for seed in 0..3 {
+            let mut ga = GeneticAlgorithm::new(space.clone(), GaParams::default(), seed);
+            let (best, _) = run_to_completion(&mut ga, f, 5000);
+            best_val = best_val.max(f(best));
+        }
+        let opt = f(Config::new(16, 2));
+        assert!(best_val > opt - 150.0, "GA best {best_val} too far from {opt}");
+    }
+
+    #[test]
+    fn terminates_by_patience() {
+        let space = SearchSpace::new(16);
+        let mut ga = GeneticAlgorithm::new(space, GaParams::default(), 1);
+        let (_, n) = run_to_completion(&mut ga, |_| 1.0, 100_000);
+        assert!(n < 100_000, "GA must terminate on a flat surface, used {n}");
+        assert!(ga.generation() <= GaParams::default().max_generations + 1);
+    }
+
+    #[test]
+    fn cached_configs_not_reproposed_with_reuse_cache() {
+        let space = SearchSpace::new(8);
+        let params = GaParams { reuse_cache: true, ..GaParams::default() };
+        let mut ga = GeneticAlgorithm::new(space, params, 2);
+        let f = |c: Config| (c.t + c.c) as f64;
+        let mut proposals = Vec::new();
+        while let Some(cfg) = ga.propose() {
+            proposals.push(cfg);
+            ga.observe(cfg, f(cfg));
+            if proposals.len() > 5000 {
+                panic!("runaway");
+            }
+        }
+        let unique: std::collections::HashSet<_> = proposals.iter().collect();
+        assert_eq!(unique.len(), proposals.len(), "duplicate proposal despite cache");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = SearchSpace::new(24);
+        let f = |c: Config| (c.t * c.c) as f64;
+        let run = |seed| {
+            let mut ga = GeneticAlgorithm::new(space.clone(), GaParams::default(), seed);
+            run_to_completion(&mut ga, f, 10_000)
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

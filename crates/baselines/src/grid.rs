@@ -1,0 +1,121 @@
+//! Grid search: exhaustive sweep, `c` first then `t` (§VII-A).
+
+use autopn::{Config, SearchSpace, Tuner};
+
+use crate::no_recent_improvement;
+
+/// Deterministic sweep of the search space: for each `t` in ascending order,
+/// all admissible `c` values are visited before moving to the next `t`
+/// (i.e. `c` is the inner/fast dimension, as in the paper). Stops early on
+/// the shared no-improvement rule.
+pub struct GridSearch {
+    order: Vec<Config>,
+    next: usize,
+    history: Vec<f64>,
+    best: Option<(Config, f64)>,
+    stop_k: usize,
+    stop_gain: f64,
+}
+
+impl GridSearch {
+    pub fn new(space: SearchSpace) -> Self {
+        // `SearchSpace::configs` is sorted by (t, c): exactly the paper's
+        // sweep order with c varying fastest.
+        Self {
+            order: space.configs().to_vec(),
+            next: 0,
+            history: Vec::new(),
+            best: None,
+            stop_k: 5,
+            stop_gain: 0.10,
+        }
+    }
+
+    /// Override the stopping rule (window, relative gain).
+    pub fn with_stop_rule(mut self, k: usize, min_gain: f64) -> Self {
+        self.stop_k = k;
+        self.stop_gain = min_gain;
+        self
+    }
+}
+
+impl Tuner for GridSearch {
+    fn propose(&mut self) -> Option<Config> {
+        if self.next >= self.order.len()
+            || no_recent_improvement(&self.history, self.stop_k, self.stop_gain)
+        {
+            return None;
+        }
+        let cfg = self.order[self.next];
+        self.next += 1;
+        Some(cfg)
+    }
+
+    fn observe(&mut self, cfg: Config, kpi: f64) {
+        self.history.push(kpi);
+        if self.best.map(|(_, b)| kpi > b).unwrap_or(true) {
+            self.best = Some((cfg, kpi));
+        }
+    }
+
+    fn best(&self) -> Option<(Config, f64)> {
+        self.best
+    }
+
+    fn explored(&self) -> usize {
+        self.history.len()
+    }
+
+    fn name(&self) -> String {
+        "grid".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_to_completion;
+
+    #[test]
+    fn sweeps_c_fastest() {
+        let space = SearchSpace::new(4);
+        let mut t = GridSearch::new(space).with_stop_rule(usize::MAX, 0.0);
+        let mut visited = Vec::new();
+        while let Some(cfg) = t.propose() {
+            visited.push(cfg);
+            t.observe(cfg, 0.0);
+        }
+        assert_eq!(
+            visited,
+            vec![
+                Config::new(1, 1),
+                Config::new(1, 2),
+                Config::new(1, 3),
+                Config::new(1, 4),
+                Config::new(2, 1),
+                Config::new(2, 2),
+                Config::new(3, 1),
+                Config::new(4, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn early_stop_on_plateau() {
+        let space = SearchSpace::new(48);
+        let mut t = GridSearch::new(space);
+        let (_, n) = run_to_completion(&mut t, |_| 5.0, 1000);
+        assert!(n <= 7, "n = {n}");
+    }
+
+    #[test]
+    fn grid_misses_late_optimum_with_early_stop() {
+        // The optimum sits at high t; the low-t start plateaus first. This is
+        // the structural weakness Fig. 5 exposes.
+        let space = SearchSpace::new(48);
+        let f = |c: Config| if c.t >= 40 { 100.0 } else { 1.0 };
+        let mut t = GridSearch::new(space);
+        let (best, _) = run_to_completion(&mut t, f, 1000);
+        assert!(f(best) < 100.0, "should have stopped before reaching t=40");
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain hill climbing from a random start (baseline iii of §VII-A).
+
+use autopn::hillclimb::{HillClimber, Neighborhood};
+use autopn::{Config, SearchSpace, Tuner};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Steepest-ascent hill climbing from a uniformly random starting
+/// configuration. Prone to local maxima in PN-TM surfaces — the paper shows
+/// it can be worse than random search.
+pub struct HillClimbing {
+    space: SearchSpace,
+    start: Config,
+    started: bool,
+    climber: Option<HillClimber>,
+    history: Vec<(Config, f64)>,
+}
+
+impl HillClimbing {
+    pub fn new(space: SearchSpace, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = space.configs()[rng.gen_range(0..space.len())];
+        Self { space, start, started: false, climber: None, history: Vec::new() }
+    }
+
+    /// Start from an explicit configuration instead of a random one.
+    pub fn from_start(space: SearchSpace, start: Config) -> Self {
+        assert!(space.contains(start), "start {start} outside the space");
+        Self { space, start, started: false, climber: None, history: Vec::new() }
+    }
+}
+
+impl Tuner for HillClimbing {
+    fn propose(&mut self) -> Option<Config> {
+        if !self.started {
+            self.started = true;
+            return Some(self.start);
+        }
+        self.climber.as_mut()?.propose()
+    }
+
+    fn observe(&mut self, cfg: Config, kpi: f64) {
+        self.history.push((cfg, kpi));
+        match &mut self.climber {
+            None => {
+                // First observation: the start value seeds the climber.
+                // "Plain" hill climbing explores the generic von-Neumann
+                // moves only (the domain-specific frontier moves belong to
+                // AutoPN's refinement phase, not to this baseline).
+                self.climber = Some(HillClimber::with_neighborhood(
+                    self.space.clone(),
+                    cfg,
+                    kpi,
+                    std::collections::HashMap::new(),
+                    Neighborhood::VonNeumann,
+                ));
+            }
+            Some(c) => c.observe(cfg, kpi),
+        }
+    }
+
+    fn best(&self) -> Option<(Config, f64)> {
+        self.history
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    fn explored(&self) -> usize {
+        self.history.len()
+    }
+
+    fn name(&self) -> String {
+        "hill-climbing".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_to_completion;
+
+    #[test]
+    fn climbs_unimodal_surface() {
+        let space = SearchSpace::new(32);
+        let f = |c: Config| -((c.t as f64 - 7.0).powi(2) + (c.c as f64 - 3.0).powi(2));
+        let mut t = HillClimbing::from_start(space, Config::new(1, 1));
+        let (best, n) = run_to_completion(&mut t, f, 500);
+        assert_eq!(best, Config::new(7, 3));
+        assert!(n < 60);
+    }
+
+    #[test]
+    fn trapped_by_local_maximum() {
+        let space = SearchSpace::new(16);
+        let f = |cfg: Config| {
+            let local = 10.0 - ((cfg.t as f64 - 2.0).powi(2) + (cfg.c as f64 - 2.0).powi(2));
+            let global = 60.0 - 9.0 * ((cfg.t as f64 - 13.0).powi(2) + (cfg.c as f64 - 1.0).powi(2));
+            local.max(global)
+        };
+        let mut t = HillClimbing::from_start(space, Config::new(2, 2));
+        let (best, _) = run_to_completion(&mut t, f, 500);
+        assert_eq!(best, Config::new(2, 2), "must be trapped at the local bump");
+    }
+
+    #[test]
+    fn random_start_is_deterministic_per_seed() {
+        let space = SearchSpace::new(48);
+        let mut a = HillClimbing::new(space.clone(), 9);
+        let mut b = HillClimbing::new(space, 9);
+        assert_eq!(a.propose(), b.propose());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the space")]
+    fn invalid_start_rejected() {
+        let _ = HillClimbing::from_start(SearchSpace::new(4), Config::new(4, 4));
+    }
+}

@@ -1,0 +1,75 @@
+//! # baselines — general-purpose online optimizers for PN-TM tuning
+//!
+//! The five baseline algorithms AutoPN is evaluated against in §VII of the
+//! paper, each implementing the same ask–tell [`autopn::Tuner`] interface:
+//!
+//! * [`RandomSearch`] — uniform random exploration.
+//! * [`GridSearch`] — sweeps `c` first, then `t`.
+//! * [`HillClimbing`] — plain steepest-ascent from a random start.
+//! * [`SimulatedAnnealing`] — hill climbing with temperature-decayed random
+//!   deviations.
+//! * [`GeneticAlgorithm`] — bit-string chromosomes, elitism, crossover and
+//!   mutation.
+//!
+//! Random and grid search stop when the last 5 explorations improve the best
+//! KPI by less than 10% (the paper's fairness-matched stopping rule); SA and
+//! GA carry the meta-parameters that [`metatune`] selects offline via
+//! grid-search + k-fold cross-validation (§VII-A).
+
+pub mod genetic;
+pub mod grid;
+pub mod hillclimb;
+pub mod metatune;
+pub mod random;
+pub mod simanneal;
+
+pub use genetic::{GaParams, GeneticAlgorithm};
+pub use grid::GridSearch;
+pub use hillclimb::HillClimbing;
+pub use random::RandomSearch;
+pub use simanneal::{SaParams, SimulatedAnnealing};
+
+use autopn::{Config, Tuner};
+
+/// Drive a tuner against a deterministic objective until it converges (or
+/// `cap` explorations); returns the best configuration found and the number
+/// of explorations used. Shared by tests and the experiment harness.
+pub fn run_to_completion(
+    tuner: &mut dyn Tuner,
+    objective: impl Fn(Config) -> f64,
+    cap: usize,
+) -> (Config, usize) {
+    let mut n = 0;
+    while let Some(cfg) = tuner.propose() {
+        n += 1;
+        tuner.observe(cfg, objective(cfg));
+        if n >= cap {
+            break;
+        }
+    }
+    (tuner.best().expect("at least one exploration").0, n)
+}
+
+/// The paper's stopping rule for random/grid search: the best KPI did not
+/// improve by more than `min_gain` (relative) over the last `k` explorations.
+pub(crate) fn no_recent_improvement(history: &[f64], k: usize, min_gain: f64) -> bool {
+    if history.len() <= k {
+        return false;
+    }
+    let split = history.len() - k;
+    let best_before = history[..split].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let best_recent = history[split..].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    best_recent <= best_before * (1.0 + min_gain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_recent_improvement_logic() {
+        assert!(!no_recent_improvement(&[1.0, 2.0], 5, 0.1));
+        assert!(no_recent_improvement(&[10.0, 1.0, 2.0, 3.0, 4.0, 5.0], 5, 0.1));
+        assert!(!no_recent_improvement(&[10.0, 1.0, 2.0, 30.0, 4.0, 5.0], 5, 0.1));
+    }
+}

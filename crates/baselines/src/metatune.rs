@@ -1,0 +1,277 @@
+//! Offline meta-parameter selection for SA and GA (§VII-A).
+//!
+//! The paper: *"we use 10-fold cross-validation combined with grid-search to
+//! compare, off-line, the performance of these methods when using different
+//! settings of these meta-parameters and identify their most robust
+//! parametrization across the whole set of workloads."*
+//!
+//! This module is generic over "objectives": deterministic functions
+//! `Config → KPI` with a known optimum (trace surfaces provide exactly
+//! that). Robustness is mean distance-from-optimum across objectives.
+
+use autopn::{Config, SearchSpace, Tuner};
+
+use crate::genetic::{GaParams, GeneticAlgorithm};
+use crate::simanneal::{SaParams, SimulatedAnnealing};
+
+/// A named objective with a known optimal KPI.
+pub struct Objective {
+    /// Display name (e.g. a workload name).
+    pub name: String,
+    /// The function to maximize.
+    pub f: Box<dyn Fn(Config) -> f64 + Send + Sync>,
+    /// Its known maximum over the space.
+    pub optimum: f64,
+}
+
+impl Objective {
+    /// Build from a function, computing the optimum exhaustively.
+    pub fn from_fn(
+        name: &str,
+        space: &SearchSpace,
+        f: impl Fn(Config) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        let optimum = space
+            .configs()
+            .iter()
+            .map(|&c| f(c))
+            .fold(f64::NEG_INFINITY, f64::max);
+        Self { name: name.to_string(), f: Box::new(f), optimum }
+    }
+}
+
+/// Mean distance-from-optimum (%) of a tuner factory across objectives and
+/// seeds.
+pub fn mean_dfo(
+    make_tuner: &dyn Fn(u64) -> Box<dyn Tuner>,
+    objectives: &[Objective],
+    seeds: &[u64],
+    cap: usize,
+) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for obj in objectives {
+        for &seed in seeds {
+            let mut tuner = make_tuner(seed);
+            let mut n = 0;
+            while let Some(cfg) = tuner.propose() {
+                n += 1;
+                tuner.observe(cfg, (obj.f)(cfg));
+                if n >= cap {
+                    break;
+                }
+            }
+            let best = tuner.best().map(|(_, v)| v).unwrap_or(f64::NEG_INFINITY);
+            let dfo = if obj.optimum.abs() > f64::EPSILON {
+                100.0 * (obj.optimum - best) / obj.optimum.abs()
+            } else {
+                0.0
+            };
+            total += dfo.max(0.0);
+            count += 1;
+        }
+    }
+    total / count.max(1) as f64
+}
+
+/// Result of a cross-validated grid search.
+#[derive(Debug, Clone)]
+pub struct MetaTuneResult<P> {
+    /// The most robust parametrization.
+    pub params: P,
+    /// Its mean held-out distance from optimum (%).
+    pub cv_dfo: f64,
+    /// Scores of every candidate, `(params index, mean DFO)`.
+    pub all_scores: Vec<(usize, f64)>,
+}
+
+/// k-fold cross-validated grid search over candidate parametrizations.
+///
+/// For each fold, candidates are scored on the training objectives; the
+/// winner is then scored on the held-out fold. The returned parametrization
+/// is the candidate with the best mean score across all objectives, and
+/// `cv_dfo` is the average held-out score of the per-fold winners (an
+/// unbiased robustness estimate).
+pub fn cross_validate<P: Clone>(
+    candidates: &[P],
+    make_tuner: &dyn Fn(&P, u64) -> Box<dyn Tuner>,
+    objectives: &[Objective],
+    folds: usize,
+    seeds: &[u64],
+    cap: usize,
+) -> MetaTuneResult<P> {
+    assert!(!candidates.is_empty(), "no candidate parametrizations");
+    assert!(!objectives.is_empty(), "no objectives");
+    let folds = folds.clamp(2, objectives.len().max(2));
+
+    let score = |p: &P, objs: &[&Objective]| -> f64 {
+        let mut total = 0.0;
+        for obj in objs {
+            for &seed in seeds {
+                let mut tuner = make_tuner(p, seed);
+                let mut n = 0;
+                while let Some(cfg) = tuner.propose() {
+                    n += 1;
+                    tuner.observe(cfg, (obj.f)(cfg));
+                    if n >= cap {
+                        break;
+                    }
+                }
+                let best = tuner.best().map(|(_, v)| v).unwrap_or(f64::NEG_INFINITY);
+                let dfo = if obj.optimum.abs() > f64::EPSILON {
+                    100.0 * (obj.optimum - best) / obj.optimum.abs()
+                } else {
+                    0.0
+                };
+                total += dfo.max(0.0);
+            }
+        }
+        total / (objs.len() * seeds.len()).max(1) as f64
+    };
+
+    // Held-out estimate: per-fold winner evaluated on the held-out fold.
+    let mut heldout_total = 0.0;
+    let mut heldout_count = 0usize;
+    for fold in 0..folds {
+        let train: Vec<&Objective> =
+            objectives.iter().enumerate().filter(|(i, _)| i % folds != fold).map(|(_, o)| o).collect();
+        let test: Vec<&Objective> =
+            objectives.iter().enumerate().filter(|(i, _)| i % folds == fold).map(|(_, o)| o).collect();
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let winner = candidates
+            .iter()
+            .min_by(|a, b| score(a, &train).total_cmp(&score(b, &train)))
+            .expect("non-empty candidates");
+        heldout_total += score(winner, &test);
+        heldout_count += 1;
+    }
+
+    // Final selection: best mean score over all objectives.
+    let all: Vec<&Objective> = objectives.iter().collect();
+    let mut all_scores: Vec<(usize, f64)> =
+        candidates.iter().enumerate().map(|(i, p)| (i, score(p, &all))).collect();
+    all_scores.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let best_idx = all_scores[0].0;
+
+    MetaTuneResult {
+        params: candidates[best_idx].clone(),
+        cv_dfo: heldout_total / heldout_count.max(1) as f64,
+        all_scores,
+    }
+}
+
+/// Default SA parameter grid used by the experiments.
+pub fn sa_grid() -> Vec<SaParams> {
+    let mut out = Vec::new();
+    for &initial_temp in &[0.1, 0.3, 0.6] {
+        for &cooling in &[0.85, 0.92, 0.97] {
+            out.push(SaParams { initial_temp, cooling, min_temp: 0.005 });
+        }
+    }
+    out
+}
+
+/// Default GA parameter grid used by the experiments.
+pub fn ga_grid() -> Vec<GaParams> {
+    let mut out = Vec::new();
+    for &population in &[8usize, 10, 14] {
+        for &mutation_rate in &[0.05, 0.10, 0.20] {
+            out.push(GaParams { population, mutation_rate, ..GaParams::default() });
+        }
+    }
+    out
+}
+
+/// Convenience: cross-validate SA over its default grid.
+pub fn tune_sa(space: &SearchSpace, objectives: &[Objective], seeds: &[u64]) -> MetaTuneResult<SaParams> {
+    let space = space.clone();
+    cross_validate(
+        &sa_grid(),
+        &move |p: &SaParams, seed: u64| {
+            Box::new(SimulatedAnnealing::new(space.clone(), *p, seed)) as Box<dyn Tuner>
+        },
+        objectives,
+        10,
+        seeds,
+        400,
+    )
+}
+
+/// Convenience: cross-validate GA over its default grid.
+pub fn tune_ga(space: &SearchSpace, objectives: &[Objective], seeds: &[u64]) -> MetaTuneResult<GaParams> {
+    let space = space.clone();
+    cross_validate(
+        &ga_grid(),
+        &move |p: &GaParams, seed: u64| {
+            Box::new(GeneticAlgorithm::new(space.clone(), *p, seed)) as Box<dyn Tuner>
+        },
+        objectives,
+        10,
+        seeds,
+        400,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl_objectives(space: &SearchSpace) -> Vec<Objective> {
+        (0..4)
+            .map(|i| {
+                let (t0, c0) = (4.0 + i as f64 * 2.0, 1.0 + i as f64);
+                Objective::from_fn(&format!("bowl{i}"), space, move |cfg| {
+                    500.0 - (cfg.t as f64 - t0).powi(2) - 20.0 * (cfg.c as f64 - c0).powi(2)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn objective_computes_optimum() {
+        let space = SearchSpace::new(16);
+        let obj = Objective::from_fn("x", &space, |c| (c.t * c.c) as f64);
+        assert_eq!(obj.optimum, 16.0);
+    }
+
+    #[test]
+    fn mean_dfo_zero_for_perfect_tuner() {
+        // A "tuner" that proposes every config scores DFO 0.
+        let space = SearchSpace::new(8);
+        let objectives = bowl_objectives(&space);
+        let sp = space.clone();
+        let make = move |_seed: u64| -> Box<dyn Tuner> {
+            Box::new(crate::GridSearch::new(sp.clone()).with_stop_rule(usize::MAX, 0.0))
+        };
+        let dfo = mean_dfo(&make, &objectives, &[1], 10_000);
+        assert!(dfo < 1e-9, "exhaustive search must reach the optimum, dfo = {dfo}");
+    }
+
+    #[test]
+    fn cross_validate_picks_reasonable_sa_params() {
+        let space = SearchSpace::new(16);
+        let objectives = bowl_objectives(&space);
+        let result = tune_sa(&space, &objectives, &[1, 2]);
+        assert!(sa_grid().contains(&result.params));
+        assert_eq!(result.all_scores.len(), sa_grid().len());
+        // Scores are sorted ascending.
+        assert!(result.all_scores.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate")]
+    fn empty_candidates_rejected() {
+        let space = SearchSpace::new(4);
+        let objectives = bowl_objectives(&space);
+        let _ = cross_validate::<SaParams>(
+            &[],
+            &|_, _| unreachable!(),
+            &objectives,
+            2,
+            &[1],
+            10,
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Random search: configurations drawn uniformly at random without
+//! replacement.
+
+use autopn::{Config, SearchSpace, Tuner};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::no_recent_improvement;
+
+/// Uniform random exploration with the paper's no-improvement stopping rule
+/// (stop when the last 5 explorations improve by less than 10%).
+pub struct RandomSearch {
+    order: Vec<Config>,
+    next: usize,
+    history: Vec<f64>,
+    best: Option<(Config, f64)>,
+    stop_k: usize,
+    stop_gain: f64,
+}
+
+impl RandomSearch {
+    pub fn new(space: SearchSpace, seed: u64) -> Self {
+        let mut order = space.configs().to_vec();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        Self { order, next: 0, history: Vec::new(), best: None, stop_k: 5, stop_gain: 0.10 }
+    }
+
+    /// Override the stopping rule (window, relative gain).
+    pub fn with_stop_rule(mut self, k: usize, min_gain: f64) -> Self {
+        self.stop_k = k;
+        self.stop_gain = min_gain;
+        self
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn propose(&mut self) -> Option<Config> {
+        if self.next >= self.order.len() {
+            return None;
+        }
+        if no_recent_improvement(&self.history, self.stop_k, self.stop_gain) {
+            return None;
+        }
+        let cfg = self.order[self.next];
+        self.next += 1;
+        Some(cfg)
+    }
+
+    fn observe(&mut self, cfg: Config, kpi: f64) {
+        self.history.push(kpi);
+        if self.best.map(|(_, b)| kpi > b).unwrap_or(true) {
+            self.best = Some((cfg, kpi));
+        }
+    }
+
+    fn best(&self) -> Option<(Config, f64)> {
+        self.best
+    }
+
+    fn explored(&self) -> usize {
+        self.history.len()
+    }
+
+    fn name(&self) -> String {
+        "random".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_to_completion;
+
+    #[test]
+    fn explores_without_duplicates() {
+        let space = SearchSpace::new(16);
+        let mut t = RandomSearch::new(space.clone(), 1).with_stop_rule(usize::MAX, 0.0);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(cfg) = t.propose() {
+            assert!(seen.insert(cfg));
+            t.observe(cfg, 1.0);
+        }
+        assert_eq!(seen.len(), space.len(), "exhausts the space when never stopped");
+    }
+
+    #[test]
+    fn stops_on_plateau() {
+        let space = SearchSpace::new(48);
+        let mut t = RandomSearch::new(space, 2);
+        // Flat objective: after the first 6 observations the rule fires.
+        let (_, n) = run_to_completion(&mut t, |_| 1.0, 1000);
+        assert!(n <= 7, "explored {n}");
+    }
+
+    #[test]
+    fn tracks_best() {
+        let space = SearchSpace::new(8);
+        let mut t = RandomSearch::new(space, 3).with_stop_rule(usize::MAX, 0.0);
+        let f = |c: Config| (c.t * 10 + c.c) as f64;
+        let (best, _) = run_to_completion(&mut t, f, 1000);
+        assert_eq!(best, Config::new(8, 1));
+    }
+
+    #[test]
+    fn seeded_order_is_deterministic() {
+        let space = SearchSpace::new(12);
+        let mut a = RandomSearch::new(space.clone(), 7);
+        let mut b = RandomSearch::new(space, 7);
+        for _ in 0..5 {
+            let ca = a.propose().unwrap();
+            let cb = b.propose().unwrap();
+            assert_eq!(ca, cb);
+            a.observe(ca, 1.0);
+            b.observe(cb, 1.0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Simulated annealing (baseline iv of §VII-A): hill climbing that accepts
+//! worsening moves with a probability that decays with a temperature
+//! schedule.
+
+use autopn::{Config, SearchSpace, Tuner};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SA meta-parameters (selected offline by [`crate::metatune`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaParams {
+    /// Initial temperature, in units of *relative* KPI degradation: a move
+    /// that loses fraction `d` of the current KPI is accepted with
+    /// probability `exp(-d / T)`.
+    pub initial_temp: f64,
+    /// Multiplicative cooling per accepted-or-rejected step.
+    pub cooling: f64,
+    /// Exploration ends when the temperature falls below this.
+    pub min_temp: f64,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        Self { initial_temp: 0.30, cooling: 0.92, min_temp: 0.005 }
+    }
+}
+
+/// Simulated annealing over the von-Neumann neighbourhood of the space.
+pub struct SimulatedAnnealing {
+    space: SearchSpace,
+    params: SaParams,
+    rng: StdRng,
+    temp: f64,
+    current: Option<(Config, f64)>,
+    pending: Option<Config>,
+    start: Config,
+    started: bool,
+    history: Vec<(Config, f64)>,
+}
+
+impl SimulatedAnnealing {
+    pub fn new(space: SearchSpace, params: SaParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = space.configs()[rng.gen_range(0..space.len())];
+        Self {
+            space,
+            temp: params.initial_temp,
+            params,
+            rng,
+            current: None,
+            pending: None,
+            start,
+            started: false,
+            history: Vec::new(),
+        }
+    }
+
+    fn random_neighbor(&mut self, of: Config) -> Option<Config> {
+        // SA extends *plain* hill climbing (§VII-A), so it perturbs over the
+        // same generic von-Neumann moves.
+        let neighbors = self.space.von_neumann_neighbors(of);
+        if neighbors.is_empty() {
+            None
+        } else {
+            Some(neighbors[self.rng.gen_range(0..neighbors.len())])
+        }
+    }
+
+    /// Current temperature (introspection).
+    pub fn temperature(&self) -> f64 {
+        self.temp
+    }
+}
+
+impl Tuner for SimulatedAnnealing {
+    fn propose(&mut self) -> Option<Config> {
+        if !self.started {
+            self.started = true;
+            return Some(self.start);
+        }
+        if self.temp < self.params.min_temp {
+            return None;
+        }
+        let (cur, _) = self.current?;
+        let next = self.random_neighbor(cur)?;
+        self.pending = Some(next);
+        Some(next)
+    }
+
+    fn observe(&mut self, cfg: Config, kpi: f64) {
+        self.history.push((cfg, kpi));
+        match self.current {
+            None => self.current = Some((cfg, kpi)),
+            Some((_, cur_kpi)) if self.pending == Some(cfg) => {
+                self.pending = None;
+                let accept = if kpi >= cur_kpi {
+                    true
+                } else if cur_kpi > 0.0 {
+                    let rel_loss = (cur_kpi - kpi) / cur_kpi;
+                    self.rng.gen::<f64>() < (-rel_loss / self.temp.max(1e-12)).exp()
+                } else {
+                    true
+                };
+                if accept {
+                    self.current = Some((cfg, kpi));
+                }
+                self.temp *= self.params.cooling;
+            }
+            _ => {}
+        }
+    }
+
+    fn best(&self) -> Option<(Config, f64)> {
+        self.history.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    fn explored(&self) -> usize {
+        self.history.len()
+    }
+
+    fn name(&self) -> String {
+        "simulated-annealing".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_to_completion;
+
+    #[test]
+    fn converges_on_unimodal_surface() {
+        let space = SearchSpace::new(32);
+        let f = |c: Config| 100.0 - ((c.t as f64 - 6.0).powi(2) + (c.c as f64 - 2.0).powi(2));
+        let mut best_dist = f64::INFINITY;
+        // SA is stochastic: take the best over a few seeds.
+        for seed in 0..5 {
+            let mut t = SimulatedAnnealing::new(space.clone(), SaParams::default(), seed);
+            let (best, _) = run_to_completion(&mut t, f, 2000);
+            let d = (best.t as f64 - 6.0).abs() + (best.c as f64 - 2.0).abs();
+            best_dist = best_dist.min(d);
+        }
+        assert!(best_dist <= 2.0, "never got near the optimum (dist {best_dist})");
+    }
+
+    #[test]
+    fn temperature_decays_and_terminates() {
+        let space = SearchSpace::new(16);
+        let mut t = SimulatedAnnealing::new(space, SaParams::default(), 1);
+        let (_, n) = run_to_completion(&mut t, |c| (c.t + c.c) as f64, 100_000);
+        assert!(t.temperature() < SaParams::default().min_temp || n == 100_000);
+        assert!(n < 100_000, "must terminate by cooling, used {n}");
+    }
+
+    #[test]
+    fn can_escape_shallow_local_maxima_sometimes() {
+        // A local bump next to a global peak: at high temperature SA should
+        // escape for at least one seed (HC never would from this start).
+        let space = SearchSpace::new(16);
+        let f = |cfg: Config| {
+            let local = 10.0 - ((cfg.t as f64 - 2.0).powi(2) + (cfg.c as f64 - 2.0).powi(2));
+            let global = 30.0 - 5.0 * ((cfg.t as f64 - 6.0).powi(2) + (cfg.c as f64 - 2.0).powi(2));
+            local.max(global)
+        };
+        let escaped = (0..20).any(|seed| {
+            let mut t = SimulatedAnnealing::new(space.clone(), SaParams::default(), seed);
+            let (best, _) = run_to_completion(&mut t, f, 2000);
+            f(best) > 10.0
+        });
+        assert!(escaped, "SA never escaped the local bump in 20 seeds");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = SearchSpace::new(24);
+        let f = |c: Config| (c.t * c.c) as f64;
+        let run = |seed| {
+            let mut t = SimulatedAnnealing::new(space.clone(), SaParams::default(), seed);
+            run_to_completion(&mut t, f, 5000)
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the baseline optimizers: GA chromosome encoding,
+//! termination, and space-validity of every proposal.
+
+use proptest::prelude::*;
+
+use autopn::{Config, SearchSpace, Tuner};
+use baselines::{GaParams, GeneticAlgorithm, GridSearch, HillClimbing, RandomSearch, SaParams, SimulatedAnnealing};
+
+fn drive(tuner: &mut dyn Tuner, space: &SearchSpace, cap: usize) -> usize {
+    let mut n = 0;
+    while let Some(cfg) = tuner.propose() {
+        assert!(space.contains(cfg), "{} proposed {cfg} outside the space", tuner.name());
+        // A simple deterministic objective.
+        tuner.observe(cfg, (cfg.t * 3 + cfg.c) as f64);
+        n += 1;
+        if n >= cap {
+            break;
+        }
+    }
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_baseline_stays_in_space_and_terminates(
+        n in 2usize..64,
+        seed in 0u64..500,
+    ) {
+        let space = SearchSpace::new(n);
+        // SA's length is set by its cooling schedule (~50 steps), not by the
+        // space size, so give small spaces headroom.
+        let cap = space.len() * 10 + 120;
+        let mut tuners: Vec<Box<dyn Tuner>> = vec![
+            Box::new(RandomSearch::new(space.clone(), seed)),
+            Box::new(GridSearch::new(space.clone())),
+            Box::new(HillClimbing::new(space.clone(), seed)),
+            Box::new(SimulatedAnnealing::new(space.clone(), SaParams::default(), seed)),
+            Box::new(GeneticAlgorithm::new(space.clone(), GaParams::default(), seed)),
+        ];
+        for tuner in tuners.iter_mut() {
+            let used = drive(tuner.as_mut(), &space, cap);
+            prop_assert!(used < cap, "{} did not terminate within {cap}", tuner.name());
+            prop_assert!(tuner.best().is_some());
+            // The believed best must be the max over what was observed.
+            let (_, best_kpi) = tuner.best().unwrap();
+            prop_assert!(best_kpi > 0.0);
+        }
+    }
+
+    #[test]
+    fn hill_climbing_never_worsens_its_center(
+        n in 4usize..48,
+        seed in 0u64..200,
+    ) {
+        // Monotone objective: the climb must end at a config at least as
+        // good as its random start.
+        let space = SearchSpace::new(n);
+        let mut hc = HillClimbing::new(space.clone(), seed);
+        let f = |c: Config| (c.t * c.c) as f64 + c.t as f64 * 0.1;
+        let start = hc.propose().unwrap();
+        hc.observe(start, f(start));
+        while let Some(cfg) = hc.propose() {
+            hc.observe(cfg, f(cfg));
+        }
+        let (best, _) = hc.best().unwrap();
+        prop_assert!(f(best) >= f(start));
+    }
+
+    #[test]
+    fn ga_decodes_any_bitstring_into_space(
+        n in 2usize..96,
+        seed in 0u64..500,
+    ) {
+        // Run GA for a while with an adversarial objective; every decoded
+        // proposal (post-repair) must be admissible.
+        let space = SearchSpace::new(n);
+        let mut ga = GeneticAlgorithm::new(space.clone(), GaParams::default(), seed);
+        let mut steps = 0;
+        while let Some(cfg) = ga.propose() {
+            prop_assert!(space.contains(cfg), "GA proposed {cfg} on n={n}");
+            // Adversarial: reward the frontier, where repair is most active.
+            ga.observe(cfg, (cfg.t * cfg.c) as f64);
+            steps += 1;
+            if steps > 2_000 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn sa_acceptance_is_sane(seed in 0u64..300) {
+        // On a monotone objective SA's final best equals the max it saw.
+        let space = SearchSpace::new(16);
+        let mut sa = SimulatedAnnealing::new(space.clone(), SaParams::default(), seed);
+        let f = |c: Config| (c.t + 10 * c.c) as f64;
+        let mut max_seen = f64::NEG_INFINITY;
+        while let Some(cfg) = sa.propose() {
+            let v = f(cfg);
+            max_seen = max_seen.max(v);
+            sa.observe(cfg, v);
+        }
+        let (_, best) = sa.best().unwrap();
+        prop_assert_eq!(best, max_seen);
+    }
+}

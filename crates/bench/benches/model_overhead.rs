@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the online-learning machinery — the costs that
+//! §VII-E's "< 2% overhead" claim rests on: M5 training, bagged-ensemble
+//! training and querying, and closed-form EI evaluation over the whole
+//! search space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autopn::model::{BaggedM5, M5Tree, Regressor, Sample};
+use autopn::smbo::expected_improvement;
+use autopn::SearchSpace;
+
+/// Synthetic training set mimicking online observations over (t, c).
+fn training_set(n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|i| {
+            let t = (i * 7 % 48 + 1) as f64;
+            let c = (i * 3 % 8 + 1) as f64;
+            let y = 5_000.0 - (t - 20.0).powi(2) * 4.0 - (c - 2.0).powi(2) * 60.0
+                + ((i * 2_654_435_761) % 100) as f64;
+            Sample::new(t, c, y)
+        })
+        .collect()
+}
+
+fn bench_m5_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/m5_fit");
+    for &n in &[9usize, 20, 40, 100] {
+        let data = training_set(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| M5Tree::fit(data))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ensemble_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/bagged10_fit");
+    for &n in &[9usize, 20, 40] {
+        let data = training_set(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| BaggedM5::fit(data, 10, 42))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ensemble_predict(c: &mut Criterion) {
+    let model = BaggedM5::fit(&training_set(20), 10, 42);
+    c.bench_function("model/bagged10_predict", |b| b.iter(|| model.predict_dist(17.0, 3.0)));
+    c.bench_function("model/m5_predict", |b| {
+        let tree = M5Tree::fit(&training_set(20));
+        b.iter(|| tree.predict(17.0, 3.0))
+    });
+}
+
+fn bench_ei_sweep(c: &mut Criterion) {
+    // One full SMBO acquisition round: predict + EI for all 198 configs.
+    let model = BaggedM5::fit(&training_set(15), 10, 42);
+    let space = SearchSpace::new(48);
+    c.bench_function("smbo/ei_sweep_198_configs", |b| {
+        b.iter(|| {
+            let mut best = f64::NEG_INFINITY;
+            for cfg in space.configs() {
+                let (mu, sigma) = model.predict_dist(cfg.t as f64, cfg.c as f64);
+                let ei = expected_improvement(mu, sigma, 5_000.0);
+                if ei > best {
+                    best = ei;
+                }
+            }
+            best
+        })
+    });
+}
+
+criterion_group!(benches, bench_m5_fit, bench_ensemble_fit, bench_ensemble_predict, bench_ei_sweep);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the KPI monitor policies: the per-commit cost of
+//! each policy (paid on the hot commit path in a live deployment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use autopn::monitor::{AdaptiveMonitor, CommitCountMonitor, MonitorPolicy, StaticTimeMonitor, Verdict};
+
+/// Feed `n` synthetic commits (1 ms apart); restart windows on completion.
+fn drive(policy: &mut dyn MonitorPolicy, n: u64) -> u64 {
+    policy.begin_window(0);
+    let mut completed = 0;
+    for i in 1..=n {
+        let at = i * 1_000_000;
+        if let Verdict::Complete(_) = policy.on_commit(at) {
+            completed += 1;
+            policy.begin_window(at);
+        }
+    }
+    completed
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor/per_commit");
+    group.bench_function("adaptive_cv", |b| {
+        let mut p = AdaptiveMonitor::default();
+        p.set_reference_throughput(1_000.0);
+        b.iter(|| drive(&mut p, 1_000))
+    });
+    group.bench_function("wpnoc30", |b| {
+        let mut p = CommitCountMonitor::new(30);
+        b.iter(|| drive(&mut p, 1_000))
+    });
+    group.bench_function("static_100ms", |b| {
+        let mut p = StaticTimeMonitor::new(std::time::Duration::from_millis(100));
+        b.iter(|| drive(&mut p, 1_000))
+    });
+    group.finish();
+}
+
+fn bench_idle_poll(c: &mut Criterion) {
+    c.bench_function("monitor/adaptive_idle_poll", |b| {
+        let mut p = AdaptiveMonitor::default();
+        p.set_reference_throughput(10.0); // 100 ms timeout: polls stay idle
+        p.begin_window(0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            p.on_idle(now)
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_idle_poll);
+criterion_main!(benches);

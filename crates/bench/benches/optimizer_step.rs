@@ -1,0 +1,63 @@
+//! Criterion benchmarks of whole optimizer sessions against a synthetic
+//! noise-free objective: the per-decision cost of AutoPN vs the baselines
+//! (this is pure tuning-logic CPU time; measurement time is excluded).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use autopn::{Config, SearchSpace, Tuner};
+
+fn objective(cfg: Config) -> f64 {
+    8_000.0 - (cfg.t as f64 - 18.0).powi(2) * 5.0 - (cfg.c as f64 - 2.0).powi(2) * 80.0
+}
+
+fn run_session(mut tuner: Box<dyn Tuner>) -> usize {
+    let mut n = 0;
+    while let Some(cfg) = tuner.propose() {
+        tuner.observe(cfg, objective(cfg));
+        n += 1;
+        if n > 2_000 {
+            break;
+        }
+    }
+    n
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let space = SearchSpace::new(48);
+    let mut group = c.benchmark_group("tuner/full_session");
+    group.sample_size(10);
+    for name in bench::TUNER_NAMES {
+        group.bench_function(name, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_session(bench::make_tuner(name, &space, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_smbo_proposal(c: &mut Criterion) {
+    // The latency of one propose() in the SMBO phase (ensemble refit + EI
+    // sweep) — the cost paid once per measurement window at run time.
+    let space = SearchSpace::new(48);
+    c.bench_function("tuner/autopn_smbo_propose", |b| {
+        b.iter_batched(
+            || {
+                let mut t = bench::make_tuner("autopn", &space, 7);
+                // Consume the 9 initial samples so the next propose is SMBO.
+                for _ in 0..9 {
+                    let cfg = t.propose().expect("init sample");
+                    t.observe(cfg, objective(cfg));
+                }
+                t
+            },
+            |mut t| t.propose(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sessions, bench_single_smbo_proposal);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the PN-STM substrate: read/write/commit
+//! costs and the overheads of parallel nesting (spawn, sibling commit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnstm::{child, ChildTask, ParallelismDegree, Stm, StmConfig, TxResult};
+
+fn stm() -> Stm {
+    Stm::new(StmConfig {
+        degree: ParallelismDegree::new(8, 4),
+        worker_threads: 2,
+        gc_interval: 0,
+        ..StmConfig::default()
+    })
+}
+
+fn bench_read_only(c: &mut Criterion) {
+    let stm = stm();
+    let boxes: Vec<_> = (0..64).map(|i| stm.new_vbox(i as i64)).collect();
+    let mut group = c.benchmark_group("stm/read_only_txn");
+    for &reads in &[1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(reads), &reads, |b, &reads| {
+            b.iter(|| {
+                stm.read_only(|tx| {
+                    let mut acc = 0i64;
+                    for bx in boxes.iter().take(reads) {
+                        acc += tx.read(bx);
+                    }
+                    acc
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_txn(c: &mut Criterion) {
+    let stm = stm();
+    let boxes: Vec<_> = (0..64).map(|i| stm.new_vbox(i as i64)).collect();
+    let mut group = c.benchmark_group("stm/update_txn");
+    for &writes in &[1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(writes), &writes, |b, &writes| {
+            b.iter(|| {
+                stm.atomic(|tx| {
+                    for bx in boxes.iter().take(writes) {
+                        let v = tx.read(bx);
+                        tx.write(bx, v + 1);
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            })
+        });
+        // Version chains grow during the benchmark; reclaim between sizes.
+        stm.gc();
+    }
+    group.finish();
+}
+
+fn bench_nested_spawn(c: &mut Criterion) {
+    let stm = stm();
+    let bx = stm.new_vbox(0i64);
+    let mut group = c.benchmark_group("stm/parallel_children");
+    group.sample_size(30);
+    for &kids in &[1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(kids), &kids, |b, &kids| {
+            b.iter(|| {
+                let bx = bx.clone();
+                stm.atomic(move |tx| {
+                    let tasks: Vec<ChildTask<i64>> = (0..kids)
+                        .map(|_| {
+                            let bx = bx.clone();
+                            child(move |ct| -> TxResult<i64> { Ok(ct.read(&bx)) })
+                        })
+                        .collect();
+                    let v = tx.parallel(tasks)?;
+                    Ok(v.into_iter().sum::<i64>())
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_version_chain_read(c: &mut Criterion) {
+    // Reads through a deep version chain (GC disabled).
+    let stm = Stm::new(StmConfig { gc_interval: 0, ..StmConfig::default() });
+    let bx = stm.new_vbox(0i64);
+    for i in 0..1_000 {
+        stm.atomic(|tx| {
+            tx.write(&bx, i);
+            Ok(())
+        })
+        .unwrap();
+    }
+    assert_eq!(bx.version_count(), 1_001);
+    c.bench_function("stm/read_deep_version_chain", |b| b.iter(|| stm.read_atomic(&bx)));
+}
+
+criterion_group!(
+    benches,
+    bench_read_only,
+    bench_update_txn,
+    bench_nested_spawn,
+    bench_version_chain_read
+);
+criterion_main!(benches);

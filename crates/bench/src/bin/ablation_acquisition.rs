@@ -1,0 +1,86 @@
+//! Ablation — acquisition function for the SMBO phase (§V-B design choice).
+//!
+//! The paper: *"SMBO can be coupled with different acquisition functions,
+//! including Probability of Improvement (PI), Expected Improvement (EI), and
+//! Gaussian Process Upper Confidence Bound (UCB). AutoPN relies on EI as it
+//! reflects potential gain more directly than PI and requires the tuning of
+//! a smaller number of parameters than UCB."* This ablation substantiates
+//! that argument: all variants share the biased-9 sample, an
+//! acquisition-agnostic no-improvement stopping rule, and no hill climbing.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_acquisition -- [--full]`
+
+use autopn::smbo::Acquisition;
+use autopn::{AutoPn, AutoPnConfig, SearchSpace, StopCondition};
+use bench::{banner, mean, percentile, Args, Profile};
+use workloads::replay;
+
+fn main() {
+    let args = Args::from_env();
+    let profile = Profile::from_args(&args);
+    let surfaces = bench::all_surfaces(profile);
+    let space = SearchSpace::new(bench::machine().n_cores);
+    let reps = profile.replays();
+
+    banner("Ablation — SMBO acquisition function (paper default: EI)");
+
+    let variants: Vec<(&str, Acquisition)> = vec![
+        ("EI", Acquisition::ExpectedImprovement),
+        ("PI", Acquisition::ProbabilityOfImprovement),
+        ("UCB k=0.5", Acquisition::UpperConfidenceBound { kappa: 0.5 }),
+        ("UCB k=1", Acquisition::UpperConfidenceBound { kappa: 1.0 }),
+        ("UCB k=2", Acquisition::UpperConfidenceBound { kappa: 2.0 }),
+    ];
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>16}",
+        "acquisition", "mean DFO %", "p90 DFO %", "mean explorations"
+    );
+    let mut rows = Vec::new();
+    for (name, acq) in &variants {
+        let mut dfos = Vec::new();
+        let mut expl = Vec::new();
+        for surface in &surfaces {
+            for rep in 0..reps {
+                let seed = 53 + rep as u64 * 6089;
+                let mut tuner = AutoPn::new(
+                    space.clone(),
+                    AutoPnConfig {
+                        acquisition: *acq,
+                        // Acquisition-agnostic stop so the ranking criterion
+                        // is the only variable.
+                        stop: StopCondition::NoImprovement { k: 5, min_gain: 0.05 },
+                        hill_climb: false,
+                        seed,
+                        ..AutoPnConfig::default()
+                    },
+                );
+                let trace = replay(&mut tuner, surface, rep);
+                dfos.push(trace.final_dfo);
+                expl.push(trace.explorations() as f64);
+            }
+        }
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>16.1}",
+            name,
+            mean(&dfos),
+            percentile(&dfos, 90.0),
+            mean(&expl)
+        );
+        rows.push((name.to_string(), mean(&dfos)));
+    }
+
+    let best = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("ran");
+    let ucb_spread = {
+        let ucb: Vec<f64> =
+            rows.iter().filter(|(n, _)| n.starts_with("UCB")).map(|(_, d)| *d).collect();
+        ucb.iter().cloned().fold(f64::MIN, f64::max) - ucb.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    println!("\nheadline checks vs the paper:");
+    println!("  best acquisition by mean DFO : {} (paper argues for EI)", best.0);
+    println!(
+        "  UCB sensitivity to kappa     : {:.2} DFO percentage points across kappas \
+         (the 'extra parameter to tune' the paper avoids)",
+        ucb_spread
+    );
+}

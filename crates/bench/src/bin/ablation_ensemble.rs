@@ -1,0 +1,73 @@
+//! Ablation — bagging ensemble size (§V-B design choice).
+//!
+//! The paper uses 10 bagged M5 learners, "sufficiently large to generate
+//! sufficient model diversity, while incurring negligible overheads". This
+//! ablation sweeps the ensemble size and reports tuning accuracy,
+//! exploration counts and model-update cost.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_ensemble -- [--full]`
+
+use std::time::Instant;
+
+use autopn::model::{BaggedM5, Sample};
+use autopn::{AutoPnConfig, SearchSpace};
+use bench::{banner, mean, percentile, Args, Profile};
+use workloads::replay;
+
+fn main() {
+    let args = Args::from_env();
+    let profile = Profile::from_args(&args);
+    let surfaces = bench::all_surfaces(profile);
+    let space = SearchSpace::new(bench::machine().n_cores);
+    let reps = profile.replays();
+
+    banner("Ablation — bagging ensemble size (paper default: 10 learners)");
+
+    println!(
+        "{:>9} {:>12} {:>12} {:>14} {:>18}",
+        "learners", "mean DFO %", "p90 DFO %", "mean expl.", "fit+sweep cost µs"
+    );
+    for k in [1usize, 3, 5, 10, 20] {
+        let mut dfos = Vec::new();
+        let mut expl = Vec::new();
+        for surface in &surfaces {
+            for rep in 0..reps {
+                let seed = 41 + rep as u64 * 7321;
+                let mut tuner = autopn::AutoPn::new(
+                    space.clone(),
+                    AutoPnConfig { ensemble_size: k, seed, ..AutoPnConfig::default() },
+                );
+                let trace = replay(&mut tuner, surface, rep);
+                dfos.push(trace.final_dfo);
+                expl.push(trace.explorations() as f64);
+            }
+        }
+        // Model-update cost: one fit on a 15-sample training set plus a full
+        // EI sweep (what runs once per measurement window online).
+        let training: Vec<Sample> = (0..15)
+            .map(|i| Sample::new((i % 12 + 1) as f64, (i % 4 + 1) as f64, 1000.0 + i as f64))
+            .collect();
+        let started = Instant::now();
+        let iters = 20;
+        for it in 0..iters {
+            let model = BaggedM5::fit(&training, k, it);
+            let mut best = f64::NEG_INFINITY;
+            for cfg in space.configs() {
+                let (mu, sigma) = model.predict_dist(cfg.t as f64, cfg.c as f64);
+                best = best.max(autopn::smbo::expected_improvement(mu, sigma, 1015.0));
+            }
+        }
+        let cost_us = started.elapsed().as_micros() as f64 / iters as f64;
+        println!(
+            "{k:>9} {:>12.2} {:>12.2} {:>14.1} {:>18.0}",
+            mean(&dfos),
+            percentile(&dfos, 90.0),
+            mean(&expl),
+            cost_us
+        );
+    }
+    println!(
+        "\npaper's rationale check: accuracy should saturate around ~10 learners while \
+         the model-update cost keeps growing linearly."
+    );
+}

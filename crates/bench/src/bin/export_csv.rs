@@ -1,0 +1,79 @@
+//! Export the reproduction's data series as CSV for external plotting:
+//! the 10 throughput surfaces (Fig. 1-style heatmaps) and the Fig. 5
+//! accuracy-over-explorations curves.
+//!
+//! Usage: `cargo run --release -p bench --bin export_csv -- \
+//!            [--full] [--out target/autopn-results]`
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+use autopn::SearchSpace;
+use bench::{mean, Args, Profile, TUNER_NAMES};
+use workloads::replay;
+
+fn main() -> std::io::Result<()> {
+    let args = Args::from_env();
+    let profile = Profile::from_args(&args);
+    let out = PathBuf::from(args.get("out").unwrap_or("target/autopn-results"));
+    fs::create_dir_all(&out)?;
+
+    // Surfaces: one CSV per workload with per-config mean and sample std.
+    let surfaces = bench::all_surfaces(profile);
+    for surface in &surfaces {
+        let path = out.join(format!("surface_{}.csv", surface.workload));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "t,c,mean_throughput,std_throughput,dfo_percent")?;
+        for cfg in surface.configs() {
+            let samples = &surface.samples[&cfg];
+            let m = mean(samples);
+            let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64;
+            writeln!(
+                f,
+                "{},{},{:.3},{:.3},{:.3}",
+                cfg.0,
+                cfg.1,
+                m,
+                var.sqrt(),
+                surface.distance_from_optimum(cfg)
+            )?;
+        }
+        println!("wrote {}", path.display());
+    }
+
+    // Fig. 5 curves: mean DFO by exploration step for every tuner.
+    let space = SearchSpace::new(bench::machine().n_cores);
+    let reps = profile.replays();
+    let max_steps = 200;
+    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+    for name in TUNER_NAMES {
+        let mut traces = Vec::new();
+        for surface in &surfaces {
+            for rep in 0..reps {
+                let mut tuner = bench::make_tuner(name, &space, 1000 + rep as u64 * 7919);
+                traces.push(replay(tuner.as_mut(), surface, rep));
+            }
+        }
+        let series: Vec<f64> = (0..max_steps)
+            .map(|step| mean(&traces.iter().map(|t| t.dfo_at(step)).collect::<Vec<_>>()))
+            .collect();
+        curves.push((name.to_string(), series));
+    }
+    let path = out.join("fig5_mean_dfo.csv");
+    let mut f = fs::File::create(&path)?;
+    write!(f, "exploration")?;
+    for (name, _) in &curves {
+        write!(f, ",{name}")?;
+    }
+    writeln!(f)?;
+    for step in 0..max_steps {
+        write!(f, "{}", step + 1)?;
+        for (_, series) in &curves {
+            write!(f, ",{:.4}", series[step])?;
+        }
+        writeln!(f)?;
+    }
+    println!("wrote {}", path.display());
+    Ok(())
+}

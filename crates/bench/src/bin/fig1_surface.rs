@@ -1,0 +1,82 @@
+//! Fig. 1 — throughput surface of a workload over the (t, c) space.
+//!
+//! Paper reference (Fig. 1a, TPC-C on 48 cores): best configuration ≈ (20,2),
+//! ~9× the worst (1,1) and 2–3× most other configurations; Fig. 1b shows a
+//! workload (high-contention Array) whose best configuration differs
+//! radically.
+//!
+//! Usage: `cargo run --release -p bench --bin fig1_surface -- \
+//!           [--workload tpcc-med] [--full] [--compare array-high]`
+
+use bench::{banner, Args, Profile};
+
+fn print_surface(name: &str, profile: Profile) -> ((usize, usize), f64, f64) {
+    let surface = bench::surface_by_name(name, profile);
+    let (best_cfg, best_tp) = surface.optimum();
+    let worst = surface
+        .configs()
+        .into_iter()
+        .map(|c| (c, surface.mean(c)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty surface");
+
+    banner(&format!("Fig. 1 — throughput surface: {name} (n = {})", surface.n_cores));
+    // Render as a t × c grid of mean throughput (rows: t; cols: c).
+    let max_c = surface.configs().iter().map(|&(_, c)| c).max().unwrap();
+    print!("{:>5}", "t\\c");
+    for c in 1..=max_c.min(16) {
+        print!("{c:>9}");
+    }
+    println!();
+    let t_rows: Vec<usize> = (1..=surface.n_cores)
+        .filter(|t| [1, 2, 4, 6, 8, 12, 16, 20, 24, 32, 40, 48].contains(t))
+        .collect();
+    for t in t_rows {
+        print!("{t:>5}");
+        for c in 1..=max_c.min(16) {
+            if t * c <= surface.n_cores {
+                print!("{:>9.0}", surface.mean((t, c)));
+            } else {
+                print!("{:>9}", "-");
+            }
+        }
+        println!();
+    }
+
+    let all_means: Vec<f64> = surface.configs().into_iter().map(|c| surface.mean(c)).collect();
+    println!();
+    println!("configurations        : {}", surface.len());
+    println!("best                  : {:?} at {:.0} txn/s", best_cfg, best_tp);
+    println!("worst                 : {:?} at {:.0} txn/s", worst.0, worst.1);
+    println!("best/worst ratio      : {:.2}x  (paper Fig. 1a: ~9x for TPC-C)", best_tp / worst.1);
+    println!(
+        "best/median ratio     : {:.2}x  (paper: 2-3x over most configurations)",
+        best_tp / bench::percentile(&all_means, 50.0)
+    );
+    println!("t(1,1)                : {:.0} txn/s", surface.mean((1, 1)));
+    (best_cfg, best_tp, worst.1)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let profile = Profile::from_args(&args);
+    let primary = args.get("workload").unwrap_or("tpcc-med").to_string();
+    let (best_a, _, _) = print_surface(&primary, profile);
+
+    if let Some(other) = args.get("compare").map(str::to_string).or_else(|| {
+        // Default comparison mirrors Fig. 1a vs 1b.
+        (primary == "tpcc-med").then(|| "array-high".to_string())
+    }) {
+        let (best_b, _, _) = print_surface(&other, profile);
+        println!();
+        banner("Fig. 1a vs 1b — the best configuration is workload-dependent");
+        println!("best({primary}) = {best_a:?}   best({other}) = {best_b:?}");
+        let sa = bench::surface_by_name(&primary, profile);
+        let sb = bench::surface_by_name(&other, profile);
+        println!(
+            "{primary}'s optimum ranks at {:.1}% DFO on {other}; {other}'s optimum at {:.1}% DFO on {primary}",
+            sb.distance_from_optimum(best_a),
+            sa.distance_from_optimum(best_b),
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig. 7a — statically sized monitoring windows need workload-specific
+//! tuning.
+//!
+//! Paper reference: sweeping the static window duration from 20 ms to 40 s,
+//! a high-throughput Array workload reaches ~10% accuracy with windows as
+//! short as 0.1 s, while a low-throughput one needs ~30× longer windows for
+//! similar accuracy — no single static value serves both.
+//!
+//! Usage: `cargo run --release -p bench --bin fig7a_static_windows -- [--full]`
+
+use std::time::Duration;
+
+use autopn::monitor::StaticTimeMonitor;
+use autopn::{AutoPn, AutoPnConfig, Controller, SearchSpace};
+use bench::{banner, mean, Args, Profile};
+use simtm::Surface;
+use workloads::{descriptors, load_or_build_surface, SimSystem};
+
+/// Run one live tuning session under a static window; returns the DFO (%) of
+/// the configuration AutoPN settles on.
+fn tune_with_window(
+    wl: &simtm::SimWorkload,
+    surface: &Surface,
+    window: Duration,
+    seed: u64,
+) -> f64 {
+    let mut sys = SimSystem::new(wl, &bench::machine(), seed);
+    let mut tuner = AutoPn::new(
+        SearchSpace::new(bench::machine().n_cores),
+        AutoPnConfig { seed, ..AutoPnConfig::default() },
+    );
+    let mut policy = StaticTimeMonitor::new(window);
+    let outcome = Controller::tune(&mut sys, &mut tuner, &mut policy);
+    surface.distance_from_optimum(outcome.best.as_tuple())
+}
+
+fn main() {
+    let args = Args::from_env();
+    let profile = Profile::from_args(&args);
+    let reps = match profile {
+        Profile::Quick => 2,
+        Profile::Full => 5,
+    };
+
+    banner("Fig. 7a — accuracy vs static monitoring-window duration");
+
+    let fast = descriptors::array_fast();
+    let slow = descriptors::array_slow();
+    let fast_surface = load_or_build_surface(&fast, &bench::machine(), profile.reps(), profile.measure());
+    let slow_surface =
+        load_or_build_surface(&slow, &bench::machine(), profile.reps(), Duration::from_millis(2_000));
+
+    let mut windows = vec![
+        Duration::from_millis(20),
+        Duration::from_millis(100),
+        Duration::from_millis(500),
+        Duration::from_millis(2_000),
+        Duration::from_millis(10_000),
+    ];
+    if profile == Profile::Full {
+        windows.push(Duration::from_millis(40_000));
+    }
+
+    println!(
+        "\n{:<12} {:>22} {:>22}",
+        "window", "fast workload DFO %", "slow workload DFO %"
+    );
+    let mut fast_curve = Vec::new();
+    let mut slow_curve = Vec::new();
+    for w in windows.iter().copied() {
+        let fast_dfo = mean(
+            &(0..reps)
+                .map(|r| tune_with_window(&fast, &fast_surface, w, 100 + r as u64))
+                .collect::<Vec<_>>(),
+        );
+        let slow_dfo = mean(
+            &(0..reps)
+                .map(|r| tune_with_window(&slow, &slow_surface, w, 200 + r as u64))
+                .collect::<Vec<_>>(),
+        );
+        println!("{:<12?} {:>22.1} {:>22.1}", w, fast_dfo, slow_dfo);
+        fast_curve.push((w, fast_dfo));
+        slow_curve.push((w, slow_dfo));
+    }
+
+    // Smallest window reaching <= 15% DFO per workload.
+    let first_good = |curve: &[(Duration, f64)]| {
+        curve.iter().find(|(_, d)| *d <= 15.0).map(|(w, _)| *w)
+    };
+    println!("\nheadline checks vs the paper:");
+    match (first_good(&fast_curve), first_good(&slow_curve)) {
+        (Some(wf), Some(ws)) => println!(
+            "  smallest window for <=15% DFO: fast {:?} vs slow {:?} ({}x larger; paper: ~30x)",
+            wf,
+            ws,
+            ws.as_millis().max(1) / wf.as_millis().max(1)
+        ),
+        (wf, ws) => println!("  thresholds not both reached (fast {wf:?}, slow {ws:?})"),
+    }
+}

@@ -1,0 +1,137 @@
+//! Fig. 7c — AutoPN's adaptive monitoring policy vs commit-count policies.
+//!
+//! Paper reference: comparing (i) the full adaptive policy (CV-based
+//! stability + adaptive timeout), (ii) WPNOC10/WPNOC30 — wait for a fixed
+//! number of commits — with the adaptive timeout, and (iii) WPNOC30 without
+//! any timeout, across workloads; accuracy is normalized to the result of an
+//! optimally tuned static-window policy. The adaptive policy is the most
+//! consistent across workloads.
+//!
+//! Usage: `cargo run --release -p bench --bin fig7c_adaptive -- [--full]`
+
+use std::time::Duration;
+
+use autopn::monitor::{AdaptiveMonitor, CommitCountMonitor, MonitorPolicy, StaticTimeMonitor};
+use autopn::{AutoPn, AutoPnConfig, Controller, SearchSpace};
+use bench::{banner, mean, Args, Profile};
+use simtm::Surface;
+use workloads::{load_or_build_surface, SimSystem};
+
+fn tune_once(
+    wl: &simtm::SimWorkload,
+    surface: &Surface,
+    policy: &mut dyn MonitorPolicy,
+    seed: u64,
+) -> f64 {
+    let mut sys = SimSystem::new(wl, &bench::machine(), seed);
+    let mut tuner = AutoPn::new(
+        SearchSpace::new(bench::machine().n_cores),
+        AutoPnConfig { seed, ..AutoPnConfig::default() },
+    );
+    let outcome = Controller::tune(&mut sys, &mut tuner, policy);
+    surface.distance_from_optimum(outcome.best.as_tuple())
+}
+
+fn main() {
+    let args = Args::from_env();
+    let profile = Profile::from_args(&args);
+    let reps = match profile {
+        Profile::Quick => 2,
+        Profile::Full => 5,
+    };
+
+    banner("Fig. 7c — adaptive monitoring vs fixed-commit-count policies");
+
+    // A representative mix: one fast, one medium, one contended, one slow.
+    let workload_names = ["array-fast", "tpcc-med", "array-high", "vacation-med"];
+    let workloads_under_test: Vec<simtm::SimWorkload> = workload_names
+        .iter()
+        .map(|n| match *n {
+            "array-fast" => workloads::descriptors::array_fast(),
+            other => workloads::workload_by_name(other).expect("known workload"),
+        })
+        .collect();
+
+    let policy_names = ["adaptive", "wpnoc10+adaptTO", "wpnoc30+adaptTO", "wpnoc30"];
+    let make_policy = |name: &str| -> Box<dyn MonitorPolicy> {
+        match name {
+            "adaptive" => Box::new(AdaptiveMonitor::default()),
+            "wpnoc10+adaptTO" => Box::new(CommitCountMonitor::new(10).with_adaptive_timeout()),
+            "wpnoc30+adaptTO" => Box::new(CommitCountMonitor::new(30).with_adaptive_timeout()),
+            "wpnoc30" => Box::new(CommitCountMonitor::new(30)),
+            other => panic!("unknown policy {other}"),
+        }
+    };
+
+    // Reference: an optimally tuned static window (best over a grid).
+    let static_grid = [
+        Duration::from_millis(50),
+        Duration::from_millis(200),
+        Duration::from_millis(1_000),
+        Duration::from_millis(4_000),
+    ];
+
+    println!(
+        "\n{:<14} {:>10} {:>18} {:>18} {:>10} | {:>14}",
+        "workload", "adaptive", "wpnoc10+adaptTO", "wpnoc30+adaptTO", "wpnoc30", "best-static ref"
+    );
+    let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); policy_names.len()];
+    for wl in &workloads_under_test {
+        let measure = if wl.name == "array-slow" {
+            Duration::from_millis(2_000)
+        } else {
+            profile.measure()
+        };
+        let surface = load_or_build_surface(wl, &bench::machine(), profile.reps(), measure);
+        // Best static-window reference.
+        let best_static = static_grid
+            .iter()
+            .map(|&w| {
+                mean(
+                    &(0..reps)
+                        .map(|r| {
+                            let mut p = StaticTimeMonitor::new(w);
+                            tune_once(wl, &surface, &mut p, 400 + r as u64)
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .fold(f64::INFINITY, f64::min);
+
+        let mut row = Vec::new();
+        for name in policy_names {
+            let dfo = mean(
+                &(0..reps)
+                    .map(|r| {
+                        let mut p = make_policy(name);
+                        tune_once(wl, &surface, p.as_mut(), 400 + r as u64)
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            row.push(dfo);
+        }
+        println!(
+            "{:<14} {:>9.1}% {:>17.1}% {:>17.1}% {:>9.1}% | {:>13.1}%",
+            wl.name, row[0], row[1], row[2], row[3], best_static
+        );
+        for (i, dfo) in row.iter().enumerate() {
+            // Normalize as "excess DFO over the optimally tuned static ref".
+            normalized[i].push(dfo - best_static);
+        }
+    }
+
+    println!("\nmean excess DFO vs optimally-tuned static windows (lower = better):");
+    let mut summary: Vec<(usize, f64)> = normalized
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, mean(v)))
+        .collect();
+    for (i, x) in &summary {
+        println!("  {:<18} {:>+7.2}%", policy_names[*i], x);
+    }
+    summary.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!(
+        "\nheadline check vs the paper: most consistent policy = {} (paper: the adaptive policy)",
+        policy_names[summary[0].0]
+    );
+}

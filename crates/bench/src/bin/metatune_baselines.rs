@@ -1,0 +1,59 @@
+//! §VII-A — offline meta-parameter selection for SA and GA.
+//!
+//! Paper reference: SA and GA carry many meta-parameters; the paper selects
+//! their most robust parametrization via grid search combined with 10-fold
+//! cross-validation over the workload set. This binary runs that procedure
+//! against the 10 trace surfaces and reports the winners.
+//!
+//! Usage: `cargo run --release -p bench --bin metatune_baselines -- [--full]`
+
+use autopn::SearchSpace;
+use baselines::metatune::{self, Objective};
+use bench::{banner, Args, Profile};
+
+fn main() {
+    let args = Args::from_env();
+    let profile = Profile::from_args(&args);
+    let surfaces = bench::all_surfaces(profile);
+    let space = SearchSpace::new(bench::machine().n_cores);
+
+    banner("§VII-A — SA/GA meta-parameter grid search with 10-fold cross-validation");
+
+    // Each workload surface becomes an objective (mean throughput per config).
+    let objectives: Vec<Objective> = surfaces
+        .iter()
+        .map(|s| {
+            let surface = s.clone();
+            Objective::from_fn(&s.workload, &space, move |cfg| surface.mean(cfg.as_tuple()))
+        })
+        .collect();
+    let seeds: Vec<u64> = (0..profile.replays() as u64).map(|r| 900 + r * 6151).collect();
+
+    let sa = metatune::tune_sa(&space, &objectives, &seeds);
+    println!("\nSA grid ({} candidates):", metatune::sa_grid().len());
+    for (idx, score) in sa.all_scores.iter().take(5) {
+        let p = metatune::sa_grid()[*idx];
+        println!(
+            "  T0={:.2} cooling={:.2}  mean DFO {score:>6.2}%",
+            p.initial_temp, p.cooling
+        );
+    }
+    println!(
+        "selected SA params: T0={:.2}, cooling={:.2} (held-out CV DFO {:.2}%)",
+        sa.params.initial_temp, sa.params.cooling, sa.cv_dfo
+    );
+
+    let ga = metatune::tune_ga(&space, &objectives, &seeds);
+    println!("\nGA grid ({} candidates):", metatune::ga_grid().len());
+    for (idx, score) in ga.all_scores.iter().take(5) {
+        let p = metatune::ga_grid()[*idx];
+        println!(
+            "  pop={} mutation={:.2}  mean DFO {score:>6.2}%",
+            p.population, p.mutation_rate
+        );
+    }
+    println!(
+        "selected GA params: pop={}, mutation={:.2} (held-out CV DFO {:.2}%)",
+        ga.params.population, ga.params.mutation_rate, ga.cv_dfo
+    );
+}

@@ -1,0 +1,46 @@
+//! Run every experiment of the reproduction in sequence (quick profile by
+//! default) — the one-shot regeneration entry point referenced by
+//! `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run --release -p bench --bin run_all -- [--full]`
+
+use std::process::Command;
+
+fn main() {
+    let pass_full = std::env::args().any(|a| a == "--full");
+    let binaries = [
+        ("fig1_surface", vec![]),
+        ("table_static_best", vec![]),
+        ("fig5_baselines", vec![]),
+        ("fig6_sampling", vec![]),
+        ("fig6_stopping", vec![]),
+        ("fig7a_static_windows", vec![]),
+        ("fig7b_short_runs", vec![]),
+        ("fig7c_adaptive", vec![]),
+        ("metatune_baselines", vec![]),
+        ("ablation_ensemble", vec![]),
+        ("ablation_cv", vec![]),
+        ("ablation_acquisition", vec![]),
+        ("ext_heterogeneous", vec![]),
+        ("overhead_assessment", vec!["--txns", "1000", "--rounds", "3"]),
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for (bin, extra) in binaries {
+        println!("\n################ {bin} ################\n");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if pass_full {
+            cmd.arg("--full");
+        }
+        cmd.args(extra);
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,73 @@
+//! §VII-A table — how good can a single *static* configuration be?
+//!
+//! Paper reference: the best-on-average static configuration is (24, 2);
+//! its average distance from optimum across the 10 workloads is 21.8%, its
+//! 90th percentile is 2.56× worse than optimum, and in the worst case
+//! (Array high contention) it is 3.22× slower. This is the motivation for
+//! *online* tuning.
+//!
+//! Usage: `cargo run --release -p bench --bin table_static_best -- [--full]`
+
+use bench::{banner, mean, percentile, Args, Profile};
+
+fn main() {
+    let args = Args::from_env();
+    let profile = Profile::from_args(&args);
+    let surfaces = bench::all_surfaces(profile);
+
+    banner("§VII-A — best static configuration across all 10 workloads");
+
+    // Evaluate every configuration as a static choice across all workloads.
+    let configs = surfaces[0].configs();
+    let mut scored: Vec<((usize, usize), f64)> = configs
+        .iter()
+        .map(|&cfg| {
+            let avg_dfo = mean(
+                &surfaces.iter().map(|s| s.distance_from_optimum(cfg)).collect::<Vec<_>>(),
+            );
+            (cfg, avg_dfo)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    println!("\nper-workload optima:");
+    for s in &surfaces {
+        let (best, tp) = s.optimum();
+        println!("  {:<14} best {:>8?} at {:>10.0} txn/s", s.workload, best, tp);
+    }
+
+    let (best_static, best_avg_dfo) = scored[0];
+    println!("\ntop static configurations by mean DFO:");
+    for (cfg, dfo) in scored.iter().take(5) {
+        println!("  {cfg:>8?}  mean DFO {dfo:>6.1}%");
+    }
+
+    // Detailed stats of the winner, expressed as the paper reports them.
+    let dfos: Vec<f64> = surfaces.iter().map(|s| s.distance_from_optimum(best_static)).collect();
+    let slowdowns: Vec<f64> = surfaces
+        .iter()
+        .map(|s| {
+            let (_, opt) = s.optimum();
+            opt / s.mean(best_static)
+        })
+        .collect();
+    println!("\nbest static configuration : {best_static:?}   (paper: (24,2))");
+    println!("mean distance from optimum: {best_avg_dfo:.1}%   (paper: 21.8%)");
+    println!(
+        "90th-pct slowdown vs opt  : {:.2}x  (paper: 2.56x)",
+        percentile(&slowdowns, 90.0)
+    );
+    let (worst_idx, worst) = slowdowns
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty");
+    println!(
+        "worst-case slowdown       : {worst:.2}x on {}  (paper: 3.22x on array-high)",
+        surfaces[worst_idx].workload
+    );
+    println!("\nper-workload DFO of {best_static:?}:");
+    for (s, d) in surfaces.iter().zip(&dfos) {
+        println!("  {:<14} {d:>6.1}%", s.workload);
+    }
+}

@@ -1,0 +1,248 @@
+//! # bench — experiment harness for the AutoPN reproduction
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4 for the
+//! index); this library holds the shared plumbing: the tuner zoo, surface
+//! loading with the paper's trace parameters, small statistics helpers and a
+//! tiny CLI-flag parser.
+
+use std::time::Duration;
+
+use autopn::{AutoPn, AutoPnConfig, SearchSpace, StopCondition, Tuner};
+use baselines::{GaParams, GeneticAlgorithm, GridSearch, HillClimbing, RandomSearch, SaParams, SimulatedAnnealing};
+use simtm::{MachineParams, Surface};
+use workloads::{load_or_build_surface, paper_workloads};
+
+/// Evaluation profile: how heavy the trace collection and replays are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Fast: fewer repetitions, shorter virtual measurements. Default.
+    Quick,
+    /// The paper's full setting: 10 repetitions per configuration.
+    Full,
+}
+
+impl Profile {
+    pub fn from_args(args: &Args) -> Profile {
+        if args.has_flag("full") {
+            Profile::Full
+        } else {
+            Profile::Quick
+        }
+    }
+
+    /// Repetitions per configuration in the exhaustive trace.
+    pub fn reps(self) -> usize {
+        match self {
+            Profile::Quick => 5,
+            Profile::Full => 10,
+        }
+    }
+
+    /// Virtual measurement duration per trace sample.
+    pub fn measure(self) -> Duration {
+        match self {
+            Profile::Quick => Duration::from_millis(150),
+            Profile::Full => Duration::from_millis(400),
+        }
+    }
+
+    /// Independent replays per (workload, tuner).
+    pub fn replays(self) -> usize {
+        match self {
+            Profile::Quick => 5,
+            Profile::Full => 10,
+        }
+    }
+}
+
+/// The evaluation machine (the paper's 48-core box).
+pub fn machine() -> MachineParams {
+    MachineParams::paper_testbed()
+}
+
+/// Load (or build and cache) the exhaustive surfaces of all 10 workloads.
+pub fn all_surfaces(profile: Profile) -> Vec<Surface> {
+    paper_workloads()
+        .iter()
+        .map(|wl| load_or_build_surface(wl, &machine(), profile.reps(), profile.measure()))
+        .collect()
+}
+
+/// Load one workload's surface by name.
+pub fn surface_by_name(name: &str, profile: Profile) -> Surface {
+    let wl = workloads::workload_by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload '{name}'; see `paper_workloads()`"));
+    load_or_build_surface(&wl, &machine(), profile.reps(), profile.measure())
+}
+
+/// Identifier of every tuner in the Fig. 5 comparison.
+pub const TUNER_NAMES: [&str; 7] =
+    ["autopn", "autopn-nohc", "random", "grid", "hill-climbing", "simulated-annealing", "genetic-algorithm"];
+
+/// Instantiate a tuner by identifier. `seed` varies per repetition.
+pub fn make_tuner(name: &str, space: &SearchSpace, seed: u64) -> Box<dyn Tuner> {
+    match name {
+        "autopn" => Box::new(AutoPn::new(
+            space.clone(),
+            AutoPnConfig { seed, ..AutoPnConfig::default() },
+        )),
+        "autopn-nohc" => Box::new(AutoPn::new(
+            space.clone(),
+            AutoPnConfig { seed, hill_climb: false, ..AutoPnConfig::default() },
+        )),
+        "random" => Box::new(RandomSearch::new(space.clone(), seed)),
+        "grid" => Box::new(GridSearch::new(space.clone())),
+        "hill-climbing" => Box::new(HillClimbing::new(space.clone(), seed)),
+        "simulated-annealing" => {
+            Box::new(SimulatedAnnealing::new(space.clone(), SaParams::default(), seed))
+        }
+        "genetic-algorithm" => {
+            Box::new(GeneticAlgorithm::new(space.clone(), GaParams::default(), seed))
+        }
+        other => panic!("unknown tuner '{other}'"),
+    }
+}
+
+/// An AutoPN variant with an explicit stop condition and sampling (Fig. 6).
+pub fn make_autopn_variant(
+    space: &SearchSpace,
+    init: autopn::InitialSampling,
+    stop: StopCondition,
+    hill_climb: bool,
+    seed: u64,
+) -> AutoPn {
+    AutoPn::new(
+        space.clone(),
+        AutoPnConfig { init, stop, hill_climb, seed, ..AutoPnConfig::default() },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Statistics helpers
+// ---------------------------------------------------------------------
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Percentile via nearest-rank on a copy (p in [0, 100]).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+// ---------------------------------------------------------------------
+// Minimal CLI parsing (no external crates)
+// ---------------------------------------------------------------------
+
+/// Parsed `--key value` / `--flag` command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut pairs = Vec::new();
+        let mut iter = args.peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                pairs.push((key.to_string(), value));
+            }
+        }
+        Self { pairs }
+    }
+
+    /// Value of `--key value`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether `--key` appeared (with or without a value).
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    /// Parsed numeric value with default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Print a header for an experiment report.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn args_parsing() {
+        let args = Args::parse(
+            ["--workload", "tpcc-med", "--full", "--reps", "7"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(args.get("workload"), Some("tpcc-med"));
+        assert!(args.has_flag("full"));
+        assert!(!args.has_flag("quick"));
+        assert_eq!(args.get_num("reps", 0usize), 7);
+        assert_eq!(args.get_num("missing", 42usize), 42);
+    }
+
+    #[test]
+    fn every_tuner_name_instantiates() {
+        let space = SearchSpace::new(8);
+        for name in TUNER_NAMES {
+            let mut t = make_tuner(name, &space, 1);
+            assert!(t.propose().is_some(), "{name} must propose something");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tuner")]
+    fn unknown_tuner_panics() {
+        let _ = make_tuner("nope", &SearchSpace::new(4), 1);
+    }
+
+    #[test]
+    fn profiles_differ() {
+        assert!(Profile::Full.reps() > Profile::Quick.reps());
+        assert!(Profile::Full.measure() > Profile::Quick.measure());
+    }
+}

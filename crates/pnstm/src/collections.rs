@@ -1,0 +1,445 @@
+//! Convenience transactional data structures built on [`VBox`]: the shapes
+//! PN-TM applications actually use (the paper's Array benchmark is a chunked
+//! parallel scan; TPC-C-style counters are ubiquitous).
+
+use std::sync::Arc;
+
+use crate::error::TxResult;
+use crate::txn::{child, ChildTask, Txn};
+use crate::vbox::VBox;
+use crate::{Stm, TxValue};
+
+/// A fixed-size transactional array with helpers for chunked
+/// parallel-nested scans and updates.
+///
+/// Cloning is cheap (`Arc` of the element handles); clones alias the same
+/// cells.
+#[derive(Clone)]
+pub struct TArray<T> {
+    cells: Arc<Vec<VBox<T>>>,
+}
+
+impl<T: TxValue> TArray<T> {
+    /// Allocate `len` cells initialized by `init(index)`.
+    pub fn new(stm: &Stm, len: usize, init: impl Fn(usize) -> T) -> Self {
+        assert!(len > 0, "TArray must be non-empty");
+        Self { cells: Arc::new((0..len).map(|i| stm.new_vbox(init(i))).collect()) }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Always false (construction requires `len > 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Read cell `i` inside a transaction.
+    pub fn get(&self, tx: &mut Txn, i: usize) -> T {
+        tx.read(&self.cells[i])
+    }
+
+    /// Write cell `i` inside a transaction.
+    pub fn set(&self, tx: &mut Txn, i: usize, value: T) {
+        tx.write(&self.cells[i], value);
+    }
+
+    /// Read–modify–write cell `i`.
+    pub fn update(&self, tx: &mut Txn, i: usize, f: impl FnOnce(T) -> T) -> T {
+        tx.modify(&self.cells[i], f)
+    }
+
+    /// Fold every cell sequentially within the calling transaction.
+    pub fn fold<A>(&self, tx: &mut Txn, init: A, mut f: impl FnMut(A, &T) -> A) -> A {
+        let mut acc = init;
+        for cell in self.cells.iter() {
+            let v = tx.read(cell);
+            acc = f(acc, &v);
+        }
+        acc
+    }
+
+    /// Scan the whole array with `chunks` parallel child transactions, each
+    /// folding its contiguous slice with `fold`, and combine the per-chunk
+    /// results with `combine`. This is the paper's Array-benchmark pattern
+    /// as a reusable primitive.
+    pub fn parallel_fold<A>(
+        &self,
+        tx: &mut Txn,
+        chunks: usize,
+        fold: impl Fn(A, &T) -> A + Send + Sync + Clone + 'static,
+        init: impl Fn() -> A + Send + Sync + Clone + 'static,
+        combine: impl Fn(A, A) -> A,
+    ) -> TxResult<A>
+    where
+        A: Send + 'static,
+    {
+        let chunks = chunks.clamp(1, self.len());
+        let chunk_len = self.len().div_ceil(chunks);
+        let tasks: Vec<ChildTask<A>> = (0..chunks)
+            .map(|ci| {
+                let cells = Arc::clone(&self.cells);
+                let fold = fold.clone();
+                let init = init.clone();
+                child(move |ct| -> TxResult<A> {
+                    let lo = ci * chunk_len;
+                    let hi = ((ci + 1) * chunk_len).min(cells.len());
+                    let mut acc = init();
+                    for cell in &cells[lo..hi] {
+                        let v = ct.read(cell);
+                        acc = fold(acc, &v);
+                    }
+                    Ok(acc)
+                })
+            })
+            .collect();
+        let parts = tx.parallel(tasks)?;
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("at least one chunk");
+        Ok(iter.fold(first, combine))
+    }
+
+    /// Apply `f` to every cell with `chunks` parallel child transactions.
+    pub fn parallel_update(
+        &self,
+        tx: &mut Txn,
+        chunks: usize,
+        f: impl Fn(usize, T) -> T + Send + Sync + Clone + 'static,
+    ) -> TxResult<()> {
+        let chunks = chunks.clamp(1, self.len());
+        let chunk_len = self.len().div_ceil(chunks);
+        let tasks: Vec<ChildTask<()>> = (0..chunks)
+            .map(|ci| {
+                let cells = Arc::clone(&self.cells);
+                let f = f.clone();
+                child(move |ct| -> TxResult<()> {
+                    let lo = ci * chunk_len;
+                    let hi = ((ci + 1) * chunk_len).min(cells.len());
+                    for (i, cell) in cells[lo..hi].iter().enumerate() {
+                        let v = ct.read(cell);
+                        ct.write(cell, f(lo + i, v));
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        tx.parallel::<()>(tasks)?;
+        Ok(())
+    }
+
+    /// Consistent snapshot sum-like fold outside any transaction.
+    pub fn snapshot_fold<A>(&self, stm: &Stm, init: A, mut f: impl FnMut(A, &T) -> A) -> A {
+        stm.read_only(|tx| {
+            let mut acc = init;
+            for cell in self.cells.iter() {
+                let v = tx.read(cell);
+                acc = f(acc, &v);
+            }
+            acc
+        })
+    }
+}
+
+/// A transactional counter sharded across `shards` cells: increments hit a
+/// per-caller shard (low contention), reads sum a snapshot.
+#[derive(Clone)]
+pub struct TCounter {
+    shards: TArray<i64>,
+}
+
+impl TCounter {
+    /// Create with `shards` independent cells (more shards = less conflict
+    /// pressure between concurrent incrementers).
+    pub fn new(stm: &Stm, shards: usize) -> Self {
+        Self { shards: TArray::new(stm, shards.max(1), |_| 0) }
+    }
+
+    /// Add `delta` on the shard selected by `key` (e.g. a worker id).
+    pub fn add(&self, tx: &mut Txn, key: usize, delta: i64) {
+        let i = key % self.shards.len();
+        self.shards.update(tx, i, |v| v + delta);
+    }
+
+    /// Transactional total (reads every shard — conflicts with all adders).
+    pub fn total(&self, tx: &mut Txn) -> i64 {
+        self.shards.fold(tx, 0i64, |a, v| a + v)
+    }
+
+    /// Snapshot total without joining any transaction.
+    pub fn snapshot_total(&self, stm: &Stm) -> i64 {
+        self.shards.snapshot_fold(stm, 0i64, |a, v| a + v)
+    }
+}
+
+/// A transactional hash map: fixed bucket array of `VBox<Vec<(K, V)>>`.
+///
+/// Operations conflict only when they touch the same bucket, so sizing the
+/// bucket count to the expected concurrency keeps contention low. Cloning is
+/// cheap and aliases the same map.
+#[derive(Clone)]
+pub struct TMap<K, V> {
+    buckets: Arc<Vec<VBox<Vec<(K, V)>>>>,
+}
+
+impl<K, V> TMap<K, V>
+where
+    K: TxValue + Eq + std::hash::Hash,
+    V: TxValue,
+{
+    /// Create with `buckets` buckets (rounded up to at least 1).
+    pub fn new(stm: &Stm, buckets: usize) -> Self {
+        Self {
+            buckets: Arc::new((0..buckets.max(1)).map(|_| stm.new_vbox(Vec::new())).collect()),
+        }
+    }
+
+    fn bucket_of(&self, key: &K) -> &VBox<Vec<(K, V)>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.buckets[(h.finish() as usize) % self.buckets.len()]
+    }
+
+    /// Look a key up inside a transaction.
+    pub fn get(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        let bucket = tx.read(self.bucket_of(key));
+        bucket.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn insert(&self, tx: &mut Txn, key: K, value: V) -> Option<V> {
+        let cell = self.bucket_of(&key);
+        let mut bucket = tx.read(cell);
+        let old = match bucket.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => Some(std::mem::replace(&mut slot.1, value)),
+            None => {
+                bucket.push((key, value));
+                None
+            }
+        };
+        tx.write(cell, bucket);
+        old
+    }
+
+    /// Remove a key; returns its value if it was present.
+    pub fn remove(&self, tx: &mut Txn, key: &K) -> Option<V> {
+        let cell = self.bucket_of(key);
+        let mut bucket = tx.read(cell);
+        let pos = bucket.iter().position(|(k, _)| k == key)?;
+        let (_, v) = bucket.swap_remove(pos);
+        tx.write(cell, bucket);
+        Some(v)
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, tx: &mut Txn, key: &K) -> bool {
+        self.get(tx, key).is_some()
+    }
+
+    /// Number of entries (reads every bucket — conflicts with all writers).
+    pub fn len(&self, tx: &mut Txn) -> usize {
+        self.buckets.iter().map(|b| tx.read(b).len()).sum()
+    }
+
+    /// Whether the map is empty (reads every bucket).
+    pub fn is_empty(&self, tx: &mut Txn) -> bool {
+        self.len(tx) == 0
+    }
+
+    /// Snapshot of all entries outside any transaction.
+    pub fn snapshot_entries(&self, stm: &Stm) -> Vec<(K, V)> {
+        stm.read_only(|tx| {
+            self.buckets.iter().flat_map(|b| tx.read(b)).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParallelismDegree, StmConfig};
+
+    fn stm() -> Stm {
+        Stm::new(StmConfig {
+            degree: ParallelismDegree::new(4, 4),
+            worker_threads: 2,
+            ..StmConfig::default()
+        })
+    }
+
+    #[test]
+    fn tarray_basic_ops() {
+        let stm = stm();
+        let arr = TArray::new(&stm, 8, |i| i as i64);
+        stm.atomic(|tx| {
+            assert_eq!(arr.get(tx, 3), 3);
+            arr.set(tx, 3, 30);
+            assert_eq!(arr.update(tx, 3, |v| v + 1), 31);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(arr.snapshot_fold(&stm, 0, |a, v| a + v), 0 + 1 + 2 + 31 + 4 + 5 + 6 + 7);
+        assert_eq!(arr.len(), 8);
+        assert!(!arr.is_empty());
+    }
+
+    #[test]
+    fn parallel_fold_matches_sequential() {
+        let stm = stm();
+        let arr = TArray::new(&stm, 100, |i| i as i64);
+        let (par, seq) = stm
+            .atomic(|tx| {
+                let par = arr.parallel_fold(
+                    tx,
+                    7,
+                    |a: i64, v: &i64| a + v,
+                    || 0i64,
+                    |a, b| a + b,
+                )?;
+                let seq = arr.fold(tx, 0i64, |a, v| a + v);
+                Ok((par, seq))
+            })
+            .unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(par, (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn parallel_update_applies_everywhere() {
+        let stm = stm();
+        let arr = TArray::new(&stm, 33, |_| 1i64);
+        stm.atomic(|tx| arr.parallel_update(tx, 4, |i, v| v + i as i64))
+            .unwrap();
+        let total = arr.snapshot_fold(&stm, 0, |a, v| a + v);
+        assert_eq!(total, 33 + (0..33).sum::<i64>());
+    }
+
+    #[test]
+    fn parallel_chunks_clamped() {
+        let stm = stm();
+        let arr = TArray::new(&stm, 3, |_| 2i64);
+        // More chunks than cells must not panic or double-count.
+        let sum = stm
+            .atomic(|tx| arr.parallel_fold(tx, 16, |a: i64, v: &i64| a + v, || 0i64, |a, b| a + b))
+            .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn sharded_counter_is_exact_under_concurrency() {
+        let stm = stm();
+        let ctr = TCounter::new(&stm, 8);
+        let mut handles = vec![];
+        for worker in 0..4usize {
+            let stm = stm.clone();
+            let ctr = ctr.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    stm.atomic(|tx| {
+                        ctr.add(tx, worker, 1);
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ctr.snapshot_total(&stm), 400);
+        let total = stm.atomic(|tx| Ok(ctr.total(tx))).unwrap();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_tarray_rejected() {
+        let stm = stm();
+        let _ = TArray::<i64>::new(&stm, 0, |_| 0);
+    }
+
+    #[test]
+    fn tmap_insert_get_remove() {
+        let stm = stm();
+        let map: TMap<String, i64> = TMap::new(&stm, 8);
+        stm.atomic(|tx| {
+            assert!(map.is_empty(tx));
+            assert_eq!(map.insert(tx, "a".into(), 1), None);
+            assert_eq!(map.insert(tx, "b".into(), 2), None);
+            assert_eq!(map.insert(tx, "a".into(), 10), Some(1));
+            assert_eq!(map.get(tx, &"a".into()), Some(10));
+            assert_eq!(map.len(tx), 2);
+            assert!(map.contains(tx, &"b".into()));
+            assert_eq!(map.remove(tx, &"b".into()), Some(2));
+            assert_eq!(map.remove(tx, &"b".into()), None);
+            assert_eq!(map.len(tx), 1);
+            Ok(())
+        })
+        .unwrap();
+        let mut entries = map.snapshot_entries(&stm);
+        entries.sort();
+        assert_eq!(entries, vec![("a".to_string(), 10)]);
+    }
+
+    #[test]
+    fn tmap_aborted_txn_leaves_map_untouched() {
+        let stm = stm();
+        let map: TMap<u32, u32> = TMap::new(&stm, 4);
+        stm.atomic(|tx| {
+            map.insert(tx, 1, 1);
+            Ok(())
+        })
+        .unwrap();
+        let r: Result<(), _> = stm.atomic(|tx| {
+            map.insert(tx, 2, 2);
+            map.remove(tx, &1);
+            tx.abort()
+        });
+        assert!(r.is_err());
+        let entries = map.snapshot_entries(&stm);
+        assert_eq!(entries, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn tmap_concurrent_disjoint_keys_all_survive() {
+        let stm = stm();
+        let map: TMap<u64, u64> = TMap::new(&stm, 16);
+        let mut handles = vec![];
+        for w in 0..4u64 {
+            let stm = stm.clone();
+            let map = map.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let key = w * 1000 + i;
+                    stm.atomic(|tx| {
+                        map.insert(tx, key, key * 2);
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let entries = map.snapshot_entries(&stm);
+        assert_eq!(entries.len(), 200);
+        assert!(entries.iter().all(|&(k, v)| v == k * 2));
+    }
+
+    #[test]
+    fn tmap_single_bucket_still_correct() {
+        let stm = stm();
+        let map: TMap<u8, u8> = TMap::new(&stm, 1);
+        stm.atomic(|tx| {
+            for k in 0..20u8 {
+                map.insert(tx, k, k);
+            }
+            assert_eq!(map.len(tx), 20);
+            Ok(())
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! Error and result types for transactional code.
+
+use std::fmt;
+
+/// Why a transaction (top-level or nested) could not complete its current
+/// attempt.
+///
+/// `TxError` values returned from a transaction body drive the retry logic in
+/// [`crate::Stm::atomic`] and [`crate::Txn::parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// Commit-time validation failed: another transaction (a sibling, for
+    /// nested transactions, or another top-level transaction) committed a
+    /// conflicting write. The attempt is rolled back and retried.
+    Conflict,
+    /// The user code requested an abort. The transaction is *not* retried;
+    /// the abort is propagated to the caller of [`crate::Stm::atomic`].
+    UserAbort,
+    /// A child transaction panicked. The panic payload is re-raised on the
+    /// thread that called [`crate::Txn::parallel`] after the batch drains.
+    ChildPanic,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Conflict => write!(f, "transactional conflict"),
+            TxError::UserAbort => write!(f, "user-requested abort"),
+            TxError::ChildPanic => write!(f, "child transaction panicked"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Result type returned by transaction bodies.
+pub type TxResult<T> = Result<T, TxError>;
+
+/// Terminal error reported by [`crate::Stm::atomic`] once retrying has been
+/// given up on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmError {
+    /// The transaction body asked for an abort via [`TxError::UserAbort`].
+    UserAborted,
+    /// The transaction still conflicted after the configured maximum number
+    /// of retries ([`crate::StmConfig::max_retries`]).
+    RetriesExhausted {
+        /// Number of attempts that were made (aborted attempts only).
+        attempts: u64,
+    },
+}
+
+impl fmt::Display for StmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StmError::UserAborted => write!(f, "transaction aborted by user code"),
+            StmError::RetriesExhausted { attempts } => {
+                write!(f, "transaction aborted {attempts} times; retry budget exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(TxError::Conflict.to_string(), "transactional conflict");
+        assert_eq!(TxError::UserAbort.to_string(), "user-requested abort");
+        assert_eq!(TxError::ChildPanic.to_string(), "child transaction panicked");
+        assert_eq!(StmError::UserAborted.to_string(), "transaction aborted by user code");
+        assert!(StmError::RetriesExhausted { attempts: 3 }
+            .to_string()
+            .contains("3 times"));
+    }
+
+    #[test]
+    fn tx_error_equality() {
+        assert_eq!(TxError::Conflict, TxError::Conflict);
+        assert_ne!(TxError::Conflict, TxError::UserAbort);
+    }
+}

@@ -1,0 +1,90 @@
+//! # pnstm — a multi-version software transactional memory with parallel nesting
+//!
+//! This crate is a from-scratch Rust implementation of the PN-STM substrate
+//! assumed by the AutoPN paper (*Online Tuning of Parallelism Degree in
+//! Parallel Nesting Transactional Memory*, IPDPS 2018). It follows the
+//! abstract system model of §III-A of the paper, which in turn mirrors
+//! JVSTM:
+//!
+//! * **Multi-version boxes** ([`VBox`]) keep a chain of `(version, value)`
+//!   pairs. Reads are served from the snapshot selected at transaction begin
+//!   and therefore never block or conflict at read time.
+//! * **Top-level transactions** validate their read set at commit time under
+//!   a global commit lock and install new versions atomically. Read-only
+//!   transactions never abort.
+//! * **Closed parallel nesting**: a transaction may spawn a batch of child
+//!   transactions that execute concurrently ([`Txn::parallel`]). Children
+//!   commit into their parent (sibling conflicts are detected against a
+//!   per-parent nest clock) and their effects only reach main memory when the
+//!   top-level ancestor commits. Nesting may be arbitrarily deep.
+//! * **Runtime-adjustable parallelism degree**: the number of concurrent
+//!   top-level transactions `t` and the number of concurrent child
+//!   transactions per transaction tree `c` are gated by resizable semaphores
+//!   ([`throttle::Throttle`]) so that an external controller (AutoPN's
+//!   actuator) can reconfigure `(t, c)` while the application runs.
+//! * **KPI instrumentation**: commit/abort counters and a commit-event hook
+//!   ([`stats::Stats`]) feed the AutoPN monitor.
+//!
+//! Differences from JVSTM (documented, behaviour-preserving for the tuning
+//! problem): commits are serialized by a global lock instead of JVSTM's
+//! lock-free helping scheme, and parent transactions are suspended while
+//! their children run (fork/join style, which is how the paper's benchmarks
+//! use parallel nesting).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pnstm::{Stm, StmConfig, child};
+//!
+//! let stm = Stm::new(StmConfig::default());
+//! let counter = stm.new_vbox(0i64);
+//!
+//! // A top-level transaction that increments the counter in two parallel
+//! // child transactions.
+//! let c2 = counter.clone();
+//! let total = stm
+//!     .atomic(move |tx| {
+//!         let tasks = (0..2)
+//!             .map(|_| {
+//!                 let b = c2.clone();
+//!                 child(move |child_tx| {
+//!                     let v = child_tx.read(&b);
+//!                     child_tx.write(&b, v + 1);
+//!                     Ok(())
+//!                 })
+//!             })
+//!             .collect();
+//!         tx.parallel::<()>(tasks)?;
+//!         Ok(tx.read(&c2))
+//!     })
+//!     .unwrap();
+//! assert_eq!(total, 2);
+//! assert_eq!(stm.read_atomic(&counter), 2);
+//! ```
+
+pub mod clock;
+pub mod collections;
+pub mod error;
+pub mod pool;
+pub mod stats;
+pub mod throttle;
+pub mod txn;
+pub mod vbox;
+
+mod runtime;
+
+pub use collections::{TArray, TCounter, TMap};
+pub use error::{StmError, TxError, TxResult};
+pub use runtime::{ReadTxn, Stm, StmConfig};
+pub use stats::{CommitEvent, Stats, StatsSnapshot, TxKind};
+pub use throttle::{ParallelismDegree, Throttle};
+pub use txn::{child, ChildTask, Txn};
+pub use vbox::VBox;
+
+/// Marker bound for values storable in a [`VBox`].
+///
+/// Values are cloned on read (multi-version STMs hand out snapshot copies)
+/// and must be shareable across the worker threads that execute nested
+/// transactions.
+pub trait TxValue: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> TxValue for T {}

@@ -1,0 +1,328 @@
+//! Shared worker pool executing nested-transaction tasks.
+//!
+//! The paper's system model (§III-A): *"child transactions are executed by a
+//! shared thread pool that is under the direct control of the PN-STM
+//! run-time"*. This module implements that pool with two properties the
+//! tuning problem needs:
+//!
+//! 1. **Per-tree concurrency limits.** Each `parallel()` call forms a
+//!    [`Batch`] with a helper limit of `c - 1` pool workers; the calling
+//!    (parent) thread is the `c`-th executor. Having the parent participate
+//!    guarantees progress even when the pool is saturated by other trees —
+//!    and makes deep nesting deadlock-free, because a blocked parent always
+//!    drains its own children.
+//! 2. **Runtime resizability.** The pool can grow and shrink while batches
+//!    are in flight, so the actuator can reprovision worker threads when the
+//!    `(t, c)` configuration changes.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+pub(crate) type Task = Box<dyn FnOnce() + Send>;
+
+/// A batch of child-transaction tasks belonging to one `parallel()` call.
+pub(crate) struct Batch {
+    tasks: Mutex<VecDeque<Task>>,
+    /// Tasks submitted but not yet finished executing.
+    remaining: AtomicUsize,
+    /// Pool workers currently executing tasks of this batch.
+    helpers: AtomicUsize,
+    /// Maximum pool workers allowed on this batch (`c - 1`).
+    helper_limit: usize,
+    done_mx: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    pub(crate) fn new(tasks: Vec<Task>, helper_limit: usize) -> Arc<Self> {
+        let remaining = tasks.len();
+        Arc::new(Self {
+            tasks: Mutex::new(tasks.into_iter().collect()),
+            remaining: AtomicUsize::new(remaining),
+            helpers: AtomicUsize::new(0),
+            helper_limit,
+            done_mx: Mutex::new(()),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    fn pop_task(&self) -> Option<Task> {
+        self.tasks.lock().pop_front()
+    }
+
+    fn finish_task(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.done_mx.lock();
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    fn wants_helpers(&self) -> bool {
+        self.helpers.load(Ordering::Acquire) < self.helper_limit && !self.tasks.lock().is_empty()
+    }
+}
+
+struct PoolShared {
+    /// Batches with queued tasks, in arrival order.
+    batches: Mutex<Vec<Arc<Batch>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    target_size: AtomicUsize,
+    live_workers: AtomicUsize,
+}
+
+/// Resizable pool of worker threads that help execute nested-transaction
+/// batches.
+pub struct ChildPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ChildPool {
+    /// Create a pool with `size` worker threads (0 is allowed: all batches
+    /// then run entirely on their calling threads).
+    pub fn new(size: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            batches: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            target_size: AtomicUsize::new(size),
+            live_workers: AtomicUsize::new(0),
+        });
+        let pool = Self { shared, handles: Mutex::new(Vec::new()) };
+        pool.spawn_up_to(size);
+        pool
+    }
+
+    /// Number of worker threads the pool is currently targeting.
+    pub fn size(&self) -> usize {
+        self.shared.target_size.load(Ordering::Acquire)
+    }
+
+    /// Live worker threads right now (lags `size()` during resize).
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::Acquire)
+    }
+
+    /// Resize the pool. Growth spawns threads immediately; shrink lets excess
+    /// workers retire after their current task.
+    pub fn resize(&self, size: usize) {
+        self.shared.target_size.store(size, Ordering::Release);
+        self.spawn_up_to(size);
+        // Wake idle workers so surplus ones can observe the shrink and exit.
+        let _g = self.shared.batches.lock();
+        self.shared.work_cv.notify_all();
+    }
+
+    fn spawn_up_to(&self, size: usize) {
+        let mut handles = self.handles.lock();
+        while self.shared.live_workers.load(Ordering::Acquire) < size {
+            self.shared.live_workers.fetch_add(1, Ordering::AcqRel);
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                thread::Builder::new()
+                    .name("pnstm-child-worker".into())
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn pnstm worker thread"),
+            );
+        }
+        // Opportunistically reap finished handles to keep the vector bounded.
+        handles.retain(|h| !h.is_finished());
+    }
+
+    /// Execute `batch` to completion. The calling thread works on the batch
+    /// alongside at most `helper_limit` pool workers and returns when every
+    /// task has finished.
+    pub(crate) fn run_batch(&self, batch: Arc<Batch>) {
+        if batch.is_done() {
+            return; // empty batch
+        }
+        // Publish the batch so idle workers can pick it up.
+        if batch.helper_limit > 0 {
+            let mut batches = self.shared.batches.lock();
+            batches.push(Arc::clone(&batch));
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is always an executor: guarantees progress with c = 1 or
+        // an exhausted pool, and makes nested `parallel()` deadlock-free.
+        while let Some(task) = batch.pop_task() {
+            task();
+            batch.finish_task();
+        }
+        // Wait for helpers to drain the tasks they already claimed.
+        {
+            let mut g = batch.done_mx.lock();
+            while !batch.is_done() {
+                batch.done_cv.wait_for(&mut g, Duration::from_millis(50));
+            }
+        }
+        if batch.helper_limit > 0 {
+            let mut batches = self.shared.batches.lock();
+            batches.retain(|b| !Arc::ptr_eq(b, &batch));
+        }
+    }
+}
+
+impl Drop for ChildPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.batches.lock();
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire)
+            || shared.live_workers.load(Ordering::Acquire) > shared.target_size.load(Ordering::Acquire)
+        {
+            shared.live_workers.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        // Claim a helper slot on some batch that still has queued tasks.
+        let claimed: Option<Arc<Batch>> = {
+            let batches = shared.batches.lock();
+            batches.iter().find(|b| b.wants_helpers()).map(Arc::clone)
+        };
+        match claimed {
+            Some(batch) => {
+                batch.helpers.fetch_add(1, Ordering::AcqRel);
+                // Re-check the limit: another worker may have claimed the
+                // last helper slot between our scan and the increment.
+                if batch.helpers.load(Ordering::Acquire) <= batch.helper_limit {
+                    while let Some(task) = batch.pop_task() {
+                        task();
+                        batch.finish_task();
+                    }
+                }
+                batch.helpers.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                let mut batches = shared.batches.lock();
+                if !batches.iter().any(|b| b.wants_helpers()) {
+                    shared.work_cv.wait_for(&mut batches, Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64;
+
+    fn make_tasks(n: usize, counter: &Arc<AtomicI64>) -> Vec<Task> {
+        (0..n)
+            .map(|_| {
+                let c = Arc::clone(counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect()
+    }
+
+    #[test]
+    fn caller_runs_everything_with_no_helpers() {
+        let pool = ChildPool::new(0);
+        let counter = Arc::new(AtomicI64::new(0));
+        let batch = Batch::new(make_tasks(10, &counter), 0);
+        pool.run_batch(batch);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn helpers_participate() {
+        let pool = ChildPool::new(3);
+        let counter = Arc::new(AtomicI64::new(0));
+        let batch = Batch::new(make_tasks(64, &counter), 3);
+        pool.run_batch(batch);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = ChildPool::new(1);
+        let batch = Batch::new(vec![], 1);
+        pool.run_batch(batch);
+    }
+
+    #[test]
+    fn per_batch_concurrency_respects_helper_limit() {
+        let pool = ChildPool::new(4);
+        let active = Arc::new(AtomicI64::new(0));
+        let peak = Arc::new(AtomicI64::new(0));
+        let tasks: Vec<Task> = (0..32)
+            .map(|_| {
+                let (active, peak) = (Arc::clone(&active), Arc::clone(&peak));
+                Box::new(move || {
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_micros(300));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect();
+        // helper_limit 1 + the caller = at most 2 concurrent executors.
+        let batch = Batch::new(tasks, 1);
+        pool.run_batch(batch);
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let pool = ChildPool::new(1);
+        assert_eq!(pool.size(), 1);
+        pool.resize(4);
+        assert_eq!(pool.size(), 4);
+        // Give spawned workers a moment, then shrink.
+        let counter = Arc::new(AtomicI64::new(0));
+        pool.run_batch(Batch::new(make_tasks(16, &counter), 3));
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        pool.resize(1);
+        assert_eq!(pool.size(), 1);
+        // Workers retire lazily; wait for the count to converge.
+        for _ in 0..100 {
+            if pool.live_workers() <= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(pool.live_workers() <= 1, "live {}", pool.live_workers());
+    }
+
+    #[test]
+    fn concurrent_batches_all_complete() {
+        let pool = Arc::new(ChildPool::new(2));
+        let counter = Arc::new(AtomicI64::new(0));
+        let mut joins = vec![];
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            joins.push(thread::spawn(move || {
+                for _ in 0..5 {
+                    let batch = Batch::new(make_tasks(8, &counter), 2);
+                    pool.run_batch(batch);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4 * 5 * 8);
+    }
+}

@@ -1,0 +1,303 @@
+//! The [`Stm`] runtime: global clock, commit lock, snapshot registry, stats,
+//! throttle, child pool, box registry / GC, and the top-level retry driver.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use crate::clock::{GlobalClock, SnapshotRegistry};
+use crate::error::{StmError, TxError, TxResult};
+use crate::pool::ChildPool;
+use crate::stats::Stats;
+use crate::throttle::{ParallelismDegree, Throttle};
+use crate::txn::Txn;
+use crate::vbox::{AnyVBox, VBox};
+use crate::TxValue;
+
+/// Construction-time configuration of an [`Stm`] instance.
+#[derive(Debug, Clone)]
+pub struct StmConfig {
+    /// Initial `(t, c)` parallelism degree enforced by the throttle.
+    pub degree: ParallelismDegree,
+    /// Size of the shared child-transaction worker pool. Defaults to the
+    /// machine's available parallelism.
+    pub worker_threads: usize,
+    /// Retry budget for top-level transactions before
+    /// [`StmError::RetriesExhausted`]. Effectively unbounded by default.
+    pub max_retries: u64,
+    /// Retry budget for a child transaction fighting sibling conflicts
+    /// before the conflict is escalated to the whole tree.
+    pub max_nested_retries: u64,
+    /// Run version garbage collection every this many top-level commits
+    /// (0 disables automatic GC; [`Stm::gc`] can still be called manually).
+    pub gc_interval: u64,
+    /// Base delay of exponential post-abort backoff for top-level
+    /// transactions (doubling per consecutive abort, capped at 2⁶×;
+    /// `ZERO` disables). Damps retry storms under heavy contention.
+    pub retry_backoff: std::time::Duration,
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self {
+            degree: ParallelismDegree::new(cores, 1),
+            worker_threads: cores,
+            max_retries: u64::MAX,
+            max_nested_retries: 10_000,
+            gc_interval: 256,
+            retry_backoff: std::time::Duration::ZERO,
+        }
+    }
+}
+
+pub(crate) struct StmShared {
+    clock: GlobalClock,
+    commit_lock: Mutex<()>,
+    registry: Arc<SnapshotRegistry>,
+    stats: Arc<Stats>,
+    throttle: Throttle,
+    pool: ChildPool,
+    boxes: Mutex<Vec<Weak<dyn AnyVBox>>>,
+    config: StmConfig,
+    commits_since_gc: AtomicU64,
+}
+
+impl StmShared {
+    pub(crate) fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+    pub(crate) fn commit_lock(&self) -> &Mutex<()> {
+        &self.commit_lock
+    }
+    pub(crate) fn stats(&self) -> &Stats {
+        &self.stats
+    }
+    pub(crate) fn throttle(&self) -> &Throttle {
+        &self.throttle
+    }
+    pub(crate) fn pool(&self) -> &ChildPool {
+        &self.pool
+    }
+    pub(crate) fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    pub(crate) fn register_vbox<T: TxValue>(&self, initial: T) -> VBox<T> {
+        let vbox = VBox::new_raw(initial);
+        let erased: Arc<dyn AnyVBox> = vbox.body.clone();
+        self.boxes.lock().push(Arc::downgrade(&erased));
+        vbox
+    }
+
+    fn gc(&self) -> usize {
+        // Any version a live snapshot (or a snapshot taken from now on) can
+        // read must survive; everything older is pruned.
+        let now = self.clock.now();
+        let watermark = self.registry.min_active().map(|m| m.min(now)).unwrap_or(now);
+        let mut boxes = self.boxes.lock();
+        boxes.retain(|w| w.strong_count() > 0);
+        let mut pruned_boxes = 0;
+        for weak in boxes.iter() {
+            if let Some(b) = weak.upgrade() {
+                let before = b.chain_len();
+                b.prune_below(watermark);
+                if b.chain_len() < before {
+                    pruned_boxes += 1;
+                }
+            }
+        }
+        pruned_boxes
+    }
+
+    fn maybe_auto_gc(&self) {
+        let interval = self.config.gc_interval;
+        if interval == 0 {
+            return;
+        }
+        let n = self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= interval
+            && self
+                .commits_since_gc
+                .compare_exchange(n, 0, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.gc();
+        }
+    }
+}
+
+/// A parallel-nesting software transactional memory instance.
+///
+/// `Stm` is cheaply cloneable (`Arc` inside); clones share all state. See the
+/// crate-level docs for a usage example.
+#[derive(Clone)]
+pub struct Stm {
+    shared: Arc<StmShared>,
+}
+
+impl Stm {
+    /// Create an STM instance with the given configuration.
+    pub fn new(config: StmConfig) -> Self {
+        Self {
+            shared: Arc::new(StmShared {
+                clock: GlobalClock::new(),
+                commit_lock: Mutex::new(()),
+                registry: Arc::new(SnapshotRegistry::new()),
+                stats: Arc::new(Stats::new()),
+                throttle: Throttle::new(config.degree),
+                pool: ChildPool::new(config.worker_threads),
+                boxes: Mutex::new(Vec::new()),
+                config,
+                commits_since_gc: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Create a new transactional box holding `initial`.
+    pub fn new_vbox<T: TxValue>(&self, initial: T) -> VBox<T> {
+        self.shared.register_vbox(initial)
+    }
+
+    /// Run `body` as a top-level transaction, retrying on conflicts.
+    ///
+    /// Admission is gated by the throttle's top-level semaphore: at most `t`
+    /// transactions run concurrently. The body may be re-executed; it must
+    /// not have non-transactional side effects it cannot repeat.
+    pub fn atomic<R>(&self, mut body: impl FnMut(&mut Txn) -> TxResult<R>) -> Result<R, StmError> {
+        let _permit = self.shared.throttle.admit_top_level();
+        let mut aborts: u64 = 0;
+        loop {
+            let read_version = self.shared.clock.now();
+            let _snap = self.shared.registry.register(read_version);
+            let mut tx = Txn::top(Arc::clone(&self.shared), read_version);
+            match body(&mut tx) {
+                Ok(value) => match tx.commit_top() {
+                    Ok(()) => {
+                        self.shared.stats.record_commit_top();
+                        self.shared.maybe_auto_gc();
+                        return Ok(value);
+                    }
+                    Err(TxError::Conflict) => {
+                        self.shared.stats.record_abort_top();
+                        aborts += 1;
+                        if aborts >= self.shared.config.max_retries {
+                            return Err(StmError::RetriesExhausted { attempts: aborts });
+                        }
+                        tx.reset();
+                    self.backoff(aborts);
+                    }
+                    Err(_) => unreachable!("commit_top only fails with Conflict"),
+                },
+                Err(TxError::UserAbort) => {
+                    self.shared.stats.record_abort_top();
+                    return Err(StmError::UserAborted);
+                }
+                Err(TxError::Conflict) | Err(TxError::ChildPanic) => {
+                    // A child exhausted its sibling-conflict budget (or the
+                    // body surfaced a conflict): abort the tree and retry.
+                    self.shared.stats.record_abort_top();
+                    aborts += 1;
+                    if aborts >= self.shared.config.max_retries {
+                        return Err(StmError::RetriesExhausted { attempts: aborts });
+                    }
+                    tx.reset();
+                    self.backoff(aborts);
+                }
+            }
+        }
+    }
+
+    /// Exponential post-abort backoff (no-op when disabled).
+    fn backoff(&self, aborts: u64) {
+        let base = self.shared.config.retry_backoff;
+        if base > std::time::Duration::ZERO && aborts > 0 {
+            let factor = 1u32 << (aborts - 1).min(6) as u32;
+            std::thread::sleep(base * factor);
+        }
+    }
+
+    /// Run a read-only transaction. Never aborts and takes no admission
+    /// permit (multi-version reads are invisible to writers).
+    pub fn read_only<R>(&self, body: impl FnOnce(&mut ReadTxn) -> R) -> R {
+        let read_version = self.shared.clock.now();
+        let _snap = self.shared.registry.register(read_version);
+        let mut tx = ReadTxn { read_version };
+        body(&mut tx)
+    }
+
+    /// Convenience: read a single box at the current global version.
+    pub fn read_atomic<T: TxValue>(&self, vbox: &VBox<T>) -> T {
+        self.read_only(|tx| tx.read(vbox))
+    }
+
+    /// The current global version clock value (number of commits that
+    /// installed writes).
+    pub fn clock_now(&self) -> u64 {
+        self.shared.clock.now()
+    }
+
+    /// STM activity counters and the commit hook.
+    pub fn stats(&self) -> &Stats {
+        &self.shared.stats
+    }
+
+    /// The admission controller, for the AutoPN actuator.
+    pub fn throttle(&self) -> &Throttle {
+        &self.shared.throttle
+    }
+
+    /// Apply a new `(t, c)` configuration (shorthand for
+    /// `throttle().reconfigure(..)`).
+    pub fn set_degree(&self, degree: ParallelismDegree) {
+        self.shared.throttle.reconfigure(degree);
+    }
+
+    /// The `(t, c)` configuration currently in force.
+    pub fn degree(&self) -> ParallelismDegree {
+        self.shared.throttle.current()
+    }
+
+    /// Resize the shared child-transaction worker pool.
+    pub fn resize_pool(&self, workers: usize) {
+        self.shared.pool.resize(workers);
+    }
+
+    /// Garbage-collect box versions no live snapshot can read. Returns the
+    /// number of boxes whose chains were shortened.
+    pub fn gc(&self) -> usize {
+        self.shared.gc()
+    }
+
+    /// Number of live registered snapshots (running transactions).
+    pub fn live_snapshots(&self) -> usize {
+        self.shared.registry.live_count()
+    }
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm")
+            .field("clock", &self.clock_now())
+            .field("degree", &self.degree())
+            .field("stats", &self.stats().snapshot())
+            .finish()
+    }
+}
+
+/// A read-only transaction: a pinned snapshot with non-blocking reads.
+pub struct ReadTxn {
+    read_version: u64,
+}
+
+impl ReadTxn {
+    /// Read `vbox` at this transaction's snapshot.
+    pub fn read<T: TxValue>(&mut self, vbox: &VBox<T>) -> T {
+        vbox.body.read_at(self.read_version)
+    }
+
+    /// The snapshot version being read.
+    pub fn version(&self) -> u64 {
+        self.read_version
+    }
+}

@@ -1,0 +1,190 @@
+//! Commit/abort accounting and the commit-event hook consumed by the AutoPN
+//! KPI monitor.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which kind of transaction an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxKind {
+    /// A top-level (root) transaction.
+    TopLevel,
+    /// A nested (child) transaction at any depth.
+    Nested,
+}
+
+/// Event published on every successful top-level commit.
+///
+/// The AutoPN monitor computes per-commit throughput estimates from the
+/// stream of these events (§VI of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct CommitEvent {
+    /// Wall-clock instant of the commit.
+    pub at: Instant,
+    /// Running count of top-level commits including this one.
+    pub seq: u64,
+}
+
+type CommitHook = Arc<dyn Fn(CommitEvent) + Send + Sync>;
+
+/// Atomic counters describing STM activity, plus an optional commit hook.
+#[derive(Default)]
+pub struct Stats {
+    top_commits: AtomicU64,
+    top_aborts: AtomicU64,
+    nested_commits: AtomicU64,
+    nested_aborts: AtomicU64,
+    hook: RwLock<Option<CommitHook>>,
+}
+
+impl Stats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a top-level commit, firing the hook if installed.
+    pub fn record_commit_top(&self) {
+        let seq = self.top_commits.fetch_add(1, Ordering::Relaxed) + 1;
+        let hook = self.hook.read().clone();
+        if let Some(hook) = hook {
+            hook(CommitEvent { at: Instant::now(), seq });
+        }
+    }
+
+    pub fn record_abort_top(&self) {
+        self.top_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_commit_nested(&self) {
+        self.nested_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_abort_nested(&self) {
+        self.nested_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Install (or replace) the commit hook. Pass `None` to disable.
+    ///
+    /// The hook runs on the committing thread after the commit lock is
+    /// released; keep it cheap.
+    pub fn set_commit_hook(&self, hook: Option<CommitHook>) {
+        *self.hook.write() = hook;
+    }
+
+    /// Consistent-enough snapshot of all counters (individually atomic).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            top_commits: self.top_commits.load(Ordering::Relaxed),
+            top_aborts: self.top_aborts.load(Ordering::Relaxed),
+            nested_commits: self.nested_commits.load(Ordering::Relaxed),
+            nested_aborts: self.nested_aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// Point-in-time copy of the [`Stats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Committed top-level transactions.
+    pub top_commits: u64,
+    /// Aborted top-level transaction attempts.
+    pub top_aborts: u64,
+    /// Committed nested transactions (all depths).
+    pub nested_commits: u64,
+    /// Aborted nested transaction attempts (sibling conflicts).
+    pub nested_aborts: u64,
+}
+
+impl StatsSnapshot {
+    /// Abort rate of top-level attempts: aborts / (commits + aborts).
+    pub fn top_abort_rate(&self) -> f64 {
+        let total = self.top_commits + self.top_aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.top_aborts as f64 / total as f64
+        }
+    }
+
+    /// Abort rate of nested attempts.
+    pub fn nested_abort_rate(&self) -> f64 {
+        let total = self.nested_commits + self.nested_aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.nested_aborts as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            top_commits: self.top_commits.saturating_sub(earlier.top_commits),
+            top_aborts: self.top_aborts.saturating_sub(earlier.top_aborts),
+            nested_commits: self.nested_commits.saturating_sub(earlier.nested_commits),
+            nested_aborts: self.nested_aborts.saturating_sub(earlier.nested_aborts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::new();
+        s.record_commit_top();
+        s.record_commit_top();
+        s.record_abort_top();
+        s.record_commit_nested();
+        s.record_abort_nested();
+        s.record_abort_nested();
+        let snap = s.snapshot();
+        assert_eq!(snap.top_commits, 2);
+        assert_eq!(snap.top_aborts, 1);
+        assert_eq!(snap.nested_commits, 1);
+        assert_eq!(snap.nested_aborts, 2);
+    }
+
+    #[test]
+    fn abort_rates() {
+        let snap = StatsSnapshot { top_commits: 3, top_aborts: 1, nested_commits: 0, nested_aborts: 0 };
+        assert!((snap.top_abort_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(snap.nested_abort_rate(), 0.0);
+        assert_eq!(StatsSnapshot::default().top_abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn hook_fires_with_sequence_numbers() {
+        let s = Stats::new();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        s.set_commit_hook(Some(Arc::new(move |ev: CommitEvent| {
+            seen2.fetch_add(ev.seq as usize, Ordering::Relaxed);
+        })));
+        s.record_commit_top(); // seq 1
+        s.record_commit_top(); // seq 2
+        assert_eq!(seen.load(Ordering::Relaxed), 3);
+        s.set_commit_hook(None);
+        s.record_commit_top();
+        assert_eq!(seen.load(Ordering::Relaxed), 3, "hook removed");
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let a = StatsSnapshot { top_commits: 10, top_aborts: 4, nested_commits: 7, nested_aborts: 2 };
+        let b = StatsSnapshot { top_commits: 25, top_aborts: 5, nested_commits: 9, nested_aborts: 2 };
+        let d = b.delta_since(&a);
+        assert_eq!(d, StatsSnapshot { top_commits: 15, top_aborts: 1, nested_commits: 2, nested_aborts: 0 });
+    }
+}

@@ -1,0 +1,287 @@
+//! The actuator substrate: resizable admission gates for top-level and
+//! nested concurrency.
+//!
+//! §VI of the paper: *"the actuator [...] intercept[s] the calls to begin and
+//! commit/abort transactions [...] ensuring, via the use of semaphores, that
+//! the number of concurrent top-level transactions/nested transactions per
+//! tree is at any point in time less than allowed by the current
+//! configuration."*
+//!
+//! [`ResizableSemaphore`] is a counting semaphore whose capacity can be
+//! changed while threads hold permits: shrinking simply drives the available
+//! count negative, so the semaphore naturally "absorbs" outstanding permits
+//! until enough releases bring it back above zero.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A `(t, c)` parallelism-degree configuration as defined in §III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParallelismDegree {
+    /// Maximum number of concurrent top-level transactions.
+    pub top_level: usize,
+    /// Maximum number of concurrent nested transactions per transaction tree.
+    pub nested_per_tree: usize,
+}
+
+impl ParallelismDegree {
+    /// Construct a degree; both components are clamped to at least 1.
+    pub fn new(top_level: usize, nested_per_tree: usize) -> Self {
+        Self { top_level: top_level.max(1), nested_per_tree: nested_per_tree.max(1) }
+    }
+
+    /// Total worker demand `t * c` of this configuration.
+    pub fn cores_used(&self) -> usize {
+        self.top_level * self.nested_per_tree
+    }
+}
+
+impl std::fmt::Display for ParallelismDegree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.top_level, self.nested_per_tree)
+    }
+}
+
+#[derive(Debug)]
+struct SemState {
+    /// May be negative after a capacity shrink while permits are held.
+    available: i64,
+    capacity: usize,
+}
+
+/// Counting semaphore with runtime-adjustable capacity.
+#[derive(Debug)]
+pub struct ResizableSemaphore {
+    state: Mutex<SemState>,
+    cv: Condvar,
+}
+
+impl ResizableSemaphore {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(SemState { available: capacity as i64, capacity }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a permit is available and take it.
+    pub fn acquire(&self) {
+        let mut st = self.state.lock();
+        while st.available <= 0 {
+            self.cv.wait(&mut st);
+        }
+        st.available -= 1;
+    }
+
+    /// Take a permit if one is immediately available.
+    pub fn try_acquire(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.available > 0 {
+            st.available -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return a permit.
+    pub fn release(&self) {
+        let mut st = self.state.lock();
+        st.available += 1;
+        if st.available > 0 {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Change the capacity; outstanding permits are unaffected (the available
+    /// count may go negative until they are released).
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let mut st = self.state.lock();
+        let delta = capacity as i64 - st.capacity as i64;
+        st.capacity = capacity;
+        st.available += delta;
+        if st.available > 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Currently configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().capacity
+    }
+
+    /// Permits currently held (capacity minus available, never negative in a
+    /// quiescent state).
+    pub fn in_use(&self) -> usize {
+        let st = self.state.lock();
+        (st.capacity as i64 - st.available).max(0) as usize
+    }
+}
+
+/// RAII permit for a [`ResizableSemaphore`].
+#[derive(Debug)]
+pub struct Permit {
+    sem: Arc<ResizableSemaphore>,
+}
+
+impl Permit {
+    /// Block until the semaphore grants a permit.
+    pub fn acquire(sem: &Arc<ResizableSemaphore>) -> Self {
+        sem.acquire();
+        Self { sem: Arc::clone(sem) }
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+/// The admission controller for a PN-STM instance.
+///
+/// Gates top-level transaction begins with a semaphore of capacity `t` and
+/// publishes the per-tree nested limit `c` that each transaction tree reads
+/// when spawning children.
+#[derive(Debug)]
+pub struct Throttle {
+    top_gate: Arc<ResizableSemaphore>,
+    nested_limit: Mutex<usize>,
+}
+
+impl Throttle {
+    pub fn new(degree: ParallelismDegree) -> Self {
+        Self {
+            top_gate: Arc::new(ResizableSemaphore::new(degree.top_level)),
+            nested_limit: Mutex::new(degree.nested_per_tree),
+        }
+    }
+
+    /// Block until a top-level slot is free; the permit is released when the
+    /// returned guard drops (i.e. when the transaction finishes).
+    pub fn admit_top_level(&self) -> Permit {
+        Permit::acquire(&self.top_gate)
+    }
+
+    /// The per-tree nested concurrency limit `c` in force right now.
+    ///
+    /// Sampled once per `parallel()` batch: a reconfiguration applies to
+    /// batches started after it, mirroring the paper's semaphore actuator.
+    pub fn nested_limit(&self) -> usize {
+        *self.nested_limit.lock()
+    }
+
+    /// Apply a new `(t, c)` configuration. Running transactions finish under
+    /// their old admission; new begins/batches observe the new limits.
+    pub fn reconfigure(&self, degree: ParallelismDegree) {
+        self.top_gate.set_capacity(degree.top_level);
+        *self.nested_limit.lock() = degree.nested_per_tree;
+    }
+
+    /// The configuration currently in force.
+    pub fn current(&self) -> ParallelismDegree {
+        ParallelismDegree { top_level: self.top_gate.capacity(), nested_per_tree: self.nested_limit() }
+    }
+
+    /// Number of top-level transactions currently admitted.
+    pub fn top_level_in_use(&self) -> usize {
+        self.top_gate.in_use()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn degree_clamps_to_one() {
+        let d = ParallelismDegree::new(0, 0);
+        assert_eq!(d, ParallelismDegree { top_level: 1, nested_per_tree: 1 });
+        assert_eq!(d.cores_used(), 1);
+        assert_eq!(d.to_string(), "(1,1)");
+    }
+
+    #[test]
+    fn semaphore_basic_acquire_release() {
+        let s = ResizableSemaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        assert_eq!(s.in_use(), 2);
+        s.release();
+        assert!(s.try_acquire());
+    }
+
+    #[test]
+    fn semaphore_grow_unblocks_waiter() {
+        let s = Arc::new(ResizableSemaphore::new(1));
+        s.acquire();
+        let s2 = Arc::clone(&s);
+        let woke = Arc::new(AtomicUsize::new(0));
+        let woke2 = Arc::clone(&woke);
+        let h = thread::spawn(move || {
+            s2.acquire();
+            woke2.store(1, Ordering::SeqCst);
+            s2.release();
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(woke.load(Ordering::SeqCst), 0, "waiter must be blocked");
+        s.set_capacity(2);
+        h.join().unwrap();
+        assert_eq!(woke.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn semaphore_shrink_absorbs_releases() {
+        let s = ResizableSemaphore::new(3);
+        s.acquire();
+        s.acquire();
+        s.acquire();
+        s.set_capacity(1); // available = -2
+        s.release(); // -1
+        s.release(); // 0
+        assert!(!s.try_acquire(), "still over the shrunk capacity");
+        s.release(); // 1
+        assert!(s.try_acquire());
+    }
+
+    #[test]
+    fn throttle_reconfigure_applies() {
+        let t = Throttle::new(ParallelismDegree::new(4, 2));
+        assert_eq!(t.current(), ParallelismDegree::new(4, 2));
+        let _p = t.admit_top_level();
+        assert_eq!(t.top_level_in_use(), 1);
+        t.reconfigure(ParallelismDegree::new(2, 8));
+        assert_eq!(t.current(), ParallelismDegree::new(2, 8));
+        assert_eq!(t.nested_limit(), 8);
+    }
+
+    #[test]
+    fn throttle_caps_concurrent_admissions() {
+        let t = Arc::new(Throttle::new(ParallelismDegree::new(3, 1)));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..12 {
+            let (t, peak, cur) = (Arc::clone(&t), Arc::clone(&peak), Arc::clone(&cur));
+            handles.push(thread::spawn(move || {
+                for _ in 0..20 {
+                    let _p = t.admit_top_level();
+                    let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_micros(200));
+                    cur.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3, "peak {} exceeded t=3", peak.load(Ordering::SeqCst));
+        assert_eq!(t.top_level_in_use(), 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Transactions: the unified [`Txn`] type used at every nesting depth, the
+//! read/write machinery, and the nested/top-level commit protocols.
+
+pub(crate) mod nest;
+pub(crate) mod sets;
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::error::{TxError, TxResult};
+use crate::runtime::StmShared;
+use crate::vbox::VBox;
+use crate::TxValue;
+use nest::NestCtx;
+use sets::{ReadSet, WriteSet};
+
+/// A child-transaction body: called (and re-called, on sibling conflicts)
+/// with a fresh nested [`Txn`].
+pub type ChildTask<R> = Box<dyn FnMut(&mut Txn) -> TxResult<R> + Send + 'static>;
+
+/// Convenience constructor for a [`ChildTask`]; lets call sites avoid
+/// spelling the boxed-closure type.
+///
+/// ```
+/// # use pnstm::{child, ChildTask};
+/// let task: ChildTask<i32> = child(|_tx| Ok(42));
+/// ```
+pub fn child<R, F>(f: F) -> ChildTask<R>
+where
+    F: FnMut(&mut Txn) -> TxResult<R> + Send + 'static,
+{
+    Box::new(f)
+}
+
+/// One level of the ancestor chain visible to a nested transaction.
+///
+/// `cap` is the nest-clock snapshot this transaction (or an ancestor on its
+/// behalf) took of that level: only sibling commits at versions `<= cap` are
+/// visible, and validation at commit checks nothing newer appeared for any
+/// box this transaction read.
+#[derive(Clone)]
+pub(crate) struct ScopeEntry {
+    pub(crate) ws: Arc<Mutex<WriteSet>>,
+    pub(crate) nest: Arc<NestCtx>,
+    pub(crate) cap: u32,
+}
+
+/// A running transaction, top-level or nested.
+///
+/// Handed by reference to transaction bodies; see [`crate::Stm::atomic`] and
+/// [`Txn::parallel`]. All reads observe the snapshot fixed at the top-level
+/// begin plus the transaction tree's own tentative writes.
+pub struct Txn {
+    shared: Arc<StmShared>,
+    /// Global snapshot version of the whole transaction tree.
+    root_read_version: u64,
+    /// Own tentative writes; `Arc` so descendants can read them while this
+    /// transaction is suspended in `parallel()`.
+    ws: Arc<Mutex<WriteSet>>,
+    /// Own reads (excluding own-write-set hits), plus the reads of committed
+    /// children merged in at each `parallel()` join.
+    rs: ReadSet,
+    /// Ancestor chain, nearest first; empty for top-level transactions.
+    scope: Vec<ScopeEntry>,
+    /// 0 for top-level, parent depth + 1 for children.
+    depth: u32,
+}
+
+impl Txn {
+    pub(crate) fn top(shared: Arc<StmShared>, root_read_version: u64) -> Self {
+        Self {
+            shared,
+            root_read_version,
+            ws: Arc::new(Mutex::new(WriteSet::new())),
+            rs: ReadSet::new(),
+            scope: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    fn nested(shared: Arc<StmShared>, root_read_version: u64, scope: Vec<ScopeEntry>, depth: u32) -> Self {
+        Self {
+            shared,
+            root_read_version,
+            ws: Arc::new(Mutex::new(WriteSet::new())),
+            rs: ReadSet::new(),
+            scope,
+            depth,
+        }
+    }
+
+    /// The global snapshot version this transaction tree reads at.
+    pub fn root_version(&self) -> u64 {
+        self.root_read_version
+    }
+
+    /// Nesting depth: 0 for top-level transactions.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Whether this is a nested (child) transaction.
+    pub fn is_nested(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Read the current value of `vbox` as seen by this transaction.
+    ///
+    /// Lookup order: own write set (which, after each `parallel()` join,
+    /// already contains the newest values committed by this transaction's
+    /// children) → each ancestor level, nearest first (that level's nest
+    /// store up to the inherited cap, then its write set) → the global
+    /// snapshot at the tree's read version. Reads never block on or conflict
+    /// with concurrent writers.
+    pub fn read<T: TxValue>(&mut self, vbox: &VBox<T>) -> T {
+        let id = vbox.id();
+        // 1. Own write set (not recorded in the read set: reading your own
+        //    write has no external dependency).
+        if let Some(v) = self.ws.lock().get(id) {
+            return downcast_clone::<T>(&v);
+        }
+        // 2. Ancestor chain, nearest level first. Within a level the nest
+        //    store takes precedence over the write set: everything in the
+        //    write set was written before that level's current batch started,
+        //    while store entries are commits from the in-flight batch.
+        for entry in &self.scope {
+            if let Some(v) = entry.nest.store.lock().lookup(id, entry.cap) {
+                self.rs.record(vbox.as_any());
+                return downcast_clone::<T>(&v);
+            }
+            if let Some(v) = entry.ws.lock().get(id) {
+                self.rs.record(vbox.as_any());
+                return downcast_clone::<T>(&v);
+            }
+        }
+        // 3. Global snapshot.
+        self.rs.record(vbox.as_any());
+        vbox.body.read_at(self.root_read_version)
+    }
+
+    /// Tentatively write `value` to `vbox`. Takes effect for other
+    /// transactions only when the top-level ancestor commits.
+    pub fn write<T: TxValue>(&mut self, vbox: &VBox<T>, value: T) {
+        self.ws.lock().insert(vbox.as_any(), Arc::new(value));
+    }
+
+    /// Read-modify-write convenience: `write(f(read()))` and return the new
+    /// value.
+    pub fn modify<T: TxValue>(&mut self, vbox: &VBox<T>, f: impl FnOnce(T) -> T) -> T {
+        let old = self.read(vbox);
+        let new = f(old);
+        self.write(vbox, new.clone());
+        new
+    }
+
+    /// Create a new box from inside a transaction.
+    ///
+    /// The box's initial value is installed at version 0 (visible to every
+    /// snapshot). This is safe under the standard publication discipline:
+    /// other transactions can only discover the box through data that is
+    /// itself updated transactionally.
+    pub fn new_vbox<T: TxValue>(&mut self, initial: T) -> VBox<T> {
+        self.shared.register_vbox(initial)
+    }
+
+    /// Abort the transaction without retry. Sugar for
+    /// `return Err(TxError::UserAbort)` via `?`.
+    pub fn abort<T>(&mut self) -> TxResult<T> {
+        Err(TxError::UserAbort)
+    }
+
+    /// Number of boxes read / written so far (introspection and tests).
+    pub fn footprint(&self) -> (usize, usize) {
+        (self.rs.len(), self.ws.lock().len())
+    }
+
+    /// Execute `tasks` as parallel nested (child) transactions and return
+    /// their results in task order.
+    ///
+    /// At most `c` tasks run concurrently, where `c` is the per-tree nested
+    /// limit currently configured on the [`crate::Throttle`] — the calling
+    /// thread itself executes tasks alongside up to `c - 1` shared-pool
+    /// workers, so `c = 1` degenerates to sequential (flat-nesting-like)
+    /// execution. Each child retries automatically on sibling conflicts.
+    ///
+    /// Errors: the first task error in task order is returned. A
+    /// [`TxError::UserAbort`] or exhausted child retry budget
+    /// ([`TxError::Conflict`]) aborts the enclosing attempt; a panicking
+    /// child is re-raised on this thread once the batch has drained.
+    pub fn parallel<R: Send + 'static>(&mut self, tasks: Vec<ChildTask<R>>) -> TxResult<Vec<R>> {
+        if tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Each batch gets a fresh nest context; at join time the batch's
+        // committed writes are folded into this transaction's write set and
+        // the children's reads into its read set, so the transaction's own
+        // sets always describe its complete tentative state.
+        let nest = Arc::new(NestCtx::new());
+        let c = self.shared.throttle().nested_limit();
+        let helper_limit = c.saturating_sub(1);
+
+        // The scope a child sees: this transaction (with a fresh cap taken at
+        // child begin) followed by this transaction's own inherited scope.
+        let parent_entry_proto =
+            ScopeEntry { ws: Arc::clone(&self.ws), nest: Arc::clone(&nest), cap: 0 };
+        let inherited: Vec<ScopeEntry> = self.scope.clone();
+
+        let n_tasks = tasks.len();
+        let (tx_results, rx_results) = crossbeam::channel::bounded(n_tasks);
+        let panic_payload: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
+
+        let wrapped: Vec<crate::pool::Task> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(idx, mut body)| {
+                let shared = Arc::clone(&self.shared);
+                let root_rv = self.root_read_version;
+                let depth = self.depth + 1;
+                let parent_proto = parent_entry_proto.clone();
+                let inherited = inherited.clone();
+                let results = tx_results.clone();
+                let panic_payload = Arc::clone(&panic_payload);
+                Box::new(move || {
+                    let outcome = run_child(
+                        &shared,
+                        root_rv,
+                        depth,
+                        &parent_proto,
+                        &inherited,
+                        &mut body,
+                        &panic_payload,
+                    );
+                    // The receiver outlives the batch, so send cannot fail.
+                    let _ = results.send((idx, outcome));
+                }) as crate::pool::Task
+            })
+            .collect();
+        drop(tx_results);
+
+        let batch = crate::pool::Batch::new(wrapped, helper_limit);
+        self.shared.pool().run_batch(batch);
+
+        // Join: fold the batch's effects into this transaction. Store
+        // entries override pre-batch write-set values (they are newer); the
+        // children's merged reads become our reads, to be revalidated at our
+        // own commit.
+        {
+            let store = nest.store.lock();
+            let mut ws = self.ws.lock();
+            for entry in store.newest_entries() {
+                ws.insert(Arc::clone(&entry.vbox), Arc::clone(&entry.value));
+            }
+            self.rs.merge_from(&nest.merged_rs.lock());
+        }
+
+        if let Some(payload) = panic_payload.lock().take() {
+            panic::resume_unwind(payload);
+        }
+
+        let mut slots: Vec<Option<TxResult<R>>> = (0..n_tasks).map(|_| None).collect();
+        for (idx, outcome) in rx_results.try_iter() {
+            slots[idx] = Some(outcome);
+        }
+        let mut out = Vec::with_capacity(n_tasks);
+        for slot in slots {
+            out.push(slot.expect("every child task reports exactly once")?);
+        }
+        Ok(out)
+    }
+
+    /// Commit a nested transaction into its parent. Returns
+    /// `Err(TxError::Conflict)` on a sibling conflict.
+    fn commit_nested(&mut self) -> TxResult<()> {
+        let parent = self.scope.first().expect("nested txn has a parent scope");
+        let store = parent.nest.store.lock();
+        // Sibling validation: no sibling may have installed a newer version
+        // of any box we read after our nest-clock snapshot.
+        for (id, _) in self.rs.iter() {
+            if store.latest_version(*id) > parent.cap {
+                return Err(TxError::Conflict);
+            }
+        }
+        // Hold the store lock across tick + install so versions are ordered.
+        let mut store = store;
+        let ws = self.ws.lock();
+        if !ws.is_empty() {
+            let version = parent.nest.tick();
+            // The write set already contains everything our own children
+            // committed (folded in at join time).
+            for entry in ws.iter() {
+                store.install(entry.clone(), version);
+            }
+        }
+        drop(ws);
+        drop(store);
+        // Merge reads (ours + our committed children's) upward for
+        // revalidation at the parent's own commit.
+        parent.nest.merged_rs.lock().merge_from(&self.rs);
+        Ok(())
+    }
+
+    /// Commit a top-level transaction: validate the tree's reads against the
+    /// global clock under the commit lock and install the tree's writes at a
+    /// fresh version.
+    pub(crate) fn commit_top(&mut self) -> TxResult<()> {
+        debug_assert_eq!(self.depth, 0, "commit_top on a nested transaction");
+        let ws = self.ws.lock();
+        if ws.is_empty() {
+            return Ok(()); // Read-only: serializable at its snapshot.
+        }
+
+        let _commit_guard = self.shared.commit_lock().lock();
+        // Validate the whole tree's reads (children's reads were folded into
+        // ours at each join).
+        for (_, vbox) in self.rs.iter() {
+            if vbox.latest_version() > self.root_read_version {
+                return Err(TxError::Conflict);
+            }
+        }
+        // Install at the *next* version first and publish the clock only
+        // afterwards: a transaction beginning mid-commit must keep reading
+        // the old snapshot. Ticking before installing would let it adopt the
+        // new version number while some boxes still serve old values — and
+        // then pass validation against data it never actually read.
+        let version = self.shared.clock().now() + 1;
+        for entry in ws.iter() {
+            entry.vbox.install_erased(&entry.value, version);
+        }
+        let published = self.shared.clock().tick();
+        debug_assert_eq!(published, version, "commit lock serializes clock ticks");
+        Ok(())
+    }
+
+    /// Discard all tentative state ahead of a retry.
+    pub(crate) fn reset(&mut self) {
+        self.ws.lock().clear();
+        self.rs.clear();
+    }
+}
+
+/// Run one child task to completion: retry on sibling conflicts (with a fresh
+/// nest-clock cap each attempt), propagate user aborts, capture panics.
+fn run_child<R>(
+    shared: &Arc<StmShared>,
+    root_rv: u64,
+    depth: u32,
+    parent_proto: &ScopeEntry,
+    inherited: &[ScopeEntry],
+    body: &mut (dyn FnMut(&mut Txn) -> TxResult<R> + Send),
+    panic_payload: &Arc<Mutex<Option<Box<dyn Any + Send>>>>,
+) -> TxResult<R> {
+    let max_retries = shared.config().max_nested_retries;
+    let mut attempts: u64 = 0;
+    loop {
+        let mut scope = Vec::with_capacity(1 + inherited.len());
+        scope.push(ScopeEntry { cap: parent_proto.nest.now(), ..parent_proto.clone() });
+        scope.extend_from_slice(inherited);
+        let mut tx = Txn::nested(Arc::clone(shared), root_rv, scope, depth);
+
+        let ran = panic::catch_unwind(AssertUnwindSafe(|| body(&mut tx)));
+        match ran {
+            Err(payload) => {
+                let mut slot = panic_payload.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                return Err(TxError::ChildPanic);
+            }
+            Ok(Err(e)) => return Err(e),
+            Ok(Ok(value)) => match tx.commit_nested() {
+                Ok(()) => {
+                    shared.stats().record_commit_nested();
+                    return Ok(value);
+                }
+                Err(TxError::Conflict) => {
+                    shared.stats().record_abort_nested();
+                    attempts += 1;
+                    if attempts >= max_retries {
+                        return Err(TxError::Conflict);
+                    }
+                }
+                Err(other) => return Err(other),
+            },
+        }
+    }
+}
+
+fn downcast_clone<T: TxValue>(v: &crate::vbox::ErasedValue) -> T {
+    v.downcast_ref::<T>()
+        .expect("write-set value type mismatch: a box was written with a different type")
+        .clone()
+}

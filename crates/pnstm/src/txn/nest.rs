@@ -1,0 +1,158 @@
+//! Per-parent nesting context: the nest clock, the nest store of
+//! child-committed tentative versions, and the merged read set.
+//!
+//! Closed nesting means a child's writes become visible *to its siblings*
+//! when the child commits into the parent, and reach main memory only when
+//! the top-level ancestor commits. Each transaction that spawns children owns
+//! a [`NestCtx`]:
+//!
+//! * `clock` — a tree-local version counter. A child snapshots it at begin
+//!   (its *cap*) and at commit validates that no sibling installed a newer
+//!   version of any box it read.
+//! * `store` — tentative versions `(nest_version, value)` installed by
+//!   committed children, ordered per box.
+//! * `merged_rs` — the union of committed children's read sets; validated
+//!   again one level up when this transaction itself commits.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use super::sets::{ReadSet, WsEntry};
+use crate::vbox::{BoxId, ErasedValue};
+
+/// Tentative versions committed by children of one transaction.
+#[derive(Default)]
+pub(crate) struct NestStore {
+    map: HashMap<BoxId, Vec<(u32, WsEntry)>>,
+}
+
+impl NestStore {
+    /// Newest value for `id` with nest version `<= cap`.
+    pub(crate) fn lookup(&self, id: BoxId, cap: u32) -> Option<ErasedValue> {
+        let versions = self.map.get(&id)?;
+        versions
+            .iter()
+            .rev()
+            .find(|(v, _)| *v <= cap)
+            .map(|(_, e)| std::sync::Arc::clone(&e.value))
+    }
+
+    /// Newest nest version recorded for `id` (0 if never written in this
+    /// nest; nest versions start at 1).
+    pub(crate) fn latest_version(&self, id: BoxId) -> u32 {
+        self.map.get(&id).and_then(|v| v.last()).map(|(v, _)| *v).unwrap_or(0)
+    }
+
+    /// Install `entry` at `version` (strictly newer than existing versions of
+    /// the same box — enforced by the caller holding the store lock).
+    pub(crate) fn install(&mut self, entry: WsEntry, version: u32) {
+        let versions = self.map.entry(entry.vbox.id()).or_default();
+        debug_assert!(versions.last().map(|(v, _)| *v < version).unwrap_or(true));
+        versions.push((version, entry));
+    }
+
+    /// The newest value of every box written in this nest, for merging into
+    /// the enclosing level (or main memory, at the root).
+    pub(crate) fn newest_entries(&self) -> impl Iterator<Item = &WsEntry> {
+        self.map.values().map(|v| &v.last().expect("version list never empty").1)
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn written_box_count(&self) -> usize {
+        self.map.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Nesting context owned by a transaction that spawned children.
+pub(crate) struct NestCtx {
+    clock: AtomicU32,
+    /// Doubles as the nested-commit lock: validation + clock tick + install
+    /// happen while holding it.
+    pub(crate) store: Mutex<NestStore>,
+    /// Read sets of committed children, merged for revalidation one level up.
+    pub(crate) merged_rs: Mutex<ReadSet>,
+}
+
+impl NestCtx {
+    pub(crate) fn new() -> Self {
+        Self {
+            clock: AtomicU32::new(0),
+            store: Mutex::new(NestStore::default()),
+            merged_rs: Mutex::new(ReadSet::new()),
+        }
+    }
+
+    /// Current nest version; children snapshot this at begin.
+    pub(crate) fn now(&self) -> u32 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    /// Advance the nest clock (called under the store lock).
+    pub(crate) fn tick(&self) -> u32 {
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vbox::VBox;
+    use std::sync::Arc;
+
+    fn entry(b: &VBox<i32>, v: i32) -> WsEntry {
+        WsEntry { vbox: b.as_any(), value: Arc::new(v) }
+    }
+
+    fn as_i32(v: &ErasedValue) -> i32 {
+        *v.downcast_ref::<i32>().unwrap()
+    }
+
+    #[test]
+    fn store_lookup_respects_cap() {
+        let b = VBox::new_raw(0);
+        let mut s = NestStore::default();
+        s.install(entry(&b, 10), 1);
+        s.install(entry(&b, 20), 3);
+        assert!(s.lookup(b.id(), 0).is_none());
+        assert_eq!(as_i32(&s.lookup(b.id(), 1).unwrap()), 10);
+        assert_eq!(as_i32(&s.lookup(b.id(), 2).unwrap()), 10);
+        assert_eq!(as_i32(&s.lookup(b.id(), 3).unwrap()), 20);
+        assert_eq!(as_i32(&s.lookup(b.id(), u32::MAX).unwrap()), 20);
+    }
+
+    #[test]
+    fn store_latest_version_zero_when_absent() {
+        let s = NestStore::default();
+        assert_eq!(s.latest_version(42), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn store_newest_entries_take_last() {
+        let a = VBox::new_raw(0);
+        let b = VBox::new_raw(0);
+        let mut s = NestStore::default();
+        s.install(entry(&a, 1), 1);
+        s.install(entry(&a, 2), 2);
+        s.install(entry(&b, 9), 2);
+        assert_eq!(s.written_box_count(), 2);
+        let mut newest: Vec<i32> = s.newest_entries().map(|e| as_i32(&e.value)).collect();
+        newest.sort();
+        assert_eq!(newest, vec![2, 9]);
+    }
+
+    #[test]
+    fn ctx_clock_ticks() {
+        let ctx = NestCtx::new();
+        assert_eq!(ctx.now(), 0);
+        assert_eq!(ctx.tick(), 1);
+        assert_eq!(ctx.tick(), 2);
+        assert_eq!(ctx.now(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Read and write sets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::vbox::{AnyVBox, BoxId, ErasedValue};
+
+/// One tentative write: the target box (type-erased) and the value.
+#[derive(Clone)]
+pub(crate) struct WsEntry {
+    pub vbox: Arc<dyn AnyVBox>,
+    pub value: ErasedValue,
+}
+
+/// The tentative writes of one transaction (top-level or nested).
+///
+/// Shared behind `Arc<Mutex<_>>` so that child transactions can look up their
+/// suspended ancestors' uncommitted writes.
+#[derive(Default)]
+pub(crate) struct WriteSet {
+    entries: HashMap<BoxId, WsEntry>,
+}
+
+impl WriteSet {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn insert(&mut self, vbox: Arc<dyn AnyVBox>, value: ErasedValue) {
+        self.entries.insert(vbox.id(), WsEntry { vbox, value });
+    }
+
+    pub(crate) fn get(&self, id: BoxId) -> Option<ErasedValue> {
+        self.entries.get(&id).map(|e| Arc::clone(&e.value))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &WsEntry> {
+        self.entries.values()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The boxes a transaction has read (outside its own write set).
+///
+/// Validation only needs the box handle — multi-version reads are compared
+/// against version clocks, not against the values that were read.
+#[derive(Default)]
+pub(crate) struct ReadSet {
+    entries: HashMap<BoxId, Arc<dyn AnyVBox>>,
+}
+
+impl ReadSet {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(&mut self, vbox: Arc<dyn AnyVBox>) {
+        self.entries.entry(vbox.id()).or_insert(vbox);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&BoxId, &Arc<dyn AnyVBox>)> {
+        self.entries.iter()
+    }
+
+    pub(crate) fn merge_from(&mut self, other: &ReadSet) {
+        for (id, vbox) in &other.entries {
+            self.entries.entry(*id).or_insert_with(|| Arc::clone(vbox));
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vbox::VBox;
+
+    #[test]
+    fn write_set_last_write_wins() {
+        let b = VBox::new_raw(0i32);
+        let mut ws = WriteSet::new();
+        ws.insert(b.as_any(), Arc::new(1i32));
+        ws.insert(b.as_any(), Arc::new(2i32));
+        assert_eq!(ws.len(), 1);
+        let v = ws.get(b.id()).unwrap();
+        assert_eq!(*v.downcast_ref::<i32>().unwrap(), 2);
+    }
+
+    #[test]
+    fn write_set_miss_returns_none() {
+        let ws = WriteSet::new();
+        assert!(ws.get(12345).is_none());
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn read_set_dedups() {
+        let b = VBox::new_raw(0i32);
+        let mut rs = ReadSet::new();
+        rs.record(b.as_any());
+        rs.record(b.as_any());
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn read_set_merge() {
+        let a = VBox::new_raw(0i32);
+        let b = VBox::new_raw(0i32);
+        let mut r1 = ReadSet::new();
+        r1.record(a.as_any());
+        let mut r2 = ReadSet::new();
+        r2.record(a.as_any());
+        r2.record(b.as_any());
+        r1.merge_from(&r2);
+        assert_eq!(r1.len(), 2);
+    }
+}

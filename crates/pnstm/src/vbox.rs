@@ -1,0 +1,261 @@
+//! Versioned transactional boxes.
+//!
+//! A [`VBox<T>`] is the unit of transactional state: a handle to a chain of
+//! `(version, value)` pairs ordered by the global version clock. Reads select
+//! the newest entry whose version is `<=` the reader's snapshot, so readers
+//! never block writers and vice versa.
+
+use parking_lot::RwLock;
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::TxValue;
+
+/// Unique identifier of a box, assigned at creation.
+pub type BoxId = u64;
+
+/// Type-erased value as stored in write sets and nest stores.
+pub(crate) type ErasedValue = Arc<dyn Any + Send + Sync>;
+
+static NEXT_BOX_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Internal type-erased interface over [`VBox`] bodies, used by write sets,
+/// validation, and garbage collection.
+pub(crate) trait AnyVBox: Send + Sync {
+    /// The box's unique id.
+    fn id(&self) -> BoxId;
+    /// Version of the newest installed entry.
+    fn latest_version(&self) -> u64;
+    /// Install `value` (which must be a `T` for this box's `T`) at `version`.
+    ///
+    /// Only called under the global commit lock with a strictly increasing
+    /// `version`.
+    fn install_erased(&self, value: &ErasedValue, version: u64);
+    /// Drop versions that no live snapshot can read: keep everything newer
+    /// than `watermark` plus the newest entry `<= watermark`.
+    fn prune_below(&self, watermark: u64);
+    /// Number of retained versions (for GC tests and introspection).
+    fn chain_len(&self) -> usize;
+}
+
+#[derive(Debug)]
+pub(crate) struct VBoxBody<T> {
+    id: BoxId,
+    /// Version chain, ascending by version. Never empty.
+    chain: RwLock<Vec<(u64, T)>>,
+}
+
+impl<T: TxValue> VBoxBody<T> {
+    /// Read the newest value with version `<= snapshot`.
+    ///
+    /// # Panics
+    /// Panics if every retained version is newer than `snapshot`, which would
+    /// indicate a GC watermark bug (a live snapshot's versions were pruned).
+    pub(crate) fn read_at(&self, snapshot: u64) -> T {
+        let chain = self.chain.read();
+        match chain.binary_search_by(|(v, _)| v.cmp(&snapshot)) {
+            Ok(i) => chain[i].1.clone(),
+            Err(0) => panic!(
+                "vbox {}: no version <= snapshot {} (oldest retained: {}); GC invariant violated",
+                self.id,
+                snapshot,
+                chain.first().map(|(v, _)| *v).unwrap_or(u64::MAX)
+            ),
+            Err(i) => chain[i - 1].1.clone(),
+        }
+    }
+}
+
+impl<T: TxValue> AnyVBox for VBoxBody<T> {
+    fn id(&self) -> BoxId {
+        self.id
+    }
+
+    fn latest_version(&self) -> u64 {
+        let chain = self.chain.read();
+        chain.last().expect("chain never empty").0
+    }
+
+    fn install_erased(&self, value: &ErasedValue, version: u64) {
+        let v: &T = value
+            .downcast_ref::<T>()
+            .expect("write-set entry type mismatch: value does not match box type");
+        let mut chain = self.chain.write();
+        let newest = chain.last().expect("chain never empty").0;
+        assert!(
+            version > newest,
+            "vbox {}: install version {} not newer than {}",
+            self.id,
+            version,
+            newest
+        );
+        chain.push((version, v.clone()));
+    }
+
+    fn prune_below(&self, watermark: u64) {
+        let mut chain = self.chain.write();
+        // Index of the newest entry with version <= watermark; everything
+        // strictly before it is unreadable by any live or future snapshot.
+        let keep_from = match chain.binary_search_by(|(v, _)| v.cmp(&watermark)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        if keep_from > 0 {
+            chain.drain(..keep_from);
+        }
+    }
+
+    fn chain_len(&self) -> usize {
+        self.chain.read().len()
+    }
+}
+
+/// A transactional memory cell holding values of type `T`.
+///
+/// `VBox` is a cheap-to-clone handle (an `Arc` internally); clones refer to
+/// the same cell. Boxes are created through [`crate::Stm::new_vbox`] and read
+/// or written inside transactions via [`crate::Txn::read`] /
+/// [`crate::Txn::write`].
+pub struct VBox<T> {
+    pub(crate) body: Arc<VBoxBody<T>>,
+}
+
+impl<T> Clone for VBox<T> {
+    fn clone(&self) -> Self {
+        Self { body: Arc::clone(&self.body) }
+    }
+}
+
+impl<T: TxValue> VBox<T> {
+    /// Create a detached box with `initial` installed at version 0.
+    ///
+    /// Crate-internal: users go through [`crate::Stm::new_vbox`], which also
+    /// registers the box for garbage collection.
+    pub(crate) fn new_raw(initial: T) -> Self {
+        let id = NEXT_BOX_ID.fetch_add(1, Ordering::Relaxed);
+        Self {
+            body: Arc::new(VBoxBody { id, chain: RwLock::new(vec![(0, initial)]) }),
+        }
+    }
+
+    /// The box's unique id.
+    pub fn id(&self) -> BoxId {
+        self.body.id
+    }
+
+    /// Number of retained versions (introspection/testing).
+    pub fn version_count(&self) -> usize {
+        self.body.chain_len()
+    }
+
+    pub(crate) fn as_any(&self) -> Arc<dyn AnyVBox> {
+        self.body.clone()
+    }
+}
+
+impl<T: TxValue> std::fmt::Debug for VBox<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let chain = self.body.chain.read();
+        f.debug_struct("VBox")
+            .field("id", &self.body.id)
+            .field("versions", &chain.len())
+            .field("latest", chain.last().map(|(v, _)| v).unwrap_or(&0))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn erase<T: TxValue>(v: T) -> ErasedValue {
+        Arc::new(v)
+    }
+
+    #[test]
+    fn read_at_selects_snapshot_version() {
+        let b = VBox::new_raw(10i32);
+        b.body.install_erased(&erase(20i32), 5);
+        b.body.install_erased(&erase(30i32), 9);
+        assert_eq!(b.body.read_at(0), 10);
+        assert_eq!(b.body.read_at(4), 10);
+        assert_eq!(b.body.read_at(5), 20);
+        assert_eq!(b.body.read_at(8), 20);
+        assert_eq!(b.body.read_at(9), 30);
+        assert_eq!(b.body.read_at(u64::MAX), 30);
+    }
+
+    #[test]
+    fn latest_version_tracks_installs() {
+        let b = VBox::new_raw(0u8);
+        assert_eq!(b.body.latest_version(), 0);
+        b.body.install_erased(&erase(1u8), 3);
+        assert_eq!(b.body.latest_version(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not newer")]
+    fn install_must_be_monotone() {
+        let b = VBox::new_raw(0u8);
+        b.body.install_erased(&erase(1u8), 2);
+        b.body.install_erased(&erase(2u8), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn install_wrong_type_panics() {
+        let b = VBox::new_raw(0u8);
+        b.body.install_erased(&erase("oops".to_string()), 1);
+    }
+
+    #[test]
+    fn prune_keeps_watermark_readable() {
+        let b = VBox::new_raw(0i32);
+        for (i, ver) in [2u64, 4, 6, 8].iter().enumerate() {
+            b.body.install_erased(&erase(i as i32 + 1), *ver);
+        }
+        assert_eq!(b.version_count(), 5);
+        // Watermark 5: oldest live snapshot is at version 5, which reads the
+        // entry installed at 4. Entries at 0 and 2 are unreachable.
+        b.body.prune_below(5);
+        assert_eq!(b.version_count(), 3);
+        assert_eq!(b.body.read_at(5), 2);
+        assert_eq!(b.body.read_at(8), 4);
+    }
+
+    #[test]
+    fn prune_with_low_watermark_is_noop() {
+        let b = VBox::new_raw(0i32);
+        b.body.install_erased(&erase(1), 4);
+        b.body.prune_below(0);
+        assert_eq!(b.version_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "GC invariant violated")]
+    fn read_below_oldest_panics() {
+        let b = VBox::new_raw(0i32);
+        b.body.install_erased(&erase(1), 4);
+        b.body.prune_below(10);
+        // Only the version-4 entry remains; snapshot 3 cannot be served.
+        let _ = b.body.read_at(3);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = VBox::new_raw(0);
+        let b = VBox::new_raw(0);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn clone_aliases_same_cell() {
+        let a = VBox::new_raw(1i32);
+        let b = a.clone();
+        a.body.install_erased(&erase(7), 1);
+        assert_eq!(b.body.read_at(1), 7);
+        assert_eq!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests: randomized transactional histories must always be
+//! equivalent to some serial execution.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+use pnstm::{child, ParallelismDegree, Stm, StmConfig, VBox};
+
+/// One randomly generated top-level transaction: a list of per-slot deltas;
+/// each delta is applied read-modify-write, some of them via parallel
+/// children.
+#[derive(Debug, Clone)]
+struct TxSpec {
+    /// (slot index, delta) pairs applied sequentially by the root.
+    root_ops: Vec<(usize, i64)>,
+    /// (slot index, delta) pairs applied by parallel children (one each).
+    child_ops: Vec<(usize, i64)>,
+}
+
+fn tx_spec(slots: usize) -> impl Strategy<Value = TxSpec> {
+    let op = (0..slots, -5i64..=5i64);
+    (proptest::collection::vec(op.clone(), 0..4), proptest::collection::vec(op, 0..4))
+        .prop_map(|(root_ops, child_ops)| TxSpec { root_ops, child_ops })
+}
+
+fn run_history(specs: &[TxSpec], slots: usize, threads: usize, degree: ParallelismDegree) -> Vec<i64> {
+    let stm = Stm::new(StmConfig {
+        degree,
+        worker_threads: 2,
+        ..StmConfig::default()
+    });
+    let boxes: Arc<Vec<VBox<i64>>> = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect());
+    let chunks: Vec<Vec<TxSpec>> = (0..threads)
+        .map(|t| specs.iter().skip(t).step_by(threads).cloned().collect())
+        .collect();
+    let mut handles = vec![];
+    for chunk in chunks {
+        let stm = stm.clone();
+        let boxes = Arc::clone(&boxes);
+        handles.push(thread::spawn(move || {
+            for spec in chunk {
+                let boxes = Arc::clone(&boxes);
+                stm.atomic(move |tx| {
+                    for &(slot, delta) in &spec.root_ops {
+                        let v = tx.read(&boxes[slot]);
+                        tx.write(&boxes[slot], v + delta);
+                    }
+                    if !spec.child_ops.is_empty() {
+                        let tasks = spec
+                            .child_ops
+                            .iter()
+                            .map(|&(slot, delta)| {
+                                let boxes = Arc::clone(&boxes);
+                                child(move |ct| {
+                                    let v = ct.read(&boxes[slot]);
+                                    ct.write(&boxes[slot], v + delta);
+                                    Ok(())
+                                })
+                            })
+                            .collect();
+                        tx.parallel::<()>(tasks)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    boxes.iter().map(|b| stm.read_atomic(b)).collect()
+}
+
+/// Expected final state: deltas are commutative additions, so any serial
+/// order yields the same sums.
+fn expected_state(specs: &[TxSpec], slots: usize) -> Vec<i64> {
+    let mut out = vec![0i64; slots];
+    for spec in specs {
+        for &(slot, delta) in spec.root_ops.iter().chain(spec.child_ops.iter()) {
+            out[slot] += delta;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Additive read-modify-write histories commute, so the final state must
+    /// equal the sum of all deltas regardless of interleaving — any lost
+    /// update or torn nested commit breaks this.
+    #[test]
+    fn additive_histories_conserve_sums(
+        specs in proptest::collection::vec(tx_spec(4), 1..12),
+        degree in (1usize..=4, 1usize..=4),
+    ) {
+        let slots = 4;
+        let got = run_history(&specs, slots, 3, ParallelismDegree::new(degree.0, degree.1));
+        let want = expected_state(&specs, slots);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Read-only snapshots observe `a + b` invariants maintained by writers.
+    #[test]
+    fn snapshots_never_torn(writes in 1usize..40) {
+        let stm = Stm::new(StmConfig::default());
+        let a = stm.new_vbox(0i64);
+        let b = stm.new_vbox(0i64);
+        let writer = {
+            let (stm, a, b) = (stm.clone(), a.clone(), b.clone());
+            thread::spawn(move || {
+                for i in 1..=writes as i64 {
+                    stm.atomic(|tx| {
+                        tx.write(&a, i);
+                        tx.write(&b, -i);
+                        Ok(())
+                    }).unwrap();
+                }
+            })
+        };
+        for _ in 0..writes {
+            stm.read_only(|tx| {
+                let (va, vb) = (tx.read(&a), tx.read(&b));
+                assert_eq!(va + vb, 0, "torn snapshot: {va} + {vb}");
+            });
+        }
+        writer.join().unwrap();
+    }
+
+    /// Unique-token generation: every transaction takes a distinct value from
+    /// a shared counter; duplicates would reveal a validation hole.
+    #[test]
+    fn counter_hands_out_unique_tokens(n in 1usize..60) {
+        let stm = Stm::new(StmConfig::default());
+        let ctr = stm.new_vbox(0u64);
+        let tokens = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut handles = vec![];
+        for t in 0..3usize {
+            let stm = stm.clone();
+            let ctr = ctr.clone();
+            let tokens = Arc::clone(&tokens);
+            let mine = n / 3 + usize::from(t < n % 3);
+            handles.push(thread::spawn(move || {
+                for _ in 0..mine {
+                    let tok = stm.atomic(|tx| {
+                        let v = tx.read(&ctr);
+                        tx.write(&ctr, v + 1);
+                        Ok(v)
+                    }).unwrap();
+                    tokens.lock().push(tok);
+                }
+            }));
+        }
+        for h in handles { h.join().unwrap(); }
+        let toks = tokens.lock();
+        let set: HashSet<_> = toks.iter().collect();
+        prop_assert_eq!(set.len(), toks.len(), "duplicate tokens: {:?}", *toks);
+        prop_assert_eq!(toks.len() as u64, stm.read_atomic(&ctr));
+    }
+}

@@ -1,0 +1,584 @@
+//! Behavioural tests of the PN-STM: atomicity, isolation, nesting semantics,
+//! retry behaviour, throttling, and garbage collection.
+
+use pnstm::{child, ParallelismDegree, Stm, StmConfig, StmError, TxError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn small_stm() -> Stm {
+    Stm::new(StmConfig {
+        degree: ParallelismDegree::new(8, 4),
+        worker_threads: 3,
+        ..StmConfig::default()
+    })
+}
+
+#[test]
+fn single_txn_read_write() {
+    let stm = small_stm();
+    let b = stm.new_vbox(5i64);
+    let out = stm
+        .atomic(|tx| {
+            let v = tx.read(&b);
+            tx.write(&b, v * 2);
+            Ok(tx.read(&b))
+        })
+        .unwrap();
+    assert_eq!(out, 10);
+    assert_eq!(stm.read_atomic(&b), 10);
+    assert_eq!(stm.clock_now(), 1);
+}
+
+#[test]
+fn read_only_txn_does_not_advance_clock() {
+    let stm = small_stm();
+    let b = stm.new_vbox(1i32);
+    stm.atomic(|tx| {
+        let _ = tx.read(&b);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(stm.clock_now(), 0, "read-only commit installs nothing");
+}
+
+#[test]
+fn user_abort_discards_writes() {
+    let stm = small_stm();
+    let b = stm.new_vbox(1i32);
+    let r: Result<(), StmError> = stm.atomic(|tx| {
+        tx.write(&b, 99);
+        tx.abort()
+    });
+    assert_eq!(r, Err(StmError::UserAborted));
+    assert_eq!(stm.read_atomic(&b), 1);
+    assert_eq!(stm.stats().snapshot().top_aborts, 1);
+}
+
+#[test]
+fn counter_increments_are_atomic_across_threads() {
+    let stm = small_stm();
+    let b = stm.new_vbox(0i64);
+    let threads = 4;
+    let per_thread = 200;
+    let mut handles = vec![];
+    for _ in 0..threads {
+        let stm = stm.clone();
+        let b = b.clone();
+        handles.push(thread::spawn(move || {
+            for _ in 0..per_thread {
+                stm.atomic(|tx| {
+                    let v = tx.read(&b);
+                    tx.write(&b, v + 1);
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(stm.read_atomic(&b), (threads * per_thread) as i64);
+    let snap = stm.stats().snapshot();
+    assert_eq!(snap.top_commits, (threads * per_thread) as u64);
+}
+
+#[test]
+fn snapshot_isolation_for_read_only() {
+    let stm = small_stm();
+    let a = stm.new_vbox(0i64);
+    let b = stm.new_vbox(0i64);
+    // Invariant: a == b at every commit point.
+    let writer = {
+        let (stm, a, b) = (stm.clone(), a.clone(), b.clone());
+        thread::spawn(move || {
+            for i in 1..=100 {
+                stm.atomic(|tx| {
+                    tx.write(&a, i);
+                    tx.write(&b, i);
+                    Ok(())
+                })
+                .unwrap();
+            }
+        })
+    };
+    for _ in 0..200 {
+        stm.read_only(|tx| {
+            let (va, vb) = (tx.read(&a), tx.read(&b));
+            assert_eq!(va, vb, "read-only txn saw a torn snapshot");
+        });
+    }
+    writer.join().unwrap();
+}
+
+#[test]
+fn write_skew_is_prevented() {
+    // T1 reads a, writes b; T2 reads b, writes a. Serializability requires
+    // one of them to abort-and-retry; final state must match some serial
+    // order: with bodies x = read(other) + 1, a serial execution gives
+    // {1, 2} in some assignment.
+    let stm = small_stm();
+    let a = stm.new_vbox(0i64);
+    let b = stm.new_vbox(0i64);
+    let t1 = {
+        let (stm, a, b) = (stm.clone(), a.clone(), b.clone());
+        thread::spawn(move || {
+            stm.atomic(|tx| {
+                let v = tx.read(&a);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                tx.write(&b, v + 1);
+                Ok(())
+            })
+            .unwrap();
+        })
+    };
+    let t2 = {
+        let (stm, a, b) = (stm.clone(), a.clone(), b.clone());
+        thread::spawn(move || {
+            stm.atomic(|tx| {
+                let v = tx.read(&b);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                tx.write(&a, v + 1);
+                Ok(())
+            })
+            .unwrap();
+        })
+    };
+    t1.join().unwrap();
+    t2.join().unwrap();
+    let (va, vb) = (stm.read_atomic(&a), stm.read_atomic(&b));
+    let mut vals = [va, vb];
+    vals.sort();
+    assert_eq!(vals, [1, 2], "outcome {va},{vb} matches no serial order");
+}
+
+#[test]
+fn nested_children_see_parent_writes() {
+    let stm = small_stm();
+    let b = stm.new_vbox(0i32);
+    let b2 = b.clone();
+    let observed = stm
+        .atomic(move |tx| {
+            tx.write(&b2, 7);
+            let b3 = b2.clone();
+            let mut r = tx.parallel(vec![child(move |ct| Ok(ct.read(&b3)))])?;
+            Ok(r.pop().unwrap())
+        })
+        .unwrap();
+    assert_eq!(observed, 7);
+}
+
+#[test]
+fn parent_sees_child_writes_after_join() {
+    let stm = small_stm();
+    let b = stm.new_vbox(0i32);
+    let b2 = b.clone();
+    let seen = stm
+        .atomic(move |tx| {
+            let b3 = b2.clone();
+            tx.parallel::<()>(vec![child(move |ct| {
+                ct.write(&b3, 41);
+                Ok(())
+            })])?;
+            Ok(tx.read(&b2) + 1)
+        })
+        .unwrap();
+    assert_eq!(seen, 42);
+    assert_eq!(stm.read_atomic(&b), 41, "child write committed with the root");
+}
+
+#[test]
+fn child_writes_invisible_until_root_commits() {
+    let stm = small_stm();
+    let b = stm.new_vbox(0i32);
+    let b_in = b.clone();
+    let stm_probe = stm.clone();
+    let b_probe = b.clone();
+    stm.atomic(move |tx| {
+        let b3 = b_in.clone();
+        tx.parallel::<()>(vec![child(move |ct| {
+            ct.write(&b3, 9);
+            Ok(())
+        })])?;
+        // Closed nesting: the child committed into this tree, but main
+        // memory still holds the old value.
+        assert_eq!(stm_probe.read_atomic(&b_probe), 0);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(stm.read_atomic(&b), 9);
+}
+
+#[test]
+fn sibling_increments_serialize() {
+    // c siblings each increment the same counter; sibling conflict detection
+    // plus retry must make the increments additive.
+    let stm = small_stm();
+    let b = stm.new_vbox(0i64);
+    let kids = 8;
+    let b_outer = b.clone();
+    stm.atomic(move |tx| {
+        let tasks = (0..kids)
+            .map(|_| {
+                let bb = b_outer.clone();
+                child(move |ct| {
+                    let v = ct.read(&bb);
+                    ct.write(&bb, v + 1);
+                    Ok(())
+                })
+            })
+            .collect();
+        tx.parallel::<()>(tasks)
+    })
+    .unwrap();
+    assert_eq!(stm.read_atomic(&b), kids as i64);
+}
+
+#[test]
+fn nested_results_preserve_task_order() {
+    let stm = small_stm();
+    let out = stm
+        .atomic(|tx| {
+            let tasks = (0..16)
+                .map(|i| child(move |_ct| Ok(i * 10)))
+                .collect();
+            tx.parallel(tasks)
+        })
+        .unwrap();
+    assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+}
+
+#[test]
+fn deep_nesting_three_levels() {
+    let stm = small_stm();
+    let b = stm.new_vbox(0i64);
+    let b0 = b.clone();
+    stm.atomic(move |tx| {
+        assert_eq!(tx.depth(), 0);
+        let b1 = b0.clone();
+        tx.parallel::<()>(vec![child(move |c1| {
+            assert_eq!(c1.depth(), 1);
+            let v = c1.read(&b1);
+            c1.write(&b1, v + 100);
+            let b2 = b1.clone();
+            c1.parallel::<()>(vec![child(move |c2| {
+                assert_eq!(c2.depth(), 2);
+                // Grandchild must see its parent's uncommitted +100.
+                let v = c2.read(&b2);
+                assert_eq!(v, 100);
+                c2.write(&b2, v + 10);
+                Ok(())
+            })])?;
+            // Parent sees the grandchild's committed write.
+            let v = c1.read(&b1);
+            assert_eq!(v, 110);
+            c1.write(&b1, v + 1);
+            Ok(())
+        })])
+    })
+    .unwrap();
+    assert_eq!(stm.read_atomic(&b), 111);
+}
+
+#[test]
+fn nested_user_abort_aborts_whole_txn() {
+    let stm = small_stm();
+    let b = stm.new_vbox(0i32);
+    let b2 = b.clone();
+    let r = stm.atomic(move |tx| {
+        let b3 = b2.clone();
+        tx.parallel::<()>(vec![child(move |ct| {
+            ct.write(&b3, 5);
+            Err(TxError::UserAbort)
+        })])?;
+        Ok(())
+    });
+    assert_eq!(r, Err(StmError::UserAborted));
+    assert_eq!(stm.read_atomic(&b), 0);
+}
+
+#[test]
+#[should_panic(expected = "boom")]
+fn child_panic_propagates_to_parent_thread() {
+    let stm = small_stm();
+    let _ = stm.atomic(|tx| {
+        tx.parallel::<()>(vec![child(|_ct| -> pnstm::TxResult<()> { panic!("boom") })])?;
+        Ok(())
+    });
+}
+
+#[test]
+fn conflicting_top_level_txns_retry_to_consistency() {
+    // Two threads transfer between accounts; total must be conserved.
+    let stm = small_stm();
+    let acc: Vec<_> = (0..4).map(|_| stm.new_vbox(100i64)).collect();
+    let mut handles = vec![];
+    for t in 0..4 {
+        let stm = stm.clone();
+        let acc = acc.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..100 {
+                let from = (t + i) % 4;
+                let to = (t + i + 1) % 4;
+                stm.atomic(|tx| {
+                    let f = tx.read(&acc[from]);
+                    let g = tx.read(&acc[to]);
+                    tx.write(&acc[from], f - 1);
+                    tx.write(&acc[to], g + 1);
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total: i64 = acc.iter().map(|a| stm.read_atomic(a)).sum();
+    assert_eq!(total, 400, "money was created or destroyed");
+}
+
+#[test]
+fn commit_publication_race_regression() {
+    // Regression test for a TOCTOU in the commit protocol: the global clock
+    // must be published only after every write of the commit is installed.
+    // If the clock ticks first, a transaction beginning in that window
+    // snapshots the new version while boxes still serve old values — and
+    // passes validation, losing updates. Heavy oversubscription on few
+    // cores maximizes preemption inside the race window.
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(16, 1),
+        worker_threads: 0,
+        ..StmConfig::default()
+    });
+    let counter = stm.new_vbox(0i64);
+    let threads = 8;
+    let per_thread = 400;
+    let mut handles = vec![];
+    for _ in 0..threads {
+        let stm = stm.clone();
+        let counter = counter.clone();
+        handles.push(thread::spawn(move || {
+            for _ in 0..per_thread {
+                stm.atomic(|tx| {
+                    let v = tx.read(&counter);
+                    std::thread::yield_now(); // widen the race window
+                    tx.write(&counter, v + 1);
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        stm.read_atomic(&counter),
+        (threads * per_thread) as i64,
+        "lost update: clock published before installs completed"
+    );
+}
+
+#[test]
+fn throttle_limits_top_level_concurrency() {
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(2, 1),
+        worker_threads: 0,
+        ..StmConfig::default()
+    });
+    let active = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let mut handles = vec![];
+    for _ in 0..6 {
+        let stm = stm.clone();
+        let active = Arc::clone(&active);
+        let peak = Arc::clone(&peak);
+        handles.push(thread::spawn(move || {
+            stm.atomic(|_tx| {
+                let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(std::time::Duration::from_millis(5));
+                active.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            })
+            .unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(peak.load(Ordering::SeqCst) <= 2, "t=2 exceeded: {}", peak.load(Ordering::SeqCst));
+}
+
+#[test]
+fn reconfigure_degree_applies_to_new_txns() {
+    let stm = small_stm();
+    stm.set_degree(ParallelismDegree::new(1, 1));
+    assert_eq!(stm.degree(), ParallelismDegree::new(1, 1));
+    stm.set_degree(ParallelismDegree::new(16, 3));
+    assert_eq!(stm.degree(), ParallelismDegree::new(16, 3));
+    // And transactions still work after reconfiguration.
+    let b = stm.new_vbox(0);
+    stm.atomic(|tx| {
+        tx.write(&b, 1);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(stm.read_atomic(&b), 1);
+}
+
+#[test]
+fn retry_backoff_preserves_correctness() {
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(8, 1),
+        worker_threads: 0,
+        retry_backoff: std::time::Duration::from_micros(50),
+        ..StmConfig::default()
+    });
+    let b = stm.new_vbox(0i64);
+    let mut handles = vec![];
+    for _ in 0..4 {
+        let stm = stm.clone();
+        let b = b.clone();
+        handles.push(thread::spawn(move || {
+            for _ in 0..50 {
+                stm.atomic(|tx| {
+                    let v = tx.read(&b);
+                    tx.write(&b, v + 1);
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(stm.read_atomic(&b), 200, "backoff must not lose updates");
+}
+
+#[test]
+fn gc_prunes_old_versions() {
+    let stm = Stm::new(StmConfig { gc_interval: 0, ..StmConfig::default() });
+    let b = stm.new_vbox(0i64);
+    for i in 1..=50 {
+        stm.atomic(|tx| {
+            tx.write(&b, i);
+            Ok(())
+        })
+        .unwrap();
+    }
+    assert_eq!(b.version_count(), 51);
+    let pruned = stm.gc();
+    assert_eq!(pruned, 1);
+    assert_eq!(b.version_count(), 1, "only the newest version is reachable");
+    assert_eq!(stm.read_atomic(&b), 50);
+}
+
+#[test]
+fn gc_respects_live_snapshots() {
+    let stm = Stm::new(StmConfig { gc_interval: 0, ..StmConfig::default() });
+    let b = stm.new_vbox(0i64);
+    stm.atomic(|tx| {
+        tx.write(&b, 1);
+        Ok(())
+    })
+    .unwrap();
+    // Hold a read-only snapshot at version 1 while new versions land.
+    let stm2 = stm.clone();
+    let b2 = b.clone();
+    stm.read_only(move |tx| {
+        let pinned = tx.read(&b2);
+        assert_eq!(pinned, 1);
+        for i in 2..=10 {
+            stm2.atomic(|t| {
+                t.write(&b2, i);
+                Ok(())
+            })
+            .unwrap();
+        }
+        stm2.gc();
+        // The pinned snapshot must still read its version.
+        assert_eq!(tx.read(&b2), 1);
+    });
+    stm.gc();
+    assert_eq!(b.version_count(), 1);
+}
+
+#[test]
+fn modify_helper_round_trips() {
+    let stm = small_stm();
+    let b = stm.new_vbox(10i32);
+    let out = stm.atomic(|tx| Ok(tx.modify(&b, |v| v * 3))).unwrap();
+    assert_eq!(out, 30);
+    assert_eq!(stm.read_atomic(&b), 30);
+}
+
+#[test]
+fn vbox_created_inside_txn_is_usable() {
+    let stm = small_stm();
+    let holder = stm.new_vbox(None::<pnstm::VBox<i32>>);
+    stm.atomic(|tx| {
+        let fresh = tx.new_vbox(123);
+        tx.write(&holder, Some(fresh));
+        Ok(())
+    })
+    .unwrap();
+    let fetched = stm.read_atomic(&holder).expect("holder was written");
+    assert_eq!(stm.read_atomic(&fetched), 123);
+}
+
+#[test]
+fn stats_track_nested_activity() {
+    let stm = small_stm();
+    let b = stm.new_vbox(0i64);
+    let b2 = b.clone();
+    stm.atomic(move |tx| {
+        let tasks = (0..4)
+            .map(|_| {
+                let bb = b2.clone();
+                child(move |ct| {
+                    let v = ct.read(&bb);
+                    ct.write(&bb, v + 1);
+                    Ok(())
+                })
+            })
+            .collect();
+        tx.parallel::<()>(tasks)
+    })
+    .unwrap();
+    let snap = stm.stats().snapshot();
+    assert_eq!(snap.top_commits, 1);
+    assert_eq!(snap.nested_commits, 4);
+}
+
+#[test]
+fn c_equals_one_runs_children_sequentially() {
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(4, 1),
+        worker_threads: 4,
+        ..StmConfig::default()
+    });
+    let active = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let (a2, p2) = (Arc::clone(&active), Arc::clone(&peak));
+    stm.atomic(move |tx| {
+        let tasks = (0..8)
+            .map(|_| {
+                let (a, p) = (Arc::clone(&a2), Arc::clone(&p2));
+                child(move |_ct| {
+                    let now = a.fetch_add(1, Ordering::SeqCst) + 1;
+                    p.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(std::time::Duration::from_millis(2));
+                    a.fetch_sub(1, Ordering::SeqCst);
+                    Ok(())
+                })
+            })
+            .collect();
+        tx.parallel::<()>(tasks)
+    })
+    .unwrap();
+    assert_eq!(peak.load(Ordering::SeqCst), 1, "c=1 must serialize children");
+}

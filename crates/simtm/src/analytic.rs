@@ -1,0 +1,156 @@
+//! Closed-form analytic throughput model.
+//!
+//! A cheap, noise-free approximation of the DES used for fast unit and
+//! property tests of the optimizer (synthetic surfaces with known optima) and
+//! as a sanity cross-check of the DES trends. It models:
+//!
+//! * tree latency `L(c) = top + spawn·k + ceil(k/c)·child + commit`,
+//! * core saturation: effective concurrency `min(t, n / demand_per_tree)`,
+//! * the serialized commit section ceiling `1 / commit`,
+//! * abort inflation from the conflict window (longer trees and more
+//!   concurrent trees → more conflicts, birthday model as in the DES).
+
+use crate::workload::{MachineParams, SimWorkload};
+
+/// Deterministic expected throughput (txn/s) of `wl` under `(t, c)`.
+pub fn throughput(wl: &SimWorkload, machine: &MachineParams, t: usize, c: usize) -> f64 {
+    let t = t.max(1) as f64;
+    let c = c.max(1);
+    let k = wl.child_count;
+
+    // Sequential tree latency components (ns).
+    let spawn = wl.spawn_overhead_ns * k as f64;
+    let child_phase = if k == 0 {
+        0.0
+    } else {
+        let waves = (k as f64 / c as f64).ceil();
+        waves * (wl.child_work_ns + wl.nested_commit_ns)
+    };
+    let latency = wl.top_work_ns + spawn + child_phase + wl.commit_ns;
+
+    // Core saturation: while a tree is in its child phase it uses up to
+    // min(c, k) cores; during sequential phases it uses 1. Weight by the
+    // time spent in each phase.
+    let seq_time = wl.top_work_ns + spawn + wl.commit_ns;
+    let par_time = child_phase;
+    let par_width = c.min(k.max(1)) as f64;
+    let avg_cores_per_tree = if latency > 0.0 {
+        (seq_time * 1.0 + par_time * par_width) / latency
+    } else {
+        1.0
+    };
+    let core_cap = machine.n_cores as f64 / avg_cores_per_tree.max(1e-9);
+    let effective_t = t.min(core_cap.max(1.0));
+
+    // Raw completion rate without contention (txn/ns).
+    let raw_rate = effective_t / latency.max(1.0);
+
+    // Commit-lock ceiling.
+    let commit_ceiling = if wl.commit_ns > 0.0 { 1.0 / wl.commit_ns } else { f64::INFINITY };
+    let rate = raw_rate.min(commit_ceiling);
+
+    // Conflict inflation: expected number of other commits during a tree's
+    // execution window is rate * latency * (t-1)/t; each kills the tree with
+    // probability p. Expected attempts per commit = 1 / survive.
+    let p = wl.conflict_prob_per_commit();
+    let window_commits = rate * latency * ((t - 1.0) / t).max(0.0);
+    let survive = (1.0 - p).powf(window_commits.max(0.0));
+    // Sibling-conflict inflation of the child phase (second-order; applied
+    // as extra latency on the whole tree).
+    let ps = wl.sibling_conflict_prob_per_commit();
+    let sibling_inflation = if k > 1 && c > 1 {
+        1.0 + ps * (c.min(k) as f64 - 1.0) * 0.5
+    } else {
+        1.0
+    };
+
+    (rate * survive / sibling_inflation * 1e9).max(0.0)
+}
+
+/// Evaluate the analytic model over the whole search space; returns
+/// `((t, c), throughput)` pairs.
+pub fn surface(wl: &SimWorkload, machine: &MachineParams) -> Vec<((usize, usize), f64)> {
+    crate::surface::search_space(machine.n_cores)
+        .into_iter()
+        .map(|cfg| (cfg, throughput(wl, machine, cfg.0, cfg.1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineParams {
+        MachineParams::new(48)
+    }
+
+    #[test]
+    fn throughput_positive_everywhere() {
+        let wl = SimWorkload::builder("a").child_count(8).child_work_us(100.0).build();
+        for ((t, c), tp) in surface(&wl, &machine()) {
+            assert!(tp > 0.0, "tp({t},{c}) = {tp}");
+        }
+    }
+
+    #[test]
+    fn uncontended_scaling_in_t() {
+        let wl = SimWorkload::builder("s").top_work_us(100.0).top_footprint(10, 0).build();
+        let t1 = throughput(&wl, &machine(), 1, 1);
+        let t16 = throughput(&wl, &machine(), 16, 1);
+        assert!(t16 > 8.0 * t1);
+    }
+
+    #[test]
+    fn nesting_helps_long_trees() {
+        let wl = SimWorkload::builder("n")
+            .top_work_us(10.0)
+            .child_count(16)
+            .child_work_us(300.0)
+            .build();
+        let c1 = throughput(&wl, &machine(), 1, 1);
+        let c16 = throughput(&wl, &machine(), 1, 16);
+        assert!(c16 > 6.0 * c1, "c16 {c16} c1 {c1}");
+    }
+
+    #[test]
+    fn contention_penalizes_high_t() {
+        let wl = SimWorkload::builder("hot")
+            .top_work_us(500.0)
+            .top_footprint(100, 50)
+            .data_items(500)
+            .build();
+        let best_t = (1..=48)
+            .max_by(|&a, &b| {
+                throughput(&wl, &machine(), a, 1).total_cmp(&throughput(&wl, &machine(), b, 1))
+            })
+            .unwrap();
+        assert!(best_t < 48, "contended optimum must be interior, got t={best_t}");
+    }
+
+    #[test]
+    fn analytic_and_des_agree_on_direction() {
+        // The analytic model and the DES must agree on which of two very
+        // different configurations is better.
+        let wl = SimWorkload::builder("x")
+            .top_work_us(20.0)
+            .child_count(12)
+            .child_work_us(150.0)
+            .top_footprint(10, 2)
+            .data_items(100_000)
+            .build();
+        let m = machine();
+        let pairs = [((1usize, 1usize), (8usize, 4usize))];
+        for (a, b) in pairs {
+            let ana = throughput(&wl, &m, a.0, a.1) < throughput(&wl, &m, b.0, b.1);
+            let des_a = {
+                let mut s = crate::Simulation::new(&wl, &m, a, 7);
+                s.run_for_virtual(std::time::Duration::from_millis(200)).throughput()
+            };
+            let des_b = {
+                let mut s = crate::Simulation::new(&wl, &m, b, 7);
+                s.run_for_virtual(std::time::Duration::from_millis(200)).throughput()
+            };
+            assert_eq!(ana, des_a < des_b, "model direction disagrees with DES for {a:?} vs {b:?}");
+        }
+    }
+}

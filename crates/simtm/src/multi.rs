@@ -1,0 +1,561 @@
+//! Multi-class simulation: heterogeneous transaction types with a per-type
+//! parallelism degree `(t_k, c_k)` — the substrate for the paper's §VIII
+//! future-work extension ("modeling the search space as a set of distinct
+//! (t_k, c_k) pairs for each type of top-level transaction").
+//!
+//! Each class owns its top-level slots (`t_k` of them) running only that
+//! class's transactions with intra-tree concurrency `c_k`. All classes share
+//! the cores, the serialized commit section, and the data set: a class-`i`
+//! tree's commit validates against the commits of *every* class during its
+//! window, with pairwise conflict probabilities from
+//! [`SimWorkload::conflict_prob_vs`].
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::event::{EventQueue, SegKind};
+use crate::rng::SimRng;
+use crate::stats::RunStats;
+use crate::workload::{MachineParams, SimWorkload};
+
+/// One transaction class and its current parallelism degree.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// The class's workload shape.
+    pub workload: SimWorkload,
+    /// Its `(t_k, c_k)` degree.
+    pub degree: (usize, usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Prelude,
+    Children,
+    Postlude,
+    Committing,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    class: usize,
+    phase: Phase,
+    /// Per-class commit counts at this transaction's (re)start.
+    start_seq: Vec<u64>,
+    tree_seq: u64,
+    remaining_children: usize,
+    queued_children: usize,
+    running_children: usize,
+    abort_streak: u32,
+}
+
+struct ClassState {
+    workload: SimWorkload,
+    t_limit: usize,
+    c_limit: usize,
+    active_slots: usize,
+    retired: Vec<usize>,
+    p_sibling: f64,
+    stats: RunStats,
+}
+
+/// A discrete-event simulation with per-class parallelism degrees.
+pub struct MultiSimulation {
+    classes: Vec<ClassState>,
+    /// `p_conflict[reader][writer]`.
+    p_conflict: Vec<Vec<f64>>,
+    machine: MachineParams,
+    rng: SimRng,
+    now: u64,
+    events: EventQueue,
+    busy_cores: usize,
+    core_queue: VecDeque<(usize, SegKind)>,
+    commit_queue: VecDeque<usize>,
+    commit_busy: bool,
+    slots: Vec<Slot>,
+    commit_seq: Vec<u64>,
+}
+
+impl MultiSimulation {
+    /// Create a multi-class simulation. All classes must share the same
+    /// `data_items` (they operate on one shared data set).
+    pub fn new(specs: &[ClassSpec], machine: &MachineParams, seed: u64) -> Self {
+        Self::with_cross_scale(specs, machine, seed, 1.0)
+    }
+
+    /// [`Self::new`] with an explicit scale on *cross-class* conflict
+    /// probabilities: 1.0 = the classes hammer the same tables, 0.0 = they
+    /// work on disjoint tables (intra-class conflicts are unaffected).
+    pub fn with_cross_scale(
+        specs: &[ClassSpec],
+        machine: &MachineParams,
+        seed: u64,
+        cross_scale: f64,
+    ) -> Self {
+        assert!(!specs.is_empty(), "at least one class");
+        assert!((0.0..=1.0).contains(&cross_scale));
+        let items = specs[0].workload.data_items;
+        assert!(
+            specs.iter().all(|s| s.workload.data_items == items),
+            "classes must share the data set"
+        );
+        let p_conflict = specs
+            .iter()
+            .enumerate()
+            .map(|(i, ri)| {
+                specs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, wj)| {
+                        let p = ri.workload.conflict_prob_vs(&wj.workload);
+                        if i == j {
+                            p
+                        } else {
+                            p * cross_scale
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let classes = specs
+            .iter()
+            .map(|s| ClassState {
+                p_sibling: s.workload.sibling_conflict_prob_per_commit(),
+                workload: s.workload.clone(),
+                t_limit: s.degree.0.max(1),
+                c_limit: s.degree.1.max(1),
+                active_slots: 0,
+                retired: Vec::new(),
+                stats: RunStats::default(),
+            })
+            .collect();
+        let mut sim = Self {
+            p_conflict,
+            machine: *machine,
+            rng: SimRng::new(seed),
+            now: 0,
+            events: EventQueue::new(),
+            busy_cores: 0,
+            core_queue: VecDeque::new(),
+            commit_queue: VecDeque::new(),
+            commit_busy: false,
+            slots: Vec::new(),
+            commit_seq: vec![0; specs.len()],
+            classes,
+        };
+        for k in 0..sim.classes.len() {
+            sim.fill_slots(k);
+        }
+        sim
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Current virtual time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.now
+    }
+
+    /// Per-class cumulative statistics.
+    pub fn class_stats(&self) -> Vec<RunStats> {
+        self.classes
+            .iter()
+            .map(|c| RunStats { elapsed_ns: self.now, ..c.stats })
+            .collect()
+    }
+
+    /// Aggregate statistics over all classes.
+    pub fn total_stats(&self) -> RunStats {
+        let mut out = RunStats { elapsed_ns: self.now, ..RunStats::default() };
+        for c in &self.classes {
+            out.commits += c.stats.commits;
+            out.aborts += c.stats.aborts;
+            out.nested_commits += c.stats.nested_commits;
+            out.nested_aborts += c.stats.nested_aborts;
+        }
+        out
+    }
+
+    /// Apply new per-class degrees (one pair per class).
+    pub fn set_degrees(&mut self, degrees: &[(usize, usize)]) {
+        assert_eq!(degrees.len(), self.classes.len());
+        for (k, &(t, c)) in degrees.iter().enumerate() {
+            self.classes[k].t_limit = t.max(1);
+            self.classes[k].c_limit = c.max(1);
+        }
+        for k in 0..self.classes.len() {
+            self.fill_slots(k);
+        }
+    }
+
+    /// The degrees currently in force.
+    pub fn degrees(&self) -> Vec<(usize, usize)> {
+        self.classes.iter().map(|c| (c.t_limit, c.c_limit)).collect()
+    }
+
+    /// Advance by `d` of virtual time; returns aggregate stats for exactly
+    /// that interval.
+    pub fn run_for_virtual(&mut self, d: Duration) -> RunStats {
+        let before = self.total_stats();
+        let end = self.now + d.as_nanos() as u64;
+        loop {
+            let Some(at) = self.events.peek_time() else {
+                self.now = end;
+                break;
+            };
+            if at > end {
+                self.now = end;
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            self.now = ev.at;
+            self.handle(ev.slot, ev.kind);
+        }
+        self.total_stats().delta_since(&before)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn fill_slots(&mut self, class: usize) {
+        while self.classes[class].active_slots < self.classes[class].t_limit {
+            let slot = match self.classes[class].retired.pop() {
+                Some(s) => s,
+                None => {
+                    self.slots.push(Slot {
+                        class,
+                        phase: Phase::Idle,
+                        start_seq: vec![0; self.classes.len()],
+                        tree_seq: 0,
+                        remaining_children: 0,
+                        queued_children: 0,
+                        running_children: 0,
+                        abort_streak: 0,
+                    });
+                    self.slots.len() - 1
+                }
+            };
+            self.classes[class].active_slots += 1;
+            self.start_txn(slot);
+        }
+    }
+
+    fn start_txn(&mut self, slot: usize) {
+        let s = &mut self.slots[slot];
+        s.phase = Phase::Prelude;
+        s.start_seq.copy_from_slice(&self.commit_seq);
+        s.tree_seq = 0;
+        s.remaining_children = 0;
+        s.queued_children = 0;
+        s.running_children = 0;
+        self.request_core(slot, SegKind::Prelude);
+    }
+
+    fn finish_txn(&mut self, slot: usize) {
+        let class = self.slots[slot].class;
+        if self.classes[class].active_slots > self.classes[class].t_limit {
+            self.slots[slot].phase = Phase::Idle;
+            self.classes[class].active_slots -= 1;
+            self.classes[class].retired.push(slot);
+        } else {
+            self.start_txn(slot);
+        }
+    }
+
+    fn request_core(&mut self, slot: usize, kind: SegKind) {
+        let commit_ready = !self.commit_busy && !self.commit_queue.is_empty();
+        if self.busy_cores < self.machine.n_cores && self.core_queue.is_empty() && !commit_ready {
+            self.begin_segment(slot, kind);
+        } else {
+            self.core_queue.push_back((slot, kind));
+        }
+    }
+
+    fn begin_segment(&mut self, slot: usize, kind: SegKind) {
+        self.busy_cores += 1;
+        let d = self.segment_duration(slot, kind);
+        self.events.schedule(self.now + d, slot, kind);
+    }
+
+    fn segment_duration(&mut self, slot: usize, kind: SegKind) -> u64 {
+        let class = self.slots[slot].class;
+        let wl = &self.classes[class].workload;
+        let c_limit = self.classes[class].c_limit;
+        let cv = wl.duration_cv;
+        match kind {
+            SegKind::Prelude => {
+                let spawn = wl.spawn_overhead_ns * wl.child_count as f64;
+                self.rng.work_ns(wl.top_work_ns * 0.5 + spawn, cv)
+            }
+            SegKind::Child { .. } => {
+                let c_eff = c_limit.min(wl.child_count.max(1)) as f64;
+                let queue_factor = 1.0 + (c_eff - 1.0) * 0.5;
+                self.rng.work_ns(wl.child_work_ns, cv)
+                    + self.rng.work_ns(wl.nested_commit_ns * queue_factor, cv)
+            }
+            SegKind::Postlude => self.rng.work_ns(wl.top_work_ns * 0.5, cv),
+            SegKind::Commit => self.rng.work_ns(wl.commit_ns, cv),
+            SegKind::Restart => unreachable!("backoff events bypass core accounting"),
+        }
+    }
+
+    fn dispatch(&mut self) {
+        if !self.commit_busy && !self.commit_queue.is_empty() && self.busy_cores < self.machine.n_cores
+        {
+            let slot = self.commit_queue.pop_front().expect("non-empty");
+            self.commit_busy = true;
+            self.begin_segment(slot, SegKind::Commit);
+        }
+        while self.busy_cores < self.machine.n_cores {
+            match self.core_queue.pop_front() {
+                Some((slot, kind)) => self.begin_segment(slot, kind),
+                None => break,
+            }
+        }
+    }
+
+    fn handle(&mut self, slot: usize, kind: SegKind) {
+        if kind != SegKind::Restart {
+            self.busy_cores -= 1;
+        }
+        match kind {
+            SegKind::Prelude => self.on_prelude_done(slot),
+            SegKind::Child { start_tree_seq } => self.on_child_done(slot, start_tree_seq),
+            SegKind::Postlude => {
+                self.slots[slot].phase = Phase::Committing;
+                self.commit_queue.push_back(slot);
+            }
+            SegKind::Commit => self.on_commit_done(slot),
+            SegKind::Restart => self.start_txn(slot),
+        }
+        self.dispatch();
+    }
+
+    fn on_prelude_done(&mut self, slot: usize) {
+        let class = self.slots[slot].class;
+        let k = self.classes[class].workload.child_count;
+        if k == 0 {
+            self.slots[slot].phase = Phase::Postlude;
+            self.request_core(slot, SegKind::Postlude);
+            return;
+        }
+        {
+            let s = &mut self.slots[slot];
+            s.phase = Phase::Children;
+            s.remaining_children = k;
+            s.queued_children = k;
+        }
+        self.launch_children(slot);
+    }
+
+    fn launch_children(&mut self, slot: usize) {
+        let class = self.slots[slot].class;
+        let c_limit = self.classes[class].c_limit;
+        loop {
+            let s = &mut self.slots[slot];
+            if s.queued_children == 0 || s.running_children >= c_limit {
+                break;
+            }
+            s.queued_children -= 1;
+            s.running_children += 1;
+            let tree_seq = s.tree_seq;
+            self.request_core(slot, SegKind::Child { start_tree_seq: tree_seq });
+        }
+    }
+
+    fn on_child_done(&mut self, slot: usize, start_tree_seq: u64) {
+        let class = self.slots[slot].class;
+        let p_sib = self.classes[class].p_sibling;
+        let sibling_commits = self.slots[slot].tree_seq - start_tree_seq;
+        let survive = (1.0 - p_sib).powi(sibling_commits as i32);
+        if sibling_commits > 0 && !self.rng.chance(survive) {
+            self.classes[class].stats.nested_aborts += 1;
+            let tree_seq = self.slots[slot].tree_seq;
+            self.request_core(slot, SegKind::Child { start_tree_seq: tree_seq });
+            return;
+        }
+        self.classes[class].stats.nested_commits += 1;
+        let child_writes = self.classes[class].workload.child_writes;
+        let s = &mut self.slots[slot];
+        if child_writes > 0 {
+            s.tree_seq += 1;
+        }
+        s.remaining_children -= 1;
+        s.running_children -= 1;
+        if s.remaining_children == 0 {
+            s.phase = Phase::Postlude;
+            self.request_core(slot, SegKind::Postlude);
+        } else {
+            self.launch_children(slot);
+        }
+    }
+
+    fn on_commit_done(&mut self, slot: usize) {
+        self.commit_busy = false;
+        let class = self.slots[slot].class;
+        // Survival against every class's commits during the window.
+        let mut survive = 1.0;
+        for (j, &seq) in self.commit_seq.iter().enumerate() {
+            let window = seq - self.slots[slot].start_seq[j];
+            if window > 0 {
+                survive *= (1.0 - self.p_conflict[class][j]).powi(window.min(i32::MAX as u64) as i32);
+            }
+        }
+        if survive < 1.0 && !self.rng.chance(survive) {
+            self.classes[class].stats.aborts += 1;
+            let s = &mut self.slots[slot];
+            s.abort_streak = s.abort_streak.saturating_add(1);
+            let backoff_base = self.classes[class].workload.restart_backoff_ns;
+            if backoff_base > 0.0 {
+                let factor = 1u64 << (self.slots[slot].abort_streak - 1).min(7) as u64;
+                let cv = self.classes[class].workload.duration_cv;
+                let delay = self.rng.work_ns(backoff_base * factor as f64, cv);
+                self.events.schedule(self.now + delay, slot, SegKind::Restart);
+            } else {
+                self.start_txn(slot);
+            }
+            return;
+        }
+        if self.classes[class].workload.tree_writes() > 0 {
+            self.commit_seq[class] += 1;
+        }
+        self.slots[slot].abort_streak = 0;
+        self.classes[class].stats.commits += 1;
+        self.finish_txn(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_class() -> SimWorkload {
+        SimWorkload::builder("short")
+            .top_work_us(50.0)
+            .top_footprint(8, 2)
+            .data_items(20_000)
+            .build()
+    }
+
+    fn nested_class() -> SimWorkload {
+        SimWorkload::builder("nested")
+            .top_work_us(20.0)
+            .child_count(8)
+            .child_work_us(200.0)
+            .child_footprint(16, 4)
+            .data_items(20_000)
+            .build()
+    }
+
+    fn machine() -> MachineParams {
+        MachineParams::new(24)
+    }
+
+    #[test]
+    fn two_classes_both_commit() {
+        let specs = vec![
+            ClassSpec { workload: short_class(), degree: (4, 1) },
+            ClassSpec { workload: nested_class(), degree: (2, 4) },
+        ];
+        let mut sim = MultiSimulation::new(&specs, &machine(), 1);
+        sim.run_for_virtual(Duration::from_millis(100));
+        let per_class = sim.class_stats();
+        assert_eq!(per_class.len(), 2);
+        assert!(per_class[0].commits > 0, "class 0 committed nothing");
+        assert!(per_class[1].commits > 0, "class 1 committed nothing");
+        // The short flat class commits much faster than the long nested one.
+        assert!(per_class[0].commits > per_class[1].commits);
+        let total = sim.total_stats();
+        assert_eq!(total.commits, per_class[0].commits + per_class[1].commits);
+    }
+
+    #[test]
+    fn degenerate_single_class_matches_behavior() {
+        // A one-class MultiSimulation should behave like the single-class
+        // engine in broad strokes (same model, different RNG draws).
+        let wl = short_class();
+        let mut multi = MultiSimulation::new(
+            &[ClassSpec { workload: wl.clone(), degree: (4, 1) }],
+            &machine(),
+            7,
+        );
+        let m = multi.run_for_virtual(Duration::from_millis(200)).throughput();
+        let mut single = crate::Simulation::new(&wl, &machine(), (4, 1), 7);
+        let s = single.run_for_virtual(Duration::from_millis(200)).throughput();
+        let rel = (m - s).abs() / s;
+        assert!(rel < 0.1, "multi {m:.0} vs single {s:.0} ({rel:.2} rel diff)");
+    }
+
+    #[test]
+    fn set_degrees_reshapes_throughput() {
+        let specs = vec![
+            ClassSpec { workload: short_class(), degree: (1, 1) },
+            ClassSpec { workload: nested_class(), degree: (1, 1) },
+        ];
+        let mut sim = MultiSimulation::new(&specs, &machine(), 3);
+        sim.run_for_virtual(Duration::from_millis(50));
+        let before = sim.run_for_virtual(Duration::from_millis(200));
+        sim.set_degrees(&[(8, 1), (2, 8)]);
+        assert_eq!(sim.degrees(), vec![(8, 1), (2, 8)]);
+        sim.run_for_virtual(Duration::from_millis(50));
+        let after = sim.run_for_virtual(Duration::from_millis(200));
+        assert!(
+            after.commits > 2 * before.commits,
+            "wider degrees must raise throughput: {} -> {}",
+            before.commits,
+            after.commits
+        );
+    }
+
+    #[test]
+    fn cross_class_conflicts_hurt_readers() {
+        // A read-heavy class suffers when a write-heavy class shares data.
+        let reader = SimWorkload::builder("reader")
+            .top_work_us(100.0)
+            .top_footprint(200, 1)
+            .data_items(5_000)
+            .build();
+        let writer_quiet = SimWorkload::builder("wq")
+            .top_work_us(100.0)
+            .top_footprint(4, 0)
+            .data_items(5_000)
+            .build();
+        let writer_loud = SimWorkload::builder("wl")
+            .top_work_us(100.0)
+            .top_footprint(4, 200)
+            .data_items(5_000)
+            .build();
+        let tp_of_reader = |writer: SimWorkload| {
+            let specs = vec![
+                ClassSpec { workload: reader.clone(), degree: (4, 1) },
+                ClassSpec { workload: writer, degree: (4, 1) },
+            ];
+            let mut sim = MultiSimulation::new(&specs, &machine(), 9);
+            sim.run_for_virtual(Duration::from_millis(300));
+            sim.class_stats()[0].commits
+        };
+        let quiet = tp_of_reader(writer_quiet);
+        let loud = tp_of_reader(writer_loud);
+        assert!(
+            loud < quiet / 2,
+            "heavy cross-class writes must abort the reader: {quiet} vs {loud}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share the data set")]
+    fn mismatched_data_sets_rejected() {
+        let a = SimWorkload::builder("a").data_items(100).build();
+        let b = SimWorkload::builder("b").data_items(200).build();
+        let _ = MultiSimulation::new(
+            &[
+                ClassSpec { workload: a, degree: (1, 1) },
+                ClassSpec { workload: b, degree: (1, 1) },
+            ],
+            &machine(),
+            1,
+        );
+    }
+}

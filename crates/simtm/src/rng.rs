@@ -1,0 +1,158 @@
+//! Deterministic random sampling helpers.
+//!
+//! Only `rand`'s uniform primitives are available offline, so the normal and
+//! log-normal variates the simulator needs are derived here via Box–Muller.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random source with the distribution helpers the simulator uses.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: StdRng,
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.rng.gen_range(0..n.max(1))
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen::<f64>() < p
+        }
+    }
+
+    /// Standard normal via Box–Muller (cached pairs).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1: f64 = loop {
+            let u = self.rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Log-normal variate with the given *mean* and coefficient of variation.
+    ///
+    /// Parameterized so that `E[X] = mean` exactly; `cv = 0` returns `mean`.
+    pub fn lognormal(&mut self, mean: f64, cv: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        if cv <= 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        (mu + sigma2.sqrt() * self.standard_normal()).exp()
+    }
+
+    /// Work duration in nanoseconds: log-normal around `mean_ns` with the
+    /// workload's jitter `cv`, floored at 1ns.
+    pub fn work_ns(&mut self, mean_ns: f64, cv: f64) -> u64 {
+        self.lognormal(mean_ns, cv).max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+            assert_eq!(a.standard_normal().to_bits(), b.standard_normal().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_edges() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches() {
+        let mut r = SimRng::new(13);
+        let n = 40_000;
+        let mean = 250.0;
+        let cv = 0.3;
+        let avg = (0..n).map(|_| r.lognormal(mean, cv)).sum::<f64>() / n as f64;
+        assert!((avg - mean).abs() / mean < 0.02, "avg {avg}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_exact() {
+        let mut r = SimRng::new(17);
+        assert_eq!(r.lognormal(100.0, 0.0), 100.0);
+        assert_eq!(r.lognormal(-5.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn work_ns_floors_at_one() {
+        let mut r = SimRng::new(19);
+        assert_eq!(r.work_ns(0.0, 0.5), 1);
+        assert!(r.work_ns(1000.0, 0.1) > 0);
+    }
+
+    #[test]
+    fn below_handles_zero() {
+        let mut r = SimRng::new(23);
+        assert_eq!(r.below(0), 0);
+        for _ in 0..50 {
+            assert!(r.below(10) < 10);
+        }
+    }
+}

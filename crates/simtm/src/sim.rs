@@ -1,0 +1,699 @@
+//! The discrete-event simulation engine.
+//!
+//! A closed system: `t` top-level "threads" (slots) each loop transactions
+//! forever. Every work segment (prelude, child, postlude, commit section)
+//! occupies one of the `n` cores for a sampled duration; a suspended parent
+//! waiting for its children does not hold a core, matching the paper's
+//! `t × c ≤ n` resource model. The global commit section is serialized,
+//! reproducing the commit-lock ceiling of real STMs.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::event::{EventQueue, SegKind};
+use crate::rng::SimRng;
+use crate::stats::RunStats;
+use crate::workload::{MachineParams, SimWorkload};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Slot retired by a shrink of `t`; no transaction running.
+    Idle,
+    Prelude,
+    Children,
+    Postlude,
+    /// Queued for (or executing) the serialized commit section.
+    Committing,
+}
+
+#[derive(Debug, Clone)]
+struct SlotState {
+    phase: Phase,
+    /// Global commit sequence at this transaction's (re)start, for
+    /// conflict-window sampling.
+    start_seq: u64,
+    /// Sibling (tree-local) commit counter of the current transaction tree.
+    tree_seq: u64,
+    /// Children that have not yet committed.
+    remaining_children: usize,
+    /// Children that have not yet been started.
+    queued_children: usize,
+    /// Children currently holding a tree slot (running or core-queued).
+    running_children: usize,
+    /// Consecutive top-level aborts (drives exponential restart backoff).
+    abort_streak: u32,
+    /// Virtual time at which the current transaction attempt started.
+    started_at: u64,
+}
+
+impl SlotState {
+    fn idle() -> Self {
+        Self {
+            phase: Phase::Idle,
+            start_seq: 0,
+            tree_seq: 0,
+            remaining_children: 0,
+            queued_children: 0,
+            running_children: 0,
+            abort_streak: 0,
+            started_at: 0,
+        }
+    }
+}
+
+/// A resumable discrete-event simulation of one workload on one machine.
+pub struct Simulation {
+    workload: SimWorkload,
+    machine: MachineParams,
+    rng: SimRng,
+    now: u64,
+    events: EventQueue,
+
+    busy_cores: usize,
+    /// FIFO of segments waiting for a core.
+    core_queue: VecDeque<(usize, SegKind)>,
+    /// FIFO of transactions waiting for the serialized commit section.
+    commit_queue: VecDeque<usize>,
+    commit_busy: bool,
+
+    t_limit: usize,
+    c_limit: usize,
+
+    slots: Vec<SlotState>,
+    active_slots: usize,
+    retired: Vec<usize>,
+
+    /// Count of installed (write) commits; drives conflict windows.
+    commit_seq: u64,
+    total: RunStats,
+
+    record_commits: bool,
+    commit_events: Vec<u64>,
+
+    p_conflict: f64,
+    p_sibling: f64,
+}
+
+impl Simulation {
+    /// Create a simulation of `workload` on `machine` under configuration
+    /// `(t, c)`, deterministic for a given `seed`.
+    pub fn new(workload: &SimWorkload, machine: &MachineParams, degree: (usize, usize), seed: u64) -> Self {
+        let mut sim = Self {
+            p_conflict: workload.conflict_prob_per_commit(),
+            p_sibling: workload.sibling_conflict_prob_per_commit(),
+            workload: workload.clone(),
+            machine: *machine,
+            rng: SimRng::new(seed),
+            now: 0,
+            events: EventQueue::new(),
+            busy_cores: 0,
+            core_queue: VecDeque::new(),
+            commit_queue: VecDeque::new(),
+            commit_busy: false,
+            t_limit: degree.0.max(1),
+            c_limit: degree.1.max(1),
+            slots: Vec::new(),
+            active_slots: 0,
+            retired: Vec::new(),
+            commit_seq: 0,
+            total: RunStats::default(),
+            record_commits: true,
+            commit_events: Vec::new(),
+        };
+        sim.fill_slots();
+        sim
+    }
+
+    /// Disable commit-event recording (surface sweeps don't need the stream).
+    pub fn set_record_commits(&mut self, record: bool) {
+        self.record_commits = record;
+        if !record {
+            self.commit_events.clear();
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now
+    }
+
+    /// Cumulative statistics since construction.
+    pub fn total_stats(&self) -> RunStats {
+        RunStats { elapsed_ns: self.now, ..self.total }
+    }
+
+    /// The `(t, c)` configuration currently in force.
+    pub fn degree(&self) -> (usize, usize) {
+        (self.t_limit, self.c_limit)
+    }
+
+    /// Reconfigure `(t, c)`. Growth of `t` admits new transactions
+    /// immediately; shrink retires slots as their transactions complete.
+    /// A change of `c` applies to child launches from now on.
+    pub fn set_degree(&mut self, t: usize, c: usize) {
+        self.t_limit = t.max(1);
+        self.c_limit = c.max(1);
+        self.fill_slots();
+    }
+
+    /// Take the commit timestamps (virtual ns) recorded since the last drain.
+    pub fn drain_commit_events(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.commit_events)
+    }
+
+    /// Switch the simulated application to a different workload at the
+    /// current virtual time (a *workload shift*, for exercising change
+    /// detection). In-flight segments complete with their already-sampled
+    /// durations; every transaction begun from now on uses the new workload.
+    pub fn set_workload(&mut self, workload: &SimWorkload) {
+        self.p_conflict = workload.conflict_prob_per_commit();
+        self.p_sibling = workload.sibling_conflict_prob_per_commit();
+        self.workload = workload.clone();
+    }
+
+    /// Name of the workload currently running.
+    pub fn workload_name(&self) -> &str {
+        &self.workload.name
+    }
+
+    /// Advance virtual time until every active slot is executing a
+    /// transaction that *started* after this call (i.e. all transactions
+    /// admitted under a previous configuration or workload have drained),
+    /// or until `cap` of virtual time passes. Returns the virtual time
+    /// consumed.
+    ///
+    /// Used between actuation and measurement so that stale commits do not
+    /// pollute the next monitoring window.
+    pub fn quiesce(&mut self, cap: Duration) -> Duration {
+        let begin = self.now;
+        let end = begin + cap.as_nanos() as u64;
+        while self.now < end {
+            let drained = self
+                .slots
+                .iter()
+                .all(|s| s.phase == Phase::Idle || s.started_at >= begin);
+            if drained {
+                break;
+            }
+            let Some(at) = self.events.peek_time() else { break };
+            if at > end {
+                self.now = end;
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            self.now = ev.at;
+            self.handle(ev.slot, ev.kind);
+        }
+        Duration::from_nanos(self.now - begin)
+    }
+
+    /// Advance the simulation by `d` of virtual time; returns the statistics
+    /// of exactly that interval.
+    pub fn run_for_virtual(&mut self, d: Duration) -> RunStats {
+        let before = self.total_stats();
+        let end = self.now + d.as_nanos() as u64;
+        self.run_until(end);
+        self.total_stats().delta_since(&before)
+    }
+
+    /// Advance until a commit event occurs or `timeout` of virtual time
+    /// passes. Returns the commit timestamp if one occurred.
+    ///
+    /// Used by monitor policies that wait for the next commit.
+    pub fn run_until_next_commit(&mut self, timeout: Duration) -> Option<u64> {
+        let commits_before = self.total.commits;
+        let end = self.now + timeout.as_nanos() as u64;
+        while self.now < end {
+            let Some(at) = self.events.peek_time() else { break };
+            if at > end {
+                self.now = end;
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            self.now = ev.at;
+            self.handle(ev.slot, ev.kind);
+            if self.total.commits > commits_before {
+                return Some(self.now);
+            }
+        }
+        None
+    }
+
+    fn run_until(&mut self, end: u64) {
+        loop {
+            let Some(at) = self.events.peek_time() else {
+                self.now = end;
+                return;
+            };
+            if at > end {
+                self.now = end;
+                return;
+            }
+            let ev = self.events.pop().expect("peeked event exists");
+            self.now = ev.at;
+            self.handle(ev.slot, ev.kind);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Slot lifecycle
+    // ------------------------------------------------------------------
+
+    fn fill_slots(&mut self) {
+        while self.active_slots < self.t_limit {
+            let slot = match self.retired.pop() {
+                Some(s) => s,
+                None => {
+                    self.slots.push(SlotState::idle());
+                    self.slots.len() - 1
+                }
+            };
+            self.active_slots += 1;
+            self.start_txn(slot);
+        }
+    }
+
+    fn start_txn(&mut self, slot: usize) {
+        let now = self.now;
+        let s = &mut self.slots[slot];
+        s.phase = Phase::Prelude;
+        s.started_at = now;
+        s.start_seq = self.commit_seq;
+        s.tree_seq = 0;
+        s.remaining_children = 0;
+        s.queued_children = 0;
+        s.running_children = 0;
+        self.request_core(slot, SegKind::Prelude);
+    }
+
+    fn finish_txn(&mut self, slot: usize) {
+        if self.active_slots > self.t_limit {
+            self.slots[slot].phase = Phase::Idle;
+            self.active_slots -= 1;
+            self.retired.push(slot);
+        } else {
+            self.start_txn(slot);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resource management
+    // ------------------------------------------------------------------
+
+    fn request_core(&mut self, slot: usize, kind: SegKind) {
+        if self.busy_cores < self.machine.n_cores && self.core_queue.is_empty() && !self.pending_commit_ready() {
+            self.begin_segment(slot, kind);
+        } else {
+            self.core_queue.push_back((slot, kind));
+        }
+    }
+
+    fn pending_commit_ready(&self) -> bool {
+        !self.commit_busy && !self.commit_queue.is_empty()
+    }
+
+    fn begin_segment(&mut self, slot: usize, kind: SegKind) {
+        self.busy_cores += 1;
+        let d = self.segment_duration(slot, kind);
+        self.events.schedule(self.now + d, slot, kind);
+    }
+
+    fn segment_duration(&mut self, _slot: usize, kind: SegKind) -> u64 {
+        let wl = &self.workload;
+        let cv = wl.duration_cv;
+        match kind {
+            SegKind::Prelude => {
+                let spawn = wl.spawn_overhead_ns * wl.child_count as f64;
+                self.rng.work_ns(wl.top_work_ns * 0.5 + spawn, cv)
+            }
+            SegKind::Child { .. } => {
+                // Nested commits serialize on the parent (JVSTM holds a
+                // per-parent lock while merging a child): with c concurrent
+                // children a committing child queues behind (c-1)/2 siblings
+                // on average.
+                let c_eff = self.c_limit.min(wl.child_count.max(1)) as f64;
+                let queue_factor = 1.0 + (c_eff - 1.0) * 0.5;
+                self.rng.work_ns(wl.child_work_ns, cv)
+                    + self.rng.work_ns(wl.nested_commit_ns * queue_factor, cv)
+            }
+            SegKind::Postlude => self.rng.work_ns(wl.top_work_ns * 0.5, cv),
+            SegKind::Commit => self.rng.work_ns(wl.commit_ns, cv),
+            SegKind::Restart => unreachable!("backoff events are scheduled directly, not via cores"),
+        }
+    }
+
+    /// After a core frees (or the commit lock releases), hand cores out:
+    /// the serialized commit section has priority, then the FIFO queue.
+    fn dispatch(&mut self) {
+        if self.pending_commit_ready() && self.busy_cores < self.machine.n_cores {
+            let slot = self.commit_queue.pop_front().expect("checked non-empty");
+            self.commit_busy = true;
+            self.begin_segment(slot, SegKind::Commit);
+        }
+        while self.busy_cores < self.machine.n_cores {
+            match self.core_queue.pop_front() {
+                Some((slot, kind)) => self.begin_segment(slot, kind),
+                None => break,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, slot: usize, kind: SegKind) {
+        if kind != SegKind::Restart {
+            self.busy_cores -= 1;
+        }
+        match kind {
+            SegKind::Prelude => self.on_prelude_done(slot),
+            SegKind::Child { start_tree_seq } => self.on_child_done(slot, start_tree_seq),
+            SegKind::Postlude => self.on_postlude_done(slot),
+            SegKind::Commit => self.on_commit_done(slot),
+            SegKind::Restart => self.start_txn(slot),
+        }
+        self.dispatch();
+    }
+
+    fn on_prelude_done(&mut self, slot: usize) {
+        let k = self.workload.child_count;
+        if k == 0 {
+            self.slots[slot].phase = Phase::Postlude;
+            self.request_core(slot, SegKind::Postlude);
+            return;
+        }
+        {
+            let s = &mut self.slots[slot];
+            s.phase = Phase::Children;
+            s.remaining_children = k;
+            s.queued_children = k;
+        }
+        self.launch_children(slot);
+    }
+
+    fn launch_children(&mut self, slot: usize) {
+        loop {
+            let s = &mut self.slots[slot];
+            if s.queued_children == 0 || s.running_children >= self.c_limit {
+                break;
+            }
+            s.queued_children -= 1;
+            s.running_children += 1;
+            let tree_seq = s.tree_seq;
+            self.request_core(slot, SegKind::Child { start_tree_seq: tree_seq });
+        }
+    }
+
+    fn on_child_done(&mut self, slot: usize, start_tree_seq: u64) {
+        let sibling_commits = self.slots[slot].tree_seq - start_tree_seq;
+        let survive = (1.0 - self.p_sibling).powi(sibling_commits as i32);
+        if sibling_commits > 0 && !self.rng.chance(survive) {
+            // Sibling conflict: the child retries with a fresh snapshot of
+            // the tree clock. It keeps its tree slot.
+            self.total.nested_aborts += 1;
+            let tree_seq = self.slots[slot].tree_seq;
+            self.request_core(slot, SegKind::Child { start_tree_seq: tree_seq });
+            return;
+        }
+        self.total.nested_commits += 1;
+        let s = &mut self.slots[slot];
+        if self.workload.child_writes > 0 {
+            s.tree_seq += 1;
+        }
+        s.remaining_children -= 1;
+        s.running_children -= 1;
+        if s.remaining_children == 0 {
+            s.phase = Phase::Postlude;
+            self.request_core(slot, SegKind::Postlude);
+        } else {
+            self.launch_children(slot);
+        }
+    }
+
+    fn on_postlude_done(&mut self, slot: usize) {
+        self.slots[slot].phase = Phase::Committing;
+        self.commit_queue.push_back(slot);
+        // dispatch() (called by handle) starts the commit when possible.
+    }
+
+    fn on_commit_done(&mut self, slot: usize) {
+        self.commit_busy = false;
+        let window = self.commit_seq - self.slots[slot].start_seq;
+        let survive = (1.0 - self.p_conflict).powi(window.min(i32::MAX as u64) as i32);
+        if window > 0 && !self.rng.chance(survive) {
+            self.total.aborts += 1;
+            let s = &mut self.slots[slot];
+            s.abort_streak = s.abort_streak.saturating_add(1);
+            let streak = s.abort_streak;
+            if self.workload.restart_backoff_ns > 0.0 {
+                // Exponential backoff, doubling per consecutive abort (2⁷× cap).
+                let factor = 1u64 << (streak - 1).min(7) as u64;
+                let delay = self
+                    .rng
+                    .work_ns(self.workload.restart_backoff_ns * factor as f64, self.workload.duration_cv);
+                self.events.schedule(self.now + delay, slot, SegKind::Restart);
+            } else {
+                self.start_txn(slot);
+            }
+            return;
+        }
+        if self.workload.tree_writes() > 0 {
+            self.commit_seq += 1;
+        }
+        self.slots[slot].abort_streak = 0;
+        self.total.commits += 1;
+        if self.record_commits {
+            self.commit_events.push(self.now);
+        }
+        self.finish_txn(slot);
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("workload", &self.workload.name)
+            .field("now_ns", &self.now)
+            .field("degree", &(self.t_limit, self.c_limit))
+            .field("stats", &self.total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SimWorkload;
+
+    fn quick_wl() -> SimWorkload {
+        SimWorkload::builder("quick")
+            .top_work_us(20.0)
+            .child_count(8)
+            .child_work_us(50.0)
+            .child_footprint(20, 4)
+            .top_footprint(10, 2)
+            .data_items(50_000)
+            .build()
+    }
+
+    fn machine() -> MachineParams {
+        MachineParams::new(48)
+    }
+
+    #[test]
+    fn produces_commits() {
+        let mut sim = Simulation::new(&quick_wl(), &machine(), (4, 4), 1);
+        let stats = sim.run_for_virtual(Duration::from_millis(100));
+        assert!(stats.commits > 10, "commits = {}", stats.commits);
+        assert_eq!(stats.elapsed_ns, 100_000_000);
+        // Each committed tree ran its 8 children (aborted roots re-ran
+        // theirs, and in-flight trees add a few more).
+        assert!(stats.nested_commits >= stats.commits * 8);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut sim = Simulation::new(&quick_wl(), &machine(), (6, 4), seed);
+            sim.run_for_virtual(Duration::from_millis(50))
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).commits, 0);
+    }
+
+    #[test]
+    fn different_seeds_jitter() {
+        let run = |seed| {
+            let mut sim = Simulation::new(&quick_wl(), &machine(), (6, 4), seed);
+            sim.run_for_virtual(Duration::from_millis(50)).commits
+        };
+        // Noise exists but is small.
+        let (a, b) = (run(1), run(2));
+        assert_ne!(a, b, "different seeds should differ slightly");
+        let rel = (a as f64 - b as f64).abs() / a as f64;
+        assert!(rel < 0.2, "noise too large: {a} vs {b}");
+    }
+
+    #[test]
+    fn more_top_level_parallelism_helps_uncontended() {
+        let wl = SimWorkload::builder("scales")
+            .top_work_us(100.0)
+            .top_footprint(10, 0) // read-only: no conflicts
+            .build();
+        let tp = |t| {
+            let mut sim = Simulation::new(&wl, &machine(), (t, 1), 3);
+            sim.run_for_virtual(Duration::from_millis(200)).throughput()
+        };
+        let (t1, t8, t32) = (tp(1), tp(8), tp(32));
+        assert!(t8 > 5.0 * t1, "t=8 {t8} vs t=1 {t1}");
+        assert!(t32 > 2.5 * t8, "t=32 {t32} vs t=8 {t8}");
+    }
+
+    #[test]
+    fn nested_parallelism_shortens_trees() {
+        let wl = SimWorkload::builder("nest")
+            .top_work_us(20.0)
+            .child_count(16)
+            .child_work_us(200.0)
+            .top_footprint(5, 1)
+            .data_items(1_000_000)
+            .build();
+        let tp = |c| {
+            let mut sim = Simulation::new(&wl, &machine(), (1, c), 3);
+            sim.run_for_virtual(Duration::from_millis(400)).throughput()
+        };
+        let (c1, c8) = (tp(1), tp(8));
+        assert!(c8 > 4.0 * c1, "c=8 {c8} vs c=1 {c1}");
+    }
+
+    #[test]
+    fn contention_causes_aborts_at_high_t() {
+        let wl = SimWorkload::builder("hot")
+            .top_work_us(200.0)
+            .top_footprint(50, 25)
+            .data_items(200)
+            .build();
+        let mut sim = Simulation::new(&wl, &machine(), (32, 1), 5);
+        let stats = sim.run_for_virtual(Duration::from_millis(300));
+        assert!(stats.aborts > 0, "high contention must abort sometimes");
+        assert!(stats.abort_rate() > 0.05, "abort rate {}", stats.abort_rate());
+    }
+
+    #[test]
+    fn sibling_conflicts_occur_when_shared() {
+        let wl = SimWorkload::builder("sib")
+            .top_work_us(10.0)
+            .child_count(8)
+            .child_work_us(50.0)
+            .child_footprint(10, 5)
+            .tree_private_fraction(0.0)
+            .data_items(1_000_000)
+            .build();
+        let mut sim = Simulation::new(&wl, &machine(), (2, 8), 7);
+        let stats = sim.run_for_virtual(Duration::from_millis(300));
+        assert!(stats.nested_aborts > 0, "expected sibling conflicts");
+    }
+
+    #[test]
+    fn reconfigure_mid_run_changes_throughput() {
+        let wl = SimWorkload::builder("reconf").top_work_us(100.0).top_footprint(5, 0).build();
+        let mut sim = Simulation::new(&wl, &machine(), (1, 1), 11);
+        let slow = sim.run_for_virtual(Duration::from_millis(100)).throughput();
+        sim.set_degree(24, 1);
+        let _warm = sim.run_for_virtual(Duration::from_millis(20));
+        let fast = sim.run_for_virtual(Duration::from_millis(100)).throughput();
+        assert!(fast > 10.0 * slow, "fast {fast} vs slow {slow}");
+        assert_eq!(sim.degree(), (24, 1));
+    }
+
+    #[test]
+    fn commit_events_are_monotone_and_drainable() {
+        let mut sim = Simulation::new(&quick_wl(), &machine(), (4, 4), 13);
+        sim.run_for_virtual(Duration::from_millis(50));
+        let evs = sim.drain_commit_events();
+        assert!(!evs.is_empty());
+        assert!(evs.windows(2).all(|w| w[0] <= w[1]), "timestamps sorted");
+        assert!(sim.drain_commit_events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn record_commits_can_be_disabled() {
+        let mut sim = Simulation::new(&quick_wl(), &machine(), (4, 4), 13);
+        sim.set_record_commits(false);
+        sim.run_for_virtual(Duration::from_millis(20));
+        assert!(sim.drain_commit_events().is_empty());
+    }
+
+    #[test]
+    fn run_until_next_commit_returns_timestamp() {
+        let mut sim = Simulation::new(&quick_wl(), &machine(), (4, 4), 17);
+        let ts = sim.run_until_next_commit(Duration::from_secs(1));
+        assert!(ts.is_some());
+        assert_eq!(ts.unwrap(), sim.now_ns());
+        // A tiny timeout with a slow config should time out.
+        let slow_wl = SimWorkload::builder("slow").top_work_us(5_000.0).build();
+        let mut slow = Simulation::new(&slow_wl, &machine(), (1, 1), 17);
+        assert!(slow.run_until_next_commit(Duration::from_micros(10)).is_none());
+    }
+
+    #[test]
+    fn oversubscribed_config_still_progresses() {
+        // t*c > n is outside the paper's search space but must not wedge.
+        let mut sim = Simulation::new(&quick_wl(), &machine(), (48, 8), 19);
+        let stats = sim.run_for_virtual(Duration::from_millis(50));
+        assert!(stats.commits > 0);
+    }
+
+    #[test]
+    fn restart_backoff_damps_contended_throughput() {
+        // Retry storms with exponential backoff idle aborting slots, cutting
+        // throughput at wide t under moderate contention (compared to the
+        // idealized instant-restart model).
+        let base = |backoff: f64| {
+            SimWorkload::builder("contended")
+                .top_work_us(300.0)
+                .top_footprint(40, 10)
+                .data_items(2_000)
+                .restart_backoff_us(backoff)
+                .build()
+        };
+        let tp = |wl: &SimWorkload| {
+            let mut sim = Simulation::new(wl, &machine(), (32, 1), 31);
+            sim.run_for_virtual(Duration::from_millis(400)).throughput()
+        };
+        let without = tp(&base(0.0));
+        let with = tp(&base(2_000.0));
+        assert!(
+            with < 0.85 * without,
+            "backoff should damp contended throughput: {with:.0} vs {without:.0}"
+        );
+    }
+
+    #[test]
+    fn restart_backoff_neutral_when_uncontended() {
+        let base = |backoff: f64| {
+            SimWorkload::builder("clean")
+                .top_work_us(300.0)
+                .top_footprint(10, 0)
+                .restart_backoff_us(backoff)
+                .build()
+        };
+        let tp = |wl: &SimWorkload| {
+            let mut sim = Simulation::new(wl, &machine(), (16, 1), 31);
+            sim.run_for_virtual(Duration::from_millis(300)).throughput()
+        };
+        let (a, b) = (tp(&base(0.0)), tp(&base(2_000.0)));
+        assert!((a - b).abs() / a < 0.02, "no aborts, no backoff effect: {a:.0} vs {b:.0}");
+    }
+
+    #[test]
+    fn shrink_t_drains_slots() {
+        let wl = quick_wl();
+        let mut sim = Simulation::new(&wl, &machine(), (16, 2), 23);
+        sim.run_for_virtual(Duration::from_millis(20));
+        sim.set_degree(2, 2);
+        sim.run_for_virtual(Duration::from_millis(50));
+        assert_eq!(sim.active_slots, 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Simulation run statistics.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// KPI counters accumulated over a (virtual) measurement interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Committed top-level transactions.
+    pub commits: u64,
+    /// Aborted top-level transaction attempts (global validation failures).
+    pub aborts: u64,
+    /// Committed nested transactions.
+    pub nested_commits: u64,
+    /// Aborted nested transaction attempts (sibling conflicts).
+    pub nested_aborts: u64,
+    /// Virtual time covered by these counters, ns.
+    pub elapsed_ns: u64,
+}
+
+impl RunStats {
+    /// Committed top-level transactions per (virtual) second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.commits as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+
+    /// Fraction of top-level attempts that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+
+    /// Elapsed virtual time as a `Duration`.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_ns)
+    }
+
+    /// Counter-wise difference `self - earlier` (used to turn cumulative
+    /// totals into per-interval stats).
+    pub fn delta_since(&self, earlier: &RunStats) -> RunStats {
+        RunStats {
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+            nested_commits: self.nested_commits - earlier.nested_commits,
+            nested_aborts: self.nested_aborts - earlier.nested_aborts,
+            elapsed_ns: self.elapsed_ns - earlier.elapsed_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_in_per_second_units() {
+        let s = RunStats { commits: 500, elapsed_ns: 250_000_000, ..Default::default() };
+        assert!((s.throughput() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_zero_time_is_zero() {
+        assert_eq!(RunStats::default().throughput(), 0.0);
+    }
+
+    #[test]
+    fn abort_rate() {
+        let s = RunStats { commits: 75, aborts: 25, ..Default::default() };
+        assert!((s.abort_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(RunStats::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta_since_subtracts_fields() {
+        let a = RunStats { commits: 10, aborts: 1, nested_commits: 5, nested_aborts: 2, elapsed_ns: 100 };
+        let b = RunStats { commits: 30, aborts: 4, nested_commits: 9, nested_aborts: 2, elapsed_ns: 400 };
+        let d = b.delta_since(&a);
+        assert_eq!(d, RunStats { commits: 20, aborts: 3, nested_commits: 4, nested_aborts: 0, elapsed_ns: 300 });
+    }
+}

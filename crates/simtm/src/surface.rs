@@ -1,0 +1,261 @@
+//! Throughput surfaces: exhaustive `(t, c) → KPI` evaluations.
+//!
+//! The paper's Fig. 5/6 methodology feeds optimizers with *offline-collected
+//! traces* obtained by exhaustively evaluating every configuration of the
+//! search space (198 configurations on the 48-core machine, 10 repetitions
+//! each). [`Surface`] is that trace: a map from configuration to throughput
+//! samples, serializable for caching and replay.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::sim::Simulation;
+use crate::workload::{MachineParams, SimWorkload};
+
+/// The admissible search space `S = {(t, c) : t·c ≤ n}` of §III-B.
+pub fn search_space(n_cores: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for t in 1..=n_cores {
+        for c in 1..=(n_cores / t) {
+            out.push((t, c));
+        }
+    }
+    out
+}
+
+/// An exhaustively evaluated throughput surface for one workload.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Surface {
+    /// Workload name this surface belongs to.
+    pub workload: String,
+    /// Number of cores of the evaluated machine.
+    pub n_cores: usize,
+    /// Throughput samples (txn/s) per configuration; every configuration of
+    /// the search space is present with the same number of samples.
+    #[serde(with = "tuple_key_map")]
+    pub samples: BTreeMap<(usize, usize), Vec<f64>>,
+}
+
+/// JSON maps need string keys; (de)serialize the samples map as a list of
+/// `[t, c, samples]` entries instead.
+mod tuple_key_map {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    type SampleMap = BTreeMap<(usize, usize), Vec<f64>>;
+
+    pub fn serialize<S: Serializer>(
+        map: &SampleMap,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(usize, usize, &Vec<f64>)> =
+            map.iter().map(|(&(t, c), v)| (t, c, v)).collect();
+        serde::Serialize::serialize(&entries, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<SampleMap, D::Error> {
+        let entries: Vec<(usize, usize, Vec<f64>)> = serde::Deserialize::deserialize(de)?;
+        Ok(entries.into_iter().map(|(t, c, v)| ((t, c), v)).collect())
+    }
+}
+
+impl Surface {
+    /// Mean throughput of a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is not part of the surface.
+    pub fn mean(&self, cfg: (usize, usize)) -> f64 {
+        let s = &self.samples[&cfg];
+        s.iter().sum::<f64>() / s.len() as f64
+    }
+
+    /// One specific sample (wrapping around if `rep` exceeds the stored
+    /// repetitions) — used for noisy trace replay.
+    pub fn sample(&self, cfg: (usize, usize), rep: usize) -> f64 {
+        let s = &self.samples[&cfg];
+        s[rep % s.len()]
+    }
+
+    /// The configuration with the highest mean throughput.
+    pub fn optimum(&self) -> ((usize, usize), f64) {
+        self.samples
+            .keys()
+            .map(|&cfg| (cfg, self.mean(cfg)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("surface is never empty")
+    }
+
+    /// Distance from optimum of `cfg`, in percent:
+    /// `100 · (f(opt) − f(cfg)) / f(opt)`.
+    pub fn distance_from_optimum(&self, cfg: (usize, usize)) -> f64 {
+        let (_, best) = self.optimum();
+        if best <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (best - self.mean(cfg)) / best
+    }
+
+    /// All configurations, sorted.
+    pub fn configs(&self) -> Vec<(usize, usize)> {
+        self.samples.keys().copied().collect()
+    }
+
+    /// Number of configurations (198 for n = 48).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Builds a [`Surface`] by simulating every configuration.
+pub struct SurfaceBuilder {
+    workload: SimWorkload,
+    machine: MachineParams,
+    reps: usize,
+    warmup: Duration,
+    measure: Duration,
+    base_seed: u64,
+}
+
+impl SurfaceBuilder {
+    pub fn new(workload: SimWorkload, machine: MachineParams) -> Self {
+        Self {
+            workload,
+            machine,
+            reps: 10,
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(500),
+            base_seed: 0xA070_91AA,
+        }
+    }
+
+    /// Number of repetitions per configuration (paper: 10).
+    pub fn reps(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// Virtual warmup discarded before each measurement.
+    pub fn warmup(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Virtual measurement duration per sample.
+    pub fn measure(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Base seed; repetition `r` of configuration `i` uses a derived seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Run the exhaustive sweep.
+    pub fn build(self) -> Surface {
+        let mut samples = BTreeMap::new();
+        for (i, cfg) in search_space(self.machine.n_cores).into_iter().enumerate() {
+            let mut reps = Vec::with_capacity(self.reps);
+            for r in 0..self.reps {
+                let seed = self
+                    .base_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i as u64) << 20)
+                    .wrapping_add(r as u64);
+                let mut sim = Simulation::new(&self.workload, &self.machine, cfg, seed);
+                sim.set_record_commits(false);
+                sim.run_for_virtual(self.warmup);
+                reps.push(sim.run_for_virtual(self.measure).throughput());
+            }
+            samples.insert(cfg, reps);
+        }
+        Surface { workload: self.workload.name.clone(), n_cores: self.machine.n_cores, samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SimWorkload;
+
+    #[test]
+    fn search_space_matches_paper_count() {
+        assert_eq!(search_space(48).len(), 198, "paper: 198 configs at n=48");
+        assert_eq!(search_space(1), vec![(1, 1)]);
+        let s4 = search_space(4);
+        assert_eq!(s4, vec![(1, 1), (1, 2), (1, 3), (1, 4), (2, 1), (2, 2), (3, 1), (4, 1)]);
+        assert!(s4.iter().all(|(t, c)| t * c <= 4));
+    }
+
+    fn tiny_surface() -> Surface {
+        let wl = SimWorkload::builder("tiny")
+            .top_work_us(50.0)
+            .child_count(4)
+            .child_work_us(100.0)
+            .build();
+        SurfaceBuilder::new(wl, MachineParams::new(8))
+            .reps(2)
+            .warmup(Duration::from_millis(5))
+            .measure(Duration::from_millis(40))
+            .build()
+    }
+
+    #[test]
+    fn builder_covers_whole_space() {
+        let s = tiny_surface();
+        assert_eq!(s.len(), search_space(8).len());
+        assert!(s.samples.values().all(|v| v.len() == 2));
+        assert!(s.samples.values().flatten().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn optimum_and_distance() {
+        let s = tiny_surface();
+        let (best_cfg, best_tp) = s.optimum();
+        assert!(s.samples.contains_key(&best_cfg));
+        assert!((s.distance_from_optimum(best_cfg)).abs() < 1e-9);
+        for cfg in s.configs() {
+            let d = s.distance_from_optimum(cfg);
+            assert!((0.0..=100.0).contains(&d), "dfo({cfg:?}) = {d}");
+            assert!(s.mean(cfg) <= best_tp + 1e-9);
+        }
+    }
+
+    #[test]
+    fn surface_serde_round_trip() {
+        let s = tiny_surface();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Surface = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn sample_wraps_repetitions() {
+        let s = tiny_surface();
+        let cfg = (1, 1);
+        assert_eq!(s.sample(cfg, 0), s.sample(cfg, 2));
+        assert_eq!(s.sample(cfg, 1), s.sample(cfg, 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let wl = SimWorkload::builder("det").top_work_us(80.0).build();
+        let build = || {
+            SurfaceBuilder::new(wl.clone(), MachineParams::new(4))
+                .reps(1)
+                .warmup(Duration::from_millis(1))
+                .measure(Duration::from_millis(20))
+                .seed(99)
+                .build()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,192 @@
+//! The Array micro-benchmark (§VII-A): top-level transactions scan a large
+//! shared array of integers and update a configurable fraction of its
+//! elements, using nested transactions to parallelize the scan — the
+//! workload the paper uses to generate 4 contention levels (write ratios
+//! 0%, 0.01%, 50% and 90%).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use crate::live::StmWorkload;
+use pnstm::{child, ChildTask, Stm, StmError, TxResult, VBox};
+
+/// Parameters of the Array workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayParams {
+    /// Number of array elements.
+    pub size: usize,
+    /// Fraction of scanned elements that are written back (0.0 – 1.0).
+    pub write_fraction: f64,
+    /// Number of child transactions the scan is split into.
+    pub chunks: usize,
+}
+
+impl Default for ArrayParams {
+    fn default() -> Self {
+        Self { size: 4_096, write_fraction: 0.5, chunks: 8 }
+    }
+}
+
+/// The shared array plus workload logic.
+pub struct ArrayWorkload {
+    name: String,
+    params: ArrayParams,
+    elements: Arc<Vec<VBox<i64>>>,
+}
+
+impl ArrayWorkload {
+    /// Allocate the array on `stm`.
+    pub fn new(stm: &Stm, name: &str, params: ArrayParams) -> Self {
+        assert!(params.size > 0, "empty array");
+        assert!((0.0..=1.0).contains(&params.write_fraction));
+        assert!(params.chunks > 0, "need at least one chunk");
+        let elements = Arc::new((0..params.size).map(|i| stm.new_vbox(i as i64)).collect::<Vec<_>>());
+        Self { name: name.to_string(), params, elements }
+    }
+
+    /// The paper's four Array variants: write ratios 0%, 0.01%, 50%, 90%.
+    pub fn paper_variants(stm: &Stm, size: usize, chunks: usize) -> Vec<ArrayWorkload> {
+        [("array-ro", 0.0), ("array-low", 0.0001), ("array-med", 0.5), ("array-high", 0.9)]
+            .into_iter()
+            .map(|(name, wf)| {
+                ArrayWorkload::new(stm, name, ArrayParams { size, write_fraction: wf, chunks })
+            })
+            .collect()
+    }
+
+    /// Sum of all elements via a read-only snapshot (invariant checking).
+    pub fn checksum(&self, stm: &Stm) -> i64 {
+        stm.read_only(|tx| self.elements.iter().map(|b| tx.read(b)).sum())
+    }
+
+    /// Parameters in force.
+    pub fn params(&self) -> ArrayParams {
+        self.params
+    }
+}
+
+impl StmWorkload for ArrayWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One transaction: children scan disjoint chunks; each child reads every
+    /// element of its chunk and rewrites a deterministic `write_fraction`
+    /// subset (adding a delta that keeps per-element values bounded).
+    fn run_txn(&self, stm: &Stm, worker: usize, round: u64) -> Result<(), StmError> {
+        let elements = Arc::clone(&self.elements);
+        let chunks = self.params.chunks.min(self.params.size);
+        let write_fraction = self.params.write_fraction;
+        let seed = (worker as u64) << 32 | round;
+        stm.atomic(move |tx| {
+            let chunk_len = elements.len().div_ceil(chunks);
+            let tasks: Vec<ChildTask<i64>> = (0..chunks)
+                .map(|ci| {
+                    let elements = Arc::clone(&elements);
+                    let mut rng = StdRng::seed_from_u64(seed ^ (ci as u64).wrapping_mul(0x9E37));
+                    child(move |ct| -> TxResult<i64> {
+                        let lo = ci * chunk_len;
+                        let hi = ((ci + 1) * chunk_len).min(elements.len());
+                        let mut acc = 0i64;
+                        for b in &elements[lo..hi] {
+                            let v = ct.read(b);
+                            acc = acc.wrapping_add(v);
+                            if write_fraction > 0.0 && rng.gen::<f64>() < write_fraction {
+                                ct.write(b, v.wrapping_add(1) % 1_000_003);
+                            }
+                        }
+                        Ok(acc)
+                    })
+                })
+                .collect();
+            let sums = tx.parallel(tasks)?;
+            Ok(sums.into_iter().fold(0i64, i64::wrapping_add))
+        })
+        .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnstm::{ParallelismDegree, StmConfig};
+
+    fn stm() -> Stm {
+        Stm::new(StmConfig {
+            degree: ParallelismDegree::new(4, 4),
+            worker_threads: 3,
+            ..StmConfig::default()
+        })
+    }
+
+    #[test]
+    fn read_only_variant_never_writes() {
+        let stm = stm();
+        let wl = ArrayWorkload::new(&stm, "ro", ArrayParams { size: 64, write_fraction: 0.0, chunks: 4 });
+        let before = wl.checksum(&stm);
+        for round in 0..5 {
+            wl.run_txn(&stm, 0, round).unwrap();
+        }
+        assert_eq!(wl.checksum(&stm), before);
+        assert_eq!(stm.clock_now(), 0, "read-only txns install nothing");
+    }
+
+    #[test]
+    fn writes_mutate_array() {
+        let stm = stm();
+        let wl = ArrayWorkload::new(&stm, "rw", ArrayParams { size: 64, write_fraction: 1.0, chunks: 4 });
+        let before = wl.checksum(&stm);
+        wl.run_txn(&stm, 0, 0).unwrap();
+        let after = wl.checksum(&stm);
+        assert_ne!(before, after);
+        // write_fraction 1.0 increments every element once.
+        assert_eq!(after, before + 64);
+    }
+
+    #[test]
+    fn concurrent_runs_preserve_serializability() {
+        // With write_fraction 1.0 every transaction adds exactly +1 to every
+        // element, so N committed transactions add exactly 64*N in total.
+        let stm = stm();
+        let wl = Arc::new(ArrayWorkload::new(
+            &stm,
+            "conc",
+            ArrayParams { size: 64, write_fraction: 1.0, chunks: 4 },
+        ));
+        let before = wl.checksum(&stm);
+        let mut handles = vec![];
+        for w in 0..3 {
+            let stm = stm.clone();
+            let wl = Arc::clone(&wl);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..10 {
+                    wl.run_txn(&stm, w, round).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let commits = stm.stats().snapshot().top_commits as i64;
+        assert_eq!(commits, 30);
+        assert_eq!(wl.checksum(&stm), before + 64 * commits);
+    }
+
+    #[test]
+    fn paper_variants_have_expected_ratios() {
+        let stm = stm();
+        let variants = ArrayWorkload::paper_variants(&stm, 128, 8);
+        let names: Vec<&str> = variants.iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["array-ro", "array-low", "array-med", "array-high"]);
+        let wf: Vec<f64> = variants.iter().map(|w| w.params().write_fraction).collect();
+        assert_eq!(wf, vec![0.0, 0.0001, 0.5, 0.9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty array")]
+    fn zero_size_rejected() {
+        let stm = stm();
+        let _ = ArrayWorkload::new(&stm, "bad", ArrayParams { size: 0, write_fraction: 0.0, chunks: 1 });
+    }
+}

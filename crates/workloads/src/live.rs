@@ -1,0 +1,223 @@
+//! Live execution: run an [`StmWorkload`] on a real [`pnstm::Stm`] with a
+//! pool of application threads, and expose it as an
+//! [`autopn::TunableSystem`] so the controller can tune it end to end.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use autopn::{Config, TunableSystem};
+use pnstm::{Stm, StmError};
+
+/// A transactional workload runnable on a live STM.
+///
+/// `run_txn` executes *one* top-level transaction (it may spawn parallel
+/// nested children inside); the runner's application threads call it in a
+/// loop, with the STM's throttle enforcing the `(t, c)` configuration.
+pub trait StmWorkload: Send + Sync + 'static {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Execute one top-level transaction. `worker` identifies the calling
+    /// application thread, `round` its loop iteration (usable for input
+    /// derivation).
+    fn run_txn(&self, stm: &Stm, worker: usize, round: u64) -> Result<(), StmError>;
+}
+
+/// A live PN-STM system under tuning: `threads` application threads loop the
+/// workload while the throttle enforces the current configuration; commit
+/// events flow through [`pnstm::Stats`]'s hook into the monitor.
+pub struct LiveStmSystem {
+    stm: Stm,
+    epoch: Instant,
+    commits: Receiver<u64>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl LiveStmSystem {
+    /// Start `threads` application threads running `workload` on `stm`.
+    pub fn start(stm: Stm, workload: Arc<dyn StmWorkload>, threads: usize) -> Self {
+        let epoch = Instant::now();
+        let (tx, rx): (Sender<u64>, Receiver<u64>) = unbounded();
+        {
+            stm.stats().set_commit_hook(Some(Arc::new(move |ev: pnstm::CommitEvent| {
+                let ns = ev.at.duration_since(epoch).as_nanos() as u64;
+                let _ = tx.send(ns);
+            })));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads.max(1) {
+            let stm = stm.clone();
+            let workload = Arc::clone(&workload);
+            let stop = Arc::clone(&stop);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("live-{}-{}", workload.name(), worker))
+                    .spawn(move || {
+                        let mut round = 0u64;
+                        while !stop.load(Ordering::Acquire) {
+                            let _ = workload.run_txn(&stm, worker, round);
+                            round += 1;
+                        }
+                    })
+                    .expect("spawn workload thread"),
+            );
+        }
+        Self { stm, epoch, commits: rx, stop, handles }
+    }
+
+    /// The tuned STM instance.
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// Stop the application threads and detach the commit hook.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.stm.stats().set_commit_hook(None);
+    }
+}
+
+impl Drop for LiveStmSystem {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl TunableSystem for LiveStmSystem {
+    fn apply(&mut self, cfg: Config) {
+        self.stm.set_degree(cfg.into());
+        // Old commit events belong to the previous configuration; flush them
+        // so the next window measures only the new one.
+        while self.commits.try_recv().is_ok() {}
+    }
+
+    fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+        match self.commits.recv_timeout(Duration::from_nanos(max_wait_ns)) {
+            Ok(ts) => Some(ts),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn quiesce(&mut self) {
+        // Wait until as many commits as there were admitted transactions
+        // have passed (every pre-apply transaction finished), capped.
+        let in_flight = self.stm.throttle().top_level_in_use() as u64;
+        let target = self.stm.stats().snapshot().top_commits + in_flight;
+        let deadline = Instant::now() + Duration::from_millis(100);
+        while self.stm.stats().snapshot().top_commits < target && Instant::now() < deadline {
+            thread::sleep(Duration::from_micros(200));
+        }
+        while self.commits.try_recv().is_ok() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnstm::{child, ParallelismDegree, StmConfig, TxResult, VBox};
+
+    /// Minimal workload: increment a shared counter via two nested children.
+    struct CounterWorkload {
+        cells: Vec<VBox<i64>>,
+    }
+
+    impl CounterWorkload {
+        fn new(stm: &Stm) -> Self {
+            Self { cells: (0..16).map(|_| stm.new_vbox(0i64)).collect() }
+        }
+    }
+
+    impl StmWorkload for CounterWorkload {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn run_txn(&self, stm: &Stm, worker: usize, round: u64) -> Result<(), StmError> {
+            let a = self.cells[(worker * 7 + round as usize) % self.cells.len()].clone();
+            let b = self.cells[(worker * 3 + round as usize + 5) % self.cells.len()].clone();
+            stm.atomic(move |tx| {
+                let (a, b) = (a.clone(), b.clone());
+                let tasks: Vec<pnstm::ChildTask<()>> = vec![
+                    child(move |ct| -> TxResult<()> {
+                        let v = ct.read(&a);
+                        ct.write(&a, v + 1);
+                        Ok(())
+                    }),
+                    child(move |ct| -> TxResult<()> {
+                        let v = ct.read(&b);
+                        ct.write(&b, v + 1);
+                        Ok(())
+                    }),
+                ];
+                tx.parallel::<()>(tasks)?;
+                Ok(())
+            })
+            .map(|_| ())
+        }
+    }
+
+    #[test]
+    fn live_system_produces_commit_events() {
+        let stm = Stm::new(StmConfig {
+            degree: ParallelismDegree::new(2, 2),
+            worker_threads: 2,
+            ..StmConfig::default()
+        });
+        let workload = Arc::new(CounterWorkload::new(&stm));
+        let mut sys = LiveStmSystem::start(stm, workload, 2);
+        let mut got = 0;
+        for _ in 0..200 {
+            if sys.wait_commit(50_000_000).is_some() {
+                got += 1;
+            }
+            if got >= 5 {
+                break;
+            }
+        }
+        assert!(got >= 5, "expected live commits, saw {got}");
+        sys.shutdown();
+    }
+
+    #[test]
+    fn apply_reconfigures_live_stm() {
+        let stm = Stm::new(StmConfig::default());
+        let workload = Arc::new(CounterWorkload::new(&stm));
+        let mut sys = LiveStmSystem::start(stm.clone(), workload, 1);
+        sys.apply(Config::new(3, 2));
+        assert_eq!(stm.degree(), ParallelismDegree::new(3, 2));
+        sys.shutdown();
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let stm = Stm::new(StmConfig::default());
+        let workload = Arc::new(CounterWorkload::new(&stm));
+        let mut sys = LiveStmSystem::start(stm, workload, 2);
+        let mut last = 0;
+        let mut seen = 0;
+        for _ in 0..100 {
+            if let Some(ts) = sys.wait_commit(50_000_000) {
+                assert!(ts >= last, "commit timestamps must not go backwards");
+                last = ts;
+                seen += 1;
+            }
+            if seen >= 10 {
+                break;
+            }
+        }
+        assert!(seen >= 10);
+        sys.shutdown();
+    }
+}

@@ -1,0 +1,16 @@
+//! Port of TPC-C (§VII-A) to the PN-STM.
+//!
+//! The paper uses "a porting of the TPC-C benchmark" adapted to JVSTM with
+//! parallel nesting; this module is the equivalent Rust port: the NewOrder
+//! and Payment transactions over a transactional warehouse/district/customer
+//! /stock schema, with NewOrder's per-item stock updates executed as
+//! parallel nested transactions (the natural decomposition the paper's
+//! Fig. 1a workload uses).
+
+pub mod population;
+pub mod schema;
+pub mod txns;
+
+pub use population::TpccScale;
+pub use schema::TpccDb;
+pub use txns::{TpccParams, TpccWorkload};

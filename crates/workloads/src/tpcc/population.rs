@@ -1,0 +1,109 @@
+//! Deterministic initial population of the TPC-C database.
+
+use pnstm::Stm;
+
+use super::schema::*;
+
+/// Scale factors of the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpccScale {
+    /// Number of warehouses (the TPC-C contention knob).
+    pub warehouses: usize,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_warehouse: usize,
+    /// Customers per district.
+    pub customers_per_district: usize,
+    /// Catalog items.
+    pub items: usize,
+}
+
+impl Default for TpccScale {
+    fn default() -> Self {
+        Self { warehouses: 2, districts_per_warehouse: 10, customers_per_district: 30, items: 512 }
+    }
+}
+
+impl TpccScale {
+    /// A reduced scale for fast tests.
+    pub fn tiny() -> Self {
+        Self { warehouses: 1, districts_per_warehouse: 2, customers_per_district: 4, items: 32 }
+    }
+}
+
+/// Populate the database with deterministic pseudo-random-ish content.
+pub fn populate(stm: &Stm, scale: TpccScale) -> TpccDb {
+    assert!(scale.warehouses > 0 && scale.districts_per_warehouse > 0);
+    assert!(scale.customers_per_district > 0 && scale.items > 0);
+    let warehouses = (0..scale.warehouses)
+        .map(|w| stm.new_vbox(Warehouse { tax: 0.05 + (w % 10) as f64 * 0.005, ytd: 0.0 }))
+        .collect();
+    let n_districts = scale.warehouses * scale.districts_per_warehouse;
+    let districts = (0..n_districts)
+        .map(|d| stm.new_vbox(District { tax: 0.02 + (d % 7) as f64 * 0.01, ytd: 0.0, next_o_id: 1 }))
+        .collect();
+    let customers = (0..n_districts * scale.customers_per_district)
+        .map(|c| {
+            stm.new_vbox(Customer {
+                discount: (c % 20) as f64 * 0.005,
+                balance: -10.0,
+                ytd_payment: 10.0,
+                order_count: 0,
+            })
+        })
+        .collect();
+    let items = (0..scale.items)
+        .map(|i| stm.new_vbox(Item { price: 1.0 + (i * 37 % 9900) as f64 / 100.0 }))
+        .collect();
+    let stock = (0..scale.warehouses * scale.items)
+        .map(|s| stm.new_vbox(Stock { quantity: 50 + (s * 13 % 50) as i64, ytd: 0, order_count: 0 }))
+        .collect();
+    let last_orders = (0..n_districts).map(|_| stm.new_vbox(LastOrder::default())).collect();
+    TpccDb {
+        warehouses,
+        districts,
+        customers,
+        items,
+        stock,
+        last_orders,
+        districts_per_warehouse: scale.districts_per_warehouse,
+        customers_per_district: scale.customers_per_district,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnstm::StmConfig;
+
+    #[test]
+    fn populate_respects_scale() {
+        let stm = Stm::new(StmConfig::default());
+        let db = populate(&stm, TpccScale::tiny());
+        assert_eq!(db.n_warehouses(), 1);
+        assert_eq!(db.districts.len(), 2);
+        assert_eq!(db.customers.len(), 8);
+        assert_eq!(db.n_items(), 32);
+        assert_eq!(db.stock.len(), 32);
+        assert_eq!(db.last_orders.len(), 2);
+    }
+
+    #[test]
+    fn indices_are_consistent() {
+        let stm = Stm::new(StmConfig::default());
+        let scale = TpccScale { warehouses: 3, districts_per_warehouse: 4, customers_per_district: 5, items: 7 };
+        let db = populate(&stm, scale);
+        assert_eq!(db.district_idx(2, 3), 11);
+        assert_eq!(db.customer_idx(2, 3, 4), 59);
+        assert_eq!(db.stock_idx(2, 6), 20);
+        assert!(db.customer_idx(2, 3, 4) < db.customers.len());
+        assert!(db.stock_idx(2, 6) < db.stock.len());
+    }
+
+    #[test]
+    fn initial_next_o_id_is_one() {
+        let stm = Stm::new(StmConfig::default());
+        let db = populate(&stm, TpccScale::tiny());
+        let d = stm.read_atomic(&db.districts[0]);
+        assert_eq!(d.next_o_id, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The transactional TPC-C schema (the subset the NewOrder/Payment mix
+//! touches).
+
+use pnstm::VBox;
+
+/// Warehouse row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Warehouse {
+    /// Sales tax rate.
+    pub tax: f64,
+    /// Year-to-date payment total.
+    pub ytd: f64,
+}
+
+/// District row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct District {
+    /// Sales tax rate.
+    pub tax: f64,
+    /// Year-to-date payment total.
+    pub ytd: f64,
+    /// Next order id (incremented by every NewOrder).
+    pub next_o_id: u64,
+}
+
+/// Customer row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Customer {
+    /// Discount rate.
+    pub discount: f64,
+    /// Account balance.
+    pub balance: f64,
+    /// Year-to-date payments.
+    pub ytd_payment: f64,
+    /// Orders placed.
+    pub order_count: u64,
+}
+
+/// Item catalog row (immutable after population).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Catalog price.
+    pub price: f64,
+}
+
+/// Stock row (one per item per warehouse).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stock {
+    /// Units on hand.
+    pub quantity: i64,
+    /// Year-to-date units sold.
+    pub ytd: u64,
+    /// Number of orders touching this stock.
+    pub order_count: u64,
+}
+
+/// A digest of the last order a district processed (the schema keeps a
+/// bounded footprint rather than an unbounded order table; the mutation
+/// pattern — one write per NewOrder — matches the benchmark's).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LastOrder {
+    /// Order id.
+    pub o_id: u64,
+    /// Number of order lines.
+    pub ol_cnt: usize,
+    /// Total amount.
+    pub total: f64,
+}
+
+/// The transactional database.
+pub struct TpccDb {
+    /// `warehouses[w]`.
+    pub warehouses: Vec<VBox<Warehouse>>,
+    /// `districts[w * districts_per_warehouse + d]`.
+    pub districts: Vec<VBox<District>>,
+    /// `customers[(w, d) flattened * per_district + c]`.
+    pub customers: Vec<VBox<Customer>>,
+    /// `items[i]` (read-only catalog).
+    pub items: Vec<VBox<Item>>,
+    /// `stock[w * items + i]`.
+    pub stock: Vec<VBox<Stock>>,
+    /// `last_orders[w * districts_per_warehouse + d]`.
+    pub last_orders: Vec<VBox<LastOrder>>,
+    pub districts_per_warehouse: usize,
+    pub customers_per_district: usize,
+}
+
+impl TpccDb {
+    /// Flat district index.
+    pub fn district_idx(&self, w: usize, d: usize) -> usize {
+        w * self.districts_per_warehouse + d
+    }
+
+    /// Flat customer index.
+    pub fn customer_idx(&self, w: usize, d: usize, c: usize) -> usize {
+        (w * self.districts_per_warehouse + d) * self.customers_per_district + c
+    }
+
+    /// Flat stock index.
+    pub fn stock_idx(&self, w: usize, i: usize) -> usize {
+        w * self.items.len() + i
+    }
+
+    /// Number of warehouses.
+    pub fn n_warehouses(&self) -> usize {
+        self.warehouses.len()
+    }
+
+    /// Number of catalog items.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+}

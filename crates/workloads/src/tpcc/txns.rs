@@ -1,0 +1,310 @@
+//! The TPC-C transaction mix: NewOrder (with parallel-nested per-item stock
+//! updates) and Payment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use super::population::{populate, TpccScale};
+use super::schema::*;
+use crate::live::StmWorkload;
+use pnstm::{child, ChildTask, Stm, StmError, TxResult};
+
+/// TPC-C workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccParams {
+    /// Database scale.
+    pub scale: TpccScale,
+    /// Order lines per NewOrder (TPC-C: uniform 5–15; we use a fixed count
+    /// so the nested fan-out is predictable, like the paper's port).
+    pub order_lines: usize,
+    /// Fraction of NewOrder transactions (the rest are Payments).
+    pub new_order_fraction: f64,
+}
+
+impl Default for TpccParams {
+    fn default() -> Self {
+        Self { scale: TpccScale::default(), order_lines: 10, new_order_fraction: 0.7 }
+    }
+}
+
+/// The TPC-C workload bound to a populated database.
+pub struct TpccWorkload {
+    name: String,
+    params: TpccParams,
+    db: Arc<TpccDb>,
+}
+
+impl TpccWorkload {
+    pub fn new(stm: &Stm, name: &str, params: TpccParams) -> Self {
+        let db = Arc::new(populate(stm, params.scale));
+        Self { name: name.to_string(), params, db }
+    }
+
+    /// The paper's three contention levels: contention in TPC-C is driven by
+    /// the number of warehouses all threads hammer.
+    pub fn paper_variants(stm: &Stm) -> Vec<TpccWorkload> {
+        [("tpcc-low", 8usize), ("tpcc-med", 2), ("tpcc-high", 1)]
+            .into_iter()
+            .map(|(name, warehouses)| {
+                TpccWorkload::new(
+                    stm,
+                    name,
+                    TpccParams {
+                        scale: TpccScale { warehouses, ..TpccScale::default() },
+                        ..TpccParams::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The database (for inspection and invariant checks).
+    pub fn db(&self) -> &TpccDb {
+        &self.db
+    }
+
+    /// NewOrder: read warehouse/district/customer, allocate the order id,
+    /// then update the stock of every order line in parallel children, and
+    /// finally record the order digest.
+    pub fn new_order(
+        &self,
+        stm: &Stm,
+        w: usize,
+        d: usize,
+        c: usize,
+        lines: &[(usize, i64)],
+    ) -> Result<u64, StmError> {
+        let db = Arc::clone(&self.db);
+        let lines: Vec<(usize, i64)> = lines.to_vec();
+        stm.atomic(move |tx| {
+            let wh = tx.read(&db.warehouses[w]);
+            let didx = db.district_idx(w, d);
+            let district = tx.read(&db.districts[didx]);
+            let o_id = district.next_o_id;
+            tx.write(&db.districts[didx], District { next_o_id: o_id + 1, ..district });
+            let cidx = db.customer_idx(w, d, c);
+            let customer = tx.read(&db.customers[cidx]);
+
+            // Parallel nested phase: one child per order line updates stock
+            // and computes the line amount.
+            let tasks: Vec<ChildTask<f64>> = lines
+                .iter()
+                .map(|&(item, qty)| {
+                    let db = Arc::clone(&db);
+                    child(move |ct| -> TxResult<f64> {
+                        let price = ct.read(&db.items[item]).price;
+                        let sidx = db.stock_idx(w, item);
+                        let stock = ct.read(&db.stock[sidx]);
+                        let quantity = if stock.quantity - qty >= 10 {
+                            stock.quantity - qty
+                        } else {
+                            stock.quantity - qty + 91
+                        };
+                        ct.write(
+                            &db.stock[sidx],
+                            Stock {
+                                quantity,
+                                ytd: stock.ytd + qty as u64,
+                                order_count: stock.order_count + 1,
+                            },
+                        );
+                        Ok(price * qty as f64)
+                    })
+                })
+                .collect();
+            let amounts = tx.parallel(tasks)?;
+            let total: f64 = amounts.iter().sum::<f64>()
+                * (1.0 - customer.discount)
+                * (1.0 + wh.tax + district.tax);
+
+            tx.write(
+                &db.customers[cidx],
+                Customer { order_count: customer.order_count + 1, ..customer },
+            );
+            tx.write(&db.last_orders[didx], LastOrder { o_id, ol_cnt: lines.len(), total });
+            Ok(o_id)
+        })
+    }
+
+    /// Payment: update warehouse/district YTD and the customer's balance.
+    pub fn payment(
+        &self,
+        stm: &Stm,
+        w: usize,
+        d: usize,
+        c: usize,
+        amount: f64,
+    ) -> Result<(), StmError> {
+        let db = Arc::clone(&self.db);
+        stm.atomic(move |tx| {
+            let wh = tx.read(&db.warehouses[w]);
+            tx.write(&db.warehouses[w], Warehouse { ytd: wh.ytd + amount, ..wh });
+            let didx = db.district_idx(w, d);
+            let district = tx.read(&db.districts[didx]);
+            tx.write(&db.districts[didx], District { ytd: district.ytd + amount, ..district });
+            let cidx = db.customer_idx(w, d, c);
+            let customer = tx.read(&db.customers[cidx]);
+            tx.write(
+                &db.customers[cidx],
+                Customer {
+                    balance: customer.balance - amount,
+                    ytd_payment: customer.ytd_payment + amount,
+                    ..customer
+                },
+            );
+            Ok(())
+        })
+        .map(|_| ())
+    }
+
+    /// Invariant: each district's `next_o_id - 1` equals the number of
+    /// NewOrders it committed; sum over districts must equal the sum of
+    /// customer order counts.
+    pub fn check_invariants(&self, stm: &Stm) -> Result<(), String> {
+        stm.read_only(|tx| {
+            let orders: u64 =
+                self.db.districts.iter().map(|d| tx.read(d).next_o_id - 1).sum();
+            let customer_orders: u64 =
+                self.db.customers.iter().map(|c| tx.read(c).order_count).sum();
+            if orders != customer_orders {
+                return Err(format!(
+                    "districts allocated {orders} order ids but customers hold {customer_orders}"
+                ));
+            }
+            Ok(())
+        })
+    }
+}
+
+impl StmWorkload for TpccWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run_txn(&self, stm: &Stm, worker: usize, round: u64) -> Result<(), StmError> {
+        let mut rng = StdRng::seed_from_u64(((worker as u64) << 40) ^ round ^ 0x79CC);
+        let scale = self.params.scale;
+        let w = rng.gen_range(0..scale.warehouses);
+        let d = rng.gen_range(0..scale.districts_per_warehouse);
+        let c = rng.gen_range(0..scale.customers_per_district);
+        if rng.gen::<f64>() < self.params.new_order_fraction {
+            let lines: Vec<(usize, i64)> = (0..self.params.order_lines)
+                .map(|_| (rng.gen_range(0..scale.items), rng.gen_range(1..=10)))
+                .collect();
+            self.new_order(stm, w, d, c, &lines).map(|_| ())
+        } else {
+            self.payment(stm, w, d, c, rng.gen_range(1.0..5000.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnstm::{ParallelismDegree, StmConfig};
+
+    fn stm() -> Stm {
+        Stm::new(StmConfig {
+            degree: ParallelismDegree::new(4, 4),
+            worker_threads: 3,
+            ..StmConfig::default()
+        })
+    }
+
+    fn tiny_wl(stm: &Stm) -> TpccWorkload {
+        TpccWorkload::new(
+            stm,
+            "tpcc-test",
+            TpccParams { scale: TpccScale::tiny(), order_lines: 4, new_order_fraction: 0.7 },
+        )
+    }
+
+    #[test]
+    fn new_order_allocates_sequential_ids() {
+        let stm = stm();
+        let wl = tiny_wl(&stm);
+        let lines = vec![(0usize, 2i64), (1, 3)];
+        let id1 = wl.new_order(&stm, 0, 0, 0, &lines).unwrap();
+        let id2 = wl.new_order(&stm, 0, 0, 1, &lines).unwrap();
+        assert_eq!(id1, 1);
+        assert_eq!(id2, 2);
+        wl.check_invariants(&stm).unwrap();
+    }
+
+    #[test]
+    fn new_order_updates_stock() {
+        let stm = stm();
+        let wl = tiny_wl(&stm);
+        let sidx = wl.db().stock_idx(0, 5);
+        let before = stm.read_atomic(&wl.db().stock[sidx]);
+        wl.new_order(&stm, 0, 0, 0, &[(5, 4)]).unwrap();
+        let after = stm.read_atomic(&wl.db().stock[sidx]);
+        assert_eq!(after.ytd, before.ytd + 4);
+        assert_eq!(after.order_count, before.order_count + 1);
+        assert!(after.quantity == before.quantity - 4 || after.quantity == before.quantity - 4 + 91);
+    }
+
+    #[test]
+    fn payment_moves_money() {
+        let stm = stm();
+        let wl = tiny_wl(&stm);
+        wl.payment(&stm, 0, 1, 2, 100.0).unwrap();
+        let wh = stm.read_atomic(&wl.db().warehouses[0]);
+        assert!((wh.ytd - 100.0).abs() < 1e-9);
+        let cust = stm.read_atomic(&wl.db().customers[wl.db().customer_idx(0, 1, 2)]);
+        assert!((cust.balance + 110.0).abs() < 1e-9, "balance {}", cust.balance);
+    }
+
+    #[test]
+    fn concurrent_mix_is_serializable() {
+        let stm = stm();
+        let wl = Arc::new(tiny_wl(&stm));
+        let mut handles = vec![];
+        for w in 0..3 {
+            let stm = stm.clone();
+            let wl = Arc::clone(&wl);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..25 {
+                    wl.run_txn(&stm, w, round).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        wl.check_invariants(&stm).unwrap();
+    }
+
+    #[test]
+    fn stock_ytd_matches_order_lines_under_concurrency() {
+        // Every unit ordered shows up exactly once in stock YTD.
+        let stm = stm();
+        let wl = Arc::new(tiny_wl(&stm));
+        let mut handles = vec![];
+        for w in 0..2 {
+            let stm = stm.clone();
+            let wl = Arc::clone(&wl);
+            handles.push(std::thread::spawn(move || {
+                let mut total = 0i64;
+                for i in 0..20 {
+                    let item = (w * 7 + i) % 32;
+                    wl.new_order(&stm, 0, 0, 0, &[(item, 3)]).unwrap();
+                    total += 3;
+                }
+                total
+            }));
+        }
+        let ordered: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let ytd: u64 = wl.db().stock.iter().map(|s| stm.read_atomic(s).ytd).sum();
+        assert_eq!(ytd as i64, ordered);
+    }
+
+    #[test]
+    fn paper_variants_order_contention() {
+        let stm = stm();
+        let variants = TpccWorkload::paper_variants(&stm);
+        let wh: Vec<usize> = variants.iter().map(|v| v.params.scale.warehouses).collect();
+        assert_eq!(wh, vec![8, 2, 1], "low contention = more warehouses");
+    }
+}

@@ -1,0 +1,281 @@
+//! The Vacation client workload: transaction mix and the parallel-nested
+//! decomposition of its query batches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use super::manager::{Manager, ResourceKind};
+use crate::live::StmWorkload;
+use pnstm::{child, ChildTask, Stm, StmError, TxResult};
+
+/// Vacation workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VacationParams {
+    /// Resources per relation (smaller ⇒ more contention).
+    pub relations: usize,
+    /// Number of customers.
+    pub customers: usize,
+    /// Items queried per reservation transaction.
+    pub n_queries: usize,
+    /// Child transactions the query batch is split into.
+    pub chunks: usize,
+    /// Fraction of transactions that update the tables.
+    pub update_fraction: f64,
+    /// Fraction of transactions that delete a customer.
+    pub delete_fraction: f64,
+}
+
+impl Default for VacationParams {
+    fn default() -> Self {
+        Self {
+            relations: 256,
+            customers: 64,
+            n_queries: 8,
+            chunks: 4,
+            update_fraction: 0.1,
+            delete_fraction: 0.05,
+        }
+    }
+}
+
+/// The Vacation workload bound to a populated [`Manager`].
+pub struct VacationWorkload {
+    name: String,
+    params: VacationParams,
+    manager: Arc<Manager>,
+}
+
+impl VacationWorkload {
+    pub fn new(stm: &Stm, name: &str, params: VacationParams) -> Self {
+        let manager = Arc::new(Manager::populate(stm, params.relations, params.customers));
+        Self { name: name.to_string(), params, manager }
+    }
+
+    /// The paper's three contention levels.
+    pub fn paper_variants(stm: &Stm) -> Vec<VacationWorkload> {
+        [
+            ("vacation-low", 1024usize, 0.05f64),
+            ("vacation-med", 256, 0.15),
+            ("vacation-high", 64, 0.30),
+        ]
+        .into_iter()
+        .map(|(name, relations, update_fraction)| {
+            VacationWorkload::new(
+                stm,
+                name,
+                VacationParams { relations, update_fraction, ..VacationParams::default() },
+            )
+        })
+        .collect()
+    }
+
+    /// Access the underlying manager (for invariant checks).
+    pub fn manager(&self) -> &Manager {
+        &self.manager
+    }
+
+    /// The `make_reservation` transaction: query `n_queries` random items
+    /// with parallel children, then reserve the cheapest available item of
+    /// each relation for `customer`.
+    fn make_reservation(&self, stm: &Stm, rng: &mut StdRng) -> Result<(), StmError> {
+        let manager = Arc::clone(&self.manager);
+        let customer = rng.gen_range(0..self.params.customers);
+        let queries: Vec<(ResourceKind, usize)> = (0..self.params.n_queries)
+            .map(|_| {
+                let kind = ResourceKind::ALL[rng.gen_range(0..3)];
+                (kind, rng.gen_range(0..self.params.relations))
+            })
+            .collect();
+        let chunks = self.params.chunks.min(queries.len()).max(1);
+        stm.atomic(move |tx| {
+            let per_chunk = queries.len().div_ceil(chunks);
+            let tasks: Vec<ChildTask<Vec<(ResourceKind, usize, i64)>>> = queries
+                .chunks(per_chunk)
+                .map(|chunk| {
+                    let manager = Arc::clone(&manager);
+                    let chunk = chunk.to_vec();
+                    child(move |ct| -> TxResult<Vec<(ResourceKind, usize, i64)>> {
+                        // Each child queries its slice and reports available
+                        // candidates with their price.
+                        let mut found = Vec::new();
+                        for &(kind, idx) in &chunk {
+                            let info = manager.query(ct, kind, idx);
+                            if info.free() > 0 {
+                                found.push((kind, idx, info.price));
+                            }
+                        }
+                        Ok(found)
+                    })
+                })
+                .collect();
+            let candidates: Vec<(ResourceKind, usize, i64)> =
+                tx.parallel(tasks)?.into_iter().flatten().collect();
+            // Reserve the cheapest candidate per relation.
+            for kind in ResourceKind::ALL {
+                if let Some(&(k, idx, _)) = candidates
+                    .iter()
+                    .filter(|(k, _, _)| *k == kind)
+                    .min_by_key(|(_, _, price)| *price)
+                {
+                    manager.reserve(tx, k, idx, customer);
+                }
+            }
+            Ok(())
+        })
+        .map(|_| ())
+    }
+
+    /// The `update_tables` transaction: price/capacity updates of random
+    /// items, executed by parallel children.
+    fn update_tables(&self, stm: &Stm, rng: &mut StdRng) -> Result<(), StmError> {
+        let manager = Arc::clone(&self.manager);
+        let updates: Vec<(ResourceKind, usize, i64)> = (0..self.params.n_queries)
+            .map(|_| {
+                let kind = ResourceKind::ALL[rng.gen_range(0..3)];
+                (kind, rng.gen_range(0..self.params.relations), rng.gen_range(50..500))
+            })
+            .collect();
+        let chunks = self.params.chunks.min(updates.len()).max(1);
+        stm.atomic(move |tx| {
+            let per_chunk = updates.len().div_ceil(chunks);
+            let tasks: Vec<ChildTask<()>> = updates
+                .chunks(per_chunk)
+                .map(|chunk| {
+                    let manager = Arc::clone(&manager);
+                    let chunk = chunk.to_vec();
+                    child(move |ct| -> TxResult<()> {
+                        for &(kind, idx, price) in &chunk {
+                            manager.update_price(ct, kind, idx, price);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            tx.parallel::<()>(tasks)?;
+            Ok(())
+        })
+        .map(|_| ())
+    }
+
+    fn delete_customer(&self, stm: &Stm, rng: &mut StdRng) -> Result<(), StmError> {
+        let manager = Arc::clone(&self.manager);
+        let customer = rng.gen_range(0..self.params.customers);
+        stm.atomic(move |tx| {
+            manager.delete_customer(tx, customer);
+            Ok(())
+        })
+        .map(|_| ())
+    }
+}
+
+impl StmWorkload for VacationWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run_txn(&self, stm: &Stm, worker: usize, round: u64) -> Result<(), StmError> {
+        let mut rng = StdRng::seed_from_u64(((worker as u64) << 40) ^ round ^ 0x5AC4);
+        let dice: f64 = rng.gen();
+        if dice < self.params.update_fraction {
+            self.update_tables(stm, &mut rng)
+        } else if dice < self.params.update_fraction + self.params.delete_fraction {
+            self.delete_customer(stm, &mut rng)
+        } else {
+            self.make_reservation(stm, &mut rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnstm::{ParallelismDegree, StmConfig};
+
+    fn stm() -> Stm {
+        Stm::new(StmConfig {
+            degree: ParallelismDegree::new(4, 4),
+            worker_threads: 3,
+            ..StmConfig::default()
+        })
+    }
+
+    #[test]
+    fn sequential_mix_preserves_invariants() {
+        let stm = stm();
+        let wl = VacationWorkload::new(
+            &stm,
+            "vac-test",
+            VacationParams { relations: 32, customers: 8, ..VacationParams::default() },
+        );
+        for round in 0..50 {
+            wl.run_txn(&stm, 0, round).unwrap();
+        }
+        wl.manager().check_invariants(&stm).unwrap();
+        assert!(stm.stats().snapshot().top_commits >= 50);
+    }
+
+    #[test]
+    fn concurrent_mix_preserves_invariants() {
+        let stm = stm();
+        let wl = Arc::new(VacationWorkload::new(
+            &stm,
+            "vac-conc",
+            VacationParams { relations: 16, customers: 8, ..VacationParams::default() },
+        ));
+        let mut handles = vec![];
+        for w in 0..3 {
+            let stm = stm.clone();
+            let wl = Arc::clone(&wl);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..30 {
+                    wl.run_txn(&stm, w, round).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        wl.manager().check_invariants(&stm).unwrap();
+    }
+
+    #[test]
+    fn paper_variants_exist() {
+        let stm = stm();
+        let variants = VacationWorkload::paper_variants(&stm);
+        let names: Vec<&str> = variants.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["vacation-low", "vacation-med", "vacation-high"]);
+        // Contention ordering: fewer relations and more updates as we go up.
+        assert!(variants[0].params.relations > variants[2].params.relations);
+        assert!(variants[0].params.update_fraction < variants[2].params.update_fraction);
+    }
+
+    #[test]
+    fn reservations_accumulate_bills() {
+        let stm = stm();
+        let wl = VacationWorkload::new(
+            &stm,
+            "vac-bill",
+            VacationParams {
+                relations: 64,
+                customers: 4,
+                update_fraction: 0.0,
+                delete_fraction: 0.0,
+                ..VacationParams::default()
+            },
+        );
+        for round in 0..20 {
+            wl.run_txn(&stm, 1, round).unwrap();
+        }
+        // At least one reservation must have happened over 20 rounds.
+        let any_used = stm.read_only(|tx| {
+            (0..wl.manager().relations()).any(|i| {
+                ResourceKind::ALL
+                    .iter()
+                    .any(|&k| wl.manager().query_snapshot(tx, k, i).used > 0)
+            })
+        });
+        assert!(any_used, "no reservations were made");
+        wl.manager().check_invariants(&stm).unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Port of the STAMP *Vacation* benchmark (§VII-A) to the PN-STM.
+//!
+//! Vacation emulates a travel reservation system: three relations (cars,
+//! flights, rooms) of reservable items plus a customer table. Client
+//! transactions query a batch of items and reserve the cheapest ones, delete
+//! customers (releasing their reservations), or update the relations. As in
+//! the paper's JVSTM adaptation, the per-item queries/updates of one
+//! transaction execute as parallel nested transactions.
+
+pub mod client;
+pub mod manager;
+
+pub use client::{VacationParams, VacationWorkload};
+pub use manager::{Customer, Manager, ReservationInfo, ResourceKind};

@@ -1,0 +1,85 @@
+//! Live tuning of a real PN-STM: run the Array benchmark on `pnstm` with
+//! actual threads, attach AutoPN, and watch it reconfigure the semaphore
+//! throttle while transactions run.
+//!
+//! ```sh
+//! cargo run --release --example array_live
+//! ```
+//!
+//! Note: the search space here is sized to the *local* machine (unlike the
+//! simulator-driven examples, which model the paper's 48-core testbed), so
+//! on small machines the space is small — the point of this example is the
+//! end-to-end live loop: commit hook → adaptive monitor → SMBO → actuator.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use autopn::monitor::AdaptiveMonitor;
+use autopn::{AutoPn, AutoPnConfig, Controller, SearchSpace};
+use pnstm::{ParallelismDegree, Stm, StmConfig};
+use workloads::array::{ArrayParams, ArrayWorkload};
+use workloads::LiveStmSystem;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Give the tuner something to choose from even on tiny machines: allow up
+    // to 2x the physical cores (mild oversubscription is tolerable for a
+    // demo; the paper's search space would be {t*c <= cores}).
+    let budget = (cores * 2).max(4);
+    println!("local machine: {cores} cores; tuning over t*c <= {budget}");
+
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(1, 1),
+        worker_threads: cores,
+        ..StmConfig::default()
+    });
+    let workload = Arc::new(ArrayWorkload::new(
+        &stm,
+        "array-live",
+        ArrayParams { size: 2_048, write_fraction: 0.05, chunks: 4 },
+    ));
+    let checksum_before = workload.checksum(&stm);
+
+    // Application threads hammer the workload; the throttle enforces (t, c).
+    let mut system = LiveStmSystem::start(stm.clone(), workload.clone(), budget);
+
+    let mut tuner = AutoPn::new(SearchSpace::new(budget), AutoPnConfig::default());
+    // Live wall-clock measurement: slightly looser CV to keep the demo fast.
+    let mut monitor = AdaptiveMonitor::new(0.15, 5);
+
+    let started = std::time::Instant::now();
+    let outcome = Controller::tune(&mut system, &mut tuner, &mut monitor);
+
+    println!("\n{:<6} {:>8} {:>14} {:>9}", "step", "config", "txn/s", "commits");
+    for (i, (cfg, m)) in outcome.explored.iter().enumerate() {
+        println!(
+            "{:<6} {:>8} {:>11.0} {:>12}{}",
+            i + 1,
+            cfg.to_string(),
+            m.throughput,
+            m.commits,
+            if m.timed_out { "  (timed out)" } else { "" }
+        );
+    }
+    println!(
+        "\nsettled on {} at {:.0} txn/s in {:?} (wall clock)",
+        outcome.best,
+        outcome.best_throughput,
+        started.elapsed()
+    );
+    println!("STM now running with degree {}", stm.degree());
+
+    // Let it run tuned for a moment, then verify transactional integrity.
+    std::thread::sleep(Duration::from_millis(300));
+    system.shutdown();
+    let snap = stm.stats().snapshot();
+    println!(
+        "totals: {} top-level commits, {} aborts ({:.1}% abort rate), {} nested commits",
+        snap.top_commits,
+        snap.top_aborts,
+        snap.top_abort_rate() * 100.0,
+        snap.nested_commits
+    );
+    let checksum_after = workload.checksum(&stm);
+    println!("array checksum {checksum_before} -> {checksum_after} (transactionally consistent)");
+}

@@ -1,0 +1,105 @@
+//! The §V "dynamic workloads" extension in action: AutoPN tunes a running
+//! system, a CUSUM detector supervises the chosen configuration, the
+//! workload shifts under its feet, and a fresh tuning session adapts.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_retuning
+//! ```
+
+use autopn::monitor::AdaptiveMonitor;
+use autopn::{AutoPn, AutoPnConfig, Config, Controller, CusumDetector, SearchSpace, TunableSystem};
+use simtm::{MachineParams, SimWorkload};
+use workloads::SimSystem;
+
+/// Phase 1: short, scalable transactions (wide-t optimum).
+fn phase1() -> SimWorkload {
+    SimWorkload::builder("phase1-scalable")
+        .top_work_us(80.0)
+        .top_footprint(10, 1)
+        .data_items(100_000)
+        .build()
+}
+
+/// Phase 2: long transactions with conflicting scans (nested-parallelism
+/// optimum at low t).
+fn phase2() -> SimWorkload {
+    SimWorkload::builder("phase2-contended-scans")
+        .top_work_us(30.0)
+        .child_count(8)
+        .child_work_us(400.0)
+        .child_footprint(512, 460)
+        .data_items(4_096)
+        .restart_backoff_us(300.0)
+        .build()
+}
+
+/// System wrapper that shifts the workload at a fixed virtual time.
+struct ShiftingSystem {
+    inner: SimSystem,
+    shift_at_ns: u64,
+    next: Option<SimWorkload>,
+}
+
+impl TunableSystem for ShiftingSystem {
+    fn apply(&mut self, cfg: Config) {
+        self.inner.apply(cfg);
+    }
+    fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+        if self.next.is_some() && TunableSystem::now_ns(&self.inner) >= self.shift_at_ns {
+            let wl = self.next.take().expect("checked");
+            println!(
+                "*** t = {:.2}s: workload shifts to '{}' ***",
+                TunableSystem::now_ns(&self.inner) as f64 / 1e9,
+                wl.name
+            );
+            self.inner.switch_workload(&wl);
+        }
+        self.inner.wait_commit(max_wait_ns)
+    }
+    fn now_ns(&self) -> u64 {
+        TunableSystem::now_ns(&self.inner)
+    }
+    fn quiesce(&mut self) {
+        self.inner.quiesce();
+    }
+}
+
+fn main() {
+    let machine = MachineParams::new(48);
+    let mut system = ShiftingSystem {
+        inner: SimSystem::new(&phase1(), &machine, 21),
+        shift_at_ns: 20_000_000, // 20 ms of virtual time: mid-supervision
+        next: Some(phase2()),
+    };
+    let space = SearchSpace::new(machine.n_cores);
+    let mut make_tuner = || -> Box<dyn autopn::Tuner> {
+        Box::new(AutoPn::new(space.clone(), AutoPnConfig::default()))
+    };
+    let mut policy = AdaptiveMonitor::default();
+    let mut detector = CusumDetector::default();
+
+    println!("tuning '{}' on {} cores with CUSUM supervision…\n", phase1().name, machine.n_cores);
+    let outcome = Controller::tune_with_retuning(
+        &mut system,
+        &mut make_tuner,
+        &mut policy,
+        &mut detector,
+        600,
+    );
+
+    println!("\nsupervised run summary:");
+    println!("  tuning sessions      : {}", outcome.sessions.len());
+    println!("  workload changes seen: {}", outcome.changes_detected);
+    println!("  supervision windows  : {}", outcome.supervision_windows);
+    for (i, s) in outcome.sessions.iter().enumerate() {
+        println!(
+            "  session {}: settled on {} at {:.0} txn/s after {} explorations",
+            i + 1,
+            s.best,
+            s.best_throughput,
+            s.explored.len()
+        );
+    }
+    let virt = TunableSystem::now_ns(&system) as f64 / 1e9;
+    println!("\ntotal virtual time: {virt:.2}s");
+}

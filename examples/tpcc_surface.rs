@@ -1,0 +1,83 @@
+//! Run the live TPC-C port on the real PN-STM across a small (t, c) sweep
+//! and print the resulting throughput table — a local-machine miniature of
+//! the paper's Fig. 1a.
+//!
+//! ```sh
+//! cargo run --release --example tpcc_surface
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pnstm::{ParallelismDegree, Stm, StmConfig};
+use workloads::tpcc::{TpccParams, TpccScale, TpccWorkload};
+use workloads::StmWorkload;
+
+/// Measure throughput of the live workload for `window` under `(t, c)`.
+fn measure(stm: &Stm, wl: &Arc<TpccWorkload>, threads: usize, window: Duration) -> f64 {
+    let before = stm.stats().snapshot().top_commits;
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for worker in 0..threads {
+        let (stm, wl, stop) = (stm.clone(), Arc::clone(wl), Arc::clone(&stop));
+        handles.push(std::thread::spawn(move || {
+            let mut round = 0;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let _ = wl.run_txn(&stm, worker, round);
+                round += 1;
+            }
+        }));
+    }
+    let started = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let commits = stm.stats().snapshot().top_commits - before;
+    commits as f64 / started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let budget = (cores * 2).max(4);
+    println!("live TPC-C sweep on this machine ({cores} cores, budget t*c <= {budget})\n");
+
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(1, 1),
+        worker_threads: cores,
+        ..StmConfig::default()
+    });
+    let wl = Arc::new(TpccWorkload::new(
+        &stm,
+        "tpcc-live",
+        TpccParams { scale: TpccScale::tiny(), order_lines: 6, new_order_fraction: 0.7 },
+    ));
+
+    let window = Duration::from_millis(250);
+    let ts: Vec<usize> = (1..=budget).filter(|t| budget.is_multiple_of(*t) || *t == 1).collect();
+    println!("{:>5} {:>5} {:>12}", "t", "c", "txn/s");
+    let mut best = (0usize, 0usize, 0.0f64);
+    for &t in &ts {
+        for c in [1usize, 2, 4] {
+            if t * c > budget {
+                continue;
+            }
+            stm.set_degree(ParallelismDegree::new(t, c));
+            let tp = measure(&stm, &wl, budget, window);
+            println!("{t:>5} {c:>5} {tp:>12.0}");
+            if tp > best.2 {
+                best = (t, c, tp);
+            }
+        }
+    }
+    println!("\nbest on this machine: ({}, {}) at {:.0} txn/s", best.0, best.1, best.2);
+    wl.check_invariants(&stm).expect("TPC-C invariants hold after the sweep");
+    let snap = stm.stats().snapshot();
+    println!(
+        "integrity check passed — {} commits, {:.1}% aborts, {} nested commits",
+        snap.top_commits,
+        snap.top_abort_rate() * 100.0,
+        snap.nested_commits
+    );
+}

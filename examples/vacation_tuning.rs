@@ -1,0 +1,65 @@
+//! Trace-driven tuning of the Vacation workload: build (or load from cache)
+//! the exhaustive throughput surface of the paper's `vacation-med` workload
+//! and replay AutoPN against three baseline optimizers on it — a
+//! single-workload slice of the Fig. 5 methodology.
+//!
+//! ```sh
+//! cargo run --release --example vacation_tuning
+//! ```
+
+use std::time::Duration;
+
+use autopn::{AutoPn, AutoPnConfig, SearchSpace};
+use baselines::{GaParams, GeneticAlgorithm, HillClimbing, RandomSearch};
+use simtm::MachineParams;
+use workloads::{load_or_build_surface, replay, workload_by_name};
+
+fn main() {
+    let machine = MachineParams::paper_testbed();
+    let workload = workload_by_name("vacation-med").expect("known workload");
+    println!("building/loading the exhaustive (t,c) trace for '{}'…", workload.name);
+    let surface = load_or_build_surface(&workload, &machine, 5, Duration::from_millis(150));
+    let (opt_cfg, opt_tp) = surface.optimum();
+    println!(
+        "{} configurations; optimum {:?} at {:.0} txn/s\n",
+        surface.len(),
+        opt_cfg,
+        opt_tp
+    );
+
+    let space = SearchSpace::new(machine.n_cores);
+    let mut tuners: Vec<Box<dyn autopn::Tuner>> = vec![
+        Box::new(AutoPn::new(space.clone(), AutoPnConfig::default())),
+        Box::new(RandomSearch::new(space.clone(), 7)),
+        Box::new(HillClimbing::new(space.clone(), 7)),
+        Box::new(GeneticAlgorithm::new(space.clone(), GaParams::default(), 7)),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>14} {:>12}",
+        "tuner", "final DFO %", "explorations", "final cfg"
+    );
+    for tuner in tuners.iter_mut() {
+        let trace = replay(tuner.as_mut(), &surface, 0);
+        println!(
+            "{:<20} {:>12.2} {:>14} {:>12}",
+            trace.tuner,
+            trace.final_dfo,
+            trace.explorations(),
+            trace.final_config.to_string()
+        );
+    }
+
+    println!("\nAutoPN exploration path:");
+    let mut autopn = AutoPn::new(space, AutoPnConfig::default());
+    let trace = replay(&mut autopn, &surface, 1);
+    for (i, step) in trace.steps.iter().enumerate() {
+        println!(
+            "  {:>2}. {:>8}  sampled {:>9.0} txn/s   best-so-far DFO {:>5.1}%",
+            i + 1,
+            step.config.to_string(),
+            step.kpi,
+            step.best_dfo
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the AutoPN reproduction suite.
+//!
+//! This crate exists so that the workspace root can host the runnable
+//! `examples/` and cross-crate integration `tests/`. It simply re-exports the
+//! member crates; depend on the individual crates directly in real projects.
+
+pub use autopn;
+pub use baselines;
+pub use pnstm;
+pub use simtm;
+pub use workloads;

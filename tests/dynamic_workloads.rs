@@ -1,0 +1,139 @@
+//! Integration test of the §V "dynamic workloads" extension: CUSUM change
+//! detection triggering a fresh tuning session when the application's
+//! workload shifts mid-run.
+
+use std::time::Duration;
+
+use autopn::monitor::AdaptiveMonitor;
+use autopn::{AutoPn, AutoPnConfig, Config, Controller, CusumDetector, SearchSpace, TunableSystem};
+use simtm::{MachineParams, SimWorkload};
+use workloads::SimSystem;
+
+/// Scales cleanly: optimum at wide t.
+fn scalable_workload() -> SimWorkload {
+    SimWorkload::builder("dyn-scalable")
+        .top_work_us(80.0)
+        .top_footprint(10, 1)
+        .data_items(100_000)
+        .build()
+}
+
+/// Array-high-like: long nested scans over a fully conflicting footprint —
+/// inter-transaction parallelism is useless (every pair of trees conflicts),
+/// so the optimum is minimal t with wide intra-tree parallelism.
+fn contended_workload() -> SimWorkload {
+    SimWorkload::builder("dyn-contended")
+        .top_work_us(30.0)
+        .child_count(8)
+        .child_work_us(400.0)
+        .child_footprint(512, 460)
+        .data_items(4_096)
+        .restart_backoff_us(300.0)
+        .build()
+}
+
+/// Delegating system that swaps the workload at a preset virtual time.
+struct ShiftingSystem {
+    inner: SimSystem,
+    shift_at_ns: u64,
+    next: Option<SimWorkload>,
+}
+
+impl ShiftingSystem {
+    fn maybe_shift(&mut self) {
+        if self.next.is_some() && TunableSystem::now_ns(&self.inner) >= self.shift_at_ns {
+            let wl = self.next.take().expect("checked");
+            self.inner.switch_workload(&wl);
+        }
+    }
+}
+
+impl TunableSystem for ShiftingSystem {
+    fn apply(&mut self, cfg: Config) {
+        self.inner.apply(cfg);
+    }
+    fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+        self.maybe_shift();
+        self.inner.wait_commit(max_wait_ns)
+    }
+    fn now_ns(&self) -> u64 {
+        TunableSystem::now_ns(&self.inner)
+    }
+    fn quiesce(&mut self) {
+        self.inner.quiesce();
+    }
+}
+
+#[test]
+fn workload_shift_triggers_retuning() {
+    let machine = MachineParams::new(12);
+    let mut system = ShiftingSystem {
+        inner: SimSystem::new(&scalable_workload(), &machine, 7),
+        // Shift after the first tuning session has converged but while
+        // supervision is still running (sessions and windows are short in
+        // virtual time: a session is ~10 ms, supervision windows ~0.2 ms).
+        shift_at_ns: 20_000_000,
+        next: Some(contended_workload()),
+    };
+    let space = SearchSpace::new(machine.n_cores);
+    let mut make_tuner = || -> Box<dyn autopn::Tuner> {
+        Box::new(AutoPn::new(space.clone(), AutoPnConfig::default()))
+    };
+    let mut policy = AdaptiveMonitor::default();
+    let mut detector = CusumDetector::default();
+
+    let outcome =
+        Controller::tune_with_retuning(&mut system, &mut make_tuner, &mut policy, &mut detector, 400);
+
+    assert!(outcome.changes_detected >= 1, "the workload shift must be detected");
+    assert!(outcome.sessions.len() >= 2, "a new tuning session must have run");
+    let first = outcome.sessions.first().expect("first session").best;
+    let last = outcome.sessions.last().expect("last session").best;
+    assert!(
+        first.t >= 6,
+        "the scalable phase should pick wide top-level parallelism, got {first}"
+    );
+    assert!(
+        last.c >= 4,
+        "the nested-contended phase should move to intra-tree parallelism: {first} -> {last}"
+    );
+}
+
+#[test]
+fn stable_workload_never_retunes() {
+    let machine = MachineParams::new(12);
+    let mut system = ShiftingSystem {
+        inner: SimSystem::new(&scalable_workload(), &machine, 9),
+        shift_at_ns: u64::MAX,
+        next: None,
+    };
+    let space = SearchSpace::new(machine.n_cores);
+    let mut make_tuner = || -> Box<dyn autopn::Tuner> {
+        Box::new(AutoPn::new(space.clone(), AutoPnConfig::default()))
+    };
+    let mut policy = AdaptiveMonitor::default();
+    let mut detector = CusumDetector::default();
+
+    let outcome =
+        Controller::tune_with_retuning(&mut system, &mut make_tuner, &mut policy, &mut detector, 60);
+    assert_eq!(outcome.sessions.len(), 1, "no change, no re-tuning");
+    assert_eq!(outcome.changes_detected, 0);
+    assert_eq!(outcome.supervision_windows, 60);
+}
+
+#[test]
+fn simulator_workload_switch_changes_behavior() {
+    let machine = MachineParams::new(12);
+    let mut sys = SimSystem::new(&scalable_workload(), &machine, 3);
+    sys.apply(Config::new(10, 1));
+    sys.advance(Duration::from_millis(50));
+    let before = sys.advance(Duration::from_millis(300)).throughput();
+    sys.switch_workload(&contended_workload());
+    sys.advance(Duration::from_millis(100)); // drain the transition
+    let after = sys.advance(Duration::from_millis(300)).throughput();
+    assert!(
+        after < before * 0.1,
+        "the long-transaction workload must slow (10,1) down: {before:.0} -> {after:.0}"
+    );
+    assert_eq!(sys.simulation().workload_name(), "dyn-contended");
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration: AutoPN tuning complete simulated systems, across
+//! crates (autopn + simtm + workloads).
+
+use std::time::Duration;
+
+use autopn::monitor::{AdaptiveMonitor, CommitCountMonitor};
+use autopn::{AutoPn, AutoPnConfig, Config, Controller, SearchSpace, TunableSystem};
+use simtm::{MachineParams, SimWorkload, SurfaceBuilder};
+use workloads::SimSystem;
+
+fn small_machine() -> MachineParams {
+    MachineParams::new(12)
+}
+
+fn nested_workload() -> SimWorkload {
+    SimWorkload::builder("e2e-nested")
+        .top_work_us(30.0)
+        .child_count(6)
+        .child_work_us(120.0)
+        .top_footprint(8, 2)
+        .child_footprint(12, 2)
+        .data_items(15_000)
+        .build()
+}
+
+/// Ground truth for the workload via exhaustive evaluation.
+fn exhaustive_best(wl: &SimWorkload, machine: &MachineParams) -> (Config, f64) {
+    let surface = SurfaceBuilder::new(wl.clone(), *machine)
+        .reps(3)
+        .warmup(Duration::from_millis(10))
+        .measure(Duration::from_millis(120))
+        .build();
+    let ((t, c), tp) = surface.optimum();
+    (Config::new(t, c), tp)
+}
+
+#[test]
+fn autopn_tunes_simulated_system_close_to_optimum() {
+    let machine = small_machine();
+    let wl = nested_workload();
+    let (best_cfg, best_tp) = exhaustive_best(&wl, &machine);
+
+    let mut sys = SimSystem::new(&wl, &machine, 11);
+    let mut tuner = AutoPn::new(SearchSpace::new(machine.n_cores), AutoPnConfig::default());
+    let mut policy = AdaptiveMonitor::default();
+    let outcome = Controller::tune(&mut sys, &mut tuner, &mut policy);
+
+    // Verify the tuner's pick against ground truth (generous tolerance: the
+    // monitor samples are noisier than the exhaustive trace).
+    let mut verify = SimSystem::new(&wl, &machine, 99);
+    verify.apply(outcome.best);
+    verify.advance(Duration::from_millis(20));
+    let tuned_tp = verify.advance(Duration::from_millis(200)).throughput();
+    assert!(
+        tuned_tp > 0.7 * best_tp,
+        "tuned {cfg} -> {tuned_tp:.0} txn/s, exhaustive best {best_cfg} -> {best_tp:.0}",
+        cfg = outcome.best
+    );
+    assert!(
+        outcome.explored.len() < SearchSpace::new(machine.n_cores).len(),
+        "tuning must not degenerate into exhaustive search"
+    );
+}
+
+#[test]
+fn tuning_is_deterministic_given_seeds() {
+    let machine = small_machine();
+    let wl = nested_workload();
+    let run = || {
+        let mut sys = SimSystem::new(&wl, &machine, 5);
+        let mut tuner = AutoPn::new(
+            SearchSpace::new(machine.n_cores),
+            AutoPnConfig { seed: 1234, ..AutoPnConfig::default() },
+        );
+        let mut policy = AdaptiveMonitor::default();
+        let outcome = Controller::tune(&mut sys, &mut tuner, &mut policy);
+        (outcome.best, outcome.explored.len(), outcome.elapsed_ns)
+    };
+    assert_eq!(run(), run(), "same seeds must reproduce the session exactly");
+}
+
+#[test]
+fn adaptive_timeout_bounds_windows_on_slow_configs() {
+    // A slow workload (50 ms per sequential transaction): WPNOC-30 without a
+    // timeout burns 30 commits per window whatever the configuration's
+    // speed; the adaptive policy's 1/T(1,1) timeout cuts windows on slow
+    // configurations after a couple of commits, so the whole session takes
+    // far less virtual time per window (§VI's robustness argument).
+    let machine = small_machine();
+    let wl = SimWorkload::builder("e2e-slow")
+        .top_work_us(50_000.0) // 50 ms per transaction
+        .top_footprint(10, 3)
+        .data_items(2_000)
+        .build();
+
+    let session = |policy: &mut dyn autopn::monitor::MonitorPolicy| {
+        let mut sys = SimSystem::new(&wl, &machine, 3);
+        let mut tuner = AutoPn::new(
+            SearchSpace::new(machine.n_cores),
+            AutoPnConfig { seed: 77, ..AutoPnConfig::default() },
+        );
+        let outcome = Controller::tune(&mut sys, &mut tuner, policy);
+        (outcome.elapsed_ns, outcome.explored.len())
+    };
+
+    let (adaptive_ns, adaptive_expl) = session(&mut AdaptiveMonitor::default());
+    let (wpnoc_ns, wpnoc_expl) = session(&mut CommitCountMonitor::new(30)); // no timeout
+    let adaptive_per_window = adaptive_ns as f64 / adaptive_expl as f64;
+    let wpnoc_per_window = wpnoc_ns as f64 / wpnoc_expl as f64;
+    assert!(
+        adaptive_per_window < 0.5 * wpnoc_per_window,
+        "adaptive {:.0} ms/window should be well under WPNOC-30-no-timeout {:.0} ms/window",
+        adaptive_per_window / 1e6,
+        wpnoc_per_window / 1e6
+    );
+}
+
+#[test]
+fn commit_count_policy_with_timeout_completes() {
+    let machine = small_machine();
+    let wl = nested_workload();
+    let mut sys = SimSystem::new(&wl, &machine, 17);
+    let mut tuner = AutoPn::new(SearchSpace::new(machine.n_cores), AutoPnConfig::default());
+    let mut policy = CommitCountMonitor::new(10).with_adaptive_timeout();
+    let outcome = Controller::tune(&mut sys, &mut tuner, &mut policy);
+    assert!(outcome.best_throughput > 0.0);
+    // Every non-timed-out window saw exactly 10 commits.
+    for (_, m) in &outcome.explored {
+        if !m.timed_out {
+            assert_eq!(m.commits, 10);
+        }
+    }
+}
+
+#[test]
+fn reconfiguration_during_tuning_is_visible_in_the_simulator() {
+    let machine = small_machine();
+    let wl = nested_workload();
+    let mut sys = SimSystem::new(&wl, &machine, 23);
+    sys.apply(Config::new(4, 3));
+    assert_eq!(sys.simulation().degree(), (4, 3));
+    sys.apply(Config::new(1, 1));
+    assert_eq!(sys.simulation().degree(), (1, 1));
+    let t11 = sys.advance(Duration::from_millis(150)).throughput();
+    sys.apply(Config::new(4, 3));
+    sys.advance(Duration::from_millis(30));
+    let tuned = sys.advance(Duration::from_millis(150)).throughput();
+    assert!(tuned > 1.5 * t11, "(4,3) {tuned:.0} should clearly beat (1,1) {t11:.0}");
+}

@@ -1,0 +1,177 @@
+//! Miniature, fast versions of the paper's qualitative claims — the same
+//! comparisons the `bench` binaries run at full scale, asserted here so
+//! regressions fail CI.
+
+use std::time::Duration;
+
+use autopn::{AutoPn, AutoPnConfig, InitialSampling, SearchSpace, StopCondition, Tuner};
+use baselines::{GaParams, GeneticAlgorithm, HillClimbing, RandomSearch};
+use simtm::{MachineParams, Surface, SurfaceBuilder};
+use workloads::replay;
+
+/// A small but structured trace: interior optimum, contention cliff at high
+/// t, nesting overhead at high c — built once per test binary.
+fn reference_surface() -> Surface {
+    let wl = simtm::SimWorkload::builder("claims")
+        .top_work_us(40.0)
+        .child_count(6)
+        .child_work_us(100.0)
+        .top_footprint(20, 6)
+        .child_footprint(10, 3)
+        .data_items(4_000)
+        .tree_private_fraction(0.6)
+        .build();
+    SurfaceBuilder::new(wl, MachineParams::new(16))
+        .reps(4)
+        .warmup(Duration::from_millis(10))
+        .measure(Duration::from_millis(150))
+        .build()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn final_dfo_over_reps(surface: &Surface, mut make: impl FnMut(u64) -> Box<dyn Tuner>, reps: usize) -> f64 {
+    let dfos: Vec<f64> = (0..reps)
+        .map(|r| {
+            let mut tuner = make(100 + r as u64 * 31);
+            replay(tuner.as_mut(), surface, r).final_dfo
+        })
+        .collect();
+    mean(&dfos)
+}
+
+#[test]
+fn autopn_beats_random_and_hill_climbing() {
+    let surface = reference_surface();
+    let space = SearchSpace::new(16);
+    let autopn = final_dfo_over_reps(
+        &surface,
+        |s| Box::new(AutoPn::new(space.clone(), AutoPnConfig { seed: s, ..AutoPnConfig::default() })),
+        6,
+    );
+    let random = final_dfo_over_reps(&surface, |s| Box::new(RandomSearch::new(space.clone(), s)), 6);
+    let hc = final_dfo_over_reps(&surface, |s| Box::new(HillClimbing::new(space.clone(), s)), 6);
+    // On this small 16-core space random search can get lucky; require
+    // non-inferiority to random and strict superiority to hill climbing
+    // (the full-scale ordering is asserted by the fig5 experiment binary).
+    assert!(
+        autopn <= random + 0.5,
+        "AutoPN {autopn:.1}% must not lose to random {random:.1}%"
+    );
+    assert!(autopn < hc, "AutoPN {autopn:.1}% must beat hill climbing {hc:.1}%");
+    assert!(autopn < 10.0, "AutoPN should be close to optimum, got {autopn:.1}%");
+}
+
+#[test]
+fn autopn_explores_fewer_configs_than_ga_at_similar_accuracy() {
+    let surface = reference_surface();
+    let space = SearchSpace::new(16);
+    let mut autopn_expl = Vec::new();
+    let mut ga_expl = Vec::new();
+    for r in 0..5u64 {
+        let mut a = AutoPn::new(space.clone(), AutoPnConfig { seed: r, ..AutoPnConfig::default() });
+        autopn_expl.push(replay(&mut a, &surface, r as usize).explorations() as f64);
+        let mut g = GeneticAlgorithm::new(space.clone(), GaParams::default(), r);
+        ga_expl.push(replay(&mut g, &surface, r as usize).explorations() as f64);
+    }
+    assert!(
+        mean(&autopn_expl) < mean(&ga_expl),
+        "AutoPN ({:.1}) must explore less than GA ({:.1})",
+        mean(&autopn_expl),
+        mean(&ga_expl)
+    );
+}
+
+#[test]
+fn hill_climb_refinement_does_not_hurt_and_usually_helps() {
+    let surface = reference_surface();
+    let space = SearchSpace::new(16);
+    let with_hc = final_dfo_over_reps(
+        &surface,
+        |s| Box::new(AutoPn::new(space.clone(), AutoPnConfig { seed: s, ..AutoPnConfig::default() })),
+        8,
+    );
+    let without_hc = final_dfo_over_reps(
+        &surface,
+        |s| {
+            Box::new(AutoPn::new(
+                space.clone(),
+                AutoPnConfig { seed: s, hill_climb: false, ..AutoPnConfig::default() },
+            ))
+        },
+        8,
+    );
+    assert!(
+        with_hc <= without_hc + 0.5,
+        "refinement must not degrade accuracy: {with_hc:.2}% vs {without_hc:.2}%"
+    );
+}
+
+#[test]
+fn biased_9_matches_or_beats_smaller_biased_samples() {
+    let surface = reference_surface();
+    let space = SearchSpace::new(16);
+    let run = |k: usize| {
+        final_dfo_over_reps(
+            &surface,
+            |s| {
+                Box::new(AutoPn::new(
+                    space.clone(),
+                    AutoPnConfig {
+                        seed: s,
+                        init: InitialSampling::Biased(k),
+                        stop: StopCondition::EiBelow(0.10),
+                        hill_climb: false,
+                        ..AutoPnConfig::default()
+                    },
+                ))
+            },
+            8,
+        )
+    };
+    let (b3, b9) = (run(3), run(9));
+    assert!(
+        b9 <= b3 + 1.0,
+        "the full 9-point boundary sample ({b9:.1}%) must not lose to 3 pivots ({b3:.1}%)"
+    );
+}
+
+#[test]
+fn search_space_matches_paper_cardinality() {
+    assert_eq!(SearchSpace::new(48).len(), 198);
+}
+
+#[test]
+fn stubborn_stopping_wastes_explorations() {
+    let surface = reference_surface();
+    let space = SearchSpace::new(16);
+    let (opt_cfg, _) = surface.optimum();
+    let target = surface.mean(opt_cfg);
+    let mut expl_ei = Vec::new();
+    let mut expl_stubborn = Vec::new();
+    for r in 0..5u64 {
+        let mut ei = AutoPn::new(
+            space.clone(),
+            AutoPnConfig { seed: r, hill_climb: false, ..AutoPnConfig::default() },
+        );
+        expl_ei.push(replay(&mut ei, &surface, r as usize).explorations() as f64);
+        let mut stubborn = AutoPn::new(
+            space.clone(),
+            AutoPnConfig {
+                seed: r,
+                hill_climb: false,
+                stop: StopCondition::Stubborn { target, tolerance: 0.02 },
+                ..AutoPnConfig::default()
+            },
+        );
+        expl_stubborn.push(replay(&mut stubborn, &surface, r as usize).explorations() as f64);
+    }
+    assert!(
+        mean(&expl_stubborn) > mean(&expl_ei),
+        "stubborn ({:.1}) must explore more than EI<10% ({:.1})",
+        mean(&expl_stubborn),
+        mean(&expl_ei)
+    );
+}
