@@ -6,6 +6,7 @@ use crate::kpi::Measurement;
 use crate::monitor::{MonitorPolicy, Verdict};
 use crate::optimizer::Tuner;
 use crate::space::Config;
+use pnstm::{TraceBus, TraceEvent};
 
 /// A system whose parallelism degree can be tuned and whose top-level commit
 /// events can be observed. Implemented by the `simtm` simulator wrapper and
@@ -60,17 +61,45 @@ pub struct Controller;
 impl Controller {
     /// Measure the system's current configuration under `policy`.
     pub fn measure(system: &mut dyn TunableSystem, policy: &mut dyn MonitorPolicy) -> Measurement {
-        policy.begin_window(system.now_ns());
+        Self::measure_traced(system, policy, &TraceBus::default())
+    }
+
+    /// [`Controller::measure`], additionally emitting window open/sample/
+    /// close events — including the policy's CV trajectory — on `trace`.
+    pub fn measure_traced(
+        system: &mut dyn TunableSystem,
+        policy: &mut dyn MonitorPolicy,
+        trace: &TraceBus,
+    ) -> Measurement {
+        let opened = system.now_ns();
+        policy.begin_window(opened);
+        trace.emit(TraceEvent::WindowOpen { at_ns: opened });
+        let close = |m: Measurement, at_ns: u64, trace: &TraceBus| {
+            trace.emit(TraceEvent::WindowClose {
+                at_ns,
+                commits: m.commits,
+                window_ns: m.window_ns,
+                throughput: m.throughput,
+                timed_out: m.timed_out,
+                cv: m.cv,
+            });
+            m
+        };
         loop {
             match system.wait_commit(policy.poll_interval_ns()) {
                 Some(ts) => {
-                    if let Verdict::Complete(m) = policy.on_commit(ts) {
-                        return m;
+                    let verdict = policy.on_commit(ts);
+                    if trace.is_enabled() {
+                        trace.emit(TraceEvent::WindowSample { at_ns: ts, cv: policy.current_cv() });
+                    }
+                    if let Verdict::Complete(m) = verdict {
+                        return close(m, ts, trace);
                     }
                 }
                 None => {
-                    if let Verdict::Complete(m) = policy.on_idle(system.now_ns()) {
-                        return m;
+                    let now = system.now_ns();
+                    if let Verdict::Complete(m) = policy.on_idle(now) {
+                        return close(m, now, trace);
                     }
                 }
             }
@@ -84,19 +113,47 @@ impl Controller {
         tuner: &mut dyn Tuner,
         policy: &mut dyn MonitorPolicy,
     ) -> TuningOutcome {
+        Self::tune_traced(system, tuner, policy, &TraceBus::default())
+    }
+
+    /// [`Controller::tune`], additionally emitting session, window and
+    /// optimizer events on `trace`. Pass the tuned STM's own bus
+    /// (`stm.trace_bus().clone()`) to interleave control-plane events with
+    /// the runtime's transaction/reconfiguration events in one stream.
+    pub fn tune_traced(
+        system: &mut dyn TunableSystem,
+        tuner: &mut dyn Tuner,
+        policy: &mut dyn MonitorPolicy,
+        trace: &TraceBus,
+    ) -> TuningOutcome {
+        tuner.attach_trace(trace.clone());
         let started = system.now_ns();
+        trace.emit(TraceEvent::SessionStart { at_ns: started });
         let mut explored = Vec::new();
         while let Some(cfg) = tuner.propose() {
             system.apply(cfg);
             system.quiesce();
-            let m = Self::measure(system, policy);
+            let m = Self::measure_traced(system, policy, trace);
             policy.measurement_taken(cfg, &m);
             tuner.observe_noisy(cfg, m.throughput, m.cv, m.timed_out);
             explored.push((cfg, m));
         }
-        let (best, best_throughput) =
-            tuner.best().expect("tuner explored at least one configuration");
+        // A tuner can finish without a single observation (empty search
+        // space, a zero-budget stop condition): fall back to the sequential
+        // configuration instead of panicking mid-session.
+        let (best, best_throughput, fallback) = match tuner.best() {
+            Some((cfg, kpi)) => (cfg, kpi, false),
+            None => (Config::new(1, 1), 0.0, true),
+        };
         system.apply(best);
+        trace.emit(TraceEvent::SessionEnd {
+            at_ns: system.now_ns(),
+            best_t: best.t as u32,
+            best_c: best.c as u32,
+            throughput: best_throughput,
+            explored: explored.len() as u64,
+            fallback,
+        });
         TuningOutcome {
             explored,
             best,
@@ -119,6 +176,27 @@ impl Controller {
         detector: &mut crate::change::CusumDetector,
         max_windows: usize,
     ) -> SupervisedOutcome {
+        Self::tune_with_retuning_traced(
+            system,
+            make_tuner,
+            policy,
+            detector,
+            max_windows,
+            &TraceBus::default(),
+        )
+    }
+
+    /// [`Controller::tune_with_retuning`], additionally emitting the per
+    /// session trace plus a [`TraceEvent::ChangeDetected`] whenever the CUSUM
+    /// detector triggers a re-tune.
+    pub fn tune_with_retuning_traced(
+        system: &mut dyn TunableSystem,
+        make_tuner: &mut dyn FnMut() -> Box<dyn crate::optimizer::Tuner>,
+        policy: &mut dyn MonitorPolicy,
+        detector: &mut crate::change::CusumDetector,
+        max_windows: usize,
+        trace: &TraceBus,
+    ) -> SupervisedOutcome {
         let mut sessions = Vec::new();
         let mut windows = 0usize;
         let mut changes = 0usize;
@@ -126,16 +204,17 @@ impl Controller {
             let mut tuner = make_tuner();
             // A (suspected) new workload invalidates the 1/T(1,1) reference.
             policy.reset_reference();
-            let outcome = Self::tune(system, tuner.as_mut(), policy);
+            let outcome = Self::tune_traced(system, tuner.as_mut(), policy, trace);
             let best = outcome.best;
             sessions.push(outcome);
             detector.reset();
             while windows < max_windows {
-                let m = Self::measure(system, policy);
+                let m = Self::measure_traced(system, policy, trace);
                 policy.measurement_taken(best, &m);
                 windows += 1;
                 if detector.observe(m.throughput) {
                     changes += 1;
+                    trace.emit(TraceEvent::ChangeDetected { at_ns: system.now_ns() });
                     continue 'sessions;
                 }
             }
@@ -217,6 +296,102 @@ mod tests {
         assert!(outcome.elapsed_ns > 0);
         // The system was left running the chosen configuration.
         assert_eq!(sys.period_ns, FakeSystem::period_for(best));
+    }
+
+    #[test]
+    fn tune_with_empty_tuner_falls_back_to_sequential_config() {
+        /// A tuner that never proposes and never has a best — e.g. an
+        /// exhausted search space. `tune` must not panic; it must park the
+        /// system on (1,1).
+        struct EmptyTuner;
+        impl Tuner for EmptyTuner {
+            fn propose(&mut self) -> Option<Config> {
+                None
+            }
+            fn observe(&mut self, _cfg: Config, _kpi: f64) {}
+            fn best(&self) -> Option<(Config, f64)> {
+                None
+            }
+            fn explored(&self) -> usize {
+                0
+            }
+            fn name(&self) -> String {
+                "empty".into()
+            }
+        }
+        let mut sys = FakeSystem::new();
+        let mut policy = AdaptiveMonitor::default();
+        let sink = std::sync::Arc::new(pnstm::TestSink::default());
+        let trace = TraceBus::new();
+        trace.subscribe(sink.clone());
+        let outcome = Controller::tune_traced(&mut sys, &mut EmptyTuner, &mut policy, &trace);
+        assert_eq!(outcome.best, Config::new(1, 1));
+        assert_eq!(outcome.best_throughput, 0.0);
+        assert!(outcome.explored.is_empty());
+        // The fallback was actually applied to the system.
+        assert_eq!(sys.period_ns, FakeSystem::period_for(Config::new(1, 1)));
+        // And the trace records it as a fallback session.
+        let events = sink.events();
+        assert!(matches!(events.first(), Some(TraceEvent::SessionStart { .. })));
+        match events.last() {
+            Some(TraceEvent::SessionEnd {
+                best_t: 1,
+                best_c: 1,
+                fallback: true,
+                explored: 0,
+                ..
+            }) => {}
+            other => panic!("unexpected final event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_session_emits_well_ordered_window_events() {
+        let mut sys = FakeSystem::new();
+        let mut tuner = AutoPn::new(SearchSpace::new(16), AutoPnConfig::default());
+        let mut policy = AdaptiveMonitor::default();
+        let sink = std::sync::Arc::new(pnstm::TestSink::default());
+        let trace = TraceBus::new();
+        trace.subscribe(sink.clone());
+        let outcome = Controller::tune_traced(&mut sys, &mut tuner, &mut policy, &trace);
+        let events = sink.events();
+        assert!(matches!(events.first(), Some(TraceEvent::SessionStart { .. })));
+        assert!(matches!(events.last(), Some(TraceEvent::SessionEnd { fallback: false, .. })));
+        // Windows are properly bracketed and counted: one open+close pair per
+        // explored configuration, never nested.
+        let mut open = false;
+        let mut closes = 0usize;
+        let mut proposals = 0usize;
+        for ev in events.iter() {
+            match ev {
+                TraceEvent::WindowOpen { .. } => {
+                    assert!(!open, "nested WindowOpen");
+                    open = true;
+                }
+                TraceEvent::WindowClose { commits, throughput, timed_out, .. } => {
+                    assert!(open, "WindowClose without WindowOpen");
+                    open = false;
+                    closes += 1;
+                    // Slow configurations may be cut by the adaptive timeout
+                    // before a commit lands; otherwise the window saw work.
+                    assert!(*timed_out || (*commits > 0 && *throughput > 0.0));
+                }
+                TraceEvent::WindowSample { .. } => {
+                    assert!(open, "WindowSample outside a window");
+                }
+                TraceEvent::Proposal { t, c, .. } => {
+                    proposals += 1;
+                    assert!(
+                        (*t as u64) * (*c as u64) <= 16,
+                        "proposal ({t},{c}) exceeds core budget"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(!open, "unclosed window at session end");
+        assert_eq!(closes, outcome.explored.len());
+        assert_eq!(proposals, outcome.explored.len());
     }
 
     #[test]

@@ -161,7 +161,8 @@ mod tests {
         let space = SearchSpace::new(16);
         let f = |cfg: Config| {
             let local = 10.0 - ((cfg.t as f64 - 2.0).powi(2) + (cfg.c as f64 - 2.0).powi(2));
-            let global = 50.0 - 8.0 * ((cfg.t as f64 - 14.0).powi(2) + (cfg.c as f64 - 1.0).powi(2));
+            let global =
+                50.0 - 8.0 * ((cfg.t as f64 - 14.0).powi(2) + (cfg.c as f64 - 1.0).powi(2));
             local.max(global)
         };
         let (best, _) = drive(space, Config::new(2, 2), f);
@@ -177,7 +178,8 @@ mod tests {
         for n in space.neighbors(Config::new(2, 2)) {
             known.insert(n, f(n));
         }
-        let mut hc = HillClimber::new(space.clone(), Config::new(2, 2), f(Config::new(2, 2)), known);
+        let mut hc =
+            HillClimber::new(space.clone(), Config::new(2, 2), f(Config::new(2, 2)), known);
         // First proposal must already be a neighbor of the *recentered* point.
         let first = hc.propose().unwrap();
         let center_after = hc.center().0;

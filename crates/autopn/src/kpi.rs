@@ -1,9 +1,9 @@
 //! KPI measurements produced by the monitor.
 
-use serde::{Deserialize, Serialize};
+use serde::impl_serde;
 
 /// The result of one measurement window on one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Committed top-level transactions per second (the paper's target KPI).
     pub throughput: f64,
@@ -19,14 +19,12 @@ pub struct Measurement {
     pub cv: Option<f64>,
 }
 
+impl_serde!(Measurement { throughput, commits, window_ns, timed_out, cv });
+
 impl Measurement {
     /// A window that saw `commits` commits over `window_ns`.
     pub fn from_counts(commits: u64, window_ns: u64, timed_out: bool, cv: Option<f64>) -> Self {
-        let throughput = if window_ns == 0 {
-            0.0
-        } else {
-            commits as f64 * 1e9 / window_ns as f64
-        };
+        let throughput = if window_ns == 0 { 0.0 } else { commits as f64 * 1e9 / window_ns as f64 };
         Self { throughput, commits, window_ns, timed_out, cv }
     }
 }

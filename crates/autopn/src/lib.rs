@@ -60,9 +60,12 @@ pub mod stopping;
 pub use actuator::{Actuator, PnstmActuator};
 pub use change::CusumDetector;
 pub use controller::{Controller, TunableSystem, TuningOutcome};
+// Re-exported so controller callers can build a trace pipeline without
+// depending on pnstm directly.
 pub use kpi::Measurement;
 pub use multi::{MultiAutoPn, MultiAutoPnConfig, MultiConfig};
 pub use optimizer::{AutoPn, AutoPnConfig, Tuner};
+pub use pnstm::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
 pub use sampling::InitialSampling;
 pub use space::{Config, SearchSpace};
 pub use stopping::StopCondition;

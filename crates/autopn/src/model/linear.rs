@@ -50,11 +50,7 @@ impl LinearModel {
             scy += w * s.c * s.y;
         }
         let lambda = 1e-8 * (stt + scc + n).max(1.0);
-        let a = [
-            [n + lambda, st, sc],
-            [st, stt + lambda, stc],
-            [sc, stc, scc + lambda],
-        ];
+        let a = [[n + lambda, st, sc], [st, stt + lambda, stc], [sc, stc, scc + lambda]];
         let v = [sy, sty, scy];
         match solve3(a, v) {
             Some([b0, b1, b2]) if b0.is_finite() && b1.is_finite() && b2.is_finite() => {
@@ -69,10 +65,7 @@ impl LinearModel {
         if samples.is_empty() {
             return 0.0;
         }
-        let sse: f64 = samples
-            .iter()
-            .map(|s| (self.predict(s.t, s.c) - s.y).powi(2))
-            .sum();
+        let sse: f64 = samples.iter().map(|s| (self.predict(s.t, s.c) - s.y).powi(2)).sum();
         (sse / samples.len() as f64).sqrt()
     }
 
@@ -81,10 +74,7 @@ impl LinearModel {
         if samples.is_empty() {
             return 0.0;
         }
-        samples
-            .iter()
-            .map(|s| (self.predict(s.t, s.c) - s.y).abs())
-            .sum::<f64>()
+        samples.iter().map(|s| (self.predict(s.t, s.c) - s.y).abs()).sum::<f64>()
             / samples.len() as f64
     }
 }
@@ -230,12 +220,15 @@ mod tests {
 
     #[test]
     fn solve3_identity() {
-        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [4.0, 5.0, 6.0]).unwrap();
+        let x =
+            solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [4.0, 5.0, 6.0]).unwrap();
         assert_eq!(x, [4.0, 5.0, 6.0]);
     }
 
     #[test]
     fn solve3_singular_returns_none() {
-        assert!(solve3([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]], [1.0, 2.0, 3.0]).is_none());
+        assert!(
+            solve3([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]], [1.0, 2.0, 3.0]).is_none()
+        );
     }
 }

@@ -182,7 +182,8 @@ fn prune(node: &mut Node, samples: &[Sample], params: &M5Params) {
     if let Node::Split { left, right, model, .. } = node {
         prune(left, &l, params);
         prune(right, &r, params);
-        let subtree_err = subtree_mae(left, &l) * l.len() as f64 + subtree_mae(right, &r) * r.len() as f64;
+        let subtree_err =
+            subtree_mae(left, &l) * l.len() as f64 + subtree_mae(right, &r) * r.len() as f64;
         let subtree_err = subtree_err / samples.len().max(1) as f64;
         let model_err = model.mae(samples);
         // Penalize the subtree by its parameter count, M5-style.
@@ -271,10 +272,7 @@ mod tests {
         let tree_err: f64 =
             samples.iter().map(|s| (tree.predict(s.t, s.c) - s.y).abs()).sum::<f64>();
         let lin_err: f64 = samples.iter().map(|s| (lin.predict(s.t, s.c) - s.y).abs()).sum::<f64>();
-        assert!(
-            tree_err < lin_err * 0.6,
-            "tree {tree_err} should clearly beat line {lin_err}"
-        );
+        assert!(tree_err < lin_err * 0.6, "tree {tree_err} should clearly beat line {lin_err}");
         assert!(tree.leaf_count() >= 2, "must have split at least once");
     }
 

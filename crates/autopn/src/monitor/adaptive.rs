@@ -181,6 +181,10 @@ impl MonitorPolicy for AdaptiveMonitor {
         self.timescale_ns = None;
     }
 
+    fn current_cv(&self) -> Option<f64> {
+        self.stats.cv()
+    }
+
     fn name(&self) -> String {
         format!("adaptive(cv={:.0}%)", self.cv_threshold * 100.0)
     }

@@ -47,7 +47,12 @@ impl CommitCountMonitor {
     }
 
     fn close(&self, now_ns: u64, timed_out: bool) -> Measurement {
-        Measurement::from_counts(self.commits, now_ns.saturating_sub(self.start_ns).max(1), timed_out, None)
+        Measurement::from_counts(
+            self.commits,
+            now_ns.saturating_sub(self.start_ns).max(1),
+            timed_out,
+            None,
+        )
     }
 }
 
@@ -127,7 +132,10 @@ mod tests {
     fn adaptive_timeout_rescues_starving_config() {
         let mut m = CommitCountMonitor::new(30).with_adaptive_timeout();
         // (1,1) measured at 1000 commits/s → timeout 3ms (κ = 3 timescales).
-        m.measurement_taken(Config::new(1, 1), &Measurement::from_counts(1000, 1_000_000_000, false, None));
+        m.measurement_taken(
+            Config::new(1, 1),
+            &Measurement::from_counts(1000, 1_000_000_000, false, None),
+        );
         m.begin_window(0);
         let _ = m.on_commit(100_000);
         assert_eq!(m.on_idle(1_200_000), Verdict::Continue);
@@ -149,7 +157,10 @@ mod tests {
     #[test]
     fn non_pivot_measurements_do_not_arm_timeout() {
         let mut m = CommitCountMonitor::new(5).with_adaptive_timeout();
-        m.measurement_taken(Config::new(8, 2), &Measurement::from_counts(100, 1_000_000_000, false, None));
+        m.measurement_taken(
+            Config::new(8, 2),
+            &Measurement::from_counts(100, 1_000_000_000, false, None),
+        );
         m.begin_window(0);
         assert_eq!(m.on_idle(60_000_000_000), Verdict::Continue);
     }

@@ -61,6 +61,14 @@ pub trait MonitorPolicy {
     /// tuning session: the old reference no longer describes the system.
     fn reset_reference(&mut self) {}
 
+    /// The policy's running stability estimate (CV of the per-commit
+    /// throughput series) mid-window, if it tracks one. The traced
+    /// controller samples this after every commit to record the CV
+    /// trajectory of the window.
+    fn current_cv(&self) -> Option<f64> {
+        None
+    }
+
     /// Display name for reports.
     fn name(&self) -> String;
 }

@@ -87,7 +87,10 @@ enum Phase {
     /// Measure the starting all-(1,1) assignment.
     Baseline,
     /// Tuning coordinate `k` with an inner AutoPN.
-    Coordinate { k: usize, inner: Box<AutoPn> },
+    Coordinate {
+        k: usize,
+        inner: Box<AutoPn>,
+    },
     Done,
 }
 
@@ -173,8 +176,7 @@ impl MultiAutoPn {
         // Pass complete.
         self.pass += 1;
         let best_now = self.best.as_ref().map(|(_, v)| *v).unwrap_or(f64::NEG_INFINITY);
-        let improved = best_now
-            > self.pass_start_best * (1.0 + self.cfg.min_pass_gain)
+        let improved = best_now > self.pass_start_best * (1.0 + self.cfg.min_pass_gain)
             || !self.pass_start_best.is_finite();
         if improved && self.pass < self.cfg.max_passes {
             self.pass_start_best = best_now;
@@ -198,7 +200,10 @@ impl MultiAutoPn {
                     match inner.propose() {
                         Some(cfg) => {
                             let mc = self.assignment.with_type(k, cfg);
-                            debug_assert!(mc.fits(self.n_cores), "budgeting keeps proposals admissible");
+                            debug_assert!(
+                                mc.fits(self.n_cores),
+                                "budgeting keeps proposals admissible"
+                            );
                             self.pending = Some(mc.clone());
                             return Some(mc);
                         }

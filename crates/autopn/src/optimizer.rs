@@ -31,6 +31,12 @@ pub trait Tuner {
     fn explored(&self) -> usize;
     /// Display name for reports.
     fn name(&self) -> String;
+    /// Attach a trace bus the tuner should publish its decisions on
+    /// (proposals with acquisition values, phase transitions). Default:
+    /// ignored — baselines that don't trace need no changes.
+    fn attach_trace(&mut self, trace: pnstm::TraceBus) {
+        let _ = trace;
+    }
 }
 
 /// AutoPN hyper-parameters.
@@ -88,6 +94,7 @@ pub struct AutoPn {
     known: HashMap<Config, f64>,
     history: Vec<f64>,
     smbo_rounds: u64,
+    trace: pnstm::TraceBus,
 }
 
 impl AutoPn {
@@ -103,6 +110,7 @@ impl AutoPn {
             known: HashMap::new(),
             history: Vec::new(),
             smbo_rounds: 0,
+            trace: pnstm::TraceBus::default(),
         }
     }
 
@@ -151,14 +159,16 @@ impl AutoPn {
     }
 }
 
-impl Tuner for AutoPn {
-    fn propose(&mut self) -> Option<Config> {
+impl AutoPn {
+    /// The `propose` state machine; returns the proposal and, for SMBO
+    /// proposals, the relative-EI acquisition value behind it.
+    fn propose_inner(&mut self) -> Option<(Config, Option<f64>)> {
         loop {
             match &mut self.phase {
                 Phase::InitialSampling => {
                     while let Some(cfg) = self.init_queue.pop_front() {
                         if !self.known.contains_key(&cfg) {
-                            return Some(cfg);
+                            return Some((cfg, None));
                         }
                     }
                     self.phase = Phase::Smbo;
@@ -179,15 +189,39 @@ impl Tuner for AutoPn {
                         self.enter_refinement();
                         continue;
                     }
-                    return proposal.map(|p| p.config);
+                    return proposal.map(|p| (p.config, Some(p.relative_ei)));
                 }
                 Phase::HillClimb(hc) => match hc.propose() {
-                    Some(cfg) => return Some(cfg),
+                    Some(cfg) => return Some((cfg, None)),
                     None => self.phase = Phase::Done,
                 },
                 Phase::Done => return None,
             }
         }
+    }
+}
+
+impl Tuner for AutoPn {
+    fn propose(&mut self) -> Option<Config> {
+        let phase_before = self.phase_name();
+        let proposal = self.propose_inner();
+        if self.trace.is_enabled() {
+            let phase_after = self.phase_name();
+            if phase_before != phase_after {
+                self.trace.emit(pnstm::TraceEvent::OptimizerPhase {
+                    from: phase_before,
+                    to: phase_after,
+                });
+            }
+            if let Some((cfg, relative_ei)) = proposal {
+                self.trace.emit(pnstm::TraceEvent::Proposal {
+                    t: cfg.t as u32,
+                    c: cfg.c as u32,
+                    relative_ei,
+                });
+            }
+        }
+        proposal.map(|(cfg, _)| cfg)
     }
 
     fn observe(&mut self, cfg: Config, kpi: f64) {
@@ -217,6 +251,10 @@ impl Tuner for AutoPn {
         } else {
             "AutoPN-noHC".to_string()
         }
+    }
+
+    fn attach_trace(&mut self, trace: pnstm::TraceBus) {
+        self.trace = trace;
     }
 }
 

@@ -120,10 +120,8 @@ mod tests {
     fn pi_ignores_gain_magnitude_unlike_ei() {
         // A certain epsilon gain: PI says 1.0, EI says epsilon — the paper's
         // argument for EI over PI.
-        let (pi, ei) = (
-            probability_of_improvement(5.001, 1e-9, 5.0),
-            expected_improvement(5.001, 1e-9, 5.0),
-        );
+        let (pi, ei) =
+            (probability_of_improvement(5.001, 1e-9, 5.0), expected_improvement(5.001, 1e-9, 5.0));
         assert!(pi > 0.999);
         assert!(ei < 0.01);
     }

@@ -131,7 +131,11 @@ pub fn propose_noise_aware(
 mod tests {
     use super::*;
 
-    fn obs(space: &SearchSpace, f: impl Fn(Config) -> f64, cfgs: &[(usize, usize)]) -> Vec<(Config, f64)> {
+    fn obs(
+        space: &SearchSpace,
+        f: impl Fn(Config) -> f64,
+        cfgs: &[(usize, usize)],
+    ) -> Vec<(Config, f64)> {
         cfgs.iter()
             .map(|&(t, c)| {
                 let cfg = Config::new(t, c);

@@ -1,16 +1,18 @@
 //! The configuration search space `S = {(t, c) : t·c ≤ n}` (§III-B).
 
-use serde::{Deserialize, Serialize};
+use serde::impl_serde;
 
 /// One parallelism-degree configuration: `t` concurrent top-level
 /// transactions, `c` concurrent nested transactions per transaction tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Config {
     /// Number of concurrent top-level transactions.
     pub t: usize,
     /// Number of concurrent nested transactions per tree.
     pub c: usize,
 }
+
+impl_serde!(Config { t, c });
 
 impl Config {
     pub fn new(t: usize, c: usize) -> Self {
@@ -47,11 +49,13 @@ impl std::fmt::Display for Config {
 }
 
 /// The admissible search space for a machine with `n` cores.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchSpace {
     n_cores: usize,
     configs: Vec<Config>,
 }
+
+impl_serde!(SearchSpace { n_cores, configs });
 
 impl SearchSpace {
     /// Enumerate `S` for an `n`-core machine (198 configurations at n = 48).

@@ -275,7 +275,9 @@ mod tests {
     #[test]
     fn finds_good_region_on_bowl() {
         let space = SearchSpace::new(48);
-        let f = |c: Config| 1000.0 - 2.0 * (c.t as f64 - 16.0).powi(2) - 50.0 * (c.c as f64 - 2.0).powi(2);
+        let f = |c: Config| {
+            1000.0 - 2.0 * (c.t as f64 - 16.0).powi(2) - 50.0 * (c.c as f64 - 2.0).powi(2)
+        };
         let mut best_val = f64::NEG_INFINITY;
         for seed in 0..3 {
             let mut ga = GeneticAlgorithm::new(space.clone(), GaParams::default(), seed);

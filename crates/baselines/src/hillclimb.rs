@@ -60,10 +60,7 @@ impl Tuner for HillClimbing {
     }
 
     fn best(&self) -> Option<(Config, f64)> {
-        self.history
-            .iter()
-            .copied()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
+        self.history.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     fn explored(&self) -> usize {
@@ -95,7 +92,8 @@ mod tests {
         let space = SearchSpace::new(16);
         let f = |cfg: Config| {
             let local = 10.0 - ((cfg.t as f64 - 2.0).powi(2) + (cfg.c as f64 - 2.0).powi(2));
-            let global = 60.0 - 9.0 * ((cfg.t as f64 - 13.0).powi(2) + (cfg.c as f64 - 1.0).powi(2));
+            let global =
+                60.0 - 9.0 * ((cfg.t as f64 - 13.0).powi(2) + (cfg.c as f64 - 1.0).powi(2));
             local.max(global)
         };
         let mut t = HillClimbing::from_start(space, Config::new(2, 2));

@@ -31,11 +31,7 @@ impl Objective {
         space: &SearchSpace,
         f: impl Fn(Config) -> f64 + Send + Sync + 'static,
     ) -> Self {
-        let optimum = space
-            .configs()
-            .iter()
-            .map(|&c| f(c))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let optimum = space.configs().iter().map(|&c| f(c)).fold(f64::NEG_INFINITY, f64::max);
         Self { name: name.to_string(), f: Box::new(f), optimum }
     }
 }
@@ -133,10 +129,18 @@ pub fn cross_validate<P: Clone>(
     let mut heldout_total = 0.0;
     let mut heldout_count = 0usize;
     for fold in 0..folds {
-        let train: Vec<&Objective> =
-            objectives.iter().enumerate().filter(|(i, _)| i % folds != fold).map(|(_, o)| o).collect();
-        let test: Vec<&Objective> =
-            objectives.iter().enumerate().filter(|(i, _)| i % folds == fold).map(|(_, o)| o).collect();
+        let train: Vec<&Objective> = objectives
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % folds != fold)
+            .map(|(_, o)| o)
+            .collect();
+        let test: Vec<&Objective> = objectives
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % folds == fold)
+            .map(|(_, o)| o)
+            .collect();
         if train.is_empty() || test.is_empty() {
             continue;
         }
@@ -185,7 +189,11 @@ pub fn ga_grid() -> Vec<GaParams> {
 }
 
 /// Convenience: cross-validate SA over its default grid.
-pub fn tune_sa(space: &SearchSpace, objectives: &[Objective], seeds: &[u64]) -> MetaTuneResult<SaParams> {
+pub fn tune_sa(
+    space: &SearchSpace,
+    objectives: &[Objective],
+    seeds: &[u64],
+) -> MetaTuneResult<SaParams> {
     let space = space.clone();
     cross_validate(
         &sa_grid(),
@@ -200,7 +208,11 @@ pub fn tune_sa(space: &SearchSpace, objectives: &[Objective], seeds: &[u64]) -> 
 }
 
 /// Convenience: cross-validate GA over its default grid.
-pub fn tune_ga(space: &SearchSpace, objectives: &[Objective], seeds: &[u64]) -> MetaTuneResult<GaParams> {
+pub fn tune_ga(
+    space: &SearchSpace,
+    objectives: &[Objective],
+    seeds: &[u64],
+) -> MetaTuneResult<GaParams> {
     let space = space.clone();
     cross_validate(
         &ga_grid(),
@@ -265,13 +277,6 @@ mod tests {
     fn empty_candidates_rejected() {
         let space = SearchSpace::new(4);
         let objectives = bowl_objectives(&space);
-        let _ = cross_validate::<SaParams>(
-            &[],
-            &|_, _| unreachable!(),
-            &objectives,
-            2,
-            &[1],
-            10,
-        );
+        let _ = cross_validate::<SaParams>(&[], &|_, _| unreachable!(), &objectives, 2, &[1], 10);
     }
 }

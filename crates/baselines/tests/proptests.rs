@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 
 use autopn::{Config, SearchSpace, Tuner};
-use baselines::{GaParams, GeneticAlgorithm, GridSearch, HillClimbing, RandomSearch, SaParams, SimulatedAnnealing};
+use baselines::{
+    GaParams, GeneticAlgorithm, GridSearch, HillClimbing, RandomSearch, SaParams,
+    SimulatedAnnealing,
+};
 
 fn drive(tuner: &mut dyn Tuner, space: &SearchSpace, cap: usize) -> usize {
     let mut n = 0;

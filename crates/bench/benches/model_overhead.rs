@@ -1,13 +1,17 @@
 //! Criterion benchmarks of the online-learning machinery — the costs that
 //! §VII-E's "< 2% overhead" claim rests on: M5 training, bagged-ensemble
 //! training and querying, and closed-form EI evaluation over the whole
-//! search space.
+//! search space — plus the per-commit hot path (commit hook dispatch and
+//! trace emission) that every transaction pays.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use autopn::model::{BaggedM5, M5Tree, Regressor, Sample};
 use autopn::smbo::expected_improvement;
 use autopn::SearchSpace;
+use pnstm::{CommitEvent, Stats, TraceBus, TraceEvent, TxKind};
 
 /// Synthetic training set mimicking online observations over (t, c).
 fn training_set(n: usize) -> Vec<Sample> {
@@ -72,5 +76,73 @@ fn bench_ei_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_m5_fit, bench_ensemble_fit, bench_ensemble_predict, bench_ei_sweep);
+/// The per-commit hook dispatch. The previous implementation kept the hook
+/// behind `RwLock<Option<Arc<dyn Fn>>>` and cloned the `Arc` on every
+/// commit; `Stats::record_commit_top` now does one atomic pointer load.
+/// `commit/hook_dispatch/rwlock_clone` reconstructs the old path inline as
+/// the baseline to beat.
+fn bench_commit_hook_path(c: &mut Criterion) {
+    type Hook = Arc<dyn Fn(CommitEvent) + Send + Sync>;
+
+    let mut group = c.benchmark_group("commit/hook_dispatch");
+
+    // Old design: read-lock + Option clone per commit.
+    let locked: std::sync::RwLock<Option<Hook>> = std::sync::RwLock::new(Some(Arc::new(|_ev| {})));
+    let mut seq = 0u64;
+    group.bench_function("rwlock_clone", |b| {
+        b.iter(|| {
+            seq += 1;
+            let hook = locked.read().unwrap().clone();
+            if let Some(h) = hook {
+                h(CommitEvent { at: std::time::Instant::now(), seq });
+            }
+        })
+    });
+
+    // New design: lock-free atomic-pointer load inside record_commit_top.
+    let stats = Stats::default();
+    stats.set_commit_hook(Some(Arc::new(|_ev| {})));
+    group.bench_function("atomic_load", |b| b.iter(|| stats.record_commit_top()));
+
+    // And the common case — no monitor attached at all.
+    let idle = Stats::default();
+    group.bench_function("atomic_load_no_hook", |b| b.iter(|| idle.record_commit_top()));
+
+    group.finish();
+}
+
+/// Trace-bus emission cost on the transaction hot path: the disabled bus
+/// must be near-free (one relaxed load), and an enabled bus must stay cheap
+/// enough for the ≤5% session-overhead budget.
+fn bench_trace_emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace/emit");
+
+    let disabled = TraceBus::new();
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            disabled.emit(TraceEvent::TxCommit { kind: TxKind::TopLevel, retries: 0, at_ns: 1 })
+        })
+    });
+
+    // A bounded ring sink so the bench doesn't grow memory without limit.
+    let enabled = TraceBus::new();
+    enabled.subscribe(Arc::new(pnstm::RingSink::with_capacity(1024)));
+    group.bench_function("enabled_ring_sink", |b| {
+        b.iter(|| {
+            enabled.emit(TraceEvent::TxCommit { kind: TxKind::TopLevel, retries: 0, at_ns: 1 })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_m5_fit,
+    bench_ensemble_fit,
+    bench_ensemble_predict,
+    bench_ei_sweep,
+    bench_commit_hook_path,
+    bench_trace_emit
+);
 criterion_main!(benches);

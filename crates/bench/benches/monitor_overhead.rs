@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use autopn::monitor::{AdaptiveMonitor, CommitCountMonitor, MonitorPolicy, StaticTimeMonitor, Verdict};
+use autopn::monitor::{
+    AdaptiveMonitor, CommitCountMonitor, MonitorPolicy, StaticTimeMonitor, Verdict,
+};
 
 /// Feed `n` synthetic commits (1 ms apart); restart windows on completion.
 fn drive(policy: &mut dyn MonitorPolicy, n: u64) -> u64 {

@@ -5,7 +5,9 @@
 //! value in the context of PN-TM systems." This ablation sweeps the
 //! threshold and reports tuning accuracy vs. time spent measuring.
 //!
-//! Usage: `cargo run --release -p bench --bin ablation_cv -- [--full]`
+//! Usage: `cargo run --release -p bench --bin ablation_cv -- [--full]
+//! [--trace-out <path>]` — the latter records every tuning session as JSONL
+//! trace events (schema in `DESIGN.md`).
 
 use autopn::monitor::AdaptiveMonitor;
 use autopn::{AutoPn, AutoPnConfig, Controller, SearchSpace};
@@ -15,6 +17,7 @@ use workloads::{load_or_build_surface, SimSystem};
 fn main() {
     let args = Args::from_env();
     let profile = Profile::from_args(&args);
+    let trace = bench::trace_bus_from_args(&args);
     let reps = match profile {
         Profile::Quick => 3,
         Profile::Full => 5,
@@ -22,8 +25,8 @@ fn main() {
 
     banner("Ablation — adaptive monitor CV threshold (paper default: 10%)");
 
-    let workloads_under_test =
-        ["tpcc-med", "vacation-med", "array-med"].map(|n| workloads::workload_by_name(n).expect("known"));
+    let workloads_under_test = ["tpcc-med", "vacation-med", "array-med"]
+        .map(|n| workloads::workload_by_name(n).expect("known"));
     let space = SearchSpace::new(bench::machine().n_cores);
 
     println!(
@@ -40,12 +43,10 @@ fn main() {
             for rep in 0..reps {
                 let seed = 600 + rep as u64;
                 let mut sys = SimSystem::new(wl, &bench::machine(), seed);
-                let mut tuner = AutoPn::new(
-                    space.clone(),
-                    AutoPnConfig { seed, ..AutoPnConfig::default() },
-                );
+                let mut tuner =
+                    AutoPn::new(space.clone(), AutoPnConfig { seed, ..AutoPnConfig::default() });
                 let mut policy = AdaptiveMonitor::new(threshold, 5);
-                let outcome = Controller::tune(&mut sys, &mut tuner, &mut policy);
+                let outcome = Controller::tune_traced(&mut sys, &mut tuner, &mut policy, &trace);
                 dfos.push(surface.distance_from_optimum(outcome.best.as_tuple()));
                 times.push(outcome.elapsed_ns as f64 / 1e9);
                 windows.push(outcome.explored.len() as f64);
@@ -63,4 +64,5 @@ fn main() {
         "\npaper's rationale check: tighter thresholds cost measurement time with \
          diminishing accuracy returns; 10% balances the two."
     );
+    trace.flush();
 }

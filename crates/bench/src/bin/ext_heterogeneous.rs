@@ -22,11 +22,7 @@ use bench::{banner, mean, Args, Profile};
 use simtm::{ClassSpec, MachineParams, MultiSimulation, SimWorkload};
 
 fn oltp_class() -> SimWorkload {
-    SimWorkload::builder("oltp")
-        .top_work_us(60.0)
-        .top_footprint(10, 3)
-        .data_items(30_000)
-        .build()
+    SimWorkload::builder("oltp").top_work_us(60.0).top_footprint(10, 3).data_items(30_000).build()
 }
 
 fn analytics_class() -> SimWorkload {
@@ -62,11 +58,8 @@ fn measure(mc: &MultiConfig, machine: &MachineParams, seed: u64, window: Duratio
     let before = sim.class_stats();
     sim.run_for_virtual(window);
     let after = sim.class_stats();
-    let per_class: Vec<f64> = before
-        .iter()
-        .zip(&after)
-        .map(|(b, a)| a.delta_since(b).throughput())
-        .collect();
+    let per_class: Vec<f64> =
+        before.iter().zip(&after).map(|(b, a)| a.delta_since(b).throughput()).collect();
     per_class.iter().map(|tp| tp.max(1e-3)).product::<f64>().powf(1.0 / per_class.len() as f64)
 }
 
@@ -92,16 +85,15 @@ fn main() {
     for t in (2..=n).step_by(2) {
         for c in 1..=(n / t) {
             let mc = MultiConfig {
-                per_type: vec![
-                    autopn::Config::new(t / 2, c),
-                    autopn::Config::new(t - t / 2, c),
-                ],
+                per_type: vec![autopn::Config::new(t / 2, c), autopn::Config::new(t - t / 2, c)],
             };
             if !mc.fits(n) {
                 continue;
             }
             let tp = mean(
-                &(0..reps).map(|r| measure(&mc, &machine, 700 + r as u64, window)).collect::<Vec<_>>(),
+                &(0..reps)
+                    .map(|r| measure(&mc, &machine, 700 + r as u64, window))
+                    .collect::<Vec<_>>(),
             );
             if tp > best_uniform.1 {
                 best_uniform = (mc, tp);

@@ -10,8 +10,8 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig5_baselines -- [--full]`
 
-use bench::{banner, mean, percentile, Args, Profile, TUNER_NAMES};
 use autopn::SearchSpace;
+use bench::{banner, mean, percentile, Args, Profile, TUNER_NAMES};
 use workloads::replay;
 
 fn main() {
@@ -48,11 +48,10 @@ fn main() {
         print!("{name:>22}");
     }
     println!();
-    let checkpoints: Vec<usize> =
-        [1usize, 3, 5, 9, 12, 15, 20, 30, 40, 60, 80, 120, 160, 198]
-            .into_iter()
-            .filter(|&s| s <= max_steps.max(20))
-            .collect();
+    let checkpoints: Vec<usize> = [1usize, 3, 5, 9, 12, 15, 20, 30, 40, 60, 80, 120, 160, 198]
+        .into_iter()
+        .filter(|&s| s <= max_steps.max(20))
+        .collect();
     for &step in &checkpoints {
         print!("{step:>6}");
         for (_, traces) in &all_traces {
@@ -136,22 +135,13 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     println!("\nheadline checks vs the paper:");
-    println!(
-        "  AutoPN final mean DFO        : {:.2}%   (paper: ~1%)",
-        autopn.1
-    );
+    println!("  AutoPN final mean DFO        : {:.2}%   (paper: ~1%)", autopn.1);
     println!(
         "  AutoPN-noHC final mean DFO   : {:.2}%   (paper: ~5%; HC refinement closes it to ~1%)",
         autopn_nohc.1
     );
-    println!(
-        "  GA final mean DFO            : {:.2}%   (paper: ~8%, best baseline)",
-        ga.1
-    );
-    println!(
-        "  GA explorations / AutoPN     : {:.1}x   (paper: ~3x)",
-        ga.3 / autopn.3
-    );
+    println!("  GA final mean DFO            : {:.2}%   (paper: ~8%, best baseline)", ga.1);
+    println!("  GA explorations / AutoPN     : {:.1}x   (paper: ~3x)", ga.3 / autopn.3);
     println!(
         "  mean baseline expl / AutoPN  : {:.1}x   (paper: 9.8x faster convergence)",
         baseline_expl / autopn.3

@@ -25,18 +25,12 @@ fn main() {
     let conditions: Vec<(&str, StopFactory)> = vec![
         ("EI<1%", Box::new(|_| StopCondition::EiBelow(0.01))),
         ("EI<10%", Box::new(|_| StopCondition::EiBelow(0.10))),
-        (
-            "no-improve(K=5)",
-            Box::new(|_| StopCondition::NoImprovement { k: 5, min_gain: 0.10 }),
-        ),
+        ("no-improve(K=5)", Box::new(|_| StopCondition::NoImprovement { k: 5, min_gain: 0.10 })),
         (
             "EI&no-improve",
             Box::new(|_| StopCondition::HybridAnd { ei: 0.10, k: 5, min_gain: 0.10 }),
         ),
-        (
-            "EI|no-improve",
-            Box::new(|_| StopCondition::HybridOr { ei: 0.10, k: 5, min_gain: 0.10 }),
-        ),
+        ("EI|no-improve", Box::new(|_| StopCondition::HybridOr { ei: 0.10, k: 5, min_gain: 0.10 })),
         (
             "stubborn",
             Box::new(|s: &simtm::Surface| StopCondition::Stubborn {

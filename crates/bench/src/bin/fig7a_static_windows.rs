@@ -6,7 +6,9 @@
 //! short as 0.1 s, while a low-throughput one needs ~30× longer windows for
 //! similar accuracy — no single static value serves both.
 //!
-//! Usage: `cargo run --release -p bench --bin fig7a_static_windows -- [--full]`
+//! Usage: `cargo run --release -p bench --bin fig7a_static_windows -- [--full]
+//! [--trace-out <path>]` — the latter records every tuning session as JSONL
+//! trace events (schema in `DESIGN.md`).
 
 use std::time::Duration;
 
@@ -23,6 +25,7 @@ fn tune_with_window(
     surface: &Surface,
     window: Duration,
     seed: u64,
+    trace: &autopn::TraceBus,
 ) -> f64 {
     let mut sys = SimSystem::new(wl, &bench::machine(), seed);
     let mut tuner = AutoPn::new(
@@ -30,13 +33,14 @@ fn tune_with_window(
         AutoPnConfig { seed, ..AutoPnConfig::default() },
     );
     let mut policy = StaticTimeMonitor::new(window);
-    let outcome = Controller::tune(&mut sys, &mut tuner, &mut policy);
+    let outcome = Controller::tune_traced(&mut sys, &mut tuner, &mut policy, trace);
     surface.distance_from_optimum(outcome.best.as_tuple())
 }
 
 fn main() {
     let args = Args::from_env();
     let profile = Profile::from_args(&args);
+    let trace = bench::trace_bus_from_args(&args);
     let reps = match profile {
         Profile::Quick => 2,
         Profile::Full => 5,
@@ -46,9 +50,14 @@ fn main() {
 
     let fast = descriptors::array_fast();
     let slow = descriptors::array_slow();
-    let fast_surface = load_or_build_surface(&fast, &bench::machine(), profile.reps(), profile.measure());
-    let slow_surface =
-        load_or_build_surface(&slow, &bench::machine(), profile.reps(), Duration::from_millis(2_000));
+    let fast_surface =
+        load_or_build_surface(&fast, &bench::machine(), profile.reps(), profile.measure());
+    let slow_surface = load_or_build_surface(
+        &slow,
+        &bench::machine(),
+        profile.reps(),
+        Duration::from_millis(2_000),
+    );
 
     let mut windows = vec![
         Duration::from_millis(20),
@@ -61,21 +70,18 @@ fn main() {
         windows.push(Duration::from_millis(40_000));
     }
 
-    println!(
-        "\n{:<12} {:>22} {:>22}",
-        "window", "fast workload DFO %", "slow workload DFO %"
-    );
+    println!("\n{:<12} {:>22} {:>22}", "window", "fast workload DFO %", "slow workload DFO %");
     let mut fast_curve = Vec::new();
     let mut slow_curve = Vec::new();
     for w in windows.iter().copied() {
         let fast_dfo = mean(
             &(0..reps)
-                .map(|r| tune_with_window(&fast, &fast_surface, w, 100 + r as u64))
+                .map(|r| tune_with_window(&fast, &fast_surface, w, 100 + r as u64, &trace))
                 .collect::<Vec<_>>(),
         );
         let slow_dfo = mean(
             &(0..reps)
-                .map(|r| tune_with_window(&slow, &slow_surface, w, 200 + r as u64))
+                .map(|r| tune_with_window(&slow, &slow_surface, w, 200 + r as u64, &trace))
                 .collect::<Vec<_>>(),
         );
         println!("{:<12?} {:>22.1} {:>22.1}", w, fast_dfo, slow_dfo);
@@ -84,9 +90,8 @@ fn main() {
     }
 
     // Smallest window reaching <= 15% DFO per workload.
-    let first_good = |curve: &[(Duration, f64)]| {
-        curve.iter().find(|(_, d)| *d <= 15.0).map(|(w, _)| *w)
-    };
+    let first_good =
+        |curve: &[(Duration, f64)]| curve.iter().find(|(_, d)| *d <= 15.0).map(|(w, _)| *w);
     println!("\nheadline checks vs the paper:");
     match (first_good(&fast_curve), first_good(&slow_curve)) {
         (Some(wf), Some(ws)) => println!(
@@ -97,4 +102,5 @@ fn main() {
         ),
         (wf, ws) => println!("  thresholds not both reached (fast {wf:?}, slow {ws:?})"),
     }
+    trace.flush();
 }

@@ -11,7 +11,9 @@
 //! in the chosen configuration. We report whole-run average throughput. The
 //! adaptive policy is included as reference.
 //!
-//! Usage: `cargo run --release -p bench --bin fig7b_short_runs -- [--full]`
+//! Usage: `cargo run --release -p bench --bin fig7b_short_runs -- [--full]
+//! [--trace-out <path>]` — the latter records window/measurement trace
+//! events as JSONL (schema in `DESIGN.md`).
 
 use std::time::Duration;
 
@@ -27,6 +29,7 @@ fn budgeted_run(
     budget: Duration,
     policy: &mut dyn MonitorPolicy,
     seed: u64,
+    trace: &autopn::TraceBus,
 ) -> f64 {
     let budget_ns = budget.as_nanos() as u64;
     let mut sys = SimSystem::new(wl, &bench::machine(), seed);
@@ -37,7 +40,7 @@ fn budgeted_run(
     while TunableSystem::now_ns(&sys) < budget_ns {
         let Some(cfg) = tuner.propose() else { break };
         sys.apply(cfg);
-        let m = Controller::measure(&mut sys, policy);
+        let m = Controller::measure_traced(&mut sys, policy, trace);
         policy.measurement_taken(cfg, &m);
         tuner.observe(cfg, m.throughput);
     }
@@ -56,15 +59,14 @@ fn budgeted_run(
 fn main() {
     let args = Args::from_env();
     let profile = Profile::from_args(&args);
+    let trace = bench::trace_bus_from_args(&args);
     let reps = match profile {
         Profile::Quick => 2,
         Profile::Full => 5,
     };
     let budget = Duration::from_secs(args.get_num("budget-secs", 30));
 
-    banner(&format!(
-        "Fig. 7b — whole-run throughput of a short application ({budget:?} budget)"
-    ));
+    banner(&format!("Fig. 7b — whole-run throughput of a short application ({budget:?} budget)"));
 
     let wl = descriptors::array_fast();
     let windows = [
@@ -82,7 +84,7 @@ fn main() {
             &(0..reps)
                 .map(|r| {
                     let mut policy = StaticTimeMonitor::new(w);
-                    budgeted_run(&wl, budget, &mut policy, 300 + r as u64)
+                    budgeted_run(&wl, budget, &mut policy, 300 + r as u64, &trace)
                 })
                 .collect::<Vec<_>>(),
         );
@@ -93,7 +95,7 @@ fn main() {
         &(0..reps)
             .map(|r| {
                 let mut policy = AdaptiveMonitor::default();
-                budgeted_run(&wl, budget, &mut policy, 300 + r as u64)
+                budgeted_run(&wl, budget, &mut policy, 300 + r as u64, &trace)
             })
             .collect::<Vec<_>>(),
     );
@@ -111,4 +113,5 @@ fn main() {
         "  adaptive policy reaches {:.0}% of the best static window's throughput",
         100.0 * adaptive_tp / best_static
     );
+    trace.flush();
 }

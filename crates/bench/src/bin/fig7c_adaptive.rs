@@ -7,7 +7,9 @@
 //! optimally tuned static-window policy. The adaptive policy is the most
 //! consistent across workloads.
 //!
-//! Usage: `cargo run --release -p bench --bin fig7c_adaptive -- [--full]`
+//! Usage: `cargo run --release -p bench --bin fig7c_adaptive -- [--full]
+//! [--trace-out <path>]` — the latter records every tuning session as JSONL
+//! trace events (schema in `DESIGN.md`).
 
 use std::time::Duration;
 
@@ -22,19 +24,21 @@ fn tune_once(
     surface: &Surface,
     policy: &mut dyn MonitorPolicy,
     seed: u64,
+    trace: &autopn::TraceBus,
 ) -> f64 {
     let mut sys = SimSystem::new(wl, &bench::machine(), seed);
     let mut tuner = AutoPn::new(
         SearchSpace::new(bench::machine().n_cores),
         AutoPnConfig { seed, ..AutoPnConfig::default() },
     );
-    let outcome = Controller::tune(&mut sys, &mut tuner, policy);
+    let outcome = Controller::tune_traced(&mut sys, &mut tuner, policy, trace);
     surface.distance_from_optimum(outcome.best.as_tuple())
 }
 
 fn main() {
     let args = Args::from_env();
     let profile = Profile::from_args(&args);
+    let trace = bench::trace_bus_from_args(&args);
     let reps = match profile {
         Profile::Quick => 2,
         Profile::Full => 5,
@@ -77,11 +81,8 @@ fn main() {
     );
     let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); policy_names.len()];
     for wl in &workloads_under_test {
-        let measure = if wl.name == "array-slow" {
-            Duration::from_millis(2_000)
-        } else {
-            profile.measure()
-        };
+        let measure =
+            if wl.name == "array-slow" { Duration::from_millis(2_000) } else { profile.measure() };
         let surface = load_or_build_surface(wl, &bench::machine(), profile.reps(), measure);
         // Best static-window reference.
         let best_static = static_grid
@@ -91,7 +92,7 @@ fn main() {
                     &(0..reps)
                         .map(|r| {
                             let mut p = StaticTimeMonitor::new(w);
-                            tune_once(wl, &surface, &mut p, 400 + r as u64)
+                            tune_once(wl, &surface, &mut p, 400 + r as u64, &trace)
                         })
                         .collect::<Vec<_>>(),
                 )
@@ -104,7 +105,7 @@ fn main() {
                 &(0..reps)
                     .map(|r| {
                         let mut p = make_policy(name);
-                        tune_once(wl, &surface, p.as_mut(), 400 + r as u64)
+                        tune_once(wl, &surface, p.as_mut(), 400 + r as u64, &trace)
                     })
                     .collect::<Vec<_>>(),
             );
@@ -121,11 +122,8 @@ fn main() {
     }
 
     println!("\nmean excess DFO vs optimally-tuned static windows (lower = better):");
-    let mut summary: Vec<(usize, f64)> = normalized
-        .iter()
-        .enumerate()
-        .map(|(i, v)| (i, mean(v)))
-        .collect();
+    let mut summary: Vec<(usize, f64)> =
+        normalized.iter().enumerate().map(|(i, v)| (i, mean(v))).collect();
     for (i, x) in &summary {
         println!("  {:<18} {:>+7.2}%", policy_names[*i], x);
     }
@@ -134,4 +132,5 @@ fn main() {
         "\nheadline check vs the paper: most consistent policy = {} (paper: the adaptive policy)",
         policy_names[summary[0].0]
     );
+    trace.flush();
 }

@@ -33,10 +33,7 @@ fn main() {
     println!("\nSA grid ({} candidates):", metatune::sa_grid().len());
     for (idx, score) in sa.all_scores.iter().take(5) {
         let p = metatune::sa_grid()[*idx];
-        println!(
-            "  T0={:.2} cooling={:.2}  mean DFO {score:>6.2}%",
-            p.initial_temp, p.cooling
-        );
+        println!("  T0={:.2} cooling={:.2}  mean DFO {score:>6.2}%", p.initial_temp, p.cooling);
     }
     println!(
         "selected SA params: T0={:.2}, cooling={:.2} (held-out CV DFO {:.2}%)",
@@ -47,10 +44,7 @@ fn main() {
     println!("\nGA grid ({} candidates):", metatune::ga_grid().len());
     for (idx, score) in ga.all_scores.iter().take(5) {
         let p = metatune::ga_grid()[*idx];
-        println!(
-            "  pop={} mutation={:.2}  mean DFO {score:>6.2}%",
-            p.population, p.mutation_rate
-        );
+        println!("  pop={} mutation={:.2}  mean DFO {score:>6.2}%", p.population, p.mutation_rate);
     }
     println!(
         "selected GA params: pop={}, mutation={:.2} (held-out CV DFO {:.2}%)",

@@ -57,14 +57,21 @@ fn main() {
     // Warm up.
     let _ = run_workload(&stm, &wl, txns / 4);
 
-    // Interleave baseline and instrumented rounds to cancel machine drift.
+    // Interleave baseline, traced and instrumented rounds to cancel machine
+    // drift.
     let mut baseline = Vec::new();
+    let mut traced = Vec::new();
     let mut instrumented = Vec::new();
     let space = SearchSpace::new(48);
     for round in 0..rounds {
-        // -------- baseline: no monitoring, no model work --------
+        // -------- baseline: no monitoring, no model work, no tracing ------
         stm.stats().set_commit_hook(None);
         baseline.push(run_workload(&stm, &wl, txns));
+
+        // -------- traced: event tracing into a bounded ring sink ----------
+        stm.trace_bus().subscribe(Arc::new(pnstm::RingSink::with_capacity(4_096)));
+        traced.push(run_workload(&stm, &wl, txns));
+        stm.trace_bus().clear_sinks();
 
         // -------- instrumented: commit hook + continuous model updates ----
         let events = Arc::new(AtomicU64::new(0));
@@ -118,9 +125,13 @@ fn main() {
     stm.stats().set_commit_hook(None);
 
     let base = mean(&baseline);
+    let trac = mean(&traced);
     let inst = mean(&instrumented);
     let drop = 100.0 * (1.0 - inst / base);
+    let trace_drop = 100.0 * (1.0 - trac / base);
     println!("\nbaseline     : {base:>10.0} txn/s  (runs: {baseline:.0?})");
+    println!("traced       : {trac:>10.0} txn/s  (runs: {traced:.0?})");
     println!("instrumented : {inst:>10.0} txn/s  (runs: {instrumented:.0?})");
     println!("throughput drop: {drop:.2}%   (paper: < 2% on average)");
+    println!("trace-enabled drop: {trace_drop:.2}%   (budget: <= 5%)");
 }

@@ -24,11 +24,8 @@ fn main() {
         ("ext_heterogeneous", vec![]),
         ("overhead_assessment", vec!["--txns", "1000", "--rounds", "3"]),
     ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
     for (bin, extra) in binaries {
         println!("\n################ {bin} ################\n");
         let mut cmd = Command::new(exe_dir.join(bin));

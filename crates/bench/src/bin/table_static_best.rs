@@ -22,9 +22,8 @@ fn main() {
     let mut scored: Vec<((usize, usize), f64)> = configs
         .iter()
         .map(|&cfg| {
-            let avg_dfo = mean(
-                &surfaces.iter().map(|s| s.distance_from_optimum(cfg)).collect::<Vec<_>>(),
-            );
+            let avg_dfo =
+                mean(&surfaces.iter().map(|s| s.distance_from_optimum(cfg)).collect::<Vec<_>>());
             (cfg, avg_dfo)
         })
         .collect();
@@ -53,15 +52,9 @@ fn main() {
         .collect();
     println!("\nbest static configuration : {best_static:?}   (paper: (24,2))");
     println!("mean distance from optimum: {best_avg_dfo:.1}%   (paper: 21.8%)");
-    println!(
-        "90th-pct slowdown vs opt  : {:.2}x  (paper: 2.56x)",
-        percentile(&slowdowns, 90.0)
-    );
-    let (worst_idx, worst) = slowdowns
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .expect("non-empty");
+    println!("90th-pct slowdown vs opt  : {:.2}x  (paper: 2.56x)", percentile(&slowdowns, 90.0));
+    let (worst_idx, worst) =
+        slowdowns.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty");
     println!(
         "worst-case slowdown       : {worst:.2}x on {}  (paper: 3.22x on array-high)",
         surfaces[worst_idx].workload

@@ -8,7 +8,10 @@
 use std::time::Duration;
 
 use autopn::{AutoPn, AutoPnConfig, SearchSpace, StopCondition, Tuner};
-use baselines::{GaParams, GeneticAlgorithm, GridSearch, HillClimbing, RandomSearch, SaParams, SimulatedAnnealing};
+use baselines::{
+    GaParams, GeneticAlgorithm, GridSearch, HillClimbing, RandomSearch, SaParams,
+    SimulatedAnnealing,
+};
 use simtm::{MachineParams, Surface};
 use workloads::{load_or_build_surface, paper_workloads};
 
@@ -76,16 +79,22 @@ pub fn surface_by_name(name: &str, profile: Profile) -> Surface {
 }
 
 /// Identifier of every tuner in the Fig. 5 comparison.
-pub const TUNER_NAMES: [&str; 7] =
-    ["autopn", "autopn-nohc", "random", "grid", "hill-climbing", "simulated-annealing", "genetic-algorithm"];
+pub const TUNER_NAMES: [&str; 7] = [
+    "autopn",
+    "autopn-nohc",
+    "random",
+    "grid",
+    "hill-climbing",
+    "simulated-annealing",
+    "genetic-algorithm",
+];
 
 /// Instantiate a tuner by identifier. `seed` varies per repetition.
 pub fn make_tuner(name: &str, space: &SearchSpace, seed: u64) -> Box<dyn Tuner> {
     match name {
-        "autopn" => Box::new(AutoPn::new(
-            space.clone(),
-            AutoPnConfig { seed, ..AutoPnConfig::default() },
-        )),
+        "autopn" => {
+            Box::new(AutoPn::new(space.clone(), AutoPnConfig { seed, ..AutoPnConfig::default() }))
+        }
         "autopn-nohc" => Box::new(AutoPn::new(
             space.clone(),
             AutoPnConfig { seed, hill_climb: false, ..AutoPnConfig::default() },
@@ -175,10 +184,7 @@ impl Args {
 
     /// Value of `--key value`, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .find(|(k, _)| k == key)
-            .and_then(|(_, v)| v.as_deref())
+        self.pairs.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_deref())
     }
 
     /// Whether `--key` appeared (with or without a value).
@@ -190,6 +196,22 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
+}
+
+/// Build a trace bus from `--trace-out <path>`: subscribes a
+/// [`autopn::JsonlSink`] writing one JSON object per event to `path` when the
+/// flag is present, otherwise returns a disabled (zero-overhead) bus. Pass
+/// the result to [`autopn::Controller::tune_traced`]; call
+/// [`autopn::TraceBus::flush`] before the process exits.
+pub fn trace_bus_from_args(args: &Args) -> autopn::TraceBus {
+    let bus = autopn::TraceBus::new();
+    if let Some(path) = args.get("trace-out") {
+        match autopn::JsonlSink::create(path) {
+            Ok(sink) => bus.subscribe(std::sync::Arc::new(sink)),
+            Err(e) => eprintln!("warning: cannot open trace file {path}: {e}"),
+        }
+    }
+    bus
 }
 
 /// Print a header for an experiment report.
@@ -244,5 +266,21 @@ mod tests {
     fn profiles_differ() {
         assert!(Profile::Full.reps() > Profile::Quick.reps());
         assert!(Profile::Full.measure() > Profile::Quick.measure());
+    }
+
+    #[test]
+    fn trace_bus_disabled_without_flag_enabled_with_it() {
+        let off = trace_bus_from_args(&Args::parse(std::iter::empty()));
+        assert!(!off.is_enabled());
+
+        let path = std::env::temp_dir().join(format!("bench-trace-{}.jsonl", std::process::id()));
+        let args = Args::parse(["--trace-out".to_string(), path.display().to_string()].into_iter());
+        let on = trace_bus_from_args(&args);
+        assert!(on.is_enabled());
+        on.emit(autopn::TraceEvent::SessionStart { at_ns: 1 });
+        on.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"ev\":\"session_start\""));
     }
 }

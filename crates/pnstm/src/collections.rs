@@ -180,8 +180,11 @@ impl TCounter {
 /// cheap and aliases the same map.
 #[derive(Clone)]
 pub struct TMap<K, V> {
-    buckets: Arc<Vec<VBox<Vec<(K, V)>>>>,
+    buckets: Arc<Vec<Bucket<K, V>>>,
 }
+
+/// One hash bucket: a versioned vector of entries.
+type Bucket<K, V> = VBox<Vec<(K, V)>>;
 
 impl<K, V> TMap<K, V>
 where
@@ -190,13 +193,11 @@ where
 {
     /// Create with `buckets` buckets (rounded up to at least 1).
     pub fn new(stm: &Stm, buckets: usize) -> Self {
-        Self {
-            buckets: Arc::new((0..buckets.max(1)).map(|_| stm.new_vbox(Vec::new())).collect()),
-        }
+        Self { buckets: Arc::new((0..buckets.max(1)).map(|_| stm.new_vbox(Vec::new())).collect()) }
     }
 
-    fn bucket_of(&self, key: &K) -> &VBox<Vec<(K, V)>> {
-        use std::hash::{Hash, Hasher};
+    fn bucket_of(&self, key: &K) -> &Bucket<K, V> {
+        use std::hash::Hasher;
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.buckets[(h.finish() as usize) % self.buckets.len()]
@@ -250,9 +251,7 @@ where
 
     /// Snapshot of all entries outside any transaction.
     pub fn snapshot_entries(&self, stm: &Stm) -> Vec<(K, V)> {
-        stm.read_only(|tx| {
-            self.buckets.iter().flat_map(|b| tx.read(b)).collect()
-        })
+        stm.read_only(|tx| self.buckets.iter().flat_map(|b| tx.read(b)).collect())
     }
 }
 
@@ -280,7 +279,7 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(arr.snapshot_fold(&stm, 0, |a, v| a + v), 0 + 1 + 2 + 31 + 4 + 5 + 6 + 7);
+        assert_eq!(arr.snapshot_fold(&stm, 0, |a, v| a + v), 1 + 2 + 31 + 4 + 5 + 6 + 7);
         assert_eq!(arr.len(), 8);
         assert!(!arr.is_empty());
     }
@@ -291,13 +290,8 @@ mod tests {
         let arr = TArray::new(&stm, 100, |i| i as i64);
         let (par, seq) = stm
             .atomic(|tx| {
-                let par = arr.parallel_fold(
-                    tx,
-                    7,
-                    |a: i64, v: &i64| a + v,
-                    || 0i64,
-                    |a, b| a + b,
-                )?;
+                let par =
+                    arr.parallel_fold(tx, 7, |a: i64, v: &i64| a + v, || 0i64, |a, b| a + b)?;
                 let seq = arr.fold(tx, 0i64, |a, v| a + v);
                 Ok((par, seq))
             })
@@ -310,8 +304,7 @@ mod tests {
     fn parallel_update_applies_everywhere() {
         let stm = stm();
         let arr = TArray::new(&stm, 33, |_| 1i64);
-        stm.atomic(|tx| arr.parallel_update(tx, 4, |i, v| v + i as i64))
-            .unwrap();
+        stm.atomic(|tx| arr.parallel_update(tx, 4, |i, v| v + i as i64)).unwrap();
         let total = arr.snapshot_fold(&stm, 0, |a, v| a + v);
         assert_eq!(total, 33 + (0..33).sum::<i64>());
     }

@@ -73,9 +73,7 @@ mod tests {
         assert_eq!(TxError::UserAbort.to_string(), "user-requested abort");
         assert_eq!(TxError::ChildPanic.to_string(), "child transaction panicked");
         assert_eq!(StmError::UserAborted.to_string(), "transaction aborted by user code");
-        assert!(StmError::RetriesExhausted { attempts: 3 }
-            .to_string()
-            .contains("3 times"));
+        assert!(StmError::RetriesExhausted { attempts: 3 }.to_string().contains("3 times"));
     }
 
     #[test]

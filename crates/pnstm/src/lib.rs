@@ -68,6 +68,7 @@ pub mod error;
 pub mod pool;
 pub mod stats;
 pub mod throttle;
+pub mod trace;
 pub mod txn;
 pub mod vbox;
 
@@ -76,8 +77,9 @@ mod runtime;
 pub use collections::{TArray, TCounter, TMap};
 pub use error::{StmError, TxError, TxResult};
 pub use runtime::{ReadTxn, Stm, StmConfig};
-pub use stats::{CommitEvent, Stats, StatsSnapshot, TxKind};
+pub use stats::{CommitEvent, Stats, StatsSnapshot, TxKind, SEM_WAIT_BUCKETS};
 pub use throttle::{ParallelismDegree, Throttle};
+pub use trace::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
 pub use txn::{child, ChildTask, Txn};
 pub use vbox::VBox;
 

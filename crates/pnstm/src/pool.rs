@@ -187,7 +187,8 @@ impl Drop for ChildPool {
 fn worker_loop(shared: Arc<PoolShared>) {
     loop {
         if shared.shutdown.load(Ordering::Acquire)
-            || shared.live_workers.load(Ordering::Acquire) > shared.target_size.load(Ordering::Acquire)
+            || shared.live_workers.load(Ordering::Acquire)
+                > shared.target_size.load(Ordering::Acquire)
         {
             shared.live_workers.fetch_sub(1, Ordering::AcqRel);
             return;

@@ -8,8 +8,9 @@ use std::sync::{Arc, Weak};
 use crate::clock::{GlobalClock, SnapshotRegistry};
 use crate::error::{StmError, TxError, TxResult};
 use crate::pool::ChildPool;
-use crate::stats::Stats;
+use crate::stats::{Stats, TxKind};
 use crate::throttle::{ParallelismDegree, Throttle};
+use crate::trace::{self, TraceBus, TraceEvent};
 use crate::txn::Txn;
 use crate::vbox::{AnyVBox, VBox};
 use crate::TxValue;
@@ -61,6 +62,7 @@ pub(crate) struct StmShared {
     boxes: Mutex<Vec<Weak<dyn AnyVBox>>>,
     config: StmConfig,
     commits_since_gc: AtomicU64,
+    trace: TraceBus,
 }
 
 impl StmShared {
@@ -81,6 +83,9 @@ impl StmShared {
     }
     pub(crate) fn config(&self) -> &StmConfig {
         &self.config
+    }
+    pub(crate) fn trace(&self) -> &TraceBus {
+        &self.trace
     }
 
     pub(crate) fn register_vbox<T: TxValue>(&self, initial: T) -> VBox<T> {
@@ -139,17 +144,19 @@ pub struct Stm {
 impl Stm {
     /// Create an STM instance with the given configuration.
     pub fn new(config: StmConfig) -> Self {
+        let trace = TraceBus::new();
         Self {
             shared: Arc::new(StmShared {
                 clock: GlobalClock::new(),
                 commit_lock: Mutex::new(()),
                 registry: Arc::new(SnapshotRegistry::new()),
                 stats: Arc::new(Stats::new()),
-                throttle: Throttle::new(config.degree),
+                throttle: Throttle::with_trace(config.degree, trace.clone()),
                 pool: ChildPool::new(config.worker_threads),
                 boxes: Mutex::new(Vec::new()),
                 config,
                 commits_since_gc: AtomicU64::new(0),
+                trace,
             }),
         }
     }
@@ -165,7 +172,15 @@ impl Stm {
     /// transactions run concurrently. The body may be re-executed; it must
     /// not have non-transactional side effects it cannot repeat.
     pub fn atomic<R>(&self, mut body: impl FnMut(&mut Txn) -> TxResult<R>) -> Result<R, StmError> {
+        let trace = &self.shared.trace;
+        let wait_start = std::time::Instant::now();
         let _permit = self.shared.throttle.admit_top_level();
+        let wait_ns = wait_start.elapsed().as_nanos() as u64;
+        self.shared.stats.record_sem_wait(wait_ns);
+        if trace.is_enabled() {
+            trace.emit(TraceEvent::SemWait { wait_ns });
+            trace.emit(TraceEvent::TxBegin { kind: TxKind::TopLevel, at_ns: trace::now_ns() });
+        }
         let mut aborts: u64 = 0;
         loop {
             let read_version = self.shared.clock.now();
@@ -175,37 +190,63 @@ impl Stm {
                 Ok(value) => match tx.commit_top() {
                     Ok(()) => {
                         self.shared.stats.record_commit_top();
+                        if trace.is_enabled() {
+                            trace.emit(TraceEvent::TxCommit {
+                                kind: TxKind::TopLevel,
+                                retries: aborts,
+                                at_ns: trace::now_ns(),
+                            });
+                        }
                         self.shared.maybe_auto_gc();
                         return Ok(value);
                     }
                     Err(TxError::Conflict) => {
-                        self.shared.stats.record_abort_top();
-                        aborts += 1;
-                        if aborts >= self.shared.config.max_retries {
-                            return Err(StmError::RetriesExhausted { attempts: aborts });
-                        }
+                        self.record_top_abort_traced(&mut aborts)?;
                         tx.reset();
-                    self.backoff(aborts);
+                        self.backoff(aborts);
                     }
                     Err(_) => unreachable!("commit_top only fails with Conflict"),
                 },
                 Err(TxError::UserAbort) => {
                     self.shared.stats.record_abort_top();
+                    if trace.is_enabled() {
+                        trace.emit(TraceEvent::TxAbort {
+                            kind: TxKind::TopLevel,
+                            retries: aborts + 1,
+                            at_ns: trace::now_ns(),
+                        });
+                    }
                     return Err(StmError::UserAborted);
                 }
                 Err(TxError::Conflict) | Err(TxError::ChildPanic) => {
                     // A child exhausted its sibling-conflict budget (or the
                     // body surfaced a conflict): abort the tree and retry.
-                    self.shared.stats.record_abort_top();
-                    aborts += 1;
-                    if aborts >= self.shared.config.max_retries {
-                        return Err(StmError::RetriesExhausted { attempts: aborts });
-                    }
+                    self.record_top_abort_traced(&mut aborts)?;
                     tx.reset();
                     self.backoff(aborts);
                 }
             }
         }
+    }
+
+    /// Shared conflict-abort bookkeeping of the retry loop: count the abort,
+    /// trace it, and surface [`StmError::RetriesExhausted`] once the budget
+    /// is spent.
+    fn record_top_abort_traced(&self, aborts: &mut u64) -> Result<(), StmError> {
+        self.shared.stats.record_abort_top();
+        *aborts += 1;
+        let trace = &self.shared.trace;
+        if trace.is_enabled() {
+            trace.emit(TraceEvent::TxAbort {
+                kind: TxKind::TopLevel,
+                retries: *aborts,
+                at_ns: trace::now_ns(),
+            });
+        }
+        if *aborts >= self.shared.config.max_retries {
+            return Err(StmError::RetriesExhausted { attempts: *aborts });
+        }
+        Ok(())
     }
 
     /// Exponential post-abort backoff (no-op when disabled).
@@ -248,9 +289,20 @@ impl Stm {
     }
 
     /// Apply a new `(t, c)` configuration (shorthand for
-    /// `throttle().reconfigure(..)`).
+    /// `throttle().reconfigure(..)`, plus reconfiguration accounting).
     pub fn set_degree(&self, degree: ParallelismDegree) {
-        self.shared.throttle.reconfigure(degree);
+        let prev = self.shared.throttle.reconfigure(degree);
+        if prev != degree {
+            self.shared.stats.record_reconfigure();
+        }
+    }
+
+    /// The trace-event bus of this STM instance. Subscribe a sink
+    /// ([`crate::TestSink`], [`crate::RingSink`], [`crate::JsonlSink`]) to
+    /// observe transaction, admission and reconfiguration events; with no
+    /// sinks the runtime pays one atomic load per emission site.
+    pub fn trace_bus(&self) -> &TraceBus {
+        &self.shared.trace
     }
 
     /// The `(t, c)` configuration currently in force.

@@ -1,8 +1,8 @@
 //! Commit/abort accounting and the commit-event hook consumed by the AutoPN
 //! KPI monitor.
 
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,14 +29,52 @@ pub struct CommitEvent {
 
 type CommitHook = Arc<dyn Fn(CommitEvent) + Send + Sync>;
 
+/// Number of log2 buckets in the semaphore wait-time histogram: bucket `k`
+/// counts waits in `[2^k, 2^{k+1})` microseconds (bucket 0 also absorbs
+/// sub-microsecond waits, the last bucket is open-ended — ≥ 32.8 s).
+pub const SEM_WAIT_BUCKETS: usize = 16;
+
+/// A retired commit-hook allocation, parked until [`Stats`] drops because a
+/// concurrent `record_commit_top` may still be calling through it.
+struct RetiredHook(*mut CommitHook);
+// SAFETY: the pointer is only ever dereferenced via `Box::from_raw` in
+// `Stats::drop`, with exclusive access.
+unsafe impl Send for RetiredHook {}
+
 /// Atomic counters describing STM activity, plus an optional commit hook.
-#[derive(Default)]
 pub struct Stats {
     top_commits: AtomicU64,
     top_aborts: AtomicU64,
     nested_commits: AtomicU64,
     nested_aborts: AtomicU64,
-    hook: RwLock<Option<CommitHook>>,
+    reconfigures: AtomicU64,
+    sem_wait_count: AtomicU64,
+    sem_wait_total_ns: AtomicU64,
+    sem_wait_hist: [AtomicU64; SEM_WAIT_BUCKETS],
+    /// The commit hook as a raw `Box<CommitHook>` pointer (null = none), so
+    /// the per-commit fast path is a single `Acquire` load instead of a
+    /// reader-writer lock acquisition plus an `Arc` clone.
+    hook: AtomicPtr<CommitHook>,
+    /// Hooks replaced by [`Stats::set_commit_hook`]; freed when `self`
+    /// drops (no committer can be inside them by then).
+    retired: Mutex<Vec<RetiredHook>>,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self {
+            top_commits: AtomicU64::new(0),
+            top_aborts: AtomicU64::new(0),
+            nested_commits: AtomicU64::new(0),
+            nested_aborts: AtomicU64::new(0),
+            reconfigures: AtomicU64::new(0),
+            sem_wait_count: AtomicU64::new(0),
+            sem_wait_total_ns: AtomicU64::new(0),
+            sem_wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            hook: AtomicPtr::new(std::ptr::null_mut()),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl Stats {
@@ -47,9 +85,14 @@ impl Stats {
     /// Record a top-level commit, firing the hook if installed.
     pub fn record_commit_top(&self) {
         let seq = self.top_commits.fetch_add(1, Ordering::Relaxed) + 1;
-        let hook = self.hook.read().clone();
-        if let Some(hook) = hook {
-            hook(CommitEvent { at: Instant::now(), seq });
+        let hook = self.hook.load(Ordering::Acquire);
+        if !hook.is_null() {
+            // SAFETY: non-null pointers come from `Box::into_raw` in
+            // `set_commit_hook` and are freed only in `drop`; the caller
+            // holds `&self`, so the allocation outlives this call even if
+            // the hook is concurrently replaced (the old box is retired,
+            // not freed).
+            unsafe { (*hook)(CommitEvent { at: Instant::now(), seq }) };
         }
     }
 
@@ -65,12 +108,39 @@ impl Stats {
         self.nested_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record an applied `(t, c)` reconfiguration.
+    pub fn record_reconfigure(&self) {
+        self.reconfigures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a top-level admission wait of `wait_ns` nanoseconds.
+    pub fn record_sem_wait(&self, wait_ns: u64) {
+        self.sem_wait_count.fetch_add(1, Ordering::Relaxed);
+        self.sem_wait_total_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.sem_wait_hist[Self::sem_wait_bucket(wait_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Histogram bucket for a wait of `wait_ns` (see [`SEM_WAIT_BUCKETS`]).
+    pub fn sem_wait_bucket(wait_ns: u64) -> usize {
+        let us = wait_ns / 1_000;
+        let bucket = if us == 0 { 0 } else { us.ilog2() as usize };
+        bucket.min(SEM_WAIT_BUCKETS - 1)
+    }
+
     /// Install (or replace) the commit hook. Pass `None` to disable.
     ///
     /// The hook runs on the committing thread after the commit lock is
-    /// released; keep it cheap.
+    /// released; keep it cheap. Replaced hooks stay allocated until the
+    /// `Stats` drops (a committer may still be mid-call into them).
     pub fn set_commit_hook(&self, hook: Option<CommitHook>) {
-        *self.hook.write() = hook;
+        let new = match hook {
+            Some(h) => Box::into_raw(Box::new(h)),
+            None => std::ptr::null_mut(),
+        };
+        let old = self.hook.swap(new, Ordering::AcqRel);
+        if !old.is_null() {
+            self.retired.lock().push(RetiredHook(old));
+        }
     }
 
     /// Consistent-enough snapshot of all counters (individually atomic).
@@ -80,6 +150,24 @@ impl Stats {
             top_aborts: self.top_aborts.load(Ordering::Relaxed),
             nested_commits: self.nested_commits.load(Ordering::Relaxed),
             nested_aborts: self.nested_aborts.load(Ordering::Relaxed),
+            reconfigures: self.reconfigures.load(Ordering::Relaxed),
+            sem_wait_count: self.sem_wait_count.load(Ordering::Relaxed),
+            sem_wait_total_ns: self.sem_wait_total_ns.load(Ordering::Relaxed),
+            sem_wait_hist: std::array::from_fn(|i| self.sem_wait_hist[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Drop for Stats {
+    fn drop(&mut self) {
+        let cur = self.hook.swap(std::ptr::null_mut(), Ordering::Relaxed);
+        if !cur.is_null() {
+            // SAFETY: `&mut self` — no committer can hold a reference.
+            unsafe { drop(Box::from_raw(cur)) };
+        }
+        for RetiredHook(p) in self.retired.get_mut().drain(..) {
+            // SAFETY: same exclusivity; each pointer was retired exactly once.
+            unsafe { drop(Box::from_raw(p)) };
         }
     }
 }
@@ -101,6 +189,14 @@ pub struct StatsSnapshot {
     pub nested_commits: u64,
     /// Aborted nested transaction attempts (sibling conflicts).
     pub nested_aborts: u64,
+    /// Applied `(t, c)` reconfigurations.
+    pub reconfigures: u64,
+    /// Top-level admission waits recorded.
+    pub sem_wait_count: u64,
+    /// Total nanoseconds spent waiting for top-level admission.
+    pub sem_wait_total_ns: u64,
+    /// Log2 histogram of admission waits (see [`SEM_WAIT_BUCKETS`]).
+    pub sem_wait_hist: [u64; SEM_WAIT_BUCKETS],
 }
 
 impl StatsSnapshot {
@@ -124,6 +220,15 @@ impl StatsSnapshot {
         }
     }
 
+    /// Mean top-level admission wait in nanoseconds (0 when none recorded).
+    pub fn mean_sem_wait_ns(&self) -> f64 {
+        if self.sem_wait_count == 0 {
+            0.0
+        } else {
+            self.sem_wait_total_ns as f64 / self.sem_wait_count as f64
+        }
+    }
+
     /// Counter-wise difference `self - earlier` (saturating).
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
@@ -131,6 +236,12 @@ impl StatsSnapshot {
             top_aborts: self.top_aborts.saturating_sub(earlier.top_aborts),
             nested_commits: self.nested_commits.saturating_sub(earlier.nested_commits),
             nested_aborts: self.nested_aborts.saturating_sub(earlier.nested_aborts),
+            reconfigures: self.reconfigures.saturating_sub(earlier.reconfigures),
+            sem_wait_count: self.sem_wait_count.saturating_sub(earlier.sem_wait_count),
+            sem_wait_total_ns: self.sem_wait_total_ns.saturating_sub(earlier.sem_wait_total_ns),
+            sem_wait_hist: std::array::from_fn(|i| {
+                self.sem_wait_hist[i].saturating_sub(earlier.sem_wait_hist[i])
+            }),
         }
     }
 }
@@ -149,16 +260,18 @@ mod tests {
         s.record_commit_nested();
         s.record_abort_nested();
         s.record_abort_nested();
+        s.record_reconfigure();
         let snap = s.snapshot();
         assert_eq!(snap.top_commits, 2);
         assert_eq!(snap.top_aborts, 1);
         assert_eq!(snap.nested_commits, 1);
         assert_eq!(snap.nested_aborts, 2);
+        assert_eq!(snap.reconfigures, 1);
     }
 
     #[test]
     fn abort_rates() {
-        let snap = StatsSnapshot { top_commits: 3, top_aborts: 1, nested_commits: 0, nested_aborts: 0 };
+        let snap = StatsSnapshot { top_commits: 3, top_aborts: 1, ..Default::default() };
         assert!((snap.top_abort_rate() - 0.25).abs() < 1e-12);
         assert_eq!(snap.nested_abort_rate(), 0.0);
         assert_eq!(StatsSnapshot::default().top_abort_rate(), 0.0);
@@ -181,10 +294,89 @@ mod tests {
     }
 
     #[test]
+    fn hook_swaps_are_safe_under_concurrent_commits() {
+        let s = Arc::new(Stats::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    s.record_commit_top();
+                }
+            }));
+        }
+        for i in 0..200 {
+            let calls2 = Arc::clone(&calls);
+            let hook: Option<CommitHook> = if i % 4 == 3 {
+                None
+            } else {
+                Some(Arc::new(move |_| {
+                    calls2.fetch_add(1, Ordering::Relaxed);
+                }))
+            };
+            s.set_commit_hook(hook);
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(s.snapshot().top_commits > 0);
+        // `calls` may be anything ≥ 0; the point is no crash/UB under swap.
+    }
+
+    #[test]
+    fn sem_wait_histogram_buckets() {
+        assert_eq!(Stats::sem_wait_bucket(0), 0);
+        assert_eq!(Stats::sem_wait_bucket(999), 0); // < 1 µs
+        assert_eq!(Stats::sem_wait_bucket(1_000), 0); // 1 µs
+        assert_eq!(Stats::sem_wait_bucket(2_000), 1); // 2 µs
+        assert_eq!(Stats::sem_wait_bucket(1_000_000), 9); // 1 ms ≈ 2^9.97 µs
+        assert_eq!(Stats::sem_wait_bucket(u64::MAX), SEM_WAIT_BUCKETS - 1);
+
+        let s = Stats::new();
+        s.record_sem_wait(500);
+        s.record_sem_wait(3_000);
+        s.record_sem_wait(3_500);
+        let snap = s.snapshot();
+        assert_eq!(snap.sem_wait_count, 3);
+        assert_eq!(snap.sem_wait_total_ns, 7_000);
+        assert_eq!(snap.sem_wait_hist[0], 1);
+        assert_eq!(snap.sem_wait_hist[1], 2);
+        assert!((snap.mean_sem_wait_ns() - 7_000.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn delta_since_subtracts() {
-        let a = StatsSnapshot { top_commits: 10, top_aborts: 4, nested_commits: 7, nested_aborts: 2 };
-        let b = StatsSnapshot { top_commits: 25, top_aborts: 5, nested_commits: 9, nested_aborts: 2 };
+        let a = StatsSnapshot {
+            top_commits: 10,
+            top_aborts: 4,
+            nested_commits: 7,
+            nested_aborts: 2,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            top_commits: 25,
+            top_aborts: 5,
+            nested_commits: 9,
+            nested_aborts: 2,
+            reconfigures: 3,
+            ..Default::default()
+        };
         let d = b.delta_since(&a);
-        assert_eq!(d, StatsSnapshot { top_commits: 15, top_aborts: 1, nested_commits: 2, nested_aborts: 0 });
+        assert_eq!(
+            d,
+            StatsSnapshot {
+                top_commits: 15,
+                top_aborts: 1,
+                nested_commits: 2,
+                nested_aborts: 0,
+                reconfigures: 3,
+                ..Default::default()
+            }
+        );
     }
 }

@@ -13,7 +13,10 @@
 //! until enough releases bring it back above zero.
 
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::trace::{TraceBus, TraceEvent};
 
 /// A `(t, c)` parallelism-degree configuration as defined in §III-B.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -147,14 +150,41 @@ impl Drop for Permit {
 #[derive(Debug)]
 pub struct Throttle {
     top_gate: Arc<ResizableSemaphore>,
-    nested_limit: Mutex<usize>,
+    /// The published `(t, c)` configuration, packed as `t << 32 | c` so
+    /// readers get a *consistent pair* from one atomic load. (Keeping the
+    /// two halves behind separate locks allowed a torn read: a concurrent
+    /// reconfiguration from, say, `(8, 1)` to `(1, 8)` could be observed as
+    /// `(8, 8)` — an over-subscribed configuration that never existed.)
+    degree: AtomicU64,
+    trace: TraceBus,
+}
+
+fn pack(d: ParallelismDegree) -> u64 {
+    // The search space is bounded by the core count; u32 per component is
+    // far beyond any real machine.
+    let t = d.top_level.min(u32::MAX as usize) as u64;
+    let c = d.nested_per_tree.min(u32::MAX as usize) as u64;
+    (t << 32) | c
+}
+
+fn unpack(packed: u64) -> ParallelismDegree {
+    ParallelismDegree {
+        top_level: (packed >> 32) as usize,
+        nested_per_tree: (packed & u32::MAX as u64) as usize,
+    }
 }
 
 impl Throttle {
     pub fn new(degree: ParallelismDegree) -> Self {
+        Self::with_trace(degree, TraceBus::default())
+    }
+
+    /// A throttle that publishes [`TraceEvent::Reconfigure`] events on `trace`.
+    pub fn with_trace(degree: ParallelismDegree, trace: TraceBus) -> Self {
         Self {
             top_gate: Arc::new(ResizableSemaphore::new(degree.top_level)),
-            nested_limit: Mutex::new(degree.nested_per_tree),
+            degree: AtomicU64::new(pack(degree)),
+            trace,
         }
     }
 
@@ -169,19 +199,28 @@ impl Throttle {
     /// Sampled once per `parallel()` batch: a reconfiguration applies to
     /// batches started after it, mirroring the paper's semaphore actuator.
     pub fn nested_limit(&self) -> usize {
-        *self.nested_limit.lock()
+        unpack(self.degree.load(Ordering::Acquire)).nested_per_tree
     }
 
-    /// Apply a new `(t, c)` configuration. Running transactions finish under
-    /// their old admission; new begins/batches observe the new limits.
-    pub fn reconfigure(&self, degree: ParallelismDegree) {
+    /// Apply a new `(t, c)` configuration and return the one it replaced.
+    /// Running transactions finish under their old admission; new
+    /// begins/batches observe the new limits.
+    pub fn reconfigure(&self, degree: ParallelismDegree) -> ParallelismDegree {
+        let prev = unpack(self.degree.swap(pack(degree), Ordering::AcqRel));
         self.top_gate.set_capacity(degree.top_level);
-        *self.nested_limit.lock() = degree.nested_per_tree;
+        if prev != degree {
+            self.trace.emit(TraceEvent::Reconfigure {
+                from: (prev.top_level as u32, prev.nested_per_tree as u32),
+                to: (degree.top_level as u32, degree.nested_per_tree as u32),
+            });
+        }
+        prev
     }
 
-    /// The configuration currently in force.
+    /// The configuration currently in force, read atomically (never a mix
+    /// of an old `t` with a new `c` or vice versa).
     pub fn current(&self) -> ParallelismDegree {
-        ParallelismDegree { top_level: self.top_gate.capacity(), nested_per_tree: self.nested_limit() }
+        unpack(self.degree.load(Ordering::Acquire))
     }
 
     /// Number of top-level transactions currently admitted.
@@ -281,7 +320,101 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(peak.load(Ordering::SeqCst) <= 3, "peak {} exceeded t=3", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak {} exceeded t=3",
+            peak.load(Ordering::SeqCst)
+        );
         assert_eq!(t.top_level_in_use(), 0);
+    }
+
+    /// Regression test for the torn read in `Throttle::current()`: with the
+    /// two degree components behind separate locks, a reader racing a
+    /// reconfiguration from (8,1) to (1,8) could observe (8,8) — an
+    /// over-subscribed configuration that was never applied.
+    #[test]
+    fn current_is_never_torn_under_reconfiguration() {
+        const N: usize = 8;
+        let configs = [(8, 1), (1, 8), (4, 2), (2, 4)].map(|(t, c)| ParallelismDegree::new(t, c));
+        let throttle = Arc::new(Throttle::new(configs[0]));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = vec![];
+        for _ in 0..4 {
+            let throttle = Arc::clone(&throttle);
+            let stop = Arc::clone(&stop);
+            readers.push(thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let d = throttle.current();
+                    assert!(
+                        configs.contains(&d),
+                        "torn read: observed {d}, which was never configured"
+                    );
+                    assert!(d.cores_used() <= N, "over-subscribed read {d}");
+                }
+            }));
+        }
+        for i in 0..2_000 {
+            throttle.reconfigure(configs[i % configs.len()]);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    /// Reconfigure under load and validate the invariant t·c ≤ n from the
+    /// emitted trace events: every `Reconfigure`'s before/after pair must be
+    /// an admissible configuration, never a torn mix.
+    #[test]
+    fn reconfigure_stress_trace_events_respect_core_budget() {
+        use crate::trace::{TestSink, TraceBus, TraceEvent};
+
+        const N: u32 = 8;
+        let bus = TraceBus::new();
+        let sink = Arc::new(TestSink::new());
+        bus.subscribe(sink.clone());
+        let throttle = Arc::new(Throttle::with_trace(ParallelismDegree::new(8, 1), bus));
+
+        let mut writers = vec![];
+        for w in 0..4usize {
+            let throttle = Arc::clone(&throttle);
+            writers.push(thread::spawn(move || {
+                let choices = [(8, 1), (1, 8), (4, 2), (2, 4)];
+                for i in 0..500 {
+                    let (t, c) = choices[(i + w) % choices.len()];
+                    let _prev = throttle.reconfigure(ParallelismDegree::new(t, c));
+                }
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let events = sink.events();
+        assert!(!events.is_empty(), "reconfigurations must be traced");
+        for ev in &events {
+            match ev {
+                TraceEvent::Reconfigure { from, to } => {
+                    assert!(from.0 * from.1 <= N, "torn 'from' pair {from:?}");
+                    assert!(to.0 * to.1 <= N, "torn 'to' pair {to:?}");
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reconfigure_returns_previous_and_skips_noop_trace() {
+        use crate::trace::{TestSink, TraceBus};
+
+        let bus = TraceBus::new();
+        let sink = Arc::new(TestSink::new());
+        bus.subscribe(sink.clone());
+        let t = Throttle::with_trace(ParallelismDegree::new(4, 2), bus);
+        let prev = t.reconfigure(ParallelismDegree::new(4, 2));
+        assert_eq!(prev, ParallelismDegree::new(4, 2));
+        assert!(sink.is_empty(), "no-op reconfiguration emits nothing");
+        let prev = t.reconfigure(ParallelismDegree::new(2, 3));
+        assert_eq!(prev, ParallelismDegree::new(4, 2));
+        assert_eq!(sink.len(), 1);
     }
 }

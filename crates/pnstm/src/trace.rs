@@ -1,0 +1,557 @@
+//! Low-overhead event tracing for the tune loop (observability layer).
+//!
+//! Every stage of the paper's Fig. 2 feedback loop — actuator, monitor,
+//! optimizer — emits typed [`TraceEvent`]s onto a shared [`TraceBus`]. The
+//! bus is designed so that an STM with tracing *disabled* pays a single
+//! relaxed atomic load per emission site, and an STM with tracing enabled
+//! pays whatever the subscribed sinks cost:
+//!
+//! * [`RingSink`] — fixed-capacity ring buffer, no allocation per event
+//!   (events are `Copy`); the cheap always-on option for flight recording.
+//! * [`TestSink`] — unbounded in-memory vector, for assertions in tests.
+//! * [`JsonlSink`] — one JSON object per line to any writer, for offline
+//!   analysis (`jq`-able; see `DESIGN.md` for the schema).
+//!
+//! Producers inside `pnstm` (the [`crate::Stm`] retry driver, the
+//! [`crate::Throttle`] actuator, the nested-transaction runner) share the
+//! STM instance's bus ([`crate::Stm::trace_bus`]); the `autopn` controller
+//! accepts a bus in its `*_traced` entry points so one stream can interleave
+//! runtime and control-plane events.
+
+use parking_lot::{Mutex, RwLock};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::stats::TxKind;
+
+/// Nanoseconds since the process-wide trace epoch (first call wins). All
+/// `at_ns` fields of events produced inside `pnstm` use this clock; control
+/// planes driving a virtual clock stamp events with their own time instead.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One typed observation from the tune loop. `Copy`, no heap payload — a
+/// ring sink can store events without allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A transaction attempt chain started (once per `atomic()` call /
+    /// child task, not per retry).
+    TxBegin { kind: TxKind, at_ns: u64 },
+    /// A transaction committed after `retries` aborted attempts.
+    TxCommit { kind: TxKind, retries: u64, at_ns: u64 },
+    /// A transaction attempt aborted; `retries` counts aborts so far in the
+    /// chain (including this one).
+    TxAbort { kind: TxKind, retries: u64, at_ns: u64 },
+    /// Time spent blocked on the top-level admission semaphore.
+    SemWait { wait_ns: u64 },
+    /// The actuator switched the parallelism degree `from` → `to` `(t, c)`.
+    Reconfigure { from: (u32, u32), to: (u32, u32) },
+    /// The monitor opened a measurement window.
+    WindowOpen { at_ns: u64 },
+    /// A commit observed inside the window, with the policy's running CV
+    /// estimate at that point (the CV trajectory; `None` until defined).
+    WindowSample { at_ns: u64, cv: Option<f64> },
+    /// The monitor closed the window with a measurement.
+    WindowClose {
+        at_ns: u64,
+        commits: u64,
+        window_ns: u64,
+        throughput: f64,
+        timed_out: bool,
+        cv: Option<f64>,
+    },
+    /// The optimizer proposed a configuration to measure; `relative_ei` is
+    /// the SMBO acquisition value when the proposal came from that phase.
+    Proposal { t: u32, c: u32, relative_ei: Option<f64> },
+    /// The optimizer moved between phases (endpoints of one `propose` call).
+    OptimizerPhase { from: &'static str, to: &'static str },
+    /// A tuning session started.
+    SessionStart { at_ns: u64 },
+    /// A tuning session ended on `best = (t, c)`. `fallback` is set when the
+    /// tuner had no observation at all and the controller fell back to the
+    /// sequential configuration.
+    SessionEnd {
+        at_ns: u64,
+        best_t: u32,
+        best_c: u32,
+        throughput: f64,
+        explored: u64,
+        fallback: bool,
+    },
+    /// The change detector reported a workload change during supervision.
+    ChangeDetected { at_ns: u64 },
+}
+
+fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&x.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_f64(out: &mut String, x: Option<f64>) {
+    match x {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+impl TraceEvent {
+    /// Short event-type tag (the `"ev"` field of the JSON schema).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::TxBegin { .. } => "tx_begin",
+            TraceEvent::TxCommit { .. } => "tx_commit",
+            TraceEvent::TxAbort { .. } => "tx_abort",
+            TraceEvent::SemWait { .. } => "sem_wait",
+            TraceEvent::Reconfigure { .. } => "reconfigure",
+            TraceEvent::WindowOpen { .. } => "window_open",
+            TraceEvent::WindowSample { .. } => "window_sample",
+            TraceEvent::WindowClose { .. } => "window_close",
+            TraceEvent::Proposal { .. } => "proposal",
+            TraceEvent::OptimizerPhase { .. } => "optimizer_phase",
+            TraceEvent::SessionStart { .. } => "session_start",
+            TraceEvent::SessionEnd { .. } => "session_end",
+            TraceEvent::ChangeDetected { .. } => "change_detected",
+        }
+    }
+
+    /// Append this event as one JSON object (no trailing newline). The
+    /// schema is documented in `DESIGN.md`; keys are stable.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let kind_str = |k: &TxKind| match k {
+            TxKind::TopLevel => "top",
+            TxKind::Nested => "nested",
+        };
+        let _ = write!(out, "{{\"ev\":\"{}\"", self.tag());
+        match *self {
+            TraceEvent::TxBegin { kind, at_ns } => {
+                let _ = write!(out, ",\"kind\":\"{}\",\"at_ns\":{at_ns}", kind_str(&kind));
+            }
+            TraceEvent::TxCommit { kind, retries, at_ns }
+            | TraceEvent::TxAbort { kind, retries, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"{}\",\"retries\":{retries},\"at_ns\":{at_ns}",
+                    kind_str(&kind)
+                );
+            }
+            TraceEvent::SemWait { wait_ns } => {
+                let _ = write!(out, ",\"wait_ns\":{wait_ns}");
+            }
+            TraceEvent::Reconfigure { from, to } => {
+                let _ = write!(out, ",\"from\":[{},{}],\"to\":[{},{}]", from.0, from.1, to.0, to.1);
+            }
+            TraceEvent::WindowOpen { at_ns } | TraceEvent::ChangeDetected { at_ns } => {
+                let _ = write!(out, ",\"at_ns\":{at_ns}");
+            }
+            TraceEvent::WindowSample { at_ns, cv } => {
+                let _ = write!(out, ",\"at_ns\":{at_ns},\"cv\":");
+                push_opt_f64(out, cv);
+            }
+            TraceEvent::WindowClose { at_ns, commits, window_ns, throughput, timed_out, cv } => {
+                let _ = write!(
+                    out,
+                    ",\"at_ns\":{at_ns},\"commits\":{commits},\"window_ns\":{window_ns},\"throughput\":"
+                );
+                push_f64(out, throughput);
+                let _ = write!(out, ",\"timed_out\":{timed_out},\"cv\":");
+                push_opt_f64(out, cv);
+            }
+            TraceEvent::Proposal { t, c, relative_ei } => {
+                let _ = write!(out, ",\"t\":{t},\"c\":{c},\"relative_ei\":");
+                push_opt_f64(out, relative_ei);
+            }
+            TraceEvent::OptimizerPhase { from, to } => {
+                let _ = write!(out, ",\"from\":\"{from}\",\"to\":\"{to}\"");
+            }
+            TraceEvent::SessionStart { at_ns } => {
+                let _ = write!(out, ",\"at_ns\":{at_ns}");
+            }
+            TraceEvent::SessionEnd { at_ns, best_t, best_c, throughput, explored, fallback } => {
+                let _ = write!(
+                    out,
+                    ",\"at_ns\":{at_ns},\"best_t\":{best_t},\"best_c\":{best_c},\"throughput\":"
+                );
+                push_f64(out, throughput);
+                let _ = write!(out, ",\"explored\":{explored},\"fallback\":{fallback}");
+            }
+        }
+        out.push('}');
+    }
+
+    /// This event as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Consumer of trace events. Implementations must tolerate concurrent
+/// `record` calls from many threads.
+pub trait TraceSink: Send + Sync {
+    fn record(&self, ev: &TraceEvent);
+    /// Flush any buffering to the backing store. Default: no-op.
+    fn flush(&self) {}
+}
+
+#[derive(Default)]
+struct BusInner {
+    /// True iff at least one sink is subscribed — the only state the
+    /// disabled fast path reads.
+    active: AtomicBool,
+    sinks: RwLock<Vec<Arc<dyn TraceSink>>>,
+}
+
+/// Fan-out bus for [`TraceEvent`]s. Cheap to clone (`Arc` inside); clones
+/// share subscriptions. A bus with no sinks costs one relaxed atomic load
+/// per [`TraceBus::emit`].
+#[derive(Clone, Default)]
+pub struct TraceBus {
+    inner: Arc<BusInner>,
+}
+
+impl TraceBus {
+    /// A bus with no subscribers (tracing disabled until one subscribes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any sink is subscribed. Use to skip *constructing* expensive
+    /// events; [`TraceBus::emit`] performs the same check itself.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Attach a sink; enables the bus.
+    pub fn subscribe(&self, sink: Arc<dyn TraceSink>) {
+        let mut sinks = self.inner.sinks.write();
+        sinks.push(sink);
+        self.inner.active.store(true, Ordering::Release);
+    }
+
+    /// Detach all sinks; the bus returns to the disabled fast path.
+    pub fn clear_sinks(&self) {
+        let mut sinks = self.inner.sinks.write();
+        self.inner.active.store(false, Ordering::Release);
+        sinks.clear();
+    }
+
+    /// Publish an event to every subscribed sink (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, ev: TraceEvent) {
+        if self.inner.active.load(Ordering::Relaxed) {
+            self.emit_slow(ev);
+        }
+    }
+
+    #[cold]
+    fn emit_slow(&self, ev: TraceEvent) {
+        for sink in self.inner.sinks.read().iter() {
+            sink.record(&ev);
+        }
+    }
+
+    /// Flush every subscribed sink.
+    pub fn flush(&self) {
+        for sink in self.inner.sinks.read().iter() {
+            sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBus")
+            .field("enabled", &self.is_enabled())
+            .field("sinks", &self.inner.sinks.read().len())
+            .finish()
+    }
+}
+
+/// Unbounded in-memory sink for tests: collect events, then assert on them.
+#[derive(Default)]
+pub struct TestSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TestSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all recorded events in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Drain the recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl TraceSink for TestSink {
+    fn record(&self, ev: &TraceEvent) {
+        self.events.lock().push(*ev);
+    }
+}
+
+struct RingState {
+    /// Pre-reserved to `capacity`; pushes never reallocate.
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    overwritten: u64,
+}
+
+/// Fixed-capacity flight recorder: keeps the most recent events, overwriting
+/// the oldest. The record path takes a short mutex but never allocates.
+pub struct RingSink {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl RingSink {
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            state: Mutex::new(RingState {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+                overwritten: 0,
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events were overwritten because the ring was full.
+    pub fn overwritten(&self) -> u64 {
+        self.state.lock().overwritten
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let st = self.state.lock();
+        let mut out = Vec::with_capacity(st.buf.len());
+        out.extend_from_slice(&st.buf[st.head..]);
+        out.extend_from_slice(&st.buf[..st.head]);
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, ev: &TraceEvent) {
+        let mut st = self.state.lock();
+        if st.buf.len() < self.capacity {
+            st.buf.push(*ev);
+        } else {
+            let head = st.head;
+            st.buf[head] = *ev;
+            st.head = (head + 1) % self.capacity;
+            st.overwritten += 1;
+        }
+    }
+}
+
+/// Writes one JSON object per event, newline-delimited (JSONL), to any
+/// writer. Buffered; call [`TraceSink::flush`] (or drop the sink) to make
+/// the tail visible.
+pub struct JsonlSink {
+    out: Mutex<std::io::BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Trace to a freshly created (truncated) file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+
+    /// Trace to an arbitrary writer.
+    pub fn new(w: impl Write + Send + 'static) -> Self {
+        Self { out: Mutex::new(std::io::BufWriter::new(Box::new(w))) }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, ev: &TraceEvent) {
+        let mut line = ev.to_json();
+        line.push('\n');
+        let _ = self.out.lock().write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_disabled_until_subscribed() {
+        let bus = TraceBus::new();
+        assert!(!bus.is_enabled());
+        bus.emit(TraceEvent::SemWait { wait_ns: 1 }); // goes nowhere
+        let sink = Arc::new(TestSink::new());
+        bus.subscribe(sink.clone());
+        assert!(bus.is_enabled());
+        bus.emit(TraceEvent::SemWait { wait_ns: 2 });
+        assert_eq!(sink.events(), vec![TraceEvent::SemWait { wait_ns: 2 }]);
+        bus.clear_sinks();
+        assert!(!bus.is_enabled());
+        bus.emit(TraceEvent::SemWait { wait_ns: 3 });
+        assert_eq!(sink.len(), 1, "cleared sink no longer receives");
+    }
+
+    #[test]
+    fn clones_share_subscriptions() {
+        let bus = TraceBus::new();
+        let clone = bus.clone();
+        let sink = Arc::new(TestSink::new());
+        bus.subscribe(sink.clone());
+        clone.emit(TraceEvent::WindowOpen { at_ns: 7 });
+        assert_eq!(sink.events(), vec![TraceEvent::WindowOpen { at_ns: 7 }]);
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let ring = RingSink::with_capacity(3);
+        for i in 0..5u64 {
+            ring.record(&TraceEvent::SemWait { wait_ns: i });
+        }
+        assert_eq!(
+            ring.snapshot(),
+            vec![
+                TraceEvent::SemWait { wait_ns: 2 },
+                TraceEvent::SemWait { wait_ns: 3 },
+                TraceEvent::SemWait { wait_ns: 4 },
+            ]
+        );
+        assert_eq!(ring.overwritten(), 2);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn events_format_as_json_objects() {
+        let evs = [
+            TraceEvent::TxBegin { kind: TxKind::TopLevel, at_ns: 5 },
+            TraceEvent::TxCommit { kind: TxKind::Nested, retries: 2, at_ns: 9 },
+            TraceEvent::TxAbort { kind: TxKind::TopLevel, retries: 1, at_ns: 11 },
+            TraceEvent::SemWait { wait_ns: 1500 },
+            TraceEvent::Reconfigure { from: (4, 1), to: (2, 2) },
+            TraceEvent::WindowOpen { at_ns: 1 },
+            TraceEvent::WindowSample { at_ns: 2, cv: Some(0.25) },
+            TraceEvent::WindowClose {
+                at_ns: 3,
+                commits: 10,
+                window_ns: 100,
+                throughput: 1e8,
+                timed_out: false,
+                cv: None,
+            },
+            TraceEvent::Proposal { t: 6, c: 2, relative_ei: Some(0.5) },
+            TraceEvent::OptimizerPhase { from: "smbo", to: "hill-climb" },
+            TraceEvent::SessionStart { at_ns: 0 },
+            TraceEvent::SessionEnd {
+                at_ns: 10,
+                best_t: 6,
+                best_c: 2,
+                throughput: 123.0,
+                explored: 17,
+                fallback: false,
+            },
+            TraceEvent::ChangeDetected { at_ns: 42 },
+        ];
+        for ev in evs {
+            let json = ev.to_json();
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            assert!(json.contains(&format!("\"ev\":\"{}\"", ev.tag())), "{json}");
+        }
+        assert_eq!(
+            TraceEvent::Reconfigure { from: (4, 1), to: (2, 2) }.to_json(),
+            r#"{"ev":"reconfigure","from":[4,1],"to":[2,2]}"#
+        );
+        assert_eq!(
+            TraceEvent::WindowSample { at_ns: 2, cv: None }.to_json(),
+            r#"{"ev":"window_sample","at_ns":2,"cv":null}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Shared(buf.clone()));
+        sink.record(&TraceEvent::SemWait { wait_ns: 10 });
+        sink.record(&TraceEvent::WindowOpen { at_ns: 20 });
+        sink.flush();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn trace_clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn concurrent_emitters_do_not_lose_events() {
+        let bus = TraceBus::new();
+        let sink = Arc::new(TestSink::new());
+        bus.subscribe(sink.clone());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let bus = bus.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    bus.emit(TraceEvent::SemWait { wait_ns: t * 1000 + i });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.len(), 1000);
+    }
+}

@@ -80,7 +80,12 @@ impl Txn {
         }
     }
 
-    fn nested(shared: Arc<StmShared>, root_read_version: u64, scope: Vec<ScopeEntry>, depth: u32) -> Self {
+    fn nested(
+        shared: Arc<StmShared>,
+        root_read_version: u64,
+        scope: Vec<ScopeEntry>,
+        depth: u32,
+    ) -> Self {
         Self {
             shared,
             root_read_version,
@@ -352,6 +357,13 @@ fn run_child<R>(
     panic_payload: &Arc<Mutex<Option<Box<dyn Any + Send>>>>,
 ) -> TxResult<R> {
     let max_retries = shared.config().max_nested_retries;
+    let trace = shared.trace();
+    if trace.is_enabled() {
+        trace.emit(crate::trace::TraceEvent::TxBegin {
+            kind: crate::stats::TxKind::Nested,
+            at_ns: crate::trace::now_ns(),
+        });
+    }
     let mut attempts: u64 = 0;
     loop {
         let mut scope = Vec::with_capacity(1 + inherited.len());
@@ -372,11 +384,25 @@ fn run_child<R>(
             Ok(Ok(value)) => match tx.commit_nested() {
                 Ok(()) => {
                     shared.stats().record_commit_nested();
+                    if trace.is_enabled() {
+                        trace.emit(crate::trace::TraceEvent::TxCommit {
+                            kind: crate::stats::TxKind::Nested,
+                            retries: attempts,
+                            at_ns: crate::trace::now_ns(),
+                        });
+                    }
                     return Ok(value);
                 }
                 Err(TxError::Conflict) => {
                     shared.stats().record_abort_nested();
                     attempts += 1;
+                    if trace.is_enabled() {
+                        trace.emit(crate::trace::TraceEvent::TxAbort {
+                            kind: crate::stats::TxKind::Nested,
+                            retries: attempts,
+                            at_ns: crate::trace::now_ns(),
+                        });
+                    }
                     if attempts >= max_retries {
                         return Err(TxError::Conflict);
                     }

@@ -31,11 +31,7 @@ impl NestStore {
     /// Newest value for `id` with nest version `<= cap`.
     pub(crate) fn lookup(&self, id: BoxId, cap: u32) -> Option<ErasedValue> {
         let versions = self.map.get(&id)?;
-        versions
-            .iter()
-            .rev()
-            .find(|(v, _)| *v <= cap)
-            .map(|(_, e)| std::sync::Arc::clone(&e.value))
+        versions.iter().rev().find(|(v, _)| *v <= cap).map(|(_, e)| std::sync::Arc::clone(&e.value))
     }
 
     /// Newest nest version recorded for `id` (0 if never written in this

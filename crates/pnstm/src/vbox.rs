@@ -135,9 +135,7 @@ impl<T: TxValue> VBox<T> {
     /// registers the box for garbage collection.
     pub(crate) fn new_raw(initial: T) -> Self {
         let id = NEXT_BOX_ID.fetch_add(1, Ordering::Relaxed);
-        Self {
-            body: Arc::new(VBoxBody { id, chain: RwLock::new(vec![(0, initial)]) }),
-        }
+        Self { body: Arc::new(VBoxBody { id, chain: RwLock::new(vec![(0, initial)]) }) }
     }
 
     /// The box's unique id.

@@ -25,16 +25,16 @@ fn tx_spec(slots: usize) -> impl Strategy<Value = TxSpec> {
         .prop_map(|(root_ops, child_ops)| TxSpec { root_ops, child_ops })
 }
 
-fn run_history(specs: &[TxSpec], slots: usize, threads: usize, degree: ParallelismDegree) -> Vec<i64> {
-    let stm = Stm::new(StmConfig {
-        degree,
-        worker_threads: 2,
-        ..StmConfig::default()
-    });
+fn run_history(
+    specs: &[TxSpec],
+    slots: usize,
+    threads: usize,
+    degree: ParallelismDegree,
+) -> Vec<i64> {
+    let stm = Stm::new(StmConfig { degree, worker_threads: 2, ..StmConfig::default() });
     let boxes: Arc<Vec<VBox<i64>>> = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect());
-    let chunks: Vec<Vec<TxSpec>> = (0..threads)
-        .map(|t| specs.iter().skip(t).step_by(threads).cloned().collect())
-        .collect();
+    let chunks: Vec<Vec<TxSpec>> =
+        (0..threads).map(|t| specs.iter().skip(t).step_by(threads).cloned().collect()).collect();
     let mut handles = vec![];
     for chunk in chunks {
         let stm = stm.clone();

@@ -240,9 +240,7 @@ fn nested_results_preserve_task_order() {
     let stm = small_stm();
     let out = stm
         .atomic(|tx| {
-            let tasks = (0..16)
-                .map(|i| child(move |_ct| Ok(i * 10)))
-                .collect();
+            let tasks = (0..16).map(|i| child(move |_ct| Ok(i * 10))).collect();
             tx.parallel(tasks)
         })
         .unwrap();

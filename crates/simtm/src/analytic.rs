@@ -34,11 +34,8 @@ pub fn throughput(wl: &SimWorkload, machine: &MachineParams, t: usize, c: usize)
     let seq_time = wl.top_work_ns + spawn + wl.commit_ns;
     let par_time = child_phase;
     let par_width = c.min(k.max(1)) as f64;
-    let avg_cores_per_tree = if latency > 0.0 {
-        (seq_time * 1.0 + par_time * par_width) / latency
-    } else {
-        1.0
-    };
+    let avg_cores_per_tree =
+        if latency > 0.0 { (seq_time * 1.0 + par_time * par_width) / latency } else { 1.0 };
     let core_cap = machine.n_cores as f64 / avg_cores_per_tree.max(1e-9);
     let effective_t = t.min(core_cap.max(1.0));
 
@@ -58,11 +55,8 @@ pub fn throughput(wl: &SimWorkload, machine: &MachineParams, t: usize, c: usize)
     // Sibling-conflict inflation of the child phase (second-order; applied
     // as extra latency on the whole tree).
     let ps = wl.sibling_conflict_prob_per_commit();
-    let sibling_inflation = if k > 1 && c > 1 {
-        1.0 + ps * (c.min(k) as f64 - 1.0) * 0.5
-    } else {
-        1.0
-    };
+    let sibling_inflation =
+        if k > 1 && c > 1 { 1.0 + ps * (c.min(k) as f64 - 1.0) * 0.5 } else { 1.0 };
 
     (rate * survive / sibling_inflation * 1e9).max(0.0)
 }

@@ -161,10 +161,7 @@ impl MultiSimulation {
 
     /// Per-class cumulative statistics.
     pub fn class_stats(&self) -> Vec<RunStats> {
-        self.classes
-            .iter()
-            .map(|c| RunStats { elapsed_ns: self.now, ..c.stats })
-            .collect()
+        self.classes.iter().map(|c| RunStats { elapsed_ns: self.now, ..c.stats }).collect()
     }
 
     /// Aggregate statistics over all classes.
@@ -302,7 +299,9 @@ impl MultiSimulation {
     }
 
     fn dispatch(&mut self) {
-        if !self.commit_busy && !self.commit_queue.is_empty() && self.busy_cores < self.machine.n_cores
+        if !self.commit_busy
+            && !self.commit_queue.is_empty()
+            && self.busy_cores < self.machine.n_cores
         {
             let slot = self.commit_queue.pop_front().expect("non-empty");
             self.commit_busy = true;
@@ -400,7 +399,8 @@ impl MultiSimulation {
         for (j, &seq) in self.commit_seq.iter().enumerate() {
             let window = seq - self.slots[slot].start_seq[j];
             if window > 0 {
-                survive *= (1.0 - self.p_conflict[class][j]).powi(window.min(i32::MAX as u64) as i32);
+                survive *=
+                    (1.0 - self.p_conflict[class][j]).powi(window.min(i32::MAX as u64) as i32);
             }
         }
         if survive < 1.0 && !self.rng.chance(survive) {
@@ -550,10 +550,7 @@ mod tests {
         let a = SimWorkload::builder("a").data_items(100).build();
         let b = SimWorkload::builder("b").data_items(200).build();
         let _ = MultiSimulation::new(
-            &[
-                ClassSpec { workload: a, degree: (1, 1) },
-                ClassSpec { workload: b, degree: (1, 1) },
-            ],
+            &[ClassSpec { workload: a, degree: (1, 1) }, ClassSpec { workload: b, degree: (1, 1) }],
             &machine(),
             1,
         );

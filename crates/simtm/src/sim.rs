@@ -97,7 +97,12 @@ pub struct Simulation {
 impl Simulation {
     /// Create a simulation of `workload` on `machine` under configuration
     /// `(t, c)`, deterministic for a given `seed`.
-    pub fn new(workload: &SimWorkload, machine: &MachineParams, degree: (usize, usize), seed: u64) -> Self {
+    pub fn new(
+        workload: &SimWorkload,
+        machine: &MachineParams,
+        degree: (usize, usize),
+        seed: u64,
+    ) -> Self {
         let mut sim = Self {
             p_conflict: workload.conflict_prob_per_commit(),
             p_sibling: workload.sibling_conflict_prob_per_commit(),
@@ -188,10 +193,8 @@ impl Simulation {
         let begin = self.now;
         let end = begin + cap.as_nanos() as u64;
         while self.now < end {
-            let drained = self
-                .slots
-                .iter()
-                .all(|s| s.phase == Phase::Idle || s.started_at >= begin);
+            let drained =
+                self.slots.iter().all(|s| s.phase == Phase::Idle || s.started_at >= begin);
             if drained {
                 break;
             }
@@ -301,7 +304,10 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn request_core(&mut self, slot: usize, kind: SegKind) {
-        if self.busy_cores < self.machine.n_cores && self.core_queue.is_empty() && !self.pending_commit_ready() {
+        if self.busy_cores < self.machine.n_cores
+            && self.core_queue.is_empty()
+            && !self.pending_commit_ready()
+        {
             self.begin_segment(slot, kind);
         } else {
             self.core_queue.push_back((slot, kind));
@@ -338,7 +344,9 @@ impl Simulation {
             }
             SegKind::Postlude => self.rng.work_ns(wl.top_work_ns * 0.5, cv),
             SegKind::Commit => self.rng.work_ns(wl.commit_ns, cv),
-            SegKind::Restart => unreachable!("backoff events are scheduled directly, not via cores"),
+            SegKind::Restart => {
+                unreachable!("backoff events are scheduled directly, not via cores")
+            }
         }
     }
 
@@ -449,9 +457,10 @@ impl Simulation {
             if self.workload.restart_backoff_ns > 0.0 {
                 // Exponential backoff, doubling per consecutive abort (2⁷× cap).
                 let factor = 1u64 << (streak - 1).min(7) as u64;
-                let delay = self
-                    .rng
-                    .work_ns(self.workload.restart_backoff_ns * factor as f64, self.workload.duration_cv);
+                let delay = self.rng.work_ns(
+                    self.workload.restart_backoff_ns * factor as f64,
+                    self.workload.duration_cv,
+                );
                 self.events.schedule(self.now + delay, slot, SegKind::Restart);
             } else {
                 self.start_txn(slot);

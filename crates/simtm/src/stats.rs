@@ -1,10 +1,10 @@
 //! Simulation run statistics.
 
-use serde::{Deserialize, Serialize};
+use serde::impl_serde;
 use std::time::Duration;
 
 /// KPI counters accumulated over a (virtual) measurement interval.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunStats {
     /// Committed top-level transactions.
     pub commits: u64,
@@ -17,6 +17,8 @@ pub struct RunStats {
     /// Virtual time covered by these counters, ns.
     pub elapsed_ns: u64,
 }
+
+impl_serde!(RunStats { commits, aborts, nested_commits, nested_aborts, elapsed_ns });
 
 impl RunStats {
     /// Committed top-level transactions per (virtual) second.
@@ -80,9 +82,30 @@ mod tests {
 
     #[test]
     fn delta_since_subtracts_fields() {
-        let a = RunStats { commits: 10, aborts: 1, nested_commits: 5, nested_aborts: 2, elapsed_ns: 100 };
-        let b = RunStats { commits: 30, aborts: 4, nested_commits: 9, nested_aborts: 2, elapsed_ns: 400 };
+        let a = RunStats {
+            commits: 10,
+            aborts: 1,
+            nested_commits: 5,
+            nested_aborts: 2,
+            elapsed_ns: 100,
+        };
+        let b = RunStats {
+            commits: 30,
+            aborts: 4,
+            nested_commits: 9,
+            nested_aborts: 2,
+            elapsed_ns: 400,
+        };
         let d = b.delta_since(&a);
-        assert_eq!(d, RunStats { commits: 20, aborts: 3, nested_commits: 4, nested_aborts: 0, elapsed_ns: 300 });
+        assert_eq!(
+            d,
+            RunStats {
+                commits: 20,
+                aborts: 3,
+                nested_commits: 4,
+                nested_aborts: 0,
+                elapsed_ns: 300
+            }
+        );
     }
 }

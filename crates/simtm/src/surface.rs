@@ -6,7 +6,6 @@
 //! each). [`Surface`] is that trace: a map from configuration to throughput
 //! samples, serializable for caching and replay.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -25,7 +24,7 @@ pub fn search_space(n_cores: usize) -> Vec<(usize, usize)> {
 }
 
 /// An exhaustively evaluated throughput surface for one workload.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Surface {
     /// Workload name this surface belongs to.
     pub workload: String,
@@ -33,32 +32,37 @@ pub struct Surface {
     pub n_cores: usize,
     /// Throughput samples (txn/s) per configuration; every configuration of
     /// the search space is present with the same number of samples.
-    #[serde(with = "tuple_key_map")]
     pub samples: BTreeMap<(usize, usize), Vec<f64>>,
 }
 
-/// JSON maps need string keys; (de)serialize the samples map as a list of
-/// `[t, c, samples]` entries instead.
-mod tuple_key_map {
-    use super::*;
-    use serde::{Deserializer, Serializer};
-
-    type SampleMap = BTreeMap<(usize, usize), Vec<f64>>;
-
-    pub fn serialize<S: Serializer>(
-        map: &SampleMap,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<(usize, usize, &Vec<f64>)> =
-            map.iter().map(|(&(t, c), v)| (t, c, v)).collect();
-        serde::Serialize::serialize(&entries, ser)
+// JSON maps need string keys; (de)serialize the samples map as a list of
+// `[t, c, samples]` entries instead.
+impl serde::Serialize for Surface {
+    fn to_value(&self) -> serde::Value {
+        let entries: Vec<(usize, usize, Vec<f64>)> =
+            self.samples.iter().map(|(&(t, c), v)| (t, c, v.clone())).collect();
+        serde::Value::Obj(vec![
+            ("workload".to_string(), serde::Serialize::to_value(&self.workload)),
+            ("n_cores".to_string(), serde::Serialize::to_value(&self.n_cores)),
+            ("samples".to_string(), serde::Serialize::to_value(&entries)),
+        ])
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<SampleMap, D::Error> {
-        let entries: Vec<(usize, usize, Vec<f64>)> = serde::Deserialize::deserialize(de)?;
-        Ok(entries.into_iter().map(|(t, c, v)| ((t, c), v)).collect())
+impl serde::Deserialize for Surface {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| serde::Error::new(format!("Surface: missing field {name}")))
+        };
+        let entries: Vec<(usize, usize, Vec<f64>)> =
+            serde::Deserialize::from_value(field("samples")?).map_err(|e| e.context("samples"))?;
+        Ok(Surface {
+            workload: serde::Deserialize::from_value(field("workload")?)
+                .map_err(|e| e.context("workload"))?,
+            n_cores: serde::Deserialize::from_value(field("n_cores")?)
+                .map_err(|e| e.context("n_cores"))?,
+            samples: entries.into_iter().map(|(t, c, v)| ((t, c), v)).collect(),
+        })
     }
 }
 

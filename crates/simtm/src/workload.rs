@@ -6,10 +6,10 @@
 //! abstract item set, optionally skewed toward a hot set), and the TM
 //! overheads (spawn, nested commit, global commit).
 
-use serde::{Deserialize, Serialize};
+use serde::impl_serde;
 
 /// The simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
     /// Number of cores (the paper's testbed has 48).
     pub n_cores: usize,
@@ -30,7 +30,7 @@ impl MachineParams {
 ///
 /// All durations are mean values in nanoseconds; actual samples are
 /// log-normal with coefficient of variation [`SimWorkload::duration_cv`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimWorkload {
     /// Human-readable name (e.g. `"tpcc-med"`).
     pub name: String,
@@ -74,9 +74,33 @@ pub struct SimWorkload {
     /// parallelism of badly contended configurations (retry storms waste
     /// both work and waiting time). Doubles per consecutive abort, capped
     /// at 2⁷×.
-    #[serde(default)]
     pub restart_backoff_ns: f64,
 }
+
+impl_serde!(MachineParams { n_cores });
+
+impl_serde!(SimWorkload {
+    name,
+    top_work_ns,
+    child_count,
+    child_work_ns,
+    spawn_overhead_ns,
+    nested_commit_ns,
+    commit_ns,
+    data_items,
+    top_reads,
+    top_writes,
+    child_reads,
+    child_writes,
+    hot_access_fraction,
+    hot_items,
+    tree_private_fraction,
+    duration_cv,
+} defaults {
+    // Added after the first calibrated descriptors were cached; old caches
+    // deserialize with no backoff, matching their original semantics.
+    restart_backoff_ns,
+});
 
 impl SimWorkload {
     /// Start building a workload with conservative defaults.
@@ -142,7 +166,9 @@ impl SimWorkload {
             let lc = l - lh;
             let (r_hot, r_cold) = (reads * h, reads * (1.0 - h));
             let wh = writer.hot_access_fraction.clamp(0.0, 1.0);
-            let (w_hot, w_cold) = if wh > 0.0 { (writes * wh, writes * (1.0 - wh)) } else {
+            let (w_hot, w_cold) = if wh > 0.0 {
+                (writes * wh, writes * (1.0 - wh))
+            } else {
                 // Unskewed writer: writes spread uniformly.
                 (writes * lh / l, writes * lc / l)
             };
@@ -175,10 +201,7 @@ impl SimWorkload {
         assert!(self.top_work_ns >= 0.0, "negative top work");
         assert!(self.child_work_ns >= 0.0, "negative child work");
         assert!(self.data_items > 0, "empty data set");
-        assert!(
-            self.hot_items <= self.data_items,
-            "hot set larger than the data set"
-        );
+        assert!(self.hot_items <= self.data_items, "hot set larger than the data set");
         assert!((0.0..=1.0).contains(&self.hot_access_fraction));
         assert!((0.0..=1.0).contains(&self.tree_private_fraction));
         assert!(self.duration_cv >= 0.0);

@@ -41,7 +41,8 @@ impl ArrayWorkload {
         assert!(params.size > 0, "empty array");
         assert!((0.0..=1.0).contains(&params.write_fraction));
         assert!(params.chunks > 0, "need at least one chunk");
-        let elements = Arc::new((0..params.size).map(|i| stm.new_vbox(i as i64)).collect::<Vec<_>>());
+        let elements =
+            Arc::new((0..params.size).map(|i| stm.new_vbox(i as i64)).collect::<Vec<_>>());
         Self { name: name.to_string(), params, elements }
     }
 
@@ -123,7 +124,11 @@ mod tests {
     #[test]
     fn read_only_variant_never_writes() {
         let stm = stm();
-        let wl = ArrayWorkload::new(&stm, "ro", ArrayParams { size: 64, write_fraction: 0.0, chunks: 4 });
+        let wl = ArrayWorkload::new(
+            &stm,
+            "ro",
+            ArrayParams { size: 64, write_fraction: 0.0, chunks: 4 },
+        );
         let before = wl.checksum(&stm);
         for round in 0..5 {
             wl.run_txn(&stm, 0, round).unwrap();
@@ -135,7 +140,11 @@ mod tests {
     #[test]
     fn writes_mutate_array() {
         let stm = stm();
-        let wl = ArrayWorkload::new(&stm, "rw", ArrayParams { size: 64, write_fraction: 1.0, chunks: 4 });
+        let wl = ArrayWorkload::new(
+            &stm,
+            "rw",
+            ArrayParams { size: 64, write_fraction: 1.0, chunks: 4 },
+        );
         let before = wl.checksum(&stm);
         wl.run_txn(&stm, 0, 0).unwrap();
         let after = wl.checksum(&stm);
@@ -187,6 +196,10 @@ mod tests {
     #[should_panic(expected = "empty array")]
     fn zero_size_rejected() {
         let stm = stm();
-        let _ = ArrayWorkload::new(&stm, "bad", ArrayParams { size: 0, write_fraction: 0.0, chunks: 1 });
+        let _ = ArrayWorkload::new(
+            &stm,
+            "bad",
+            ArrayParams { size: 0, write_fraction: 0.0, chunks: 1 },
+        );
     }
 }

@@ -75,6 +75,14 @@ impl LiveStmSystem {
         &self.stm
     }
 
+    /// The STM's trace bus. Subscribe a sink here (and pass a clone to
+    /// [`autopn::Controller::tune_traced`]) to interleave runtime events
+    /// (tx commits/aborts, reconfigurations, semaphore waits) with the
+    /// controller's session/window events in one stream.
+    pub fn trace_bus(&self) -> &pnstm::TraceBus {
+        self.stm.trace_bus()
+    }
+
     /// Stop the application threads and detach the commit hook.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);

@@ -39,7 +39,9 @@ pub fn populate(stm: &Stm, scale: TpccScale) -> TpccDb {
         .collect();
     let n_districts = scale.warehouses * scale.districts_per_warehouse;
     let districts = (0..n_districts)
-        .map(|d| stm.new_vbox(District { tax: 0.02 + (d % 7) as f64 * 0.01, ytd: 0.0, next_o_id: 1 }))
+        .map(|d| {
+            stm.new_vbox(District { tax: 0.02 + (d % 7) as f64 * 0.01, ytd: 0.0, next_o_id: 1 })
+        })
         .collect();
     let customers = (0..n_districts * scale.customers_per_district)
         .map(|c| {
@@ -55,7 +57,9 @@ pub fn populate(stm: &Stm, scale: TpccScale) -> TpccDb {
         .map(|i| stm.new_vbox(Item { price: 1.0 + (i * 37 % 9900) as f64 / 100.0 }))
         .collect();
     let stock = (0..scale.warehouses * scale.items)
-        .map(|s| stm.new_vbox(Stock { quantity: 50 + (s * 13 % 50) as i64, ytd: 0, order_count: 0 }))
+        .map(|s| {
+            stm.new_vbox(Stock { quantity: 50 + (s * 13 % 50) as i64, ytd: 0, order_count: 0 })
+        })
         .collect();
     let last_orders = (0..n_districts).map(|_| stm.new_vbox(LastOrder::default())).collect();
     TpccDb {
@@ -90,7 +94,12 @@ mod tests {
     #[test]
     fn indices_are_consistent() {
         let stm = Stm::new(StmConfig::default());
-        let scale = TpccScale { warehouses: 3, districts_per_warehouse: 4, customers_per_district: 5, items: 7 };
+        let scale = TpccScale {
+            warehouses: 3,
+            districts_per_warehouse: 4,
+            customers_per_district: 5,
+            items: 7,
+        };
         let db = populate(&stm, scale);
         assert_eq!(db.district_idx(2, 3), 11);
         assert_eq!(db.customer_idx(2, 3, 4), 59);

@@ -163,8 +163,7 @@ impl TpccWorkload {
     /// customer order counts.
     pub fn check_invariants(&self, stm: &Stm) -> Result<(), String> {
         stm.read_only(|tx| {
-            let orders: u64 =
-                self.db.districts.iter().map(|d| tx.read(d).next_o_id - 1).sum();
+            let orders: u64 = self.db.districts.iter().map(|d| tx.read(d).next_o_id - 1).sum();
             let customer_orders: u64 =
                 self.db.customers.iter().map(|c| tx.read(c).order_count).sum();
             if orders != customer_orders {
@@ -242,7 +241,9 @@ mod tests {
         let after = stm.read_atomic(&wl.db().stock[sidx]);
         assert_eq!(after.ytd, before.ytd + 4);
         assert_eq!(after.order_count, before.order_count + 1);
-        assert!(after.quantity == before.quantity - 4 || after.quantity == before.quantity - 4 + 91);
+        assert!(
+            after.quantity == before.quantity - 4 || after.quantity == before.quantity - 4 + 91
+        );
     }
 
     #[test]

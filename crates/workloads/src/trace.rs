@@ -27,7 +27,12 @@ pub fn cache_dir() -> PathBuf {
 /// caches are rebuilt.
 const SIM_MODEL_VERSION: &str = "simv3";
 
-fn workload_fingerprint(wl: &SimWorkload, machine: &MachineParams, reps: usize, measure: Duration) -> u64 {
+fn workload_fingerprint(
+    wl: &SimWorkload,
+    machine: &MachineParams,
+    reps: usize,
+    measure: Duration,
+) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let payload = format!(
         "{SIM_MODEL_VERSION}|{}|{:?}|{}|{}",

@@ -270,9 +270,7 @@ mod tests {
         // At least one reservation must have happened over 20 rounds.
         let any_used = stm.read_only(|tx| {
             (0..wl.manager().relations()).any(|i| {
-                ResourceKind::ALL
-                    .iter()
-                    .any(|&k| wl.manager().query_snapshot(tx, k, i).used > 0)
+                ResourceKind::ALL.iter().any(|&k| wl.manager().query_snapshot(tx, k, i).used > 0)
             })
         });
         assert!(any_used, "no reservations were made");

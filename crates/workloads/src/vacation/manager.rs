@@ -39,7 +39,8 @@ pub enum ResourceKind {
 }
 
 impl ResourceKind {
-    pub const ALL: [ResourceKind; 3] = [ResourceKind::Car, ResourceKind::Flight, ResourceKind::Room];
+    pub const ALL: [ResourceKind; 3] =
+        [ResourceKind::Car, ResourceKind::Flight, ResourceKind::Room];
 }
 
 /// Transactional storage of the reservation system.
@@ -98,7 +99,12 @@ impl Manager {
     }
 
     /// Read a resource's info from a read-only snapshot.
-    pub fn query_snapshot(&self, tx: &mut pnstm::ReadTxn, kind: ResourceKind, idx: usize) -> ReservationInfo {
+    pub fn query_snapshot(
+        &self,
+        tx: &mut pnstm::ReadTxn,
+        kind: ResourceKind,
+        idx: usize,
+    ) -> ReservationInfo {
         tx.read(&self.table(kind)[idx])
     }
 
@@ -164,11 +170,8 @@ impl Manager {
                     used_total += info.used;
                 }
             }
-            let held: i64 = self
-                .customers
-                .iter()
-                .map(|c| tx.read(c).reservations.len() as i64)
-                .sum();
+            let held: i64 =
+                self.customers.iter().map(|c| tx.read(c).reservations.len() as i64).sum();
             if held != used_total {
                 return Err(format!("customers hold {held} but tables show {used_total} used"));
             }
@@ -233,9 +236,7 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        let released = stm
-            .atomic(|tx| Ok(mgr.delete_customer(tx, 2)))
-            .unwrap();
+        let released = stm.atomic(|tx| Ok(mgr.delete_customer(tx, 2))).unwrap();
         assert_eq!(released, 2);
         mgr.check_invariants(&stm).unwrap();
     }

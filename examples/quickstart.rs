@@ -36,7 +36,10 @@ fn main() {
     println!("tuning '{}' on {} cores…\n", workload.name, machine.n_cores);
     let outcome = Controller::tune(&mut system, &mut tuner, &mut monitor);
 
-    println!("{:<6} {:>8} {:>14} {:>10} {:>8}", "step", "config", "throughput", "commits", "window");
+    println!(
+        "{:<6} {:>8} {:>14} {:>10} {:>8}",
+        "step", "config", "throughput", "commits", "window"
+    );
     for (i, (cfg, m)) in outcome.explored.iter().enumerate() {
         println!(
             "{:<6} {:>8} {:>11.0} {:>13} {:>7.1}ms{}",

@@ -1,0 +1,82 @@
+//! Trace a full tuning session: record every event of the Fig.-2 loop —
+//! optimizer proposals and phase transitions, monitor windows with their CV
+//! trajectory, actuator reconfigurations — as a JSONL stream.
+//!
+//! ```sh
+//! cargo run --release --example trace_session [-- /tmp/session.jsonl]
+//! ```
+//!
+//! The trace lands in the given file (default `autopn-session.jsonl` in the
+//! working directory), one JSON object per line; the schema is documented in
+//! `DESIGN.md`. The example then reads its own trace back and prints a small
+//! session digest — the same post-mortem workflow described under
+//! "Debugging a tuning session" in the README.
+
+use std::sync::Arc;
+
+use autopn::monitor::AdaptiveMonitor;
+use autopn::{
+    AutoPn, AutoPnConfig, Controller, JsonlSink, SearchSpace, TestSink, TraceBus, TraceEvent,
+};
+use simtm::{MachineParams, SimWorkload};
+use workloads::SimSystem;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "autopn-session.jsonl".to_string());
+
+    let machine = MachineParams::new(48);
+    let workload = SimWorkload::builder("traced-session")
+        .top_work_us(50.0)
+        .child_count(8)
+        .child_work_us(150.0)
+        .top_footprint(12, 3)
+        .child_footprint(10, 2)
+        .data_items(30_000)
+        .build();
+
+    let mut system = SimSystem::new(&workload, &machine, 42);
+    let mut tuner = AutoPn::new(SearchSpace::new(machine.n_cores), AutoPnConfig::default());
+    let mut monitor = AdaptiveMonitor::default();
+
+    // Two sinks on one bus: the JSONL file for offline analysis, and an
+    // in-memory sink so this example can digest the session afterwards.
+    let trace = TraceBus::new();
+    trace.subscribe(Arc::new(JsonlSink::create(&path).expect("create trace file")));
+    let memory = Arc::new(TestSink::default());
+    trace.subscribe(memory.clone());
+
+    println!("tuning '{}' on {} cores, tracing to {path}…\n", workload.name, machine.n_cores);
+    let outcome = Controller::tune_traced(&mut system, &mut tuner, &mut monitor, &trace);
+    trace.flush();
+
+    // ---- session digest from the recorded events --------------------------
+    let events = memory.events();
+    let mut windows = 0usize;
+    let mut samples = 0usize;
+    let mut timeouts = 0usize;
+    let mut phases: Vec<String> = Vec::new();
+    for ev in &events {
+        match ev {
+            TraceEvent::WindowClose { timed_out, .. } => {
+                windows += 1;
+                if *timed_out {
+                    timeouts += 1;
+                }
+            }
+            TraceEvent::WindowSample { .. } => samples += 1,
+            TraceEvent::OptimizerPhase { from, to } => phases.push(format!("{from}→{to}")),
+            _ => {}
+        }
+    }
+    println!("{} events recorded ({} to disk):", events.len(), path);
+    println!("  measurement windows : {windows} ({timeouts} cut by the adaptive timeout)");
+    println!("  CV-trajectory samples: {samples}");
+    println!("  optimizer phases    : {}", phases.join(", "));
+    println!(
+        "\nAutoPN settled on {} at {:.0} txn/s after {} explorations.",
+        outcome.best,
+        outcome.best_throughput,
+        outcome.explored.len()
+    );
+    println!("Inspect the trace with e.g.:  grep '\"ev\":\"proposal\"' {path}");
+}

@@ -20,12 +20,7 @@ fn main() {
     println!("building/loading the exhaustive (t,c) trace for '{}'…", workload.name);
     let surface = load_or_build_surface(&workload, &machine, 5, Duration::from_millis(150));
     let (opt_cfg, opt_tp) = surface.optimum();
-    println!(
-        "{} configurations; optimum {:?} at {:.0} txn/s\n",
-        surface.len(),
-        opt_cfg,
-        opt_tp
-    );
+    println!("{} configurations; optimum {:?} at {:.0} txn/s\n", surface.len(), opt_cfg, opt_tp);
 
     let space = SearchSpace::new(machine.n_cores);
     let mut tuners: Vec<Box<dyn autopn::Tuner>> = vec![
@@ -35,10 +30,7 @@ fn main() {
         Box::new(GeneticAlgorithm::new(space.clone(), GaParams::default(), 7)),
     ];
 
-    println!(
-        "{:<20} {:>12} {:>14} {:>12}",
-        "tuner", "final DFO %", "explorations", "final cfg"
-    );
+    println!("{:<20} {:>12} {:>14} {:>12}", "tuner", "final DFO %", "explorations", "final cfg");
     for tuner in tuners.iter_mut() {
         let trace = replay(tuner.as_mut(), &surface, 0);
         println!(

@@ -1,0 +1,256 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides the `channel` module surface this workspace uses: an mpmc
+//! channel with `unbounded`/`bounded` constructors, cloneable senders,
+//! `recv_timeout`, `try_recv`, and `try_iter`. Implemented over a
+//! `Mutex<VecDeque>` + `Condvar`; `bounded(n)` does not block senders
+//! (callers here never enqueue more than the bound before draining),
+//! which keeps the shim simple without changing observable behavior.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        cv: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half; cloneable, usable from many threads.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; cloneable (mpmc), supports timed and non-blocking recv.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Channel with no capacity limit.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    /// Channel with capacity `cap`. This shim never blocks senders — the
+    /// workspace only uses `bounded(n)` where at most `n` messages are in
+    /// flight — so it behaves identically for those call sites.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = unbounded();
+        let _ = cap;
+        (tx, rx)
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // Receiver liveness: senders + receivers share one Arc; if ours is
+            // the only handle class left, strong_count equals live senders.
+            if Arc::strong_count(&self.inner) == self.inner.senders.load(Ordering::Acquire) {
+                return Err(SendError(value));
+            }
+            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            q.push_back(value);
+            drop(q);
+            self.inner.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // the disconnect instead of sleeping out their timeout.
+                self.inner.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender(..)")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn disconnected(&self) -> bool {
+            self.inner.senders.load(Ordering::Acquire) == 0
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.disconnected() {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.disconnected() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .inner
+                    .cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        }
+
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.disconnected() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                q = self.inner.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking iterator over currently queued messages.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver(..)")
+        }
+    }
+
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(99u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(99));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_wakes_blocked_receiver() {
+        let (tx, rx) = unbounded::<u8>();
+        let h = thread::spawn(move || rx.recv_timeout(Duration::from_secs(10)));
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_collects_fanout() {
+        let (tx, rx) = bounded(4);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

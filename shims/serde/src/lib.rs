@@ -1,0 +1,407 @@
+//! Offline shim for the `serde` crate.
+//!
+//! No proc macros are available offline, so instead of `#[derive(Serialize,
+//! Deserialize)]` this shim provides a [`Value`] document model, trait pair
+//! [`Serialize`]/[`Deserialize`] converting to/from it, and the declarative
+//! [`impl_serde!`] macro which generates both impls for plain structs
+//! (with an optional `defaults { .. }` block replacing `#[serde(default)]`).
+//! The companion `serde_json` shim renders [`Value`]s to JSON text.
+
+use std::fmt;
+
+/// A parsed document: the common representation both shims speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: any of the three numeric variants as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(x) => Some(x),
+            Value::Int(x) => Some(x as f64),
+            Value::UInt(x) => Some(x as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(x) => Some(x),
+            Value::Int(x) if x >= 0 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(x) => Some(x),
+            Value::UInt(x) if x <= i64::MAX as u64 => Some(x as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// (De)serialization error: a message, optionally nested with field context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// Prefix an error with the field/element it occurred in.
+    pub fn context(self, what: &str) -> Self {
+        Self(format!("{what}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the document model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the document model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::new("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::new("expected number"))? as f32)
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64().ok_or_else(|| Error::new("expected unsigned integer"))?;
+                <$t>::try_from(raw).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u64, u32, u16, u8, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64().ok_or_else(|| Error::new("expected integer"))?;
+                <$t>::try_from(raw).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_int!(i64, i32, i16, i8, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, e)| T::from_value(e).map_err(|err| err.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_arr() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::new("expected 3-element array")),
+        }
+    }
+}
+
+/// Generate [`Serialize`] + [`Deserialize`] for a plain struct — the
+/// offline replacement for `#[derive(Serialize, Deserialize)]`.
+///
+/// ```ignore
+/// impl_serde!(RunStats { commits, aborts, elapsed_ns });
+/// impl_serde!(SimWorkload { name, top_work_ns } defaults { restart_backoff_ns });
+/// ```
+///
+/// Fields in the `defaults` block fall back to `Default::default()` when
+/// absent in the document (the equivalent of `#[serde(default)]`).
+#[macro_export]
+macro_rules! impl_serde {
+    ($ty:ident { $($field:ident),* $(,)? }) => {
+        $crate::impl_serde!(@imp $ty { $($field),* } defaults { });
+    };
+    ($ty:ident { $($field:ident),* $(,)? } defaults { $($dfield:ident),* $(,)? }) => {
+        $crate::impl_serde!(@imp $ty { $($field),* } defaults { $($dfield),* });
+    };
+    (@imp $ty:ident { $($field:ident),* } defaults { $($dfield:ident),* }) => {
+        impl $crate::Serialize for $ty {
+            // The pushes come from macro repetition; clippy's
+            // vec_init_then_push heuristic misfires on the expansion.
+            #[allow(clippy::vec_init_then_push)]
+            fn to_value(&self) -> $crate::Value {
+                let mut fields: Vec<(String, $crate::Value)> = Vec::new();
+                $(fields.push((
+                    stringify!($field).to_string(),
+                    $crate::Serialize::to_value(&self.$field),
+                ));)*
+                $(fields.push((
+                    stringify!($dfield).to_string(),
+                    $crate::Serialize::to_value(&self.$dfield),
+                ));)*
+                $crate::Value::Obj(fields)
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                let _obj = v.as_obj().ok_or_else(|| {
+                    $crate::Error::new(concat!("expected object for ", stringify!($ty)))
+                })?;
+                Ok($ty {
+                    $($field: match v.get(stringify!($field)) {
+                        Some(fv) => $crate::Deserialize::from_value(fv)
+                            .map_err(|e| e.context(stringify!($field)))?,
+                        None => {
+                            return Err($crate::Error::new(concat!(
+                                "missing field ",
+                                stringify!($field)
+                            )))
+                        }
+                    },)*
+                    $($dfield: match v.get(stringify!($dfield)) {
+                        Some(fv) => $crate::Deserialize::from_value(fv)
+                            .map_err(|e| e.context(stringify!($dfield)))?,
+                        None => Default::default(),
+                    },)*
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Default)]
+    struct Point {
+        x: f64,
+        y: u64,
+        label: String,
+        extra: f64,
+    }
+
+    impl_serde!(Point { x, y, label } defaults { extra });
+
+    #[test]
+    fn struct_round_trip() {
+        let p = Point { x: 1.5, y: 7, label: "a".into(), extra: 3.0 };
+        let v = p.to_value();
+        assert_eq!(Point::from_value(&v).unwrap(), p);
+    }
+
+    #[test]
+    fn default_field_falls_back() {
+        let v = Value::Obj(vec![
+            ("x".into(), Value::Float(0.5)),
+            ("y".into(), Value::UInt(2)),
+            ("label".into(), Value::Str("b".into())),
+        ]);
+        let p = Point::from_value(&v).unwrap();
+        assert_eq!(p.extra, 0.0);
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let v = Value::Obj(vec![("x".into(), Value::Float(0.5))]);
+        assert!(Point::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(2.0f64).to_value(), Value::Float(2.0));
+        assert_eq!(Option::<f64>::from_value(&Value::Float(2.0)).unwrap(), Some(2.0));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        // Integral floats are parsed back as integers by the JSON layer;
+        // f64 deserialization must accept all numeric variants.
+        assert_eq!(f64::from_value(&Value::Int(-3)).unwrap(), -3.0);
+        assert_eq!(f64::from_value(&Value::UInt(9)).unwrap(), 9.0);
+        assert_eq!(u64::from_value(&Value::Int(4)).unwrap(), 4);
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_and_vecs() {
+        let v = (1usize, 2usize, vec![0.5f64, 1.5]).to_value();
+        let back: (usize, usize, Vec<f64>) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1, 2, vec![0.5, 1.5]));
+    }
+}

@@ -82,17 +82,19 @@ fn workload_shift_triggers_retuning() {
     let mut policy = AdaptiveMonitor::default();
     let mut detector = CusumDetector::default();
 
-    let outcome =
-        Controller::tune_with_retuning(&mut system, &mut make_tuner, &mut policy, &mut detector, 400);
+    let outcome = Controller::tune_with_retuning(
+        &mut system,
+        &mut make_tuner,
+        &mut policy,
+        &mut detector,
+        400,
+    );
 
     assert!(outcome.changes_detected >= 1, "the workload shift must be detected");
     assert!(outcome.sessions.len() >= 2, "a new tuning session must have run");
     let first = outcome.sessions.first().expect("first session").best;
     let last = outcome.sessions.last().expect("last session").best;
-    assert!(
-        first.t >= 6,
-        "the scalable phase should pick wide top-level parallelism, got {first}"
-    );
+    assert!(first.t >= 6, "the scalable phase should pick wide top-level parallelism, got {first}");
     assert!(
         last.c >= 4,
         "the nested-contended phase should move to intra-tree parallelism: {first} -> {last}"
@@ -114,8 +116,13 @@ fn stable_workload_never_retunes() {
     let mut policy = AdaptiveMonitor::default();
     let mut detector = CusumDetector::default();
 
-    let outcome =
-        Controller::tune_with_retuning(&mut system, &mut make_tuner, &mut policy, &mut detector, 60);
+    let outcome = Controller::tune_with_retuning(
+        &mut system,
+        &mut make_tuner,
+        &mut policy,
+        &mut detector,
+        60,
+    );
     assert_eq!(outcome.sessions.len(), 1, "no change, no re-tuning");
     assert_eq!(outcome.changes_detected, 0);
     assert_eq!(outcome.supervision_windows, 60);

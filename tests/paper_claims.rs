@@ -32,7 +32,11 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-fn final_dfo_over_reps(surface: &Surface, mut make: impl FnMut(u64) -> Box<dyn Tuner>, reps: usize) -> f64 {
+fn final_dfo_over_reps(
+    surface: &Surface,
+    mut make: impl FnMut(u64) -> Box<dyn Tuner>,
+    reps: usize,
+) -> f64 {
     let dfos: Vec<f64> = (0..reps)
         .map(|r| {
             let mut tuner = make(100 + r as u64 * 31);
@@ -48,18 +52,21 @@ fn autopn_beats_random_and_hill_climbing() {
     let space = SearchSpace::new(16);
     let autopn = final_dfo_over_reps(
         &surface,
-        |s| Box::new(AutoPn::new(space.clone(), AutoPnConfig { seed: s, ..AutoPnConfig::default() })),
+        |s| {
+            Box::new(AutoPn::new(
+                space.clone(),
+                AutoPnConfig { seed: s, ..AutoPnConfig::default() },
+            ))
+        },
         6,
     );
-    let random = final_dfo_over_reps(&surface, |s| Box::new(RandomSearch::new(space.clone(), s)), 6);
+    let random =
+        final_dfo_over_reps(&surface, |s| Box::new(RandomSearch::new(space.clone(), s)), 6);
     let hc = final_dfo_over_reps(&surface, |s| Box::new(HillClimbing::new(space.clone(), s)), 6);
     // On this small 16-core space random search can get lucky; require
     // non-inferiority to random and strict superiority to hill climbing
     // (the full-scale ordering is asserted by the fig5 experiment binary).
-    assert!(
-        autopn <= random + 0.5,
-        "AutoPN {autopn:.1}% must not lose to random {random:.1}%"
-    );
+    assert!(autopn <= random + 0.5, "AutoPN {autopn:.1}% must not lose to random {random:.1}%");
     assert!(autopn < hc, "AutoPN {autopn:.1}% must beat hill climbing {hc:.1}%");
     assert!(autopn < 10.0, "AutoPN should be close to optimum, got {autopn:.1}%");
 }
@@ -90,7 +97,12 @@ fn hill_climb_refinement_does_not_hurt_and_usually_helps() {
     let space = SearchSpace::new(16);
     let with_hc = final_dfo_over_reps(
         &surface,
-        |s| Box::new(AutoPn::new(space.clone(), AutoPnConfig { seed: s, ..AutoPnConfig::default() })),
+        |s| {
+            Box::new(AutoPn::new(
+                space.clone(),
+                AutoPnConfig { seed: s, ..AutoPnConfig::default() },
+            ))
+        },
         8,
     );
     let without_hc = final_dfo_over_reps(

@@ -1,0 +1,195 @@
+//! Integration tests for the observability layer: a full tuning session on
+//! the simulated and the live system must emit a well-ordered, parseable
+//! event stream covering the whole Fig.-2 loop.
+
+use std::sync::Arc;
+
+use autopn::monitor::AdaptiveMonitor;
+use autopn::{
+    AutoPn, AutoPnConfig, Controller, JsonlSink, SearchSpace, TestSink, TraceBus, TraceEvent,
+};
+use pnstm::{ParallelismDegree, Stm, StmConfig};
+use simtm::{MachineParams, SimWorkload};
+use workloads::array::{ArrayParams, ArrayWorkload};
+use workloads::{LiveStmSystem, SimSystem};
+
+fn sim_workload() -> SimWorkload {
+    SimWorkload::builder("trace-sim")
+        .top_work_us(30.0)
+        .child_count(4)
+        .child_work_us(80.0)
+        .top_footprint(6, 2)
+        .child_footprint(8, 2)
+        .data_items(10_000)
+        .build()
+}
+
+#[test]
+fn sim_session_emits_ordered_event_stream() {
+    let machine = MachineParams::new(8);
+    let mut sys = SimSystem::new(&sim_workload(), &machine, 7);
+    let mut tuner = AutoPn::new(SearchSpace::new(machine.n_cores), AutoPnConfig::default());
+    let mut policy = AdaptiveMonitor::default();
+
+    let sink = Arc::new(TestSink::default());
+    let trace = TraceBus::new();
+    trace.subscribe(sink.clone());
+
+    let outcome = Controller::tune_traced(&mut sys, &mut tuner, &mut policy, &trace);
+    let events = sink.events();
+
+    // Bracketing: the session events delimit the stream.
+    assert!(
+        matches!(events.first(), Some(TraceEvent::SessionStart { .. })),
+        "first event must be session_start, got {:?}",
+        events.first()
+    );
+    match events.last() {
+        Some(TraceEvent::SessionEnd { best_t, best_c, explored, fallback, .. }) => {
+            assert_eq!((*best_t as usize, *best_c as usize), (outcome.best.t, outcome.best.c));
+            assert_eq!(*explored as usize, outcome.explored.len());
+            assert!(!fallback);
+        }
+        other => panic!("last event must be session_end, got {other:?}"),
+    }
+
+    // Window bracketing and per-window ordering.
+    let mut open = false;
+    let mut proposals = 0usize;
+    let mut windows = 0usize;
+    let mut phase_transitions = Vec::new();
+    for ev in events.iter() {
+        match ev {
+            TraceEvent::WindowOpen { .. } => {
+                assert!(!open, "window_open while a window is open");
+                open = true;
+            }
+            TraceEvent::WindowClose { .. } => {
+                assert!(open, "window_close without window_open");
+                open = false;
+                windows += 1;
+            }
+            TraceEvent::WindowSample { .. } => assert!(open, "sample outside window"),
+            TraceEvent::Proposal { t, c, .. } => {
+                proposals += 1;
+                assert!(
+                    (*t as usize) * (*c as usize) <= machine.n_cores,
+                    "proposal ({t},{c}) outside admissible space"
+                );
+            }
+            TraceEvent::OptimizerPhase { from, to } => phase_transitions.push((*from, *to)),
+            _ => {}
+        }
+    }
+    assert!(!open, "window left open at session end");
+    assert_eq!(windows, outcome.explored.len(), "one window per explored config");
+    assert_eq!(proposals, outcome.explored.len(), "one proposal per explored config");
+    // The optimizer must have reported leaving initial sampling.
+    assert!(
+        phase_transitions.iter().any(|(from, _)| *from == "initial-sampling"),
+        "no phase transition out of initial sampling: {phase_transitions:?}"
+    );
+}
+
+#[test]
+fn live_session_emits_parseable_jsonl_trace() {
+    let path = std::env::temp_dir().join(format!("autopn-trace-{}.jsonl", std::process::id()));
+
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(1, 1),
+        worker_threads: 2,
+        ..StmConfig::default()
+    });
+    let wl = Arc::new(ArrayWorkload::new(
+        &stm,
+        "trace-live",
+        ArrayParams { size: 128, write_fraction: 0.5, chunks: 2 },
+    ));
+    let mut system = LiveStmSystem::start(stm.clone(), wl, 4);
+
+    // Subscribe the JSONL sink on the STM's own bus so runtime events
+    // (reconfigure, tx commits, semaphore waits) and controller events
+    // (session/window) interleave in one stream.
+    let trace = system.trace_bus().clone();
+    trace.subscribe(Arc::new(JsonlSink::create(&path).expect("create trace file")));
+
+    let mut tuner = AutoPn::new(SearchSpace::new(4), AutoPnConfig::default());
+    let mut policy = AdaptiveMonitor::new(0.25, 4);
+    let outcome = Controller::tune_traced(&mut system, &mut tuner, &mut policy, &trace);
+    system.shutdown();
+    trace.flush();
+
+    let text = std::fs::read_to_string(&path).expect("read trace file");
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.is_empty(), "trace file is empty");
+
+    let known = [
+        "tx_begin",
+        "tx_commit",
+        "tx_abort",
+        "sem_wait",
+        "reconfigure",
+        "window_open",
+        "window_sample",
+        "window_close",
+        "proposal",
+        "optimizer_phase",
+        "session_start",
+        "session_end",
+        "change_detected",
+    ];
+    let mut seen = std::collections::HashSet::new();
+    let mut saw_session_end = false;
+    for (i, line) in text.lines().enumerate() {
+        let v = serde_json::parse_value_str(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON ({e}): {line}", i + 1));
+        let ev = v.get("ev").and_then(|x| x.as_str()).expect("every event has an \"ev\" tag");
+        assert!(known.contains(&ev), "unknown event tag {ev:?}");
+        seen.insert(ev.to_string());
+        // Application threads run until `shutdown()`, so runtime events may
+        // trail the session close — but no *controller* event may.
+        let controller_ev = matches!(
+            ev,
+            "session_start"
+                | "window_open"
+                | "window_sample"
+                | "window_close"
+                | "proposal"
+                | "optimizer_phase"
+        );
+        assert!(!(saw_session_end && controller_ev), "controller event {ev:?} after session_end");
+        // Spot-check per-event schema invariants.
+        match ev {
+            "reconfigure" => {
+                let to = v.get("to").and_then(|x| x.as_arr()).expect("reconfigure.to");
+                let t = to[0].as_u64().unwrap();
+                let c = to[1].as_u64().unwrap();
+                assert!(t * c <= 4, "reconfigure to ({t},{c}) exceeds core budget");
+            }
+            "window_close" => {
+                assert!(v.get("commits").and_then(|x| x.as_u64()).is_some());
+                assert!(v.get("throughput").is_some());
+            }
+            "session_end" => {
+                let t = v.get("best_t").and_then(|x| x.as_u64()).unwrap();
+                let c = v.get("best_c").and_then(|x| x.as_u64()).unwrap();
+                assert_eq!((t as usize, c as usize), (outcome.best.t, outcome.best.c));
+                saw_session_end = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_session_end, "no session_end in the live trace");
+    for must in [
+        "session_start",
+        "session_end",
+        "window_open",
+        "window_close",
+        "proposal",
+        "reconfigure",
+        "tx_begin",
+        "tx_commit",
+    ] {
+        assert!(seen.contains(must), "no {must:?} event in the live trace; saw {seen:?}");
+    }
+}
