@@ -3,10 +3,33 @@
 //! the actuator (Fig. 2 of the paper).
 
 use crate::kpi::Measurement;
-use crate::monitor::{MonitorPolicy, Verdict};
+use crate::monitor::{MonitorPolicy, Verdict, HARD_WINDOW_CAP_NS};
 use crate::optimizer::Tuner;
 use crate::space::Config;
 use pnstm::{TraceBus, TraceEvent};
+use std::time::{Duration, Instant};
+
+/// A configuration could not be enacted (e.g. the actuation backend failed,
+/// or the fault layer vetoed the reconfiguration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyError {
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+impl ApplyError {
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self { reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "configuration apply failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ApplyError {}
 
 /// A system whose parallelism degree can be tuned and whose top-level commit
 /// events can be observed. Implemented by the `simtm` simulator wrapper and
@@ -15,6 +38,16 @@ use pnstm::{TraceBus, TraceEvent};
 pub trait TunableSystem {
     /// Enact configuration `cfg`.
     fn apply(&mut self, cfg: Config);
+
+    /// Fallibly enact configuration `cfg`. Systems whose actuation can fail
+    /// (a vetoed semaphore reconfiguration, a remote actuator) override this;
+    /// the default delegates to the infallible [`TunableSystem::apply`]. The
+    /// controller retries failed applies with backoff and falls back to the
+    /// last-known-good configuration (see [`Controller::tune_traced`]).
+    fn try_apply(&mut self, cfg: Config) -> Result<(), ApplyError> {
+        self.apply(cfg);
+        Ok(())
+    }
 
     /// Block (or advance virtual time) until the next top-level commit, at
     /// most `max_wait_ns`. Returns the commit's timestamp on the system
@@ -30,6 +63,50 @@ pub trait TunableSystem {
     fn quiesce(&mut self) {}
 }
 
+/// Hard safety deadlines around one measurement window, *beyond* the
+/// policy's own adaptive timeout: the adaptive timeout needs a reference
+/// (`1/T(1,1)`) and a ticking system clock, and a sufficiently broken system
+/// can deny it both. The watchdog terminates the window on either clock and
+/// returns a flagged measurement instead of hanging the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Wall-clock deadline on the driving host.
+    pub wall: Duration,
+    /// Deadline on the tuned system's clock (virtual or real), in ns.
+    pub system_ns: u64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        // Comfortably beyond the policies' 120 s hard window cap, so the
+        // watchdog only fires when the normal close paths are all broken.
+        Self { wall: Duration::from_secs(150), system_ns: 2 * HARD_WINDOW_CAP_NS }
+    }
+}
+
+/// Degradation-ladder knobs for a tuning session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneOptions {
+    /// Per-window watchdog deadlines.
+    pub watchdog: Watchdog,
+    /// How many times a failing [`TunableSystem::try_apply`] is attempted
+    /// before the controller gives up on the configuration (≥ 1).
+    pub apply_attempts: u32,
+    /// Base wall-clock backoff between apply retries (doubles per retry;
+    /// `ZERO` retries immediately).
+    pub apply_backoff: Duration,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            watchdog: Watchdog::default(),
+            apply_attempts: 4,
+            apply_backoff: Duration::from_micros(200),
+        }
+    }
+}
+
 /// Result of a completed tuning session.
 #[derive(Debug, Clone)]
 pub struct TuningOutcome {
@@ -41,6 +118,11 @@ pub struct TuningOutcome {
     pub best_throughput: f64,
     /// System time consumed by the whole tuning session (ns).
     pub elapsed_ns: u64,
+    /// The session survived a fault: a reconfiguration fell back to the
+    /// last-known-good configuration, a watchdog terminated a window, or a
+    /// measurement came back starved. The result stands but deserves less
+    /// trust (mirrors the `SessionEnd.degraded` trace flag).
+    pub degraded: bool,
 }
 
 /// Outcome of a supervised (re-tuning) session.
@@ -71,7 +153,32 @@ impl Controller {
         policy: &mut dyn MonitorPolicy,
         trace: &TraceBus,
     ) -> Measurement {
+        Self::measure_watched(system, policy, trace, &Watchdog::default())
+    }
+
+    /// [`Controller::measure_traced`] under explicit [`Watchdog`] deadlines.
+    /// When the watchdog fires, the window closes with a flagged (starved,
+    /// timed-out) measurement and a [`TraceEvent::WatchdogFired`] marker
+    /// instead of the controller hanging on a dead system.
+    pub fn measure_watched(
+        system: &mut dyn TunableSystem,
+        policy: &mut dyn MonitorPolicy,
+        trace: &TraceBus,
+        watchdog: &Watchdog,
+    ) -> Measurement {
+        Self::measure_inner(system, policy, trace, watchdog).0
+    }
+
+    /// Core measurement loop; the second component reports whether the
+    /// watchdog terminated the window (the session is then degraded).
+    fn measure_inner(
+        system: &mut dyn TunableSystem,
+        policy: &mut dyn MonitorPolicy,
+        trace: &TraceBus,
+        watchdog: &Watchdog,
+    ) -> (Measurement, bool) {
         let opened = system.now_ns();
+        let wall_start = Instant::now();
         policy.begin_window(opened);
         trace.emit(TraceEvent::WindowOpen { at_ns: opened });
         let close = |m: Measurement, at_ns: u64, trace: &TraceBus| {
@@ -86,6 +193,18 @@ impl Controller {
             m
         };
         loop {
+            // Hard deadline check on both clocks. The policies' own timeouts
+            // run on the *system* clock and need a throughput reference; a
+            // frozen clock or an uncalibrated policy can defeat them, and the
+            // wall deadline is the backstop that cannot be defeated.
+            let sys_now = system.now_ns();
+            if wall_start.elapsed() >= watchdog.wall
+                || sys_now.saturating_sub(opened) >= watchdog.system_ns
+            {
+                trace.emit(TraceEvent::WatchdogFired { at_ns: sys_now });
+                let m = policy.force_close(sys_now);
+                return (close(m, sys_now, trace), true);
+            }
             match system.wait_commit(policy.poll_interval_ns()) {
                 Some(ts) => {
                     let verdict = policy.on_commit(ts);
@@ -93,17 +212,40 @@ impl Controller {
                         trace.emit(TraceEvent::WindowSample { at_ns: ts, cv: policy.current_cv() });
                     }
                     if let Verdict::Complete(m) = verdict {
-                        return close(m, ts, trace);
+                        return (close(m, ts, trace), false);
                     }
                 }
                 None => {
                     let now = system.now_ns();
                     if let Verdict::Complete(m) = policy.on_idle(now) {
-                        return close(m, now, trace);
+                        return (close(m, now, trace), false);
                     }
                 }
             }
         }
+    }
+
+    /// Attempt `try_apply` up to `opts.apply_attempts` times with exponential
+    /// wall-clock backoff. Returns the last error if every attempt failed.
+    fn apply_with_retry(
+        system: &mut dyn TunableSystem,
+        cfg: Config,
+        opts: &TuneOptions,
+    ) -> Result<(), ApplyError> {
+        let attempts = opts.apply_attempts.max(1);
+        let mut backoff = opts.apply_backoff;
+        let mut last = ApplyError::new("unreachable: zero apply attempts");
+        for attempt in 1..=attempts {
+            match system.try_apply(cfg) {
+                Ok(()) => return Ok(()),
+                Err(err) => last = err,
+            }
+            if attempt < attempts && !backoff.is_zero() {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+        Err(last)
     }
 
     /// Run a full tuning session: propose → apply → measure → observe, until
@@ -126,14 +268,65 @@ impl Controller {
         policy: &mut dyn MonitorPolicy,
         trace: &TraceBus,
     ) -> TuningOutcome {
+        Self::tune_traced_with(system, tuner, policy, trace, &TuneOptions::default())
+    }
+
+    /// [`Controller::tune_traced`] with explicit degradation-ladder knobs.
+    ///
+    /// The ladder, rung by rung:
+    /// 1. a failing reconfiguration is retried `apply_attempts` times with
+    ///    exponential backoff;
+    /// 2. when retries are exhausted, the configuration is reported to the
+    ///    tuner as unusable (zero throughput, timed out) and the system is
+    ///    re-parked on the last configuration that *did* apply (or `(1,1)`),
+    ///    with a [`TraceEvent::ApplyDegraded`] marker;
+    /// 3. a window the policy cannot close is terminated by the watchdog with
+    ///    a flagged measurement ([`TraceEvent::WatchdogFired`]).
+    ///
+    /// Any rung past 1 marks the session (and its `SessionEnd` event) as
+    /// degraded, but the session always runs to completion.
+    pub fn tune_traced_with(
+        system: &mut dyn TunableSystem,
+        tuner: &mut dyn Tuner,
+        policy: &mut dyn MonitorPolicy,
+        trace: &TraceBus,
+        opts: &TuneOptions,
+    ) -> TuningOutcome {
         tuner.attach_trace(trace.clone());
         let started = system.now_ns();
         trace.emit(TraceEvent::SessionStart { at_ns: started });
         let mut explored = Vec::new();
+        let mut degraded = false;
+        let mut last_good: Option<Config> = None;
+        let park_on_last_good =
+            |system: &mut dyn TunableSystem, cfg: Config, last_good: Option<Config>| {
+                let fb = last_good.unwrap_or(Config::new(1, 1));
+                trace.emit(TraceEvent::ApplyDegraded {
+                    t: cfg.t as u32,
+                    c: cfg.c as u32,
+                    fb_t: fb.t as u32,
+                    fb_c: fb.c as u32,
+                    attempts: opts.apply_attempts.max(1),
+                });
+                // Best effort: the fallback has applied before, so this is
+                // expected to succeed; if the actuator is wedged enough that
+                // even this fails, the system simply keeps its current degree.
+                let _ = system.try_apply(fb);
+            };
         while let Some(cfg) = tuner.propose() {
-            system.apply(cfg);
+            if Self::apply_with_retry(system, cfg, opts).is_err() {
+                degraded = true;
+                park_on_last_good(system, cfg, last_good);
+                // Teach the tuner the configuration is unusable (worst
+                // possible, known-noisy observation) so the search moves on
+                // instead of re-proposing it.
+                tuner.observe_noisy(cfg, 0.0, None, true);
+                continue;
+            }
+            last_good = Some(cfg);
             system.quiesce();
-            let m = Self::measure_traced(system, policy, trace);
+            let (m, watchdog_fired) = Self::measure_inner(system, policy, trace, &opts.watchdog);
+            degraded |= watchdog_fired;
             policy.measurement_taken(cfg, &m);
             tuner.observe_noisy(cfg, m.throughput, m.cv, m.timed_out);
             explored.push((cfg, m));
@@ -145,7 +338,10 @@ impl Controller {
             Some((cfg, kpi)) => (cfg, kpi, false),
             None => (Config::new(1, 1), 0.0, true),
         };
-        system.apply(best);
+        if Self::apply_with_retry(system, best, opts).is_err() {
+            degraded = true;
+            park_on_last_good(system, best, last_good);
+        }
         trace.emit(TraceEvent::SessionEnd {
             at_ns: system.now_ns(),
             best_t: best.t as u32,
@@ -153,12 +349,14 @@ impl Controller {
             throughput: best_throughput,
             explored: explored.len() as u64,
             fallback,
+            degraded,
         });
         TuningOutcome {
             explored,
             best,
             best_throughput,
             elapsed_ns: system.now_ns().saturating_sub(started),
+            degraded,
         }
     }
 
@@ -392,6 +590,169 @@ mod tests {
         assert!(!open, "unclosed window at session end");
         assert_eq!(closes, outcome.explored.len());
         assert_eq!(proposals, outcome.explored.len());
+    }
+
+    #[test]
+    fn watchdog_wall_deadline_cuts_frozen_clock_window() {
+        /// A system whose clock never advances: defeats every system-clock
+        /// timeout (the adaptive 1/T(1,1) timeout *and* the 120 s hard cap),
+        /// so only the wall-clock watchdog can terminate the window.
+        struct FrozenSystem;
+        impl TunableSystem for FrozenSystem {
+            fn apply(&mut self, _cfg: Config) {}
+            fn wait_commit(&mut self, _max_wait_ns: u64) -> Option<u64> {
+                std::thread::sleep(Duration::from_millis(1));
+                None
+            }
+            fn now_ns(&self) -> u64 {
+                0
+            }
+        }
+        let mut policy = AdaptiveMonitor::default();
+        policy.set_reference_throughput(100.0); // timeout armed but unreachable
+        let sink = std::sync::Arc::new(pnstm::TestSink::default());
+        let trace = TraceBus::new();
+        trace.subscribe(sink.clone());
+        let wd = Watchdog { wall: Duration::from_millis(50), system_ns: u64::MAX };
+        let m = Controller::measure_watched(&mut FrozenSystem, &mut policy, &trace, &wd);
+        assert!(m.timed_out && m.starved, "watchdog measurement must be flagged: {m:?}");
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::WatchdogFired { .. })));
+        assert!(
+            matches!(events.last(), Some(TraceEvent::WindowClose { .. })),
+            "watchdog still closes the window bracket"
+        );
+    }
+
+    #[test]
+    fn watchdog_system_deadline_cuts_silent_window() {
+        struct SilentSystem {
+            now: u64,
+        }
+        impl TunableSystem for SilentSystem {
+            fn apply(&mut self, _cfg: Config) {}
+            fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+                self.now += max_wait_ns;
+                None
+            }
+            fn now_ns(&self) -> u64 {
+                self.now
+            }
+        }
+        // No reference throughput: the adaptive timeout is unarmed, and the
+        // policy would idle all the way to the 120 s hard cap. The watchdog's
+        // (much tighter) system-clock deadline cuts in first.
+        let mut policy = AdaptiveMonitor::default();
+        let mut sys = SilentSystem { now: 0 };
+        let wd = Watchdog { wall: Duration::from_secs(60), system_ns: 5_000_000 };
+        let m = Controller::measure_watched(&mut sys, &mut policy, &TraceBus::default(), &wd);
+        assert!(m.timed_out && m.starved);
+        assert!(sys.now < 100_000_000, "window ended near the 5ms deadline, not the 120s cap");
+    }
+
+    /// Proposes a fixed script of configurations; best = highest KPI seen.
+    struct ListTuner {
+        queue: std::collections::VecDeque<Config>,
+        seen: Vec<(Config, f64)>,
+    }
+    impl ListTuner {
+        fn new(script: &[(usize, usize)]) -> Self {
+            Self {
+                queue: script.iter().map(|&(t, c)| Config::new(t, c)).collect(),
+                seen: Vec::new(),
+            }
+        }
+    }
+    impl Tuner for ListTuner {
+        fn propose(&mut self) -> Option<Config> {
+            self.queue.pop_front()
+        }
+        fn observe(&mut self, cfg: Config, kpi: f64) {
+            self.seen.push((cfg, kpi));
+        }
+        fn best(&self) -> Option<(Config, f64)> {
+            self.seen.iter().copied().reduce(|a, b| if b.1 > a.1 { b } else { a })
+        }
+        fn explored(&self) -> usize {
+            self.seen.len()
+        }
+        fn name(&self) -> String {
+            "list".into()
+        }
+    }
+
+    #[test]
+    fn failed_applies_degrade_and_fall_back_to_last_good() {
+        /// Vetoes every configuration with `t >= 4`; the rest applies.
+        struct VetoSystem {
+            inner: FakeSystem,
+            vetoes: u32,
+        }
+        impl TunableSystem for VetoSystem {
+            fn apply(&mut self, cfg: Config) {
+                self.inner.apply(cfg);
+            }
+            fn try_apply(&mut self, cfg: Config) -> Result<(), ApplyError> {
+                if cfg.t >= 4 {
+                    self.vetoes += 1;
+                    return Err(ApplyError::new("actuator vetoed"));
+                }
+                self.inner.apply(cfg);
+                Ok(())
+            }
+            fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+                self.inner.wait_commit(max_wait_ns)
+            }
+            fn now_ns(&self) -> u64 {
+                self.inner.now_ns()
+            }
+        }
+        let mut sys = VetoSystem { inner: FakeSystem::new(), vetoes: 0 };
+        let mut tuner = ListTuner::new(&[(4, 2), (2, 2)]);
+        let mut policy = AdaptiveMonitor::default();
+        let sink = std::sync::Arc::new(pnstm::TestSink::default());
+        let trace = TraceBus::new();
+        trace.subscribe(sink.clone());
+        let opts = TuneOptions {
+            apply_attempts: 3,
+            apply_backoff: Duration::ZERO,
+            ..TuneOptions::default()
+        };
+        let outcome =
+            Controller::tune_traced_with(&mut sys, &mut tuner, &mut policy, &trace, &opts);
+        assert!(outcome.degraded, "a vetoed configuration degrades the session");
+        assert_eq!(outcome.explored.len(), 1, "the vetoed config is never measured");
+        assert_eq!(outcome.best, Config::new(2, 2), "best comes from what did run");
+        assert_eq!(sys.vetoes, 3, "the veto was retried apply_attempts times");
+        // (4,2) was fed back to the tuner as unusable so the search moved on.
+        assert!(tuner.seen.contains(&(Config::new(4, 2), 0.0)));
+        // The system ended up on the measured best, not the vetoed config.
+        assert_eq!(sys.inner.period_ns, FakeSystem::period_for(Config::new(2, 2)));
+        let events = sink.events();
+        let degraded_applies: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ApplyDegraded { t, c, fb_t, fb_c, attempts } => {
+                    Some((*t, *c, *fb_t, *fb_c, *attempts))
+                }
+                _ => None,
+            })
+            .collect();
+        // One fallback: (4,2) failed with nothing known-good yet → (1,1).
+        assert_eq!(degraded_applies, vec![(4, 2, 1, 1, 3)]);
+        match events.last() {
+            Some(TraceEvent::SessionEnd { degraded: true, fallback: false, .. }) => {}
+            other => panic!("expected degraded SessionEnd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_session_is_not_degraded() {
+        let mut sys = FakeSystem::new();
+        let mut tuner = ListTuner::new(&[(2, 2), (6, 2)]);
+        let mut policy = AdaptiveMonitor::default();
+        let outcome = Controller::tune(&mut sys, &mut tuner, &mut policy);
+        assert!(!outcome.degraded);
     }
 
     #[test]

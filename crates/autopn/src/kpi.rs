@@ -17,15 +17,20 @@ pub struct Measurement {
     /// Coefficient of variation of the per-commit throughput estimates at
     /// window close, when the policy tracks it.
     pub cv: Option<f64>,
+    /// The window closed without observing a single commit — a starved
+    /// configuration (or a watchdog-terminated window). Downstream consumers
+    /// must not derive timing references (e.g. the adaptive `1/T(1,1)`
+    /// timeout) from a starved measurement.
+    pub starved: bool,
 }
 
-impl_serde!(Measurement { throughput, commits, window_ns, timed_out, cv });
+impl_serde!(Measurement { throughput, commits, window_ns, timed_out, cv } defaults { starved });
 
 impl Measurement {
     /// A window that saw `commits` commits over `window_ns`.
     pub fn from_counts(commits: u64, window_ns: u64, timed_out: bool, cv: Option<f64>) -> Self {
         let throughput = if window_ns == 0 { 0.0 } else { commits as f64 * 1e9 / window_ns as f64 };
-        Self { throughput, commits, window_ns, timed_out, cv }
+        Self { throughput, commits, window_ns, timed_out, cv, starved: commits == 0 }
     }
 }
 

@@ -45,6 +45,7 @@
 
 pub mod actuator;
 pub mod change;
+pub mod chaos;
 pub mod controller;
 pub mod hillclimb;
 pub mod kpi;
@@ -59,12 +60,14 @@ pub mod stopping;
 
 pub use actuator::{Actuator, PnstmActuator};
 pub use change::CusumDetector;
-pub use controller::{Controller, TunableSystem, TuningOutcome};
+pub use chaos::FaultyTunable;
+pub use controller::{ApplyError, Controller, TunableSystem, TuneOptions, TuningOutcome, Watchdog};
 // Re-exported so controller callers can build a trace pipeline without
 // depending on pnstm directly.
 pub use kpi::Measurement;
 pub use multi::{MultiAutoPn, MultiAutoPnConfig, MultiConfig};
 pub use optimizer::{AutoPn, AutoPnConfig, Tuner};
+pub use pnstm::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};
 pub use pnstm::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
 pub use sampling::InitialSampling;
 pub use space::{Config, SearchSpace};

@@ -172,13 +172,30 @@ impl MonitorPolicy for AdaptiveMonitor {
     }
 
     fn measurement_taken(&mut self, cfg: Config, m: &Measurement) {
-        if cfg == Config::new(1, 1) && !m.timed_out {
-            self.set_reference_throughput(m.throughput);
+        if cfg == Config::new(1, 1) {
+            if !m.timed_out {
+                self.set_reference_throughput(m.throughput);
+            } else if m.starved && self.timescale_ns.is_none() {
+                // Starved pivot: T(1,1) = 0, so no timescale can be derived
+                // from it — and with no timescale there is no adaptive
+                // timeout, which would let *every* subsequent window on this
+                // (possibly stalled) system run to the 120 s hard cap. Arm a
+                // conservative fallback timescale from the window we actually
+                // waited, clamped to a sane range, so later windows are still
+                // cut promptly. A real (1,1) measurement replaces it.
+                let fallback = (m.window_ns.max(1) / 2).clamp(1_000_000, 10_000_000_000);
+                self.timescale_ns = Some(fallback);
+            }
         }
     }
 
     fn reset_reference(&mut self) {
         self.timescale_ns = None;
+    }
+
+    fn force_close(&mut self, now_ns: u64) -> Measurement {
+        // Salvage whatever the window counted so far; flagged timed-out.
+        self.close(now_ns, true)
     }
 
     fn current_cv(&self) -> Option<f64> {
@@ -341,6 +358,36 @@ mod tests {
             "burst inflated the estimate: {:.0} tx/s",
             meas.throughput
         );
+    }
+
+    #[test]
+    fn starved_pivot_arms_a_fallback_timescale() {
+        let mut m = AdaptiveMonitor::default();
+        // The (1,1) pivot window closed with zero commits after 200 ms.
+        let starved = Measurement::from_counts(0, 200_000_000, true, None);
+        assert!(starved.starved);
+        m.measurement_taken(Config::new(1, 1), &starved);
+        let timeout = m.timeout_ns().expect("starved pivot must still arm a timeout");
+        assert!(timeout < HARD_WINDOW_CAP_NS, "fallback must beat the hard cap");
+        // Subsequent silent windows are cut by the fallback timeout...
+        m.begin_window(0);
+        assert!(matches!(m.on_idle(timeout + 1), Verdict::Complete(_)));
+        // ...and a real (1,1) measurement replaces the fallback.
+        let real = Measurement::from_counts(100, 1_000_000_000, false, Some(0.05));
+        m.measurement_taken(Config::new(1, 1), &real);
+        assert_eq!(m.timeout_ns(), Some(30_000_000));
+    }
+
+    #[test]
+    fn force_close_salvages_partial_window() {
+        let mut m = AdaptiveMonitor { warmup_commits: 0, ..AdaptiveMonitor::default() };
+        m.begin_window(0);
+        let _ = m.on_commit(1_000_000);
+        let _ = m.on_commit(2_000_000);
+        let meas = m.force_close(4_000_000);
+        assert!(meas.timed_out);
+        assert_eq!(meas.commits, 2);
+        assert!(!meas.starved);
     }
 
     #[test]

@@ -61,6 +61,16 @@ pub trait MonitorPolicy {
     /// tuning session: the old reference no longer describes the system.
     fn reset_reference(&mut self) {}
 
+    /// Forcibly close the current window *now* and return a flagged
+    /// measurement. Called by the controller's watchdog when a window
+    /// outlives its hard deadline (a stalled system never delivers the
+    /// commits — or even the idle polls — a policy's own timeout needs).
+    /// Policies that track window state should override this to salvage the
+    /// partial counts; the default reports a starved, timed-out window.
+    fn force_close(&mut self, _now_ns: u64) -> Measurement {
+        Measurement::from_counts(0, 0, true, None)
+    }
+
     /// The policy's running stability estimate (CV of the per-commit
     /// throughput series) mid-window, if it tracks one. The traced
     /// controller samples this after every commit to record the CV

@@ -1,0 +1,126 @@
+//! Cost of the fault-injection layer on the transaction hot path.
+//!
+//! The acceptance bar mirrors `commit/hook_dispatch`: with no plan armed a
+//! fault site must cost a single predictable branch (`fault/site/disabled`
+//! should sit next to `fault/site/baseline_branch`), and a full STM commit
+//! must show no measurable gap between a fault-free build path and an armed
+//! plan whose rules never fire.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pnstm::{
+    FaultCtx, FaultKind, FaultPlan, FaultRule, ParallelismDegree, Stm, StmConfig, TraceBus,
+};
+
+/// The per-site consultation cost in isolation.
+fn bench_site_consult(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault/site");
+
+    // What one branch costs on this machine — the floor the disabled site is
+    // judged against.
+    let gate = black_box(false);
+    group.bench_function("baseline_branch", |b| b.iter(|| if gate { 1u64 } else { 0u64 }));
+
+    // No plan armed: `FaultCtx::inject` is one None-check.
+    let disabled = FaultCtx::disabled();
+    group.bench_function("disabled", |b| {
+        b.iter(|| disabled.inject(FaultKind::ValidationAbort).is_some())
+    });
+
+    // A plan armed on a *different* kind: the consulted site still draws
+    // nothing (rule lookup is a per-kind array index).
+    let other = FaultCtx::new(
+        Some(Arc::new(
+            FaultPlan::new(1).with_rule(FaultKind::ClockJitter, FaultRule::with_probability(1.0)),
+        )),
+        TraceBus::default(),
+    );
+    group.bench_function("armed_other_kind", |b| {
+        b.iter(|| other.inject(FaultKind::ValidationAbort).is_some())
+    });
+
+    // A rule on the consulted kind that never fires: counter bump + one
+    // splitmix64 draw.
+    let never = FaultCtx::new(
+        Some(Arc::new(
+            FaultPlan::new(2)
+                .with_rule(FaultKind::ValidationAbort, FaultRule::with_probability(0.0)),
+        )),
+        TraceBus::default(),
+    );
+    group.bench_function("armed_never_fires", |b| {
+        b.iter(|| never.inject(FaultKind::ValidationAbort).is_some())
+    });
+
+    // Always fires (delay 0, disabled trace bus): draw + counters + the cold
+    // emit path.
+    let always = FaultCtx::new(
+        Some(Arc::new(
+            FaultPlan::new(3)
+                .with_rule(FaultKind::ValidationAbort, FaultRule::with_probability(1.0)),
+        )),
+        TraceBus::default(),
+    );
+    group.bench_function("armed_always_fires", |b| {
+        b.iter(|| always.inject(FaultKind::ValidationAbort).is_some())
+    });
+
+    group.finish();
+}
+
+/// End-to-end: a small read-write transaction through commit, with the fault
+/// layer absent vs armed-but-silent. The two must be indistinguishable.
+fn bench_commit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault/commit_path");
+
+    let plain = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(1, 1),
+        worker_threads: 1,
+        ..StmConfig::default()
+    });
+    let cell = plain.new_vbox(0u64);
+    group.bench_function("no_plan", |b| {
+        b.iter(|| {
+            plain
+                .atomic(|tx| {
+                    let v = tx.read(&cell);
+                    tx.write(&cell, v + 1);
+                    Ok(())
+                })
+                .expect("uncontended increment commits")
+        })
+    });
+
+    // Every site consulted, probability 0 everywhere: the full bookkeeping
+    // cost without any injected behaviour.
+    let mut silent_plan = FaultPlan::new(4);
+    for kind in FaultKind::ALL {
+        silent_plan = silent_plan.with_rule(kind, FaultRule::with_probability(0.0));
+    }
+    let armed = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(1, 1),
+        worker_threads: 1,
+        fault: Some(Arc::new(silent_plan)),
+        ..StmConfig::default()
+    });
+    let cell = armed.new_vbox(0u64);
+    group.bench_function("armed_silent_plan", |b| {
+        b.iter(|| {
+            armed
+                .atomic(|tx| {
+                    let v = tx.read(&cell);
+                    tx.write(&cell, v + 1);
+                    Ok(())
+                })
+                .expect("uncontended increment commits")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_site_consult, bench_commit_path);
+criterion_main!(benches);

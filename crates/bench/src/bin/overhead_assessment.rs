@@ -10,7 +10,12 @@
 //! measures CPU overhead, not the 48-core surface shape).
 //!
 //! Usage: `cargo run --release -p bench --bin overhead_assessment -- \
-//!            [--txns 3000] [--rounds 5]`
+//!            [--txns 3000] [--rounds 5] \
+//!            [--fault-plan "seed=42,commit-hold=0.05:1ms:20"]`
+//!
+//! With `--fault-plan` the STM runs the whole assessment under the given
+//! deterministic fault plan, quantifying what a chaos schedule costs on top
+//! of the (branch-only) disabled fault layer.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,7 +24,7 @@ use std::time::Instant;
 use autopn::model::{BaggedM5, Sample};
 use autopn::smbo::expected_improvement;
 use autopn::SearchSpace;
-use bench::{banner, mean, Args};
+use bench::{banner, fault_plan_from_args, mean, Args};
 use pnstm::{ParallelismDegree, Stm, StmConfig};
 use workloads::array::{ArrayParams, ArrayWorkload};
 use workloads::StmWorkload;
@@ -42,9 +47,14 @@ fn main() {
     banner("§VII-E — self-tuning overhead (live pnstm, actuator inhibited)");
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let fault_plan = fault_plan_from_args(&args);
+    if let Some(plan) = &fault_plan {
+        println!("fault plan armed (seed {})", plan.seed());
+    }
     let stm = Stm::new(StmConfig {
         degree: ParallelismDegree::new(cores, 1),
         worker_threads: cores,
+        fault: fault_plan.clone(),
         ..StmConfig::default()
     });
     // Zero contention: read-only scans.
@@ -134,4 +144,7 @@ fn main() {
     println!("instrumented : {inst:>10.0} txn/s  (runs: {instrumented:.0?})");
     println!("throughput drop: {drop:.2}%   (paper: < 2% on average)");
     println!("trace-enabled drop: {trace_drop:.2}%   (budget: <= 5%)");
+    if let Some(plan) = &fault_plan {
+        println!("faults injected during the assessment: {}", plan.injected_total());
+    }
 }

@@ -214,6 +214,20 @@ pub fn trace_bus_from_args(args: &Args) -> autopn::TraceBus {
     bus
 }
 
+/// Build a fault plan from `--fault-plan <spec>`, e.g.
+/// `--fault-plan "seed=42,commit-hold=0.1:2ms:5,validation-abort=0.05"`
+/// (see [`pnstm::FaultPlan::parse`] for the grammar). Returns `None` when the
+/// flag is absent (the fault layer then compiles down to one disabled-branch
+/// check per site). A malformed spec aborts with the parse error — a typo'd
+/// chaos experiment must not silently run healthy.
+pub fn fault_plan_from_args(args: &Args) -> Option<std::sync::Arc<pnstm::FaultPlan>> {
+    let spec = args.get("fault-plan")?;
+    match pnstm::FaultPlan::parse(spec) {
+        Ok(plan) => Some(std::sync::Arc::new(plan)),
+        Err(e) => panic!("invalid --fault-plan '{spec}': {e}"),
+    }
+}
+
 /// Print a header for an experiment report.
 pub fn banner(title: &str) {
     println!("{}", "=".repeat(78));
@@ -282,5 +296,26 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         assert!(text.contains("\"ev\":\"session_start\""));
+    }
+
+    #[test]
+    fn fault_plan_absent_without_flag_parsed_with_it() {
+        assert!(fault_plan_from_args(&Args::parse(std::iter::empty())).is_none());
+        let args = Args::parse(
+            ["--fault-plan".to_string(), "seed=9,commit-hold=0.5:1ms:3".to_string()].into_iter(),
+        );
+        let plan = fault_plan_from_args(&args).expect("valid spec");
+        assert_eq!(plan.seed(), 9);
+        let rule = plan.rule(pnstm::FaultKind::CommitHold).expect("rule present");
+        assert_eq!(rule.delay_ns, 1_000_000);
+        assert_eq!(rule.budget, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --fault-plan")]
+    fn malformed_fault_plan_aborts() {
+        let args =
+            Args::parse(["--fault-plan".to_string(), "no-such-kind=0.5".to_string()].into_iter());
+        let _ = fault_plan_from_args(&args);
     }
 }

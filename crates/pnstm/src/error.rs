@@ -48,6 +48,11 @@ pub enum StmError {
         /// Number of attempts that were made (aborted attempts only).
         attempts: u64,
     },
+    /// Top-level admission is closed ([`crate::Stm::close_admission`]): the
+    /// STM is shutting down and the transaction never started. Callers
+    /// (typically worker loops) should treat this as a stop signal, not as a
+    /// transactional failure.
+    Shutdown,
 }
 
 impl fmt::Display for StmError {
@@ -57,6 +62,7 @@ impl fmt::Display for StmError {
             StmError::RetriesExhausted { attempts } => {
                 write!(f, "transaction aborted {attempts} times; retry budget exhausted")
             }
+            StmError::Shutdown => write!(f, "transaction rejected: STM admission is closed"),
         }
     }
 }
@@ -74,6 +80,7 @@ mod tests {
         assert_eq!(TxError::ChildPanic.to_string(), "child transaction panicked");
         assert_eq!(StmError::UserAborted.to_string(), "transaction aborted by user code");
         assert!(StmError::RetriesExhausted { attempts: 3 }.to_string().contains("3 times"));
+        assert!(StmError::Shutdown.to_string().contains("admission is closed"));
     }
 
     #[test]

@@ -65,6 +65,7 @@
 pub mod clock;
 pub mod collections;
 pub mod error;
+pub mod fault;
 pub mod pool;
 pub mod stats;
 pub mod throttle;
@@ -76,9 +77,10 @@ mod runtime;
 
 pub use collections::{TArray, TCounter, TMap};
 pub use error::{StmError, TxError, TxResult};
+pub use fault::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};
 pub use runtime::{ReadTxn, Stm, StmConfig};
 pub use stats::{CommitEvent, Stats, StatsSnapshot, TxKind, SEM_WAIT_BUCKETS};
-pub use throttle::{ParallelismDegree, Throttle};
+pub use throttle::{ParallelismDegree, ReconfigError, Throttle};
 pub use trace::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
 pub use txn::{child, ChildTask, Txn};
 pub use vbox::VBox;

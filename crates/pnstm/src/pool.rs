@@ -22,6 +22,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use crate::fault::{FaultCtx, FaultKind};
+
 pub(crate) type Task = Box<dyn FnOnce() + Send>;
 
 /// A batch of child-transaction tasks belonging to one `parallel()` call.
@@ -77,6 +79,29 @@ struct PoolShared {
     shutdown: AtomicBool,
     target_size: AtomicUsize,
     live_workers: AtomicUsize,
+    fault: FaultCtx,
+}
+
+/// Marks the task finished on drop, so a panicking task still decrements the
+/// batch's remaining count: without this, `run_batch` would wait forever on
+/// a batch whose task unwound past its `finish_task` call.
+struct FinishGuard<'a>(&'a Batch);
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.0.finish_task();
+    }
+}
+
+/// Execute one task of `batch`, consulting the fault layer first
+/// ([`FaultKind::ChildStall`] delays child execution) and guaranteeing the
+/// batch accounting survives a panic.
+fn run_task(batch: &Batch, task: Task, fault: &FaultCtx) {
+    if let Some(action) = fault.inject(FaultKind::ChildStall) {
+        action.stall();
+    }
+    let _finish = FinishGuard(batch);
+    task();
 }
 
 /// Resizable pool of worker threads that help execute nested-transaction
@@ -90,12 +115,18 @@ impl ChildPool {
     /// Create a pool with `size` worker threads (0 is allowed: all batches
     /// then run entirely on their calling threads).
     pub fn new(size: usize) -> Self {
+        Self::with_instruments(size, FaultCtx::disabled())
+    }
+
+    /// A pool whose task execution consults the given fault context.
+    pub fn with_instruments(size: usize, fault: FaultCtx) -> Self {
         let shared = Arc::new(PoolShared {
             batches: Mutex::new(Vec::new()),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             target_size: AtomicUsize::new(size),
             live_workers: AtomicUsize::new(0),
+            fault,
         });
         let pool = Self { shared, handles: Mutex::new(Vec::new()) };
         pool.spawn_up_to(size);
@@ -153,9 +184,16 @@ impl ChildPool {
         }
         // The caller is always an executor: guarantees progress with c = 1 or
         // an exhausted pool, and makes nested `parallel()` deadlock-free.
+        // A panicking caller-executed task must not abandon the rest of the
+        // batch mid-flight: hold the first panic and re-raise it only after
+        // the batch has fully drained (mirrors `Txn::parallel`).
+        let mut caller_panic: Option<Box<dyn std::any::Any + Send>> = None;
         while let Some(task) = batch.pop_task() {
-            task();
-            batch.finish_task();
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_task(&batch, task, &self.shared.fault)
+            })) {
+                caller_panic.get_or_insert(payload);
+            }
         }
         // Wait for helpers to drain the tasks they already claimed.
         {
@@ -167,6 +205,9 @@ impl ChildPool {
         if batch.helper_limit > 0 {
             let mut batches = self.shared.batches.lock();
             batches.retain(|b| !Arc::ptr_eq(b, &batch));
+        }
+        if let Some(payload) = caller_panic {
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -205,8 +246,12 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 // last helper slot between our scan and the increment.
                 if batch.helpers.load(Ordering::Acquire) <= batch.helper_limit {
                     while let Some(task) = batch.pop_task() {
-                        task();
-                        batch.finish_task();
+                        // A panicking task must not kill the shared worker:
+                        // absorb the unwind (the txn layer has its own panic
+                        // channel; see `Txn::parallel`) and keep serving.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_task(&batch, task, &shared.fault)
+                        }));
                     }
                 }
                 batch.helpers.fetch_sub(1, Ordering::AcqRel);
@@ -304,6 +349,46 @@ mod tests {
             thread::sleep(Duration::from_millis(10));
         }
         assert!(pool.live_workers() <= 1, "live {}", pool.live_workers());
+    }
+
+    #[test]
+    fn panicking_task_neither_hangs_batch_nor_kills_worker() {
+        let pool = ChildPool::new(2);
+        let counter = Arc::new(AtomicI64::new(0));
+        // helper_limit = 2 with an idle caller-side queue: push the panicking
+        // task through pool workers by making the caller slow to reach it.
+        let mut tasks = make_tasks(8, &counter);
+        tasks.push(Box::new(|| panic!("injected task panic")) as Task);
+        tasks.extend(make_tasks(8, &counter));
+        let batch = Batch::new(tasks, 2);
+        // Must return (FinishGuard settles the count even on unwind). The
+        // panic either lands on a pool worker (absorbed) or the caller; run
+        // inside catch_unwind so both outcomes pass.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(batch);
+        }));
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        // The pool still works afterwards.
+        let batch = Batch::new(make_tasks(8, &counter), 2);
+        pool.run_batch(batch);
+        assert_eq!(counter.load(Ordering::SeqCst), 24);
+        assert!(pool.live_workers() >= 1, "workers must survive task panics");
+    }
+
+    #[test]
+    fn child_stall_fault_is_consulted_per_task() {
+        use crate::fault::{FaultPlan, FaultRule};
+        use crate::trace::TraceBus;
+
+        let plan = Arc::new(
+            FaultPlan::new(4).with_rule(FaultKind::ChildStall, FaultRule::with_probability(1.0)),
+        );
+        let pool =
+            ChildPool::with_instruments(0, FaultCtx::new(Some(Arc::clone(&plan)), TraceBus::new()));
+        let counter = Arc::new(AtomicI64::new(0));
+        pool.run_batch(Batch::new(make_tasks(5, &counter), 0));
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(plan.injected(FaultKind::ChildStall), 5);
     }
 
     #[test]

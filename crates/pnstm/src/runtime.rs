@@ -7,9 +7,10 @@ use std::sync::{Arc, Weak};
 
 use crate::clock::{GlobalClock, SnapshotRegistry};
 use crate::error::{StmError, TxError, TxResult};
+use crate::fault::{FaultCtx, FaultKind, FaultPlan};
 use crate::pool::ChildPool;
 use crate::stats::{Stats, TxKind};
-use crate::throttle::{ParallelismDegree, Throttle};
+use crate::throttle::{ParallelismDegree, ReconfigError, Throttle};
 use crate::trace::{self, TraceBus, TraceEvent};
 use crate::txn::Txn;
 use crate::vbox::{AnyVBox, VBox};
@@ -36,6 +37,10 @@ pub struct StmConfig {
     /// transactions (doubling per consecutive abort, capped at 2⁶×;
     /// `ZERO` disables). Damps retry storms under heavy contention.
     pub retry_backoff: std::time::Duration,
+    /// Deterministic fault-injection plan for chaos testing
+    /// ([`crate::fault`]). `None` (the default) disables the layer: every
+    /// injection site then costs a single branch.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for StmConfig {
@@ -48,6 +53,7 @@ impl Default for StmConfig {
             max_nested_retries: 10_000,
             gc_interval: 256,
             retry_backoff: std::time::Duration::ZERO,
+            fault: None,
         }
     }
 }
@@ -63,6 +69,7 @@ pub(crate) struct StmShared {
     config: StmConfig,
     commits_since_gc: AtomicU64,
     trace: TraceBus,
+    fault: FaultCtx,
 }
 
 impl StmShared {
@@ -86,6 +93,9 @@ impl StmShared {
     }
     pub(crate) fn trace(&self) -> &TraceBus {
         &self.trace
+    }
+    pub(crate) fn fault(&self) -> &FaultCtx {
+        &self.fault
     }
 
     pub(crate) fn register_vbox<T: TxValue>(&self, initial: T) -> VBox<T> {
@@ -145,18 +155,20 @@ impl Stm {
     /// Create an STM instance with the given configuration.
     pub fn new(config: StmConfig) -> Self {
         let trace = TraceBus::new();
+        let fault = FaultCtx::new(config.fault.clone(), trace.clone());
         Self {
             shared: Arc::new(StmShared {
                 clock: GlobalClock::new(),
                 commit_lock: Mutex::new(()),
                 registry: Arc::new(SnapshotRegistry::new()),
                 stats: Arc::new(Stats::new()),
-                throttle: Throttle::with_trace(config.degree, trace.clone()),
-                pool: ChildPool::new(config.worker_threads),
+                throttle: Throttle::with_instruments(config.degree, trace.clone(), fault.clone()),
+                pool: ChildPool::with_instruments(config.worker_threads, fault.clone()),
                 boxes: Mutex::new(Vec::new()),
                 config,
                 commits_since_gc: AtomicU64::new(0),
                 trace,
+                fault,
             }),
         }
     }
@@ -173,8 +185,13 @@ impl Stm {
     /// not have non-transactional side effects it cannot repeat.
     pub fn atomic<R>(&self, mut body: impl FnMut(&mut Txn) -> TxResult<R>) -> Result<R, StmError> {
         let trace = &self.shared.trace;
+        if let Some(action) = self.shared.fault.inject(FaultKind::AdmissionStall) {
+            action.stall();
+        }
         let wait_start = std::time::Instant::now();
-        let _permit = self.shared.throttle.admit_top_level();
+        let Some(_permit) = self.shared.throttle.admit_top_level() else {
+            return Err(StmError::Shutdown);
+        };
         let wait_ns = wait_start.elapsed().as_nanos() as u64;
         self.shared.stats.record_sem_wait(wait_ns);
         if trace.is_enabled() {
@@ -295,6 +312,40 @@ impl Stm {
         if prev != degree {
             self.shared.stats.record_reconfigure();
         }
+    }
+
+    /// Fallible [`Stm::set_degree`]: the attempt may be vetoed by the fault
+    /// layer ([`FaultKind::ReconfigFail`]); the previous configuration then
+    /// stays in force. Controllers retry/back off on `Err` (see
+    /// `autopn`'s degradation ladder).
+    pub fn try_set_degree(&self, degree: ParallelismDegree) -> Result<(), ReconfigError> {
+        let prev = self.shared.throttle.try_reconfigure(degree)?;
+        if prev != degree {
+            self.shared.stats.record_reconfigure();
+        }
+        Ok(())
+    }
+
+    /// Stop admitting top-level transactions: [`Stm::atomic`] calls — both
+    /// new arrivals and threads already parked on the admission gate —
+    /// return [`StmError::Shutdown`] instead of blocking. Running
+    /// transactions are unaffected. Used by host systems to shut down worker
+    /// loops that might be blocked on a starved gate.
+    pub fn close_admission(&self) {
+        self.shared.throttle.close();
+    }
+
+    /// Resume admission after [`Stm::close_admission`].
+    pub fn reopen_admission(&self) {
+        self.shared.throttle.reopen();
+    }
+
+    /// The fault-injection context of this instance (the configured plan, if
+    /// any, bound to this STM's trace bus). Host systems use it to consult
+    /// app-level injection sites (worker panics, clock jitter) against the
+    /// same deterministic plan as the runtime's own sites.
+    pub fn fault_ctx(&self) -> &FaultCtx {
+        self.shared.fault()
     }
 
     /// The trace-event bus of this STM instance. Subscribe a sink

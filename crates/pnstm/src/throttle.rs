@@ -16,6 +16,7 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::fault::{FaultCtx, FaultKind};
 use crate::trace::{TraceBus, TraceEvent};
 
 /// A `(t, c)` parallelism-degree configuration as defined in §III-B.
@@ -50,6 +51,9 @@ struct SemState {
     /// May be negative after a capacity shrink while permits are held.
     available: i64,
     capacity: usize,
+    /// A closed semaphore refuses new permits (waiters wake and give up)
+    /// so shutdown never leaves a thread parked here forever.
+    closed: bool,
 }
 
 /// Counting semaphore with runtime-adjustable capacity.
@@ -62,29 +66,61 @@ pub struct ResizableSemaphore {
 impl ResizableSemaphore {
     pub fn new(capacity: usize) -> Self {
         Self {
-            state: Mutex::new(SemState { available: capacity as i64, capacity }),
+            state: Mutex::new(SemState { available: capacity as i64, capacity, closed: false }),
             cv: Condvar::new(),
         }
     }
 
-    /// Block until a permit is available and take it.
-    pub fn acquire(&self) {
+    /// Block until a permit is available and take it. Returns `false`
+    /// (without a permit) if the semaphore is, or becomes, closed — a thread
+    /// parked here is guaranteed to wake and observe the closure.
+    pub fn acquire(&self) -> bool {
         let mut st = self.state.lock();
-        while st.available <= 0 {
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.available > 0 {
+                st.available -= 1;
+                return true;
+            }
             self.cv.wait(&mut st);
         }
-        st.available -= 1;
     }
 
-    /// Take a permit if one is immediately available.
+    /// Take a permit if one is immediately available (and the semaphore is
+    /// open).
     pub fn try_acquire(&self) -> bool {
         let mut st = self.state.lock();
-        if st.available > 0 {
+        if !st.closed && st.available > 0 {
             st.available -= 1;
             true
         } else {
             false
         }
+    }
+
+    /// Refuse new permits and wake every parked waiter (they return from
+    /// [`ResizableSemaphore::acquire`] empty-handed). Held permits are
+    /// unaffected and their releases still count.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Re-admit after a [`ResizableSemaphore::close`].
+    pub fn reopen(&self) {
+        let mut st = self.state.lock();
+        st.closed = false;
+        if st.available > 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Whether the semaphore currently refuses new permits.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
     }
 
     /// Return a permit.
@@ -129,10 +165,13 @@ pub struct Permit {
 }
 
 impl Permit {
-    /// Block until the semaphore grants a permit.
-    pub fn acquire(sem: &Arc<ResizableSemaphore>) -> Self {
-        sem.acquire();
-        Self { sem: Arc::clone(sem) }
+    /// Block until the semaphore grants a permit; `None` if it is closed.
+    pub fn acquire(sem: &Arc<ResizableSemaphore>) -> Option<Self> {
+        if sem.acquire() {
+            Some(Self { sem: Arc::clone(sem) })
+        } else {
+            None
+        }
     }
 }
 
@@ -157,7 +196,21 @@ pub struct Throttle {
     /// `(8, 8)` — an over-subscribed configuration that never existed.)
     degree: AtomicU64,
     trace: TraceBus,
+    fault: FaultCtx,
 }
+
+/// A `(t, c)` reconfiguration attempt failed (today only the fault layer
+/// produces this; real actuation backends may too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigError;
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parallelism-degree reconfiguration failed")
+    }
+}
+
+impl std::error::Error for ReconfigError {}
 
 fn pack(d: ParallelismDegree) -> u64 {
     // The search space is bounded by the core count; u32 per component is
@@ -181,17 +234,42 @@ impl Throttle {
 
     /// A throttle that publishes [`TraceEvent::Reconfigure`] events on `trace`.
     pub fn with_trace(degree: ParallelismDegree, trace: TraceBus) -> Self {
+        Self::with_instruments(degree, trace, FaultCtx::disabled())
+    }
+
+    /// A throttle with both tracing and fault injection attached.
+    pub fn with_instruments(degree: ParallelismDegree, trace: TraceBus, fault: FaultCtx) -> Self {
         Self {
             top_gate: Arc::new(ResizableSemaphore::new(degree.top_level)),
             degree: AtomicU64::new(pack(degree)),
             trace,
+            fault,
         }
     }
 
     /// Block until a top-level slot is free; the permit is released when the
-    /// returned guard drops (i.e. when the transaction finishes).
-    pub fn admit_top_level(&self) -> Permit {
+    /// returned guard drops (i.e. when the transaction finishes). `None` if
+    /// admission is closed (shutdown in progress).
+    pub fn admit_top_level(&self) -> Option<Permit> {
         Permit::acquire(&self.top_gate)
+    }
+
+    /// Stop admitting top-level transactions and wake every thread parked on
+    /// admission (they observe the closure and bail out). Part of shutdown:
+    /// a worker blocked on a starved gate would otherwise never see a stop
+    /// flag.
+    pub fn close(&self) {
+        self.top_gate.close();
+    }
+
+    /// Resume admission after [`Throttle::close`].
+    pub fn reopen(&self) {
+        self.top_gate.reopen();
+    }
+
+    /// Whether admission is currently closed.
+    pub fn is_closed(&self) -> bool {
+        self.top_gate.is_closed()
     }
 
     /// The per-tree nested concurrency limit `c` in force right now.
@@ -215,6 +293,20 @@ impl Throttle {
             });
         }
         prev
+    }
+
+    /// Fallible [`Throttle::reconfigure`]: the fault layer may veto the
+    /// attempt ([`FaultKind::ReconfigFail`]), in which case the previous
+    /// configuration stays in force and the caller is expected to retry,
+    /// back off, or fall back (see the controller's degradation ladder).
+    pub fn try_reconfigure(
+        &self,
+        degree: ParallelismDegree,
+    ) -> Result<ParallelismDegree, ReconfigError> {
+        if self.fault.inject(FaultKind::ReconfigFail).is_some() {
+            return Err(ReconfigError);
+        }
+        Ok(self.reconfigure(degree))
     }
 
     /// The configuration currently in force, read atomically (never a mix
@@ -258,12 +350,12 @@ mod tests {
     #[test]
     fn semaphore_grow_unblocks_waiter() {
         let s = Arc::new(ResizableSemaphore::new(1));
-        s.acquire();
+        assert!(s.acquire());
         let s2 = Arc::clone(&s);
         let woke = Arc::new(AtomicUsize::new(0));
         let woke2 = Arc::clone(&woke);
         let h = thread::spawn(move || {
-            s2.acquire();
+            assert!(s2.acquire());
             woke2.store(1, Ordering::SeqCst);
             s2.release();
         });
@@ -277,9 +369,9 @@ mod tests {
     #[test]
     fn semaphore_shrink_absorbs_releases() {
         let s = ResizableSemaphore::new(3);
-        s.acquire();
-        s.acquire();
-        s.acquire();
+        assert!(s.acquire());
+        assert!(s.acquire());
+        assert!(s.acquire());
         s.set_capacity(1); // available = -2
         s.release(); // -1
         s.release(); // 0
@@ -292,7 +384,7 @@ mod tests {
     fn throttle_reconfigure_applies() {
         let t = Throttle::new(ParallelismDegree::new(4, 2));
         assert_eq!(t.current(), ParallelismDegree::new(4, 2));
-        let _p = t.admit_top_level();
+        let _p = t.admit_top_level().unwrap();
         assert_eq!(t.top_level_in_use(), 1);
         t.reconfigure(ParallelismDegree::new(2, 8));
         assert_eq!(t.current(), ParallelismDegree::new(2, 8));
@@ -309,7 +401,7 @@ mod tests {
             let (t, peak, cur) = (Arc::clone(&t), Arc::clone(&peak), Arc::clone(&cur));
             handles.push(thread::spawn(move || {
                 for _ in 0..20 {
-                    let _p = t.admit_top_level();
+                    let _p = t.admit_top_level().unwrap();
                     let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
                     peak.fetch_max(now, Ordering::SeqCst);
                     thread::sleep(Duration::from_micros(200));
@@ -400,6 +492,56 @@ mod tests {
                 other => panic!("unexpected event {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn close_wakes_parked_acquirer_and_reopen_restores() {
+        let s = Arc::new(ResizableSemaphore::new(1));
+        assert!(s.acquire()); // exhaust the only permit
+        let s2 = Arc::clone(&s);
+        let h = thread::spawn(move || s2.acquire());
+        thread::sleep(Duration::from_millis(30)); // let it park
+        s.close();
+        assert!(!h.join().unwrap(), "parked acquirer must wake empty-handed");
+        assert!(!s.try_acquire(), "closed semaphore grants nothing");
+        s.release();
+        s.reopen();
+        assert!(!s.is_closed());
+        assert!(s.acquire(), "reopened semaphore grants again");
+    }
+
+    #[test]
+    fn throttle_close_rejects_admission() {
+        let t = Throttle::new(ParallelismDegree::new(2, 1));
+        t.close();
+        assert!(t.is_closed());
+        assert!(t.admit_top_level().is_none());
+        t.reopen();
+        assert!(t.admit_top_level().is_some());
+    }
+
+    #[test]
+    fn try_reconfigure_honors_fault_plan() {
+        use crate::fault::{FaultPlan, FaultRule};
+
+        let plan = Arc::new(
+            FaultPlan::new(11)
+                .with_rule(FaultKind::ReconfigFail, FaultRule::with_probability(1.0).budget(2)),
+        );
+        let t = Throttle::with_instruments(
+            ParallelismDegree::new(4, 1),
+            TraceBus::new(),
+            FaultCtx::new(Some(plan), TraceBus::new()),
+        );
+        assert_eq!(t.try_reconfigure(ParallelismDegree::new(2, 2)), Err(ReconfigError));
+        assert_eq!(t.current(), ParallelismDegree::new(4, 1), "failed apply changes nothing");
+        assert_eq!(t.try_reconfigure(ParallelismDegree::new(2, 2)), Err(ReconfigError));
+        // Budget spent: the third attempt goes through.
+        assert_eq!(
+            t.try_reconfigure(ParallelismDegree::new(2, 2)),
+            Ok(ParallelismDegree::new(4, 1))
+        );
+        assert_eq!(t.current(), ParallelismDegree::new(2, 2));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use crate::fault::FaultKind;
 use crate::stats::TxKind;
 
 /// Nanoseconds since the process-wide trace epoch (first call wins). All
@@ -73,7 +74,9 @@ pub enum TraceEvent {
     SessionStart { at_ns: u64 },
     /// A tuning session ended on `best = (t, c)`. `fallback` is set when the
     /// tuner had no observation at all and the controller fell back to the
-    /// sequential configuration.
+    /// sequential configuration. `degraded` is set when the session survived
+    /// a fault — a reconfiguration fallback, a watchdog-terminated window or
+    /// a starved pivot — and its result should be treated with suspicion.
     SessionEnd {
         at_ns: u64,
         best_t: u32,
@@ -81,9 +84,23 @@ pub enum TraceEvent {
         throughput: f64,
         explored: u64,
         fallback: bool,
+        degraded: bool,
     },
     /// The change detector reported a workload change during supervision.
     ChangeDetected { at_ns: u64 },
+    /// The fault layer injected a fault at a site of `kind`; `seq` is the
+    /// 1-based injection number within the kind, `delay_ns` the configured
+    /// stall/jitter magnitude (0 for abort/panic/fail kinds).
+    FaultInjected { kind: FaultKind, seq: u64, delay_ns: u64, at_ns: u64 },
+    /// A supervised application worker's transaction body panicked;
+    /// `restarts` counts panics absorbed so far across the system.
+    WorkerPanicked { worker: u32, restarts: u64, at_ns: u64 },
+    /// Applying `(t, c)` kept failing after bounded retries; the controller
+    /// fell back to the last-known-good `(fb_t, fb_c)`.
+    ApplyDegraded { t: u32, c: u32, fb_t: u32, fb_c: u32, attempts: u32 },
+    /// The measurement watchdog force-closed a window that outlived its hard
+    /// deadline (the adaptive timeout never fired — e.g. a stalled system).
+    WatchdogFired { at_ns: u64 },
 }
 
 fn push_f64(out: &mut String, x: f64) {
@@ -118,6 +135,10 @@ impl TraceEvent {
             TraceEvent::SessionStart { .. } => "session_start",
             TraceEvent::SessionEnd { .. } => "session_end",
             TraceEvent::ChangeDetected { .. } => "change_detected",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::WorkerPanicked { .. } => "worker_panicked",
+            TraceEvent::ApplyDegraded { .. } => "apply_degraded",
+            TraceEvent::WatchdogFired { .. } => "watchdog_fired",
         }
     }
 
@@ -148,7 +169,9 @@ impl TraceEvent {
             TraceEvent::Reconfigure { from, to } => {
                 let _ = write!(out, ",\"from\":[{},{}],\"to\":[{},{}]", from.0, from.1, to.0, to.1);
             }
-            TraceEvent::WindowOpen { at_ns } | TraceEvent::ChangeDetected { at_ns } => {
+            TraceEvent::WindowOpen { at_ns }
+            | TraceEvent::ChangeDetected { at_ns }
+            | TraceEvent::WatchdogFired { at_ns } => {
                 let _ = write!(out, ",\"at_ns\":{at_ns}");
             }
             TraceEvent::WindowSample { at_ns, cv } => {
@@ -174,13 +197,41 @@ impl TraceEvent {
             TraceEvent::SessionStart { at_ns } => {
                 let _ = write!(out, ",\"at_ns\":{at_ns}");
             }
-            TraceEvent::SessionEnd { at_ns, best_t, best_c, throughput, explored, fallback } => {
+            TraceEvent::SessionEnd {
+                at_ns,
+                best_t,
+                best_c,
+                throughput,
+                explored,
+                fallback,
+                degraded,
+            } => {
                 let _ = write!(
                     out,
                     ",\"at_ns\":{at_ns},\"best_t\":{best_t},\"best_c\":{best_c},\"throughput\":"
                 );
                 push_f64(out, throughput);
-                let _ = write!(out, ",\"explored\":{explored},\"fallback\":{fallback}");
+                let _ = write!(
+                    out,
+                    ",\"explored\":{explored},\"fallback\":{fallback},\"degraded\":{degraded}"
+                );
+            }
+            TraceEvent::FaultInjected { kind, seq, delay_ns, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"{}\",\"seq\":{seq},\"delay_ns\":{delay_ns},\"at_ns\":{at_ns}",
+                    kind.tag()
+                );
+            }
+            TraceEvent::WorkerPanicked { worker, restarts, at_ns } => {
+                let _ =
+                    write!(out, ",\"worker\":{worker},\"restarts\":{restarts},\"at_ns\":{at_ns}");
+            }
+            TraceEvent::ApplyDegraded { t, c, fb_t, fb_c, attempts } => {
+                let _ = write!(
+                    out,
+                    ",\"t\":{t},\"c\":{c},\"fb_t\":{fb_t},\"fb_c\":{fb_c},\"attempts\":{attempts}"
+                );
             }
         }
         out.push('}');
@@ -487,8 +538,18 @@ mod tests {
                 throughput: 123.0,
                 explored: 17,
                 fallback: false,
+                degraded: false,
             },
             TraceEvent::ChangeDetected { at_ns: 42 },
+            TraceEvent::FaultInjected {
+                kind: FaultKind::ValidationAbort,
+                seq: 3,
+                delay_ns: 0,
+                at_ns: 50,
+            },
+            TraceEvent::WorkerPanicked { worker: 2, restarts: 5, at_ns: 60 },
+            TraceEvent::ApplyDegraded { t: 8, c: 4, fb_t: 2, fb_c: 1, attempts: 4 },
+            TraceEvent::WatchdogFired { at_ns: 70 },
         ];
         for ev in evs {
             let json = ev.to_json();
@@ -502,6 +563,16 @@ mod tests {
         assert_eq!(
             TraceEvent::WindowSample { at_ns: 2, cv: None }.to_json(),
             r#"{"ev":"window_sample","at_ns":2,"cv":null}"#
+        );
+        assert_eq!(
+            TraceEvent::FaultInjected {
+                kind: FaultKind::CommitHold,
+                seq: 1,
+                delay_ns: 250,
+                at_ns: 9
+            }
+            .to_json(),
+            r#"{"ev":"fault_injected","kind":"commit-hold","seq":1,"delay_ns":250,"at_ns":9}"#
         );
     }
 

@@ -317,6 +317,15 @@ impl Txn {
         }
 
         let _commit_guard = self.shared.commit_lock().lock();
+        // Fault site: stall while *holding* the commit lock (serializes every
+        // other committer behind the injected delay).
+        if let Some(action) = self.shared.fault().inject(crate::fault::FaultKind::CommitHold) {
+            action.stall();
+        }
+        // Fault site: force a validation failure (synthetic abort storm).
+        if self.shared.fault().inject(crate::fault::FaultKind::ValidationAbort).is_some() {
+            return Err(TxError::Conflict);
+        }
         // Validate the whole tree's reads (children's reads were folded into
         // ours at each join).
         for (_, vbox) in self.rs.iter() {

@@ -3,13 +3,18 @@
 //! [`autopn::TunableSystem`] so the controller can tune it end to end.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use autopn::{Config, TunableSystem};
-use pnstm::{Stm, StmError};
+use autopn::{ApplyError, Config, TunableSystem};
+use pnstm::trace::{self, TraceEvent};
+use pnstm::{FaultKind, Stm, StmError};
+
+/// Default number of worker panics the system absorbs (restarting the
+/// worker's loop) before the panicking worker is retired for good.
+pub const DEFAULT_RESTART_BUDGET: u64 = 128;
 
 /// A transactional workload runnable on a live STM.
 ///
@@ -35,39 +40,73 @@ pub struct LiveStmSystem {
     commits: Receiver<u64>,
     stop: Arc<AtomicBool>,
     handles: Vec<thread::JoinHandle<()>>,
+    /// Worker panics absorbed so far (supervision counter, shared by all
+    /// workers; the restart budget is charged against it).
+    panics: Arc<AtomicU64>,
 }
 
 impl LiveStmSystem {
-    /// Start `threads` application threads running `workload` on `stm`.
-    pub fn start(stm: Stm, workload: Arc<dyn StmWorkload>, threads: usize) -> Self {
+    /// Start `threads` application threads running `workload` on `stm`, with
+    /// the default panic-restart budget.
+    ///
+    /// Thread-spawn failure is propagated (after stopping any threads that
+    /// did start) instead of aborting the process.
+    pub fn start(
+        stm: Stm,
+        workload: Arc<dyn StmWorkload>,
+        threads: usize,
+    ) -> std::io::Result<Self> {
+        Self::start_with_restart_budget(stm, workload, threads, DEFAULT_RESTART_BUDGET)
+    }
+
+    /// [`LiveStmSystem::start`] with an explicit restart budget: a worker
+    /// whose transaction body panics is restarted (its loop resumes) until
+    /// the *system-wide* panic count reaches `restart_budget`; after that the
+    /// panicking worker retires. Every absorbed panic is published as
+    /// [`TraceEvent::WorkerPanicked`] on the STM's trace bus.
+    pub fn start_with_restart_budget(
+        stm: Stm,
+        workload: Arc<dyn StmWorkload>,
+        threads: usize,
+        restart_budget: u64,
+    ) -> std::io::Result<Self> {
         let epoch = Instant::now();
         let (tx, rx): (Sender<u64>, Receiver<u64>) = unbounded();
         {
+            // Fault site: ClockJitter perturbs the commit timestamps the
+            // monitor sees (pathological measurement streams).
+            let fault = stm.fault_ctx().clone();
             stm.stats().set_commit_hook(Some(Arc::new(move |ev: pnstm::CommitEvent| {
-                let ns = ev.at.duration_since(epoch).as_nanos() as u64;
+                let mut ns = ev.at.duration_since(epoch).as_nanos() as u64;
+                if let Some(action) = fault.inject(FaultKind::ClockJitter) {
+                    ns = ns.saturating_add_signed(action.signed_jitter_ns());
+                }
                 let _ = tx.send(ns);
             })));
         }
         let stop = Arc::new(AtomicBool::new(false));
-        let mut handles = Vec::with_capacity(threads);
+        let panics = Arc::new(AtomicU64::new(0));
+        let mut sys =
+            Self { stm: stm.clone(), epoch, commits: rx, stop, handles: Vec::new(), panics };
         for worker in 0..threads.max(1) {
             let stm = stm.clone();
             let workload = Arc::clone(&workload);
-            let stop = Arc::clone(&stop);
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("live-{}-{}", workload.name(), worker))
-                    .spawn(move || {
-                        let mut round = 0u64;
-                        while !stop.load(Ordering::Acquire) {
-                            let _ = workload.run_txn(&stm, worker, round);
-                            round += 1;
-                        }
-                    })
-                    .expect("spawn workload thread"),
-            );
+            let stop = Arc::clone(&sys.stop);
+            let panics = Arc::clone(&sys.panics);
+            let spawned = thread::Builder::new()
+                .name(format!("live-{}-{}", workload.name(), worker))
+                .spawn(move || worker_loop(stm, workload, worker, stop, panics, restart_budget));
+            match spawned {
+                Ok(handle) => sys.handles.push(handle),
+                Err(err) => {
+                    // Degrade instead of aborting: stop whatever started and
+                    // hand the error to the caller.
+                    sys.shutdown();
+                    return Err(err);
+                }
+            }
         }
-        Self { stm, epoch, commits: rx, stop, handles }
+        Ok(sys)
     }
 
     /// The tuned STM instance.
@@ -83,13 +122,70 @@ impl LiveStmSystem {
         self.stm.trace_bus()
     }
 
+    /// Worker panics absorbed (and survived) so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.panics.load(Ordering::Acquire)
+    }
+
     /// Stop the application threads and detach the commit hook.
+    ///
+    /// Closing STM admission before joining is what makes this hang-free: a
+    /// worker parked on the top-level admission semaphore never re-checks the
+    /// stop flag, so the stop flag alone cannot shut the system down when
+    /// admission is starved (e.g. under an admission-stall fault plan or a
+    /// `t` far below the worker count). The closed gate wakes every parked
+    /// worker with [`StmError::Shutdown`] and is reopened once they have
+    /// exited, leaving the STM usable afterwards.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
+        self.stm.close_admission();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        self.stm.reopen_admission();
         self.stm.stats().set_commit_hook(None);
+    }
+}
+
+/// One application worker: loop the workload until stopped, absorbing body
+/// panics (supervised restart) until the shared restart budget is spent.
+fn worker_loop(
+    stm: Stm,
+    workload: Arc<dyn StmWorkload>,
+    worker: usize,
+    stop: Arc<AtomicBool>,
+    panics: Arc<AtomicU64>,
+    restart_budget: u64,
+) {
+    let fault = stm.fault_ctx().clone();
+    let mut round = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Fault site: a crashing workload closure.
+            if fault.inject(FaultKind::WorkerPanic).is_some() {
+                panic!("injected worker panic");
+            }
+            workload.run_txn(&stm, worker, round)
+        }));
+        round += 1;
+        match outcome {
+            // Admission closed: the STM is shutting down.
+            Ok(Err(StmError::Shutdown)) => return,
+            Ok(_) => {}
+            Err(_) => {
+                let absorbed = panics.fetch_add(1, Ordering::AcqRel) + 1;
+                stm.trace_bus().emit(TraceEvent::WorkerPanicked {
+                    worker: worker as u32,
+                    restarts: absorbed,
+                    at_ns: trace::now_ns(),
+                });
+                if absorbed >= restart_budget {
+                    // Budget spent: retire this worker instead of looping a
+                    // persistent crash forever. The system runs degraded.
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -105,6 +201,15 @@ impl TunableSystem for LiveStmSystem {
         // Old commit events belong to the previous configuration; flush them
         // so the next window measures only the new one.
         while self.commits.try_recv().is_ok() {}
+    }
+
+    fn try_apply(&mut self, cfg: Config) -> Result<(), ApplyError> {
+        // Fault site: a vetoed semaphore reconfiguration (reconfig-fail).
+        // Failure leaves the previous degree in force and the commit stream
+        // untouched; the controller's retry/fallback ladder takes over.
+        self.stm.try_set_degree(cfg.into()).map_err(|err| ApplyError::new(err.to_string()))?;
+        while self.commits.try_recv().is_ok() {}
+        Ok(())
     }
 
     fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
@@ -184,7 +289,7 @@ mod tests {
             ..StmConfig::default()
         });
         let workload = Arc::new(CounterWorkload::new(&stm));
-        let mut sys = LiveStmSystem::start(stm, workload, 2);
+        let mut sys = LiveStmSystem::start(stm, workload, 2).unwrap();
         let mut got = 0;
         for _ in 0..200 {
             if sys.wait_commit(50_000_000).is_some() {
@@ -202,7 +307,7 @@ mod tests {
     fn apply_reconfigures_live_stm() {
         let stm = Stm::new(StmConfig::default());
         let workload = Arc::new(CounterWorkload::new(&stm));
-        let mut sys = LiveStmSystem::start(stm.clone(), workload, 1);
+        let mut sys = LiveStmSystem::start(stm.clone(), workload, 1).unwrap();
         sys.apply(Config::new(3, 2));
         assert_eq!(stm.degree(), ParallelismDegree::new(3, 2));
         sys.shutdown();
@@ -212,7 +317,7 @@ mod tests {
     fn timestamps_are_monotone() {
         let stm = Stm::new(StmConfig::default());
         let workload = Arc::new(CounterWorkload::new(&stm));
-        let mut sys = LiveStmSystem::start(stm, workload, 2);
+        let mut sys = LiveStmSystem::start(stm, workload, 2).unwrap();
         let mut last = 0;
         let mut seen = 0;
         for _ in 0..100 {

@@ -41,7 +41,8 @@ fn main() {
     let checksum_before = workload.checksum(&stm);
 
     // Application threads hammer the workload; the throttle enforces (t, c).
-    let mut system = LiveStmSystem::start(stm.clone(), workload.clone(), budget);
+    let mut system =
+        LiveStmSystem::start(stm.clone(), workload.clone(), budget).expect("spawn live workers");
 
     let mut tuner = AutoPn::new(SearchSpace::new(budget), AutoPnConfig::default());
     // Live wall-clock measurement: slightly looser CV to keep the demo fast.

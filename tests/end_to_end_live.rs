@@ -28,7 +28,7 @@ fn live_array_tuning_completes_and_preserves_consistency() {
     ));
     let checksum_before = wl.checksum(&stm);
 
-    let mut system = LiveStmSystem::start(stm.clone(), wl.clone(), 4);
+    let mut system = LiveStmSystem::start(stm.clone(), wl.clone(), 4).expect("spawn live workers");
     let mut tuner = AutoPn::new(SearchSpace::new(4), AutoPnConfig::default());
     // Loose CV so the test stays fast on tiny CI machines.
     let mut policy = AdaptiveMonitor::new(0.25, 4);
@@ -59,7 +59,7 @@ fn live_vacation_under_reconfiguration_keeps_invariants() {
         "it-vacation",
         VacationParams { relations: 32, customers: 8, ..VacationParams::default() },
     ));
-    let mut system = LiveStmSystem::start(stm.clone(), wl.clone(), 3);
+    let mut system = LiveStmSystem::start(stm.clone(), wl.clone(), 3).expect("spawn live workers");
 
     // Hammer reconfigurations while transactions fly.
     let mut actuator = PnstmActuator::new(stm.clone());
@@ -81,7 +81,7 @@ fn live_commit_stream_feeds_monitor_windows() {
         "it-stream",
         ArrayParams { size: 64, write_fraction: 0.0, chunks: 2 },
     ));
-    let mut system = LiveStmSystem::start(stm.clone(), wl, 2);
+    let mut system = LiveStmSystem::start(stm.clone(), wl, 2).expect("spawn live workers");
     let mut policy = AdaptiveMonitor::new(0.30, 3);
     let m = Controller::measure(&mut system, &mut policy);
     system.shutdown();

@@ -105,7 +105,7 @@ fn live_session_emits_parseable_jsonl_trace() {
         "trace-live",
         ArrayParams { size: 128, write_fraction: 0.5, chunks: 2 },
     ));
-    let mut system = LiveStmSystem::start(stm.clone(), wl, 4);
+    let mut system = LiveStmSystem::start(stm.clone(), wl, 4).expect("spawn live workers");
 
     // Subscribe the JSONL sink on the STM's own bus so runtime events
     // (reconfigure, tx commits, semaphore waits) and controller events
