@@ -10,31 +10,71 @@ use std::sync::Arc;
 ///
 /// Version `0` is reserved for the initial value of every box, so every
 /// snapshot (including one taken before any commit) can read every box.
+///
+/// The clock is split into two counters so the striped commit path can
+/// overlap installation across committers while keeping the multi-version
+/// publication invariant — *once `now()` returns `V`, the writes of every
+/// commit `<= V` are installed*:
+///
+/// - `reserve` hands out commit versions ([`GlobalClock::reserve`]); the
+///   reservation order is the serialization order of top-level commits.
+/// - `visible` trails `reserve` and only advances contiguously
+///   ([`GlobalClock::publish`]): version `V` becomes visible after `V`'s
+///   writes are installed **and** `V-1` is visible. A committer that aborts
+///   after reserving publishes its version as a no-op to keep the sequence
+///   gap-free.
 #[derive(Debug, Default)]
 pub struct GlobalClock {
-    now: AtomicU64,
+    reserve: AtomicU64,
+    visible: AtomicU64,
 }
 
 impl GlobalClock {
     /// Create a clock at version 0.
     pub fn new() -> Self {
-        Self { now: AtomicU64::new(0) }
+        Self { reserve: AtomicU64::new(0), visible: AtomicU64::new(0) }
     }
 
     /// Current global version; new transactions snapshot at this version.
     #[inline]
     pub fn now(&self) -> u64 {
-        self.now.load(Ordering::Acquire)
+        self.visible.load(Ordering::Acquire)
     }
 
     /// Advance the clock by one and return the new version.
     ///
-    /// Only called while holding the global commit lock, so the increment is
-    /// not racy with other committers; `AcqRel` publishes the new version to
-    /// transaction-begin loads.
+    /// Legacy single-committer advance used by the global-lock commit path:
+    /// only called while holding the commit lock, so bumping both counters
+    /// is not racy with other committers; `AcqRel` publishes the new version
+    /// to transaction-begin loads.
     #[inline]
     pub fn tick(&self) -> u64 {
-        self.now.fetch_add(1, Ordering::AcqRel) + 1
+        let v = self.reserve.fetch_add(1, Ordering::AcqRel) + 1;
+        self.visible.store(v, Ordering::Release);
+        v
+    }
+
+    /// Reserve the next commit version (striped path). The `AcqRel`
+    /// read-modify-write chains all reservations into a single modification
+    /// order: a committer reserving `V` observes every write that committers
+    /// of versions `< V` performed before their own reservations.
+    #[inline]
+    pub fn reserve(&self) -> u64 {
+        self.reserve.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Make reserved version `v` visible. Blocks (spinning) until `v - 1` is
+    /// visible so the visible clock only ever advances contiguously. Safe
+    /// against deadlock because the striped path acquires all stripe locks
+    /// *before* reserving: an earlier reserver can never be waiting on a
+    /// later reserver's locks.
+    #[inline]
+    pub fn publish(&self, v: u64) {
+        while self.visible.load(Ordering::Acquire) != v - 1 {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        self.visible.store(v, Ordering::Release);
     }
 }
 
@@ -114,6 +154,38 @@ mod tests {
         assert_eq!(c.tick(), 1);
         assert_eq!(c.tick(), 2);
         assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn reserve_publish_is_contiguous_across_threads() {
+        let c = Arc::new(GlobalClock::new());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    let v = c.reserve();
+                    c.publish(v);
+                    assert!(c.now() >= v, "publish({v}) must make v visible");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), 1000);
+    }
+
+    #[test]
+    fn tick_interleaves_with_reserve_publish() {
+        let c = GlobalClock::new();
+        assert_eq!(c.tick(), 1);
+        let v = c.reserve();
+        assert_eq!(v, 2);
+        assert_eq!(c.now(), 1, "reserved but unpublished version is invisible");
+        c.publish(v);
+        assert_eq!(c.now(), 2);
+        assert_eq!(c.tick(), 3);
     }
 
     #[test]

@@ -41,8 +41,12 @@ pub enum FaultKind {
     /// Force a top-level commit validation to report a conflict (abort
     /// storm). Site: `Txn::commit_top`.
     ValidationAbort,
-    /// Sleep while *holding* the global commit lock (serialization stall that
-    /// back-pressures every committer). Site: `Txn::commit_top`.
+    /// Sleep while *holding* the committing transaction's write-set stripe
+    /// locks (a stuck committer: back-pressures committers sharing a stripe,
+    /// while disjoint-stripe commits keep flowing). Under
+    /// [`crate::CommitPath::GlobalLock`] the stall holds the global commit
+    /// lock instead and back-pressures every committer.
+    /// Site: `Txn::commit_top`.
     CommitHold,
     /// Sleep before executing a child-transaction task (stalled child /
     /// slow pool worker). Site: `ChildPool` task execution.

@@ -1,5 +1,6 @@
-//! The [`Stm`] runtime: global clock, commit lock, snapshot registry, stats,
-//! throttle, child pool, box registry / GC, and the top-level retry driver.
+//! The [`Stm`] runtime: global clock, commit stripe table, snapshot registry,
+//! stats, throttle, child pool, box registry / GC, and the top-level retry
+//! driver.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -10,11 +11,27 @@ use crate::error::{StmError, TxError, TxResult};
 use crate::fault::{FaultCtx, FaultKind, FaultPlan};
 use crate::pool::ChildPool;
 use crate::stats::{Stats, TxKind};
+use crate::stripes::StripeTable;
 use crate::throttle::{ParallelismDegree, ReconfigError, Throttle};
 use crate::trace::{self, TraceBus, TraceEvent};
 use crate::txn::Txn;
 use crate::vbox::{AnyVBox, VBox};
 use crate::TxValue;
+
+/// Which top-level commit protocol an [`Stm`] instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitPath {
+    /// TL2-style striped commit: write-set stripe locks acquired in canonical
+    /// order, read validation against per-stripe version stamps, commit
+    /// versions reserved atomically and published contiguously. Disjoint
+    /// write sets commit concurrently. The default.
+    #[default]
+    Striped,
+    /// The original single global commit lock. Retained as the differential-
+    /// testing oracle (history-equivalence proptests replay seeds through
+    /// both paths) and as the `commit_scaling` bench baseline.
+    GlobalLock,
+}
 
 /// Construction-time configuration of an [`Stm`] instance.
 #[derive(Debug, Clone)]
@@ -41,6 +58,8 @@ pub struct StmConfig {
     /// ([`crate::fault`]). `None` (the default) disables the layer: every
     /// injection site then costs a single branch.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Top-level commit protocol (see [`CommitPath`]).
+    pub commit_path: CommitPath,
 }
 
 impl Default for StmConfig {
@@ -54,6 +73,7 @@ impl Default for StmConfig {
             gc_interval: 256,
             retry_backoff: std::time::Duration::ZERO,
             fault: None,
+            commit_path: CommitPath::default(),
         }
     }
 }
@@ -61,6 +81,7 @@ impl Default for StmConfig {
 pub(crate) struct StmShared {
     clock: GlobalClock,
     commit_lock: Mutex<()>,
+    stripes: StripeTable,
     registry: Arc<SnapshotRegistry>,
     stats: Arc<Stats>,
     throttle: Throttle,
@@ -78,6 +99,9 @@ impl StmShared {
     }
     pub(crate) fn commit_lock(&self) -> &Mutex<()> {
         &self.commit_lock
+    }
+    pub(crate) fn stripes(&self) -> &StripeTable {
+        &self.stripes
     }
     pub(crate) fn stats(&self) -> &Stats {
         &self.stats
@@ -110,18 +134,22 @@ impl StmShared {
         // read must survive; everything older is pruned.
         let now = self.clock.now();
         let watermark = self.registry.min_active().map(|m| m.min(now)).unwrap_or(now);
-        let mut boxes = self.boxes.lock();
-        boxes.retain(|w| w.strong_count() > 0);
+        // Drain-and-requeue: take the registry, sweep it unlocked, put the
+        // survivors back. `register_vbox` never blocks behind a sweep — new
+        // registrations land in the emptied vec and are merged on requeue
+        // (a box registered mid-sweep has nothing to prune yet anyway).
+        let mut drained = std::mem::take(&mut *self.boxes.lock());
         let mut pruned_boxes = 0;
-        for weak in boxes.iter() {
-            if let Some(b) = weak.upgrade() {
-                let before = b.chain_len();
-                b.prune_below(watermark);
-                if b.chain_len() < before {
-                    pruned_boxes += 1;
-                }
+        drained.retain(|w| {
+            let Some(b) = w.upgrade() else { return false };
+            let before = b.chain_len();
+            b.prune_below(watermark);
+            if b.chain_len() < before {
+                pruned_boxes += 1;
             }
-        }
+            true
+        });
+        self.boxes.lock().append(&mut drained);
         pruned_boxes
     }
 
@@ -160,6 +188,7 @@ impl Stm {
             shared: Arc::new(StmShared {
                 clock: GlobalClock::new(),
                 commit_lock: Mutex::new(()),
+                stripes: StripeTable::new(),
                 registry: Arc::new(SnapshotRegistry::new()),
                 stats: Arc::new(Stats::new()),
                 throttle: Throttle::with_instruments(config.degree, trace.clone(), fault.clone()),

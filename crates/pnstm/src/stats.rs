@@ -51,6 +51,9 @@ pub struct Stats {
     sem_wait_count: AtomicU64,
     sem_wait_total_ns: AtomicU64,
     sem_wait_hist: [AtomicU64; SEM_WAIT_BUCKETS],
+    stripe_lock_acquisitions: AtomicU64,
+    stripe_lock_contended: AtomicU64,
+    stripe_false_conflicts: AtomicU64,
     /// The commit hook as a raw `Box<CommitHook>` pointer (null = none), so
     /// the per-commit fast path is a single `Acquire` load instead of a
     /// reader-writer lock acquisition plus an `Arc` clone.
@@ -71,6 +74,9 @@ impl Default for Stats {
             sem_wait_count: AtomicU64::new(0),
             sem_wait_total_ns: AtomicU64::new(0),
             sem_wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            stripe_lock_acquisitions: AtomicU64::new(0),
+            stripe_lock_contended: AtomicU64::new(0),
+            stripe_false_conflicts: AtomicU64::new(0),
             hook: AtomicPtr::new(std::ptr::null_mut()),
             retired: Mutex::new(Vec::new()),
         }
@@ -120,6 +126,21 @@ impl Stats {
         self.sem_wait_hist[Self::sem_wait_bucket(wait_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one striped commit attempt's lock acquisition: it locked
+    /// `total` stripes, `contended` of which needed at least one retry.
+    pub fn record_stripe_locks(&self, total: u32, contended: u32) {
+        self.stripe_lock_acquisitions.fetch_add(total as u64, Ordering::Relaxed);
+        if contended > 0 {
+            self.stripe_lock_contended.fetch_add(contended as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a commit abort whose stripe-stamp validation failed even though
+    /// every read box was individually unchanged (a striping false conflict).
+    pub fn record_stripe_false_conflict(&self) {
+        self.stripe_false_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Histogram bucket for a wait of `wait_ns` (see [`SEM_WAIT_BUCKETS`]).
     pub fn sem_wait_bucket(wait_ns: u64) -> usize {
         let us = wait_ns / 1_000;
@@ -154,6 +175,9 @@ impl Stats {
             sem_wait_count: self.sem_wait_count.load(Ordering::Relaxed),
             sem_wait_total_ns: self.sem_wait_total_ns.load(Ordering::Relaxed),
             sem_wait_hist: std::array::from_fn(|i| self.sem_wait_hist[i].load(Ordering::Relaxed)),
+            stripe_lock_acquisitions: self.stripe_lock_acquisitions.load(Ordering::Relaxed),
+            stripe_lock_contended: self.stripe_lock_contended.load(Ordering::Relaxed),
+            stripe_false_conflicts: self.stripe_false_conflicts.load(Ordering::Relaxed),
         }
     }
 }
@@ -197,6 +221,14 @@ pub struct StatsSnapshot {
     pub sem_wait_total_ns: u64,
     /// Log2 histogram of admission waits (see [`SEM_WAIT_BUCKETS`]).
     pub sem_wait_hist: [u64; SEM_WAIT_BUCKETS],
+    /// Commit stripes locked by striped commit attempts (total).
+    pub stripe_lock_acquisitions: u64,
+    /// Of those, stripes whose acquisition needed at least one retry —
+    /// commit-time contention the global lock used to hide.
+    pub stripe_lock_contended: u64,
+    /// Aborts caused purely by stripe granularity: stamp validation failed
+    /// but every read box was individually unchanged.
+    pub stripe_false_conflicts: u64,
 }
 
 impl StatsSnapshot {
@@ -242,6 +274,15 @@ impl StatsSnapshot {
             sem_wait_hist: std::array::from_fn(|i| {
                 self.sem_wait_hist[i].saturating_sub(earlier.sem_wait_hist[i])
             }),
+            stripe_lock_acquisitions: self
+                .stripe_lock_acquisitions
+                .saturating_sub(earlier.stripe_lock_acquisitions),
+            stripe_lock_contended: self
+                .stripe_lock_contended
+                .saturating_sub(earlier.stripe_lock_contended),
+            stripe_false_conflicts: self
+                .stripe_false_conflicts
+                .saturating_sub(earlier.stripe_false_conflicts),
         }
     }
 }
@@ -267,6 +308,20 @@ mod tests {
         assert_eq!(snap.nested_commits, 1);
         assert_eq!(snap.nested_aborts, 2);
         assert_eq!(snap.reconfigures, 1);
+    }
+
+    #[test]
+    fn stripe_counters_accumulate() {
+        let s = Stats::new();
+        s.record_stripe_locks(3, 0);
+        s.record_stripe_locks(2, 1);
+        s.record_stripe_false_conflict();
+        let snap = s.snapshot();
+        assert_eq!(snap.stripe_lock_acquisitions, 5);
+        assert_eq!(snap.stripe_lock_contended, 1);
+        assert_eq!(snap.stripe_false_conflicts, 1);
+        let d = snap.delta_since(&StatsSnapshot::default());
+        assert_eq!(d.stripe_lock_acquisitions, 5);
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub enum TraceEvent {
     TxAbort { kind: TxKind, retries: u64, at_ns: u64 },
     /// Time spent blocked on the top-level admission semaphore.
     SemWait { wait_ns: u64 },
+    /// A striped commit attempt acquired its write-set stripe locks:
+    /// `stripes` locked in canonical order, `contended` of which were held by
+    /// another committer on first try. Emitted only when `contended > 0` —
+    /// the uncontended common case stays off the bus.
+    CommitStripeContention { stripes: u32, contended: u32, at_ns: u64 },
     /// The actuator switched the parallelism degree `from` → `to` `(t, c)`.
     Reconfigure { from: (u32, u32), to: (u32, u32) },
     /// The monitor opened a measurement window.
@@ -126,6 +131,7 @@ impl TraceEvent {
             TraceEvent::TxCommit { .. } => "tx_commit",
             TraceEvent::TxAbort { .. } => "tx_abort",
             TraceEvent::SemWait { .. } => "sem_wait",
+            TraceEvent::CommitStripeContention { .. } => "commit_stripe_contention",
             TraceEvent::Reconfigure { .. } => "reconfigure",
             TraceEvent::WindowOpen { .. } => "window_open",
             TraceEvent::WindowSample { .. } => "window_sample",
@@ -165,6 +171,12 @@ impl TraceEvent {
             }
             TraceEvent::SemWait { wait_ns } => {
                 let _ = write!(out, ",\"wait_ns\":{wait_ns}");
+            }
+            TraceEvent::CommitStripeContention { stripes, contended, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"stripes\":{stripes},\"contended\":{contended},\"at_ns\":{at_ns}"
+                );
             }
             TraceEvent::Reconfigure { from, to } => {
                 let _ = write!(out, ",\"from\":[{},{}],\"to\":[{},{}]", from.0, from.1, to.0, to.1);
@@ -517,6 +529,7 @@ mod tests {
             TraceEvent::TxCommit { kind: TxKind::Nested, retries: 2, at_ns: 9 },
             TraceEvent::TxAbort { kind: TxKind::TopLevel, retries: 1, at_ns: 11 },
             TraceEvent::SemWait { wait_ns: 1500 },
+            TraceEvent::CommitStripeContention { stripes: 4, contended: 1, at_ns: 6 },
             TraceEvent::Reconfigure { from: (4, 1), to: (2, 2) },
             TraceEvent::WindowOpen { at_ns: 1 },
             TraceEvent::WindowSample { at_ns: 2, cv: Some(0.25) },
@@ -563,6 +576,10 @@ mod tests {
         assert_eq!(
             TraceEvent::WindowSample { at_ns: 2, cv: None }.to_json(),
             r#"{"ev":"window_sample","at_ns":2,"cv":null}"#
+        );
+        assert_eq!(
+            TraceEvent::CommitStripeContention { stripes: 4, contended: 1, at_ns: 6 }.to_json(),
+            r#"{"ev":"commit_stripe_contention","stripes":4,"contended":1,"at_ns":6}"#
         );
         assert_eq!(
             TraceEvent::FaultInjected {

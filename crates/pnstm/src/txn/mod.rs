@@ -306,11 +306,114 @@ impl Txn {
         Ok(())
     }
 
-    /// Commit a top-level transaction: validate the tree's reads against the
-    /// global clock under the commit lock and install the tree's writes at a
-    /// fresh version.
+    /// Commit a top-level transaction: validate the tree's reads and install
+    /// the tree's writes at a fresh global version, via the commit path this
+    /// STM instance was configured with.
     pub(crate) fn commit_top(&mut self) -> TxResult<()> {
         debug_assert_eq!(self.depth, 0, "commit_top on a nested transaction");
+        match self.shared.config().commit_path {
+            crate::runtime::CommitPath::Striped => self.commit_top_striped(),
+            crate::runtime::CommitPath::GlobalLock => self.commit_top_global(),
+        }
+    }
+
+    /// Striped commit (TL2-style, the default): lock the write set's stripes
+    /// in canonical order, validate reads against per-stripe version stamps,
+    /// reserve a commit version, install, publish.
+    ///
+    /// Serialization point: the version reservation, taken *while holding*
+    /// every write-set stripe lock. Two committers that touch a common box
+    /// serialize on its stripe lock, so their reservation order matches
+    /// their per-box install order (the version chains stay sorted).
+    /// Validation runs twice: a cheap pass before reserving — so the common
+    /// conflict abort burns no clock version — and a mandatory pass after,
+    /// because a committer with a *smaller* version could lock, install and
+    /// release a stripe we read in the window between the first pass and our
+    /// reservation.
+    fn commit_top_striped(&mut self) -> TxResult<()> {
+        let ws = self.ws.lock();
+        if ws.is_empty() {
+            return Ok(()); // Read-only: serializable at its snapshot.
+        }
+        let shared = &self.shared;
+        let table = shared.stripes();
+        let footprint = ws.stripe_footprint();
+        let contended = table.acquire_sorted(&footprint);
+        shared.stats().record_stripe_locks(footprint.len() as u32, contended);
+        let trace = shared.trace();
+        if contended > 0 && trace.is_enabled() {
+            trace.emit(crate::trace::TraceEvent::CommitStripeContention {
+                stripes: footprint.len() as u32,
+                contended,
+                at_ns: crate::trace::now_ns(),
+            });
+        }
+        // Fault site: stall while holding this commit's stripe locks — and
+        // only those. Committers on disjoint stripes must keep flowing; only
+        // a committer sharing one of our stripes waits out the stall. Sited
+        // before the version reservation so a stalled commit cannot block
+        // publication of concurrently reserved versions either.
+        if let Some(action) = shared.fault().inject(crate::fault::FaultKind::CommitHold) {
+            action.stall();
+        }
+        // Fault site: force a validation failure (synthetic abort storm).
+        if shared.fault().inject(crate::fault::FaultKind::ValidationAbort).is_some() {
+            table.release_aborted(&footprint);
+            return Err(TxError::Conflict);
+        }
+        if !self.stripe_validate(&footprint) {
+            self.note_stripe_false_conflict();
+            table.release_aborted(&footprint);
+            return Err(TxError::Conflict);
+        }
+        let version = shared.clock().reserve();
+        if !self.stripe_validate(&footprint) {
+            self.note_stripe_false_conflict();
+            // The reserved version is already part of the visible sequence;
+            // publish it as a no-op so the clock stays gap-free.
+            shared.clock().publish(version);
+            table.release_aborted(&footprint);
+            return Err(TxError::Conflict);
+        }
+        // Install at the reserved version first and make it visible only
+        // afterwards: a transaction beginning mid-commit must keep reading
+        // the old snapshot. `publish` additionally waits for version - 1, so
+        // a snapshot at V is guaranteed to see the writes of *every* commit
+        // <= V, exactly as under the global lock.
+        for entry in ws.iter() {
+            entry.vbox.install_erased(&entry.value, version);
+        }
+        shared.clock().publish(version);
+        table.release_committed(&footprint, version);
+        Ok(())
+    }
+
+    /// Validate the whole tree's reads (children's reads were folded into
+    /// ours at each join) against the stripe table: each read box's stripe
+    /// must be unlocked (or held by this commit) with a stamp at or below
+    /// our snapshot. Coarser than per-box validation — distinct boxes
+    /// sharing a stripe can fail this spuriously — but never admits a stale
+    /// read.
+    fn stripe_validate(&self, held: &[usize]) -> bool {
+        let table = self.shared.stripes();
+        let rv = self.root_read_version;
+        self.rs.iter().all(|(id, _)| table.read_valid(crate::stripes::stripe_of(*id), rv, held))
+    }
+
+    /// After a stripe-validation failure: if every read box is individually
+    /// still at or below our snapshot, the abort was pure stripe-collision
+    /// granularity — count it so the false-conflict rate is observable.
+    fn note_stripe_false_conflict(&self) {
+        let rv = self.root_read_version;
+        if self.rs.iter().all(|(_, vbox)| vbox.latest_version() <= rv) {
+            self.shared.stats().record_stripe_false_conflict();
+        }
+    }
+
+    /// Global-lock commit: the original protocol, retained as the
+    /// differential-testing oracle and bench baseline
+    /// ([`crate::CommitPath::GlobalLock`]).
+    fn commit_top_global(&mut self) -> TxResult<()> {
         let ws = self.ws.lock();
         if ws.is_empty() {
             return Ok(()); // Read-only: serializable at its snapshot.

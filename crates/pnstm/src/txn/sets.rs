@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::stripes::stripe_of;
 use crate::vbox::{AnyVBox, BoxId, ErasedValue};
 
 /// One tentative write: the target box (type-erased) and the value.
@@ -44,6 +45,15 @@ impl WriteSet {
 
     pub(crate) fn iter(&self) -> impl Iterator<Item = &WsEntry> {
         self.entries.values()
+    }
+
+    /// The stripes this write set touches, sorted and deduplicated — the
+    /// canonical acquisition order of the striped commit path.
+    pub(crate) fn stripe_footprint(&self) -> Vec<usize> {
+        let mut stripes: Vec<usize> = self.entries.keys().map(|&id| stripe_of(id)).collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        stripes
     }
 
     pub(crate) fn clear(&mut self) {
@@ -109,6 +119,19 @@ mod tests {
         let ws = WriteSet::new();
         assert!(ws.get(12345).is_none());
         assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn stripe_footprint_is_sorted_and_deduped() {
+        let mut ws = WriteSet::new();
+        for _ in 0..64 {
+            let b = VBox::new_raw(0i32);
+            ws.insert(b.as_any(), Arc::new(1i32));
+        }
+        let fp = ws.stripe_footprint();
+        assert!(!fp.is_empty());
+        assert!(fp.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        assert!(fp.iter().all(|&s| s < crate::stripes::STRIPE_COUNT));
     }
 
     #[test]

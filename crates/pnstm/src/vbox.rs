@@ -29,8 +29,10 @@ pub(crate) trait AnyVBox: Send + Sync {
     fn latest_version(&self) -> u64;
     /// Install `value` (which must be a `T` for this box's `T`) at `version`.
     ///
-    /// Only called under the global commit lock with a strictly increasing
-    /// `version`.
+    /// Only called by a top-level committer serializing writers of this box
+    /// — via the box's commit stripe lock on the striped path, or the global
+    /// commit lock on the legacy path — with a strictly increasing
+    /// `version` per box.
     fn install_erased(&self, value: &ErasedValue, version: u64);
     /// Drop versions that no live snapshot can read: keep everything newer
     /// than `watermark` plus the newest entry `<= watermark`.

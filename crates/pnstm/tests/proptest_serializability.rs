@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread;
 
-use pnstm::{child, ParallelismDegree, Stm, StmConfig, VBox};
+use pnstm::{child, stripe_of, CommitPath, ParallelismDegree, Stm, StmConfig, VBox};
 
 /// One randomly generated top-level transaction: a list of per-slot deltas;
 /// each delta is applied read-modify-write, some of them via parallel
@@ -31,14 +31,43 @@ fn run_history(
     threads: usize,
     degree: ParallelismDegree,
 ) -> Vec<i64> {
-    let stm = Stm::new(StmConfig { degree, worker_threads: 2, ..StmConfig::default() });
+    let stm = stm_with(degree, CommitPath::Striped);
     let boxes: Arc<Vec<VBox<i64>>> = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect());
+    run_history_on(&stm, &boxes, specs, threads)
+}
+
+fn stm_with(degree: ParallelismDegree, commit_path: CommitPath) -> Stm {
+    Stm::new(StmConfig { degree, worker_threads: 2, commit_path, ..StmConfig::default() })
+}
+
+/// Allocate `n` boxes that all hash to the same commit stripe (rejection
+/// sampling over fresh box ids), so every commit in a history over them
+/// takes the lock-ordering and false-conflict paths of the striped protocol.
+fn colliding_boxes(stm: &Stm, n: usize) -> Vec<VBox<i64>> {
+    let first = stm.new_vbox(0i64);
+    let target = stripe_of(first.id());
+    let mut out = vec![first];
+    while out.len() < n {
+        let b = stm.new_vbox(0i64);
+        if stripe_of(b.id()) == target {
+            out.push(b);
+        }
+    }
+    out
+}
+
+fn run_history_on(
+    stm: &Stm,
+    boxes: &Arc<Vec<VBox<i64>>>,
+    specs: &[TxSpec],
+    threads: usize,
+) -> Vec<i64> {
     let chunks: Vec<Vec<TxSpec>> =
         (0..threads).map(|t| specs.iter().skip(t).step_by(threads).cloned().collect()).collect();
     let mut handles = vec![];
     for chunk in chunks {
         let stm = stm.clone();
-        let boxes = Arc::clone(&boxes);
+        let boxes = Arc::clone(boxes);
         handles.push(thread::spawn(move || {
             for spec in chunk {
                 let boxes = Arc::clone(&boxes);
@@ -159,5 +188,60 @@ proptest! {
         let set: HashSet<_> = toks.iter().collect();
         prop_assert_eq!(set.len(), toks.len(), "duplicate tokens: {:?}", *toks);
         prop_assert_eq!(toks.len() as u64, stm.read_atomic(&ctr));
+    }
+}
+
+// Striped-commit-specific properties. This block deliberately uses the
+// default `ProptestConfig` (no explicit `cases`) so CI can scale the case
+// count through the `PROPTEST_CASES` environment variable.
+proptest! {
+    /// Histories over boxes that all hash to the *same* commit stripe:
+    /// every concurrent commit contends on one stripe lock, and every
+    /// read of a sibling box is validated through a stamp another box
+    /// advanced — the false-conflict and lock-ordering paths. The outcome
+    /// must still be the serial sum, and the run must terminate (a
+    /// lock-ordering bug would deadlock here first).
+    #[test]
+    fn colliding_stripe_histories_conserve_sums(
+        specs in proptest::collection::vec(tx_spec(4), 1..12),
+        degree in (1usize..=4, 1usize..=4),
+    ) {
+        let slots = 4;
+        let stm = stm_with(ParallelismDegree::new(degree.0, degree.1), CommitPath::Striped);
+        let boxes = Arc::new(colliding_boxes(&stm, slots));
+        let first = stripe_of(boxes[0].id());
+        prop_assert!(boxes.iter().all(|b| stripe_of(b.id()) == first));
+        let got = run_history_on(&stm, &boxes, &specs, 3);
+        prop_assert_eq!(got, expected_state(&specs, slots));
+    }
+
+    /// Differential replay: the same specs produce the same history under
+    /// the striped path and the retained global-lock oracle. Single-threaded
+    /// the histories are fully defined, so commit/abort outcomes and the
+    /// clock must agree exactly; concurrently the additive deltas commute,
+    /// so the final states must agree.
+    #[test]
+    fn striped_path_replays_global_lock_histories(
+        specs in proptest::collection::vec(tx_spec(4), 1..10),
+    ) {
+        let slots = 4;
+        // Deterministic single-threaded replay: outcome-for-outcome equal.
+        let mut single = Vec::new();
+        for path in [CommitPath::Striped, CommitPath::GlobalLock] {
+            let stm = stm_with(ParallelismDegree::new(1, 1), path);
+            let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
+            let state = run_history_on(&stm, &boxes, &specs, 1);
+            let snap = stm.stats().snapshot();
+            single.push((state, snap.top_commits, snap.top_aborts, stm.clock_now()));
+        }
+        prop_assert_eq!(&single[0], &single[1], "single-threaded histories diverged");
+        prop_assert_eq!(single[0].2, 0, "uncontended history must not abort");
+
+        // Concurrent replay: serializability pins the final state.
+        let striped = run_history(&specs, slots, 3, ParallelismDegree::new(4, 2));
+        let stm = stm_with(ParallelismDegree::new(4, 2), CommitPath::GlobalLock);
+        let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
+        let global = run_history_on(&stm, &boxes, &specs, 3);
+        prop_assert_eq!(striped, global);
     }
 }

@@ -128,6 +128,7 @@ fn live_session_emits_parseable_jsonl_trace() {
         "tx_commit",
         "tx_abort",
         "sem_wait",
+        "commit_stripe_contention",
         "reconfigure",
         "window_open",
         "window_sample",
