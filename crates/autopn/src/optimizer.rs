@@ -142,6 +142,18 @@ impl AutoPn {
     }
 
     fn record(&mut self, cfg: Config, kpi: f64, weight: f64) {
+        // A throughput measurement can come back NaN/∞ from a degenerate
+        // window (zero elapsed time, overflowed counter, a monitor bug). A
+        // single such value would otherwise poison every downstream fold:
+        // `f_best` becomes NaN, EI becomes NaN, and the tuner stops
+        // proposing. Clamp at intake — treat the window as "no useful
+        // signal" (kpi 0) with floor confidence, matching the
+        // `weight_from_cv` lower bound.
+        let (kpi, weight) = if kpi.is_finite() {
+            (kpi, if weight.is_finite() { weight.max(0.0) } else { 0.05 })
+        } else {
+            (0.0, 0.05)
+        };
         self.observations.push((cfg, kpi));
         self.weights.push(weight);
         self.known.insert(cfg, kpi);
@@ -382,6 +394,29 @@ mod tests {
         assert!(aware.weights[1] > 5.0, "tight CV must be upweighted");
         assert_eq!(aware.weights[2], 0.25, "timeouts are low-information");
         assert!(unaware.weights.iter().all(|&w| w == 1.0), "flag off = paper behaviour");
+    }
+
+    #[test]
+    fn nan_measurement_is_clamped_and_tuning_completes() {
+        // A NaN throughput window (e.g. zero-length measurement) must not
+        // wedge the tuner: the observation is clamped at intake and the
+        // session still converges on the finite measurements.
+        let space = SearchSpace::new(16);
+        let f = |c: Config| (c.t * c.c) as f64;
+        let mut tuner = AutoPn::new(space, AutoPnConfig::default());
+        let mut n = 0;
+        while let Some(cfg) = tuner.propose() {
+            n += 1;
+            assert!(n <= 200, "NaN observation wedged the tuner");
+            // Poison every third window.
+            let kpi = if n % 3 == 0 { f64::NAN } else { f(cfg) };
+            tuner.observe_noisy(cfg, kpi, Some(f64::INFINITY), false);
+        }
+        let (best, kpi) = tuner.best().expect("tuner must finish with a best config");
+        assert!(kpi.is_finite(), "best KPI must be finite, got {kpi}");
+        assert!(f(best) > 0.0);
+        assert!(tuner.observations.iter().all(|&(_, y)| y.is_finite()));
+        assert!(tuner.weights.iter().all(|&w| w.is_finite() && w >= 0.0));
     }
 
     #[test]

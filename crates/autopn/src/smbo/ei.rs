@@ -10,6 +10,12 @@ use super::normal;
 ///
 /// With `σ = 0` this degenerates to `max(μ − f*, 0)`.
 pub fn expected_improvement(mu: f64, sigma: f64, f_best: f64) -> f64 {
+    // Non-finite inputs (a model fitted on garbage, an unset incumbent)
+    // have no meaningful improvement value; 0 keeps the candidate ranked
+    // last instead of letting NaN leak into the comparison.
+    if !mu.is_finite() || !sigma.is_finite() || !f_best.is_finite() {
+        return 0.0;
+    }
     let delta = mu - f_best;
     if sigma <= 0.0 {
         return delta.max(0.0);
@@ -22,6 +28,9 @@ pub fn expected_improvement(mu: f64, sigma: f64, f_best: f64) -> f64 {
 /// acquisition §V-B mentions and rejects because it "reflects potential
 /// gain" less directly than EI (a tiny-but-certain gain scores 1.0).
 pub fn probability_of_improvement(mu: f64, sigma: f64, f_best: f64) -> f64 {
+    if !mu.is_finite() || !sigma.is_finite() || !f_best.is_finite() {
+        return 0.0;
+    }
     if sigma <= 0.0 {
         return if mu > f_best { 1.0 } else { 0.0 };
     }
@@ -124,6 +133,18 @@ mod tests {
             (probability_of_improvement(5.001, 1e-9, 5.0), expected_improvement(5.001, 1e-9, 5.0));
         assert!(pi > 0.999);
         assert!(ei < 0.01);
+    }
+
+    #[test]
+    fn non_finite_inputs_score_zero() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(expected_improvement(bad, 1.0, 5.0), 0.0);
+            assert_eq!(expected_improvement(5.0, bad, 5.0), 0.0);
+            assert_eq!(expected_improvement(5.0, 1.0, bad), 0.0);
+            assert_eq!(probability_of_improvement(bad, 1.0, 5.0), 0.0);
+            assert_eq!(probability_of_improvement(5.0, bad, 5.0), 0.0);
+            assert_eq!(probability_of_improvement(5.0, 1.0, bad), 0.0);
+        }
     }
 
     #[test]

@@ -95,13 +95,22 @@ pub fn propose_noise_aware(
     if let Some(w) = weights {
         assert_eq!(w.len(), observations.len(), "weights must be parallel to observations");
     }
-    let f_best = observations.iter().map(|&(_, y)| y).fold(f64::NEG_INFINITY, f64::max);
+    // Defensive layer below the intake clamp in `AutoPn::record`: callers
+    // can hand us raw observation logs, so non-finite KPIs must not reach
+    // the incumbent fold (NaN poisons `max`) or the training set (a NaN
+    // target corrupts every M5 split score).
+    let f_best = observations
+        .iter()
+        .map(|&(_, y)| y)
+        .filter(|y| y.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
     if !f_best.is_finite() {
         return None;
     }
     let samples: Vec<Sample> = observations
         .iter()
         .enumerate()
+        .filter(|&(_, &(_, y))| y.is_finite())
         .map(|(i, &(cfg, y))| match weights {
             Some(w) => Sample::weighted(cfg.t as f64, cfg.c as f64, y, w[i]),
             None => Sample::new(cfg.t as f64, cfg.c as f64, y),
@@ -118,7 +127,13 @@ pub fn propose_noise_aware(
         }
         let (mu, sigma) = model.predict_dist(cfg.t as f64, cfg.c as f64);
         let score = acquisition.score(mu, sigma, f_best);
-        if best.as_ref().map(|(_, b)| score > *b).unwrap_or(true) {
+        // A NaN score would win every `>` comparison's negation and lose
+        // every comparison — either way the ranking is meaningless, so a
+        // candidate the model cannot score finitely is skipped outright.
+        if !score.is_finite() {
+            continue;
+        }
+        if best.as_ref().map(|(_, b)| score.total_cmp(b).is_gt()).unwrap_or(true) {
             let ei = expected_improvement(mu, sigma, f_best);
             let relative_ei = if f_best.abs() > f64::EPSILON { ei / f_best.abs() } else { ei };
             best = Some((Proposal { config: cfg, ei, relative_ei }, score));
@@ -178,6 +193,36 @@ mod tests {
         let observations = obs(&space, f, &[(1, 1), (2, 1), (4, 1), (8, 1), (12, 1)]);
         let p = propose(&space, &observations, 10, 3).unwrap();
         assert!(p.config.t > 12, "proposed {:?}", p.config);
+    }
+
+    #[test]
+    fn nan_and_infinite_observations_do_not_poison_proposals() {
+        let space = SearchSpace::new(8);
+        let f = |cfg: Config| 10.0 * cfg.t as f64;
+        let mut observations = obs(&space, f, &[(1, 1), (2, 1), (4, 1)]);
+        observations.push((Config::new(1, 2), f64::NAN));
+        observations.push((Config::new(2, 2), f64::INFINITY));
+        observations.push((Config::new(1, 4), f64::NEG_INFINITY));
+        let p = propose(&space, &observations, 6, 11).expect("finite subset must still propose");
+        assert!(space.contains(p.config));
+        assert!(p.ei.is_finite(), "EI must stay finite, got {}", p.ei);
+        assert!(p.relative_ei.is_finite());
+        // The proposal must match what the finite observations alone produce:
+        // the corrupted rows carry no signal.
+        let clean = obs(&space, f, &[(1, 1), (2, 1), (4, 1)]);
+        let q = propose(&space, &clean, 6, 11).unwrap();
+        let explored: std::collections::HashSet<Config> =
+            observations.iter().map(|&(cfg, _)| cfg).collect();
+        if !explored.contains(&q.config) {
+            assert_eq!(p.config, q.config, "non-finite rows changed the ranking");
+        }
+    }
+
+    #[test]
+    fn all_non_finite_observations_yield_no_proposal() {
+        let space = SearchSpace::new(4);
+        let observations = vec![(Config::new(1, 1), f64::NAN), (Config::new(2, 1), f64::INFINITY)];
+        assert!(propose(&space, &observations, 4, 1).is_none());
     }
 
     #[test]

@@ -101,6 +101,37 @@ impl SnapshotRegistry {
         SnapshotGuard { registry: Arc::clone(self), version }
     }
 
+    /// Register a transaction at `clock`'s *current* version, reading the
+    /// clock while holding the registry lock.
+    ///
+    /// This closes a race that [`SnapshotRegistry::register`] leaves open
+    /// when the caller reads the clock itself: between the clock read and the
+    /// registration, a GC can compute its watermark — not seeing the
+    /// about-to-register snapshot — and prune the very versions that snapshot
+    /// needs. Pairing this with [`SnapshotRegistry::gc_watermark`] (which
+    /// reads the clock under the same lock) makes the two atomic with respect
+    /// to each other: a watermark computed before our registration used a
+    /// clock value `<=` the version we register (clock loads are coherent
+    /// across the lock's release/acquire edge), and one computed after sees
+    /// the registration.
+    pub fn register_current(self: &Arc<Self>, clock: &GlobalClock) -> SnapshotGuard {
+        let mut map = self.active.lock();
+        let version = clock.now();
+        *map.entry(version).or_insert(0) += 1;
+        drop(map);
+        SnapshotGuard { registry: Arc::clone(self), version }
+    }
+
+    /// The GC watermark: the oldest version any live *or future* snapshot can
+    /// read — `min(oldest registered, clock now)`, with the clock read under
+    /// the registry lock (see [`SnapshotRegistry::register_current`]). Every
+    /// box may drop versions strictly older than the newest entry `<=` this.
+    pub fn gc_watermark(&self, clock: &GlobalClock) -> u64 {
+        let map = self.active.lock();
+        let now = clock.now();
+        map.keys().next().map(|&m| m.min(now)).unwrap_or(now)
+    }
+
     /// Oldest snapshot version still in use, if any transaction is live.
     pub fn min_active(&self) -> Option<u64> {
         self.active.lock().keys().next().copied()
@@ -204,6 +235,23 @@ mod tests {
         drop(g5);
         assert_eq!(r.min_active(), None);
         assert_eq!(r.live_count(), 0);
+    }
+
+    #[test]
+    fn register_current_pins_the_clock_version_against_gc() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let c = GlobalClock::new();
+        c.tick();
+        c.tick();
+        let g = r.register_current(&c);
+        assert_eq!(g.version(), 2);
+        assert_eq!(r.min_active(), Some(2));
+        c.tick();
+        // The watermark can never exceed a live registered snapshot...
+        assert_eq!(r.gc_watermark(&c), 2);
+        drop(g);
+        // ...and with none live it is the clock itself.
+        assert_eq!(r.gc_watermark(&c), 3);
     }
 
     #[test]

@@ -65,10 +65,16 @@ pub enum FaultKind {
     /// controller's retry/backoff/fallback ladder). Site:
     /// `Throttle::try_reconfigure`.
     ReconfigFail,
+    /// Sleep during an ancestor-scope read probe (a slow read walking the
+    /// nesting ladder). Under [`crate::ReadPathMode::Locked`] the stall is
+    /// taken while holding the ancestor-level locks and back-pressures every
+    /// sibling reading through that level; under the default lock-free path
+    /// sibling stalls overlap. Site: `Txn::read` ancestor-level probe.
+    ReadHold,
 }
 
 /// Number of distinct fault kinds (array sizing).
-pub const FAULT_KINDS: usize = 7;
+pub const FAULT_KINDS: usize = 8;
 
 impl FaultKind {
     /// Every kind, in stable order (index = position).
@@ -80,6 +86,7 @@ impl FaultKind {
         FaultKind::WorkerPanic,
         FaultKind::ClockJitter,
         FaultKind::ReconfigFail,
+        FaultKind::ReadHold,
     ];
 
     /// Stable dense index of this kind.
@@ -93,6 +100,7 @@ impl FaultKind {
             FaultKind::WorkerPanic => 4,
             FaultKind::ClockJitter => 5,
             FaultKind::ReconfigFail => 6,
+            FaultKind::ReadHold => 7,
         }
     }
 
@@ -107,6 +115,7 @@ impl FaultKind {
             FaultKind::WorkerPanic => "worker-panic",
             FaultKind::ClockJitter => "clock-jitter",
             FaultKind::ReconfigFail => "reconfig-fail",
+            FaultKind::ReadHold => "read-hold",
         }
     }
 }

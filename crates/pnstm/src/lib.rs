@@ -86,7 +86,7 @@ mod runtime;
 pub use collections::{TArray, TCounter, TMap};
 pub use error::{StmError, TxError, TxResult};
 pub use fault::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};
-pub use runtime::{CommitPath, ReadTxn, Stm, StmConfig};
+pub use runtime::{CommitPath, ReadPathMode, ReadTxn, Stm, StmConfig};
 pub use stats::{CommitEvent, Stats, StatsSnapshot, TxKind, SEM_WAIT_BUCKETS};
 pub use stripes::{stripe_of, STRIPE_COUNT};
 pub use throttle::{ParallelismDegree, ReconfigError, Throttle};

@@ -29,6 +29,11 @@ pub(crate) type Task = Box<dyn FnOnce() + Send>;
 /// A batch of child-transaction tasks belonging to one `parallel()` call.
 pub(crate) struct Batch {
     tasks: Mutex<VecDeque<Task>>,
+    /// Queue length mirror, so [`Batch::wants_helpers`] — called by idle
+    /// workers while holding the pool's batches lock — never touches the
+    /// tasks mutex. May lag the queue by a pop (a worker then grabs `None`
+    /// once and moves on); it only ever over-reports.
+    queued: AtomicUsize,
     /// Tasks submitted but not yet finished executing.
     remaining: AtomicUsize,
     /// Pool workers currently executing tasks of this batch.
@@ -44,6 +49,7 @@ impl Batch {
         let remaining = tasks.len();
         Arc::new(Self {
             tasks: Mutex::new(tasks.into_iter().collect()),
+            queued: AtomicUsize::new(remaining),
             remaining: AtomicUsize::new(remaining),
             helpers: AtomicUsize::new(0),
             helper_limit,
@@ -53,7 +59,12 @@ impl Batch {
     }
 
     fn pop_task(&self) -> Option<Task> {
-        self.tasks.lock().pop_front()
+        let mut q = self.tasks.lock();
+        let task = q.pop_front();
+        if task.is_some() {
+            self.queued.store(q.len(), Ordering::Release);
+        }
+        task
     }
 
     fn finish_task(&self) {
@@ -68,7 +79,8 @@ impl Batch {
     }
 
     fn wants_helpers(&self) -> bool {
-        self.helpers.load(Ordering::Acquire) < self.helper_limit && !self.tasks.lock().is_empty()
+        self.helpers.load(Ordering::Acquire) < self.helper_limit
+            && self.queued.load(Ordering::Acquire) > 0
     }
 }
 

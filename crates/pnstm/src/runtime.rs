@@ -33,6 +33,21 @@ pub enum CommitPath {
     GlobalLock,
 }
 
+/// Which `Txn::read` implementation an [`Stm`] instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPathMode {
+    /// Lock-free hot read path: copy-on-write write-set snapshots published
+    /// at `parallel()` suspend points, per-ancestor-level Bloom filters, and
+    /// a lock-free nest index for sibling-visible versions. The default.
+    #[default]
+    LockFree,
+    /// The legacy locking discipline over the same data structures: the own
+    /// write set behind a mutex, and per ancestor level the nest commit lock
+    /// plus a write-set lock, with no filters. Retained as the differential
+    /// baseline for the visibility proptests and the `read_scaling` bench.
+    Locked,
+}
+
 /// Construction-time configuration of an [`Stm`] instance.
 #[derive(Debug, Clone)]
 pub struct StmConfig {
@@ -60,6 +75,8 @@ pub struct StmConfig {
     pub fault: Option<Arc<FaultPlan>>,
     /// Top-level commit protocol (see [`CommitPath`]).
     pub commit_path: CommitPath,
+    /// Read-path implementation (see [`ReadPathMode`]).
+    pub read_path: ReadPathMode,
 }
 
 impl Default for StmConfig {
@@ -74,6 +91,7 @@ impl Default for StmConfig {
             retry_backoff: std::time::Duration::ZERO,
             fault: None,
             commit_path: CommitPath::default(),
+            read_path: ReadPathMode::default(),
         }
     }
 }
@@ -131,9 +149,10 @@ impl StmShared {
 
     fn gc(&self) -> usize {
         // Any version a live snapshot (or a snapshot taken from now on) can
-        // read must survive; everything older is pruned.
-        let now = self.clock.now();
-        let watermark = self.registry.min_active().map(|m| m.min(now)).unwrap_or(now);
+        // read must survive; everything older is pruned. The watermark reads
+        // the clock under the registry lock so it cannot race a transaction
+        // that has read the clock but not yet registered its snapshot.
+        let watermark = self.registry.gc_watermark(&self.clock);
         // Drain-and-requeue: take the registry, sweep it unlocked, put the
         // survivors back. `register_vbox` never blocks behind a sweep — new
         // registrations land in the emptied vec and are merged on requeue
@@ -229,8 +248,8 @@ impl Stm {
         }
         let mut aborts: u64 = 0;
         loop {
-            let read_version = self.shared.clock.now();
-            let _snap = self.shared.registry.register(read_version);
+            let _snap = self.shared.registry.register_current(&self.shared.clock);
+            let read_version = _snap.version();
             let mut tx = Txn::top(Arc::clone(&self.shared), read_version);
             match body(&mut tx) {
                 Ok(value) => match tx.commit_top() {
@@ -307,9 +326,8 @@ impl Stm {
     /// Run a read-only transaction. Never aborts and takes no admission
     /// permit (multi-version reads are invisible to writers).
     pub fn read_only<R>(&self, body: impl FnOnce(&mut ReadTxn) -> R) -> R {
-        let read_version = self.shared.clock.now();
-        let _snap = self.shared.registry.register(read_version);
-        let mut tx = ReadTxn { read_version };
+        let _snap = self.shared.registry.register_current(&self.shared.clock);
+        let mut tx = ReadTxn { read_version: _snap.version() };
         body(&mut tx)
     }
 

@@ -54,6 +54,9 @@ pub struct Stats {
     stripe_lock_acquisitions: AtomicU64,
     stripe_lock_contended: AtomicU64,
     stripe_false_conflicts: AtomicU64,
+    read_filter_hits: AtomicU64,
+    read_filter_misses: AtomicU64,
+    read_slow_path: AtomicU64,
     /// The commit hook as a raw `Box<CommitHook>` pointer (null = none), so
     /// the per-commit fast path is a single `Acquire` load instead of a
     /// reader-writer lock acquisition plus an `Arc` clone.
@@ -77,6 +80,9 @@ impl Default for Stats {
             stripe_lock_acquisitions: AtomicU64::new(0),
             stripe_lock_contended: AtomicU64::new(0),
             stripe_false_conflicts: AtomicU64::new(0),
+            read_filter_hits: AtomicU64::new(0),
+            read_filter_misses: AtomicU64::new(0),
+            read_slow_path: AtomicU64::new(0),
             hook: AtomicPtr::new(std::ptr::null_mut()),
             retired: Mutex::new(Vec::new()),
         }
@@ -141,6 +147,23 @@ impl Stats {
         self.stripe_false_conflicts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Flush one transaction attempt's read-path counters: ancestor-level
+    /// filter probes that could not rule the level out (`hits`), probes the
+    /// filter skipped (`misses`), and reads that performed at least one
+    /// ancestor fallback lookup (`slow`). Called once per attempt, not per
+    /// read — the hot path keeps plain local counters.
+    pub fn record_read_path(&self, hits: u64, misses: u64, slow: u64) {
+        if hits > 0 {
+            self.read_filter_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.read_filter_misses.fetch_add(misses, Ordering::Relaxed);
+        }
+        if slow > 0 {
+            self.read_slow_path.fetch_add(slow, Ordering::Relaxed);
+        }
+    }
+
     /// Histogram bucket for a wait of `wait_ns` (see [`SEM_WAIT_BUCKETS`]).
     pub fn sem_wait_bucket(wait_ns: u64) -> usize {
         let us = wait_ns / 1_000;
@@ -178,6 +201,9 @@ impl Stats {
             stripe_lock_acquisitions: self.stripe_lock_acquisitions.load(Ordering::Relaxed),
             stripe_lock_contended: self.stripe_lock_contended.load(Ordering::Relaxed),
             stripe_false_conflicts: self.stripe_false_conflicts.load(Ordering::Relaxed),
+            read_filter_hits: self.read_filter_hits.load(Ordering::Relaxed),
+            read_filter_misses: self.read_filter_misses.load(Ordering::Relaxed),
+            read_slow_path: self.read_slow_path.load(Ordering::Relaxed),
         }
     }
 }
@@ -229,6 +255,12 @@ pub struct StatsSnapshot {
     /// Aborts caused purely by stripe granularity: stamp validation failed
     /// but every read box was individually unchanged.
     pub stripe_false_conflicts: u64,
+    /// Ancestor-level read probes the Bloom filter could not rule out.
+    pub read_filter_hits: u64,
+    /// Ancestor-level read probes skipped entirely by the Bloom filter.
+    pub read_filter_misses: u64,
+    /// Reads that performed at least one ancestor fallback lookup.
+    pub read_slow_path: u64,
 }
 
 impl StatsSnapshot {
@@ -283,6 +315,9 @@ impl StatsSnapshot {
             stripe_false_conflicts: self
                 .stripe_false_conflicts
                 .saturating_sub(earlier.stripe_false_conflicts),
+            read_filter_hits: self.read_filter_hits.saturating_sub(earlier.read_filter_hits),
+            read_filter_misses: self.read_filter_misses.saturating_sub(earlier.read_filter_misses),
+            read_slow_path: self.read_slow_path.saturating_sub(earlier.read_slow_path),
         }
     }
 }
@@ -322,6 +357,22 @@ mod tests {
         assert_eq!(snap.stripe_false_conflicts, 1);
         let d = snap.delta_since(&StatsSnapshot::default());
         assert_eq!(d.stripe_lock_acquisitions, 5);
+    }
+
+    #[test]
+    fn read_path_counters_accumulate() {
+        let s = Stats::new();
+        s.record_read_path(3, 10, 2);
+        s.record_read_path(0, 0, 0); // all-zero flush is a no-op
+        s.record_read_path(1, 0, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_filter_hits, 4);
+        assert_eq!(snap.read_filter_misses, 10);
+        assert_eq!(snap.read_slow_path, 3);
+        let d = snap.delta_since(&StatsSnapshot::default());
+        assert_eq!(d.read_filter_hits, 4);
+        assert_eq!(d.read_filter_misses, 10);
+        assert_eq!(d.read_slow_path, 3);
     }
 
     #[test]

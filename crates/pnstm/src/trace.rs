@@ -54,6 +54,12 @@ pub enum TraceEvent {
     /// another committer on first try. Emitted only when `contended > 0` —
     /// the uncontended common case stays off the bus.
     CommitStripeContention { stripes: u32, contended: u32, at_ns: u64 },
+    /// One transaction attempt's aggregated read-path counters, flushed when
+    /// the attempt ends: ancestor-level filter probes that could not rule the
+    /// level out (`filter_hits`), probes the filter skipped (`filter_misses`),
+    /// and reads that performed at least one ancestor fallback lookup
+    /// (`slow_path`). Emitted only when at least one counter is nonzero.
+    ReadPath { filter_hits: u64, filter_misses: u64, slow_path: u64, at_ns: u64 },
     /// The actuator switched the parallelism degree `from` → `to` `(t, c)`.
     Reconfigure { from: (u32, u32), to: (u32, u32) },
     /// The monitor opened a measurement window.
@@ -132,6 +138,7 @@ impl TraceEvent {
             TraceEvent::TxAbort { .. } => "tx_abort",
             TraceEvent::SemWait { .. } => "sem_wait",
             TraceEvent::CommitStripeContention { .. } => "commit_stripe_contention",
+            TraceEvent::ReadPath { .. } => "read_path",
             TraceEvent::Reconfigure { .. } => "reconfigure",
             TraceEvent::WindowOpen { .. } => "window_open",
             TraceEvent::WindowSample { .. } => "window_sample",
@@ -176,6 +183,12 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"stripes\":{stripes},\"contended\":{contended},\"at_ns\":{at_ns}"
+                );
+            }
+            TraceEvent::ReadPath { filter_hits, filter_misses, slow_path, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"filter_hits\":{filter_hits},\"filter_misses\":{filter_misses},\"slow_path\":{slow_path},\"at_ns\":{at_ns}"
                 );
             }
             TraceEvent::Reconfigure { from, to } => {
@@ -530,6 +543,7 @@ mod tests {
             TraceEvent::TxAbort { kind: TxKind::TopLevel, retries: 1, at_ns: 11 },
             TraceEvent::SemWait { wait_ns: 1500 },
             TraceEvent::CommitStripeContention { stripes: 4, contended: 1, at_ns: 6 },
+            TraceEvent::ReadPath { filter_hits: 2, filter_misses: 30, slow_path: 2, at_ns: 8 },
             TraceEvent::Reconfigure { from: (4, 1), to: (2, 2) },
             TraceEvent::WindowOpen { at_ns: 1 },
             TraceEvent::WindowSample { at_ns: 2, cv: Some(0.25) },
@@ -580,6 +594,11 @@ mod tests {
         assert_eq!(
             TraceEvent::CommitStripeContention { stripes: 4, contended: 1, at_ns: 6 }.to_json(),
             r#"{"ev":"commit_stripe_contention","stripes":4,"contended":1,"at_ns":6}"#
+        );
+        assert_eq!(
+            TraceEvent::ReadPath { filter_hits: 2, filter_misses: 30, slow_path: 2, at_ns: 8 }
+                .to_json(),
+            r#"{"ev":"read_path","filter_hits":2,"filter_misses":30,"slow_path":2,"at_ns":8}"#
         );
         assert_eq!(
             TraceEvent::FaultInjected {

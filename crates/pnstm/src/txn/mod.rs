@@ -1,5 +1,31 @@
 //! Transactions: the unified [`Txn`] type used at every nesting depth, the
 //! read/write machinery, and the nested/top-level commit protocols.
+//!
+//! # The lock-free hot read path
+//!
+//! `Txn::read` is the hottest operation in the system and takes **no lock**
+//! in the common case:
+//!
+//! * **Own write set** — a `Txn` is single-threaded between `parallel()`
+//!   calls, so its write set is a plain map behind an `Arc` mutated
+//!   copy-on-write ([`std::sync::Arc::make_mut`]). While the transaction
+//!   runs alone it holds the only reference and mutates in place; when it
+//!   suspends in `parallel()` it publishes the `Arc` as an immutable
+//!   snapshot into its children's scope. Children read the snapshot with a
+//!   plain map probe. After the join the children are gone, the snapshot
+//!   handle is dropped, and the owner is back to sole ownership — the clone
+//!   inside `make_mut` never actually runs in the normal lifecycle.
+//! * **Ancestor levels** — each scope level carries a 64-bit Bloom filter
+//!   (the published write-set filter united with the level's nest-index
+//!   filter). A read probes the filter first and skips the level entirely on
+//!   the common miss; only a filter hit walks the lock-free
+//!   [`nest::NestIndex`] and the write-set snapshot.
+//! * **Global snapshot** — multi-version chains, unchanged.
+//!
+//! The retained [`crate::ReadPathMode::Locked`] mode routes the same lookups
+//! through the nest commit lock and a per-level write-set lock — the exact
+//! locking discipline this refactor removed — as the differential baseline
+//! for the `read_scaling` bench and the visibility proptests.
 
 pub(crate) mod nest;
 pub(crate) mod sets;
@@ -11,7 +37,7 @@ use std::sync::Arc;
 
 use crate::error::{TxError, TxResult};
 use crate::runtime::StmShared;
-use crate::vbox::VBox;
+use crate::vbox::{filter_bits, VBox};
 use crate::TxValue;
 use nest::NestCtx;
 use sets::{ReadSet, WriteSet};
@@ -36,15 +62,31 @@ where
 
 /// One level of the ancestor chain visible to a nested transaction.
 ///
-/// `cap` is the nest-clock snapshot this transaction (or an ancestor on its
-/// behalf) took of that level: only sibling commits at versions `<= cap` are
-/// visible, and validation at commit checks nothing newer appeared for any
-/// box this transaction read.
+/// `ws` is the ancestor's write set as published at the `parallel()` call
+/// that spawned this subtree — an immutable snapshot, read without locking
+/// (`ws_filter` is its Bloom filter, captured once at publication). `cap` is
+/// the nest-clock snapshot this transaction took of that level: only sibling
+/// commits at versions `<= cap` are visible, and validation at commit checks
+/// nothing newer appeared for any box this transaction read.
 #[derive(Clone)]
 pub(crate) struct ScopeEntry {
-    pub(crate) ws: Arc<Mutex<WriteSet>>,
+    pub(crate) ws: Arc<WriteSet>,
+    pub(crate) ws_filter: u64,
     pub(crate) nest: Arc<NestCtx>,
     pub(crate) cap: u32,
+}
+
+/// Read-path counters local to one transaction attempt: plain integers on
+/// the hot path, flushed to the shared [`crate::Stats`] once, when the
+/// attempt's `Txn` drops.
+#[derive(Clone, Copy, Default)]
+struct ReadPathCounters {
+    /// Ancestor-level probes the filter could not rule out.
+    filter_hits: u64,
+    /// Ancestor-level probes skipped entirely by the filter.
+    filter_misses: u64,
+    /// Reads that performed at least one ancestor fallback lookup.
+    slow_path: u64,
 }
 
 /// A running transaction, top-level or nested.
@@ -56,9 +98,9 @@ pub struct Txn {
     shared: Arc<StmShared>,
     /// Global snapshot version of the whole transaction tree.
     root_read_version: u64,
-    /// Own tentative writes; `Arc` so descendants can read them while this
-    /// transaction is suspended in `parallel()`.
-    ws: Arc<Mutex<WriteSet>>,
+    /// Own tentative writes, mutated copy-on-write; published as an immutable
+    /// snapshot to descendants at each `parallel()` call.
+    ws: Arc<WriteSet>,
     /// Own reads (excluding own-write-set hits), plus the reads of committed
     /// children merged in at each `parallel()` join.
     rs: ReadSet,
@@ -66,17 +108,28 @@ pub struct Txn {
     scope: Vec<ScopeEntry>,
     /// 0 for top-level, parent depth + 1 for children.
     depth: u32,
+    /// True when the instance runs `ReadPathMode::Locked` (cached from the
+    /// config so the read path pays a field load, not a config match).
+    locked_reads: bool,
+    /// Stands in for the removed own-write-set mutex in `Locked` mode.
+    own_ws_mx: Mutex<()>,
+    reads: ReadPathCounters,
 }
 
 impl Txn {
     pub(crate) fn top(shared: Arc<StmShared>, root_read_version: u64) -> Self {
+        let locked_reads =
+            matches!(shared.config().read_path, crate::runtime::ReadPathMode::Locked);
         Self {
             shared,
             root_read_version,
-            ws: Arc::new(Mutex::new(WriteSet::new())),
+            ws: Arc::new(WriteSet::new()),
             rs: ReadSet::new(),
             scope: Vec::new(),
             depth: 0,
+            locked_reads,
+            own_ws_mx: Mutex::new(()),
+            reads: ReadPathCounters::default(),
         }
     }
 
@@ -86,13 +139,18 @@ impl Txn {
         scope: Vec<ScopeEntry>,
         depth: u32,
     ) -> Self {
+        let locked_reads =
+            matches!(shared.config().read_path, crate::runtime::ReadPathMode::Locked);
         Self {
             shared,
             root_read_version,
-            ws: Arc::new(Mutex::new(WriteSet::new())),
+            ws: Arc::new(WriteSet::new()),
             rs: ReadSet::new(),
             scope,
             depth,
+            locked_reads,
+            own_ws_mx: Mutex::new(()),
+            reads: ReadPathCounters::default(),
         }
     }
 
@@ -116,28 +174,86 @@ impl Txn {
     /// Lookup order: own write set (which, after each `parallel()` join,
     /// already contains the newest values committed by this transaction's
     /// children) → each ancestor level, nearest first (that level's nest
-    /// store up to the inherited cap, then its write set) → the global
-    /// snapshot at the tree's read version. Reads never block on or conflict
-    /// with concurrent writers.
+    /// index up to the inherited cap, then its published write-set snapshot)
+    /// → the global snapshot at the tree's read version. The common case is
+    /// lock-free end to end: an own-set probe, one Bloom-filter word per
+    /// ancestor level, and a multi-version chain read. Reads never block on
+    /// or conflict with concurrent writers.
     pub fn read<T: TxValue>(&mut self, vbox: &VBox<T>) -> T {
         let id = vbox.id();
         // 1. Own write set (not recorded in the read set: reading your own
         //    write has no external dependency).
-        if let Some(v) = self.ws.lock().get(id) {
-            return downcast_clone::<T>(&v);
-        }
-        // 2. Ancestor chain, nearest level first. Within a level the nest
-        //    store takes precedence over the write set: everything in the
-        //    write set was written before that level's current batch started,
-        //    while store entries are commits from the in-flight batch.
-        for entry in &self.scope {
-            if let Some(v) = entry.nest.store.lock().lookup(id, entry.cap) {
-                self.rs.record(vbox.as_any());
+        if self.locked_reads {
+            let _g = self.own_ws_mx.lock();
+            if let Some(v) = self.ws.get(id) {
                 return downcast_clone::<T>(&v);
             }
-            if let Some(v) = entry.ws.lock().get(id) {
-                self.rs.record(vbox.as_any());
-                return downcast_clone::<T>(&v);
+        } else if let Some(v) = self.ws.get(id) {
+            return downcast_clone::<T>(&v);
+        }
+        // 2. Ancestor chain, nearest level first.
+        if !self.scope.is_empty() {
+            let bits = filter_bits(id);
+            let mut probed = false;
+            for level in 0..self.scope.len() {
+                let entry = &self.scope[level];
+                if !self.locked_reads {
+                    // Level filter: the union of the published write-set
+                    // filter and the live nest-index filter over-approximates
+                    // everything this level could serve; a miss skips both
+                    // probes. (The index filter is or'ed before each commit's
+                    // clock publish, so it can't under-report anything our
+                    // cap entitles us to see.)
+                    let level_filter = entry.ws_filter | entry.nest.index.filter();
+                    if level_filter & bits != bits {
+                        self.reads.filter_misses += 1;
+                        continue;
+                    }
+                    self.reads.filter_hits += 1;
+                }
+                if !probed {
+                    probed = true;
+                    self.reads.slow_path += 1;
+                }
+                // Within a level the nest index takes precedence over the
+                // write-set snapshot: everything in the snapshot was written
+                // before the level's current batch started, while index
+                // entries are commits from the in-flight batch.
+                //
+                // Fault site (`ReadHold`): a slow ancestor probe. Locked mode
+                // takes the stall while holding the level's commit lock, so
+                // sibling reads through this level queue behind it; the
+                // lock-free path just lengthens this one read.
+                let store_hit = if self.locked_reads {
+                    let _g = entry.nest.commit_mx.lock();
+                    if let Some(action) =
+                        self.shared.fault().inject(crate::fault::FaultKind::ReadHold)
+                    {
+                        action.stall();
+                    }
+                    entry.nest.index.lookup(id, entry.cap)
+                } else {
+                    if let Some(action) =
+                        self.shared.fault().inject(crate::fault::FaultKind::ReadHold)
+                    {
+                        action.stall();
+                    }
+                    entry.nest.index.lookup(id, entry.cap)
+                };
+                if let Some(v) = store_hit {
+                    self.rs.record(vbox.as_any());
+                    return downcast_clone::<T>(&v);
+                }
+                let ws_hit = if self.locked_reads {
+                    let _g = entry.nest.ws_mx.lock();
+                    entry.ws.get(id)
+                } else {
+                    entry.ws.get(id)
+                };
+                if let Some(v) = ws_hit {
+                    self.rs.record(vbox.as_any());
+                    return downcast_clone::<T>(&v);
+                }
             }
         }
         // 3. Global snapshot.
@@ -148,7 +264,10 @@ impl Txn {
     /// Tentatively write `value` to `vbox`. Takes effect for other
     /// transactions only when the top-level ancestor commits.
     pub fn write<T: TxValue>(&mut self, vbox: &VBox<T>, value: T) {
-        self.ws.lock().insert(vbox.as_any(), Arc::new(value));
+        // In-place while we hold the only reference (always, outside
+        // `parallel()`); a clone would only ever run if a write raced a
+        // published snapshot, which the suspend discipline rules out.
+        Arc::make_mut(&mut self.ws).insert(vbox.as_any(), Arc::new(value));
     }
 
     /// Read-modify-write convenience: `write(f(read()))` and return the new
@@ -178,7 +297,7 @@ impl Txn {
 
     /// Number of boxes read / written so far (introspection and tests).
     pub fn footprint(&self) -> (usize, usize) {
-        (self.rs.len(), self.ws.lock().len())
+        (self.rs.len(), self.ws.len())
     }
 
     /// Execute `tasks` as parallel nested (child) transactions and return
@@ -208,8 +327,15 @@ impl Txn {
 
         // The scope a child sees: this transaction (with a fresh cap taken at
         // child begin) followed by this transaction's own inherited scope.
-        let parent_entry_proto =
-            ScopeEntry { ws: Arc::clone(&self.ws), nest: Arc::clone(&nest), cap: 0 };
+        // This is the suspend-point snapshot publication: children share the
+        // `Arc` and its filter, and this transaction does not touch `ws`
+        // again until the join.
+        let parent_entry_proto = ScopeEntry {
+            ws: Arc::clone(&self.ws),
+            ws_filter: self.ws.filter(),
+            nest: Arc::clone(&nest),
+            cap: 0,
+        };
         let inherited: Vec<ScopeEntry> = self.scope.clone();
 
         let n_tasks = tasks.len();
@@ -247,15 +373,20 @@ impl Txn {
         let batch = crate::pool::Batch::new(wrapped, helper_limit);
         self.shared.pool().run_batch(batch);
 
-        // Join: fold the batch's effects into this transaction. Store
-        // entries override pre-batch write-set values (they are newer); the
-        // children's merged reads become our reads, to be revalidated at our
-        // own commit.
+        // The batch has drained: every child (and its scope clone) is gone.
+        // Drop our own snapshot handle so the fold below mutates the write
+        // set in place instead of cloning it.
+        drop(parent_entry_proto);
+
+        // Join: fold the batch's effects into this transaction. The index is
+        // quiescent now, so it is safe to iterate without the commit lock.
+        // Index entries override pre-batch write-set values (they are
+        // newer); the children's merged reads become our reads, to be
+        // revalidated at our own commit.
         {
-            let store = nest.store.lock();
-            let mut ws = self.ws.lock();
-            for entry in store.newest_entries() {
-                ws.insert(Arc::clone(&entry.vbox), Arc::clone(&entry.value));
+            let ws = Arc::make_mut(&mut self.ws);
+            for entry in nest.index.newest_entries() {
+                ws.insert(entry.vbox, entry.value);
             }
             self.rs.merge_from(&nest.merged_rs.lock());
         }
@@ -279,27 +410,29 @@ impl Txn {
     /// `Err(TxError::Conflict)` on a sibling conflict.
     fn commit_nested(&mut self) -> TxResult<()> {
         let parent = self.scope.first().expect("nested txn has a parent scope");
-        let store = parent.nest.store.lock();
+        let commit_guard = parent.nest.commit_mx.lock();
         // Sibling validation: no sibling may have installed a newer version
-        // of any box we read after our nest-clock snapshot.
+        // of any box we read after our nest-clock snapshot. Committers
+        // serialize on the commit lock, so the index is stable here.
         for (id, _) in self.rs.iter() {
-            if store.latest_version(*id) > parent.cap {
+            if parent.nest.index.latest_version(*id) > parent.cap {
                 return Err(TxError::Conflict);
             }
         }
-        // Hold the store lock across tick + install so versions are ordered.
-        let mut store = store;
-        let ws = self.ws.lock();
-        if !ws.is_empty() {
-            let version = parent.nest.tick();
+        if !self.ws.is_empty() {
+            // Install first, publish the nest clock after: a sibling whose
+            // cap covers this version must find every node of this commit
+            // (the Release publish pairs with the Acquire cap read), which
+            // is what lets sibling reads skip the commit lock entirely.
+            let version = parent.nest.next_version();
             // The write set already contains everything our own children
             // committed (folded in at join time).
-            for entry in ws.iter() {
-                store.install(entry.clone(), version);
+            for entry in self.ws.iter() {
+                parent.nest.index.install(entry.clone(), version);
             }
+            parent.nest.publish(version);
         }
-        drop(ws);
-        drop(store);
+        drop(commit_guard);
         // Merge reads (ours + our committed children's) upward for
         // revalidation at the parent's own commit.
         parent.nest.merged_rs.lock().merge_from(&self.rs);
@@ -331,7 +464,7 @@ impl Txn {
     /// release a stripe we read in the window between the first pass and our
     /// reservation.
     fn commit_top_striped(&mut self) -> TxResult<()> {
-        let ws = self.ws.lock();
+        let ws = Arc::clone(&self.ws);
         if ws.is_empty() {
             return Ok(()); // Read-only: serializable at its snapshot.
         }
@@ -414,7 +547,7 @@ impl Txn {
     /// differential-testing oracle and bench baseline
     /// ([`crate::CommitPath::GlobalLock`]).
     fn commit_top_global(&mut self) -> TxResult<()> {
-        let ws = self.ws.lock();
+        let ws = Arc::clone(&self.ws);
         if ws.is_empty() {
             return Ok(()); // Read-only: serializable at its snapshot.
         }
@@ -452,8 +585,31 @@ impl Txn {
 
     /// Discard all tentative state ahead of a retry.
     pub(crate) fn reset(&mut self) {
-        self.ws.lock().clear();
+        self.ws = Arc::new(WriteSet::new());
         self.rs.clear();
+    }
+}
+
+impl Drop for Txn {
+    /// Flush the attempt's read-path counters to the shared stats (and the
+    /// trace bus, when enabled). Every attempt runs on a fresh `Txn` — the
+    /// retry drivers construct one per iteration — so this fires exactly
+    /// once per attempt, on every exit path including panics.
+    fn drop(&mut self) {
+        let ReadPathCounters { filter_hits, filter_misses, slow_path } = self.reads;
+        if filter_hits == 0 && filter_misses == 0 && slow_path == 0 {
+            return;
+        }
+        self.shared.stats().record_read_path(filter_hits, filter_misses, slow_path);
+        let trace = self.shared.trace();
+        if trace.is_enabled() {
+            trace.emit(crate::trace::TraceEvent::ReadPath {
+                filter_hits,
+                filter_misses,
+                slow_path,
+                at_ns: crate::trace::now_ns(),
+            });
+        }
     }
 }
 

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::stripes::stripe_of;
-use crate::vbox::{AnyVBox, BoxId, ErasedValue};
+use crate::vbox::{filter_bits, AnyVBox, BoxId, ErasedValue};
 
 /// One tentative write: the target box (type-erased) and the value.
 #[derive(Clone)]
@@ -15,11 +15,18 @@ pub(crate) struct WsEntry {
 
 /// The tentative writes of one transaction (top-level or nested).
 ///
-/// Shared behind `Arc<Mutex<_>>` so that child transactions can look up their
-/// suspended ancestors' uncommitted writes.
-#[derive(Default)]
+/// Held as `Arc<WriteSet>` by its owning [`crate::Txn`]: the owner mutates it
+/// copy-on-write (`Arc::make_mut` — in-place while it holds the only
+/// reference, which is the entire life of a transaction outside `parallel()`)
+/// and publishes the `Arc` as an immutable snapshot to its children, who read
+/// it without any locking. `Clone` exists solely to back that copy-on-write.
+#[derive(Default, Clone)]
 pub(crate) struct WriteSet {
     entries: HashMap<BoxId, WsEntry>,
+    /// Bloom filter over the inserted box ids ([`filter_bits`] positions).
+    /// Never reset by removal — entries are only ever inserted or the whole
+    /// set cleared — so it always over-approximates membership.
+    filter: u64,
 }
 
 impl WriteSet {
@@ -28,7 +35,14 @@ impl WriteSet {
     }
 
     pub(crate) fn insert(&mut self, vbox: Arc<dyn AnyVBox>, value: ErasedValue) {
+        self.filter |= filter_bits(vbox.id());
         self.entries.insert(vbox.id(), WsEntry { vbox, value });
+    }
+
+    /// The Bloom filter word over every inserted box id. A probe whose
+    /// [`filter_bits`] are not all present here can skip [`WriteSet::get`].
+    pub(crate) fn filter(&self) -> u64 {
+        self.filter
     }
 
     pub(crate) fn get(&self, id: BoxId) -> Option<ErasedValue> {
@@ -56,8 +70,12 @@ impl WriteSet {
         stripes
     }
 
+    /// Retained for the filter-reset contract (retry drivers now swap in a
+    /// fresh `Arc<WriteSet>` instead of clearing in place).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn clear(&mut self) {
         self.entries.clear();
+        self.filter = 0;
     }
 }
 
@@ -132,6 +150,33 @@ mod tests {
         assert!(!fp.is_empty());
         assert!(fp.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
         assert!(fp.iter().all(|&s| s < crate::stripes::STRIPE_COUNT));
+    }
+
+    #[test]
+    fn write_set_filter_tracks_inserts_and_clears() {
+        let mut ws = WriteSet::new();
+        assert_eq!(ws.filter(), 0, "empty set admits nothing");
+        let boxes: Vec<VBox<i32>> = (0..8).map(|_| VBox::new_raw(0)).collect();
+        for b in &boxes {
+            ws.insert(b.as_any(), Arc::new(1i32));
+        }
+        for b in &boxes {
+            let bits = crate::vbox::filter_bits(b.id());
+            assert_eq!(ws.filter() & bits, bits, "no false negatives for members");
+        }
+        ws.clear();
+        assert_eq!(ws.filter(), 0, "clear resets the filter");
+    }
+
+    #[test]
+    fn write_set_clone_snapshots_entries() {
+        let b = VBox::new_raw(0i32);
+        let mut ws = WriteSet::new();
+        ws.insert(b.as_any(), Arc::new(1i32));
+        let snap = ws.clone();
+        ws.insert(b.as_any(), Arc::new(2i32));
+        assert_eq!(*snap.get(b.id()).unwrap().downcast_ref::<i32>().unwrap(), 1);
+        assert_eq!(*ws.get(b.id()).unwrap().downcast_ref::<i32>().unwrap(), 2);
     }
 
     #[test]

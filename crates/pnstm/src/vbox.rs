@@ -15,6 +15,30 @@ use crate::TxValue;
 /// Unique identifier of a box, assigned at creation.
 pub type BoxId = u64;
 
+/// SplitMix64 finalizer over a box id. The avalanche source for every
+/// id-derived hash on the read path ([`filter_bits`], the nest-index bucket);
+/// the commit path keeps its own copy in [`crate::stripes::stripe_of`] so the
+/// two stay independently documented.
+#[inline]
+pub(crate) fn mix_id(id: BoxId) -> u64 {
+    let mut z = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The box's signature in a 64-bit Bloom filter: two bit positions drawn from
+/// independent slices of the mixed id. A filter word `f` may contain the box
+/// iff `f & filter_bits(id) == filter_bits(id)`; with the handful of boxes a
+/// typical write set or nest store holds, the false-positive rate stays in
+/// the low percent range, and a false positive only costs the fallback
+/// lookup the filter would otherwise skip.
+#[inline]
+pub(crate) fn filter_bits(id: BoxId) -> u64 {
+    let h = mix_id(id);
+    (1u64 << (h & 63)) | (1u64 << ((h >> 6) & 63))
+}
+
 /// Type-erased value as stored in write sets and nest stores.
 pub(crate) type ErasedValue = Arc<dyn Any + Send + Sync>;
 
@@ -241,6 +265,20 @@ mod tests {
         b.body.prune_below(10);
         // Only the version-4 entry remains; snapshot 3 cannot be served.
         let _ = b.body.read_at(3);
+    }
+
+    #[test]
+    fn filter_bits_are_stable_and_sparse() {
+        let b = VBox::new_raw(0i32);
+        let bits = filter_bits(b.id());
+        assert_eq!(bits, filter_bits(b.id()), "pure function of the id");
+        let set = bits.count_ones();
+        assert!((1..=2).contains(&set), "two hashed positions (may collide): {set}");
+        // Membership algebra: a filter containing exactly this box admits it
+        // and the empty filter excludes it.
+        assert_eq!(bits & filter_bits(b.id()), filter_bits(b.id()));
+        let empty = 0u64;
+        assert_ne!(empty & bits, bits);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread;
 
-use pnstm::{child, stripe_of, CommitPath, ParallelismDegree, Stm, StmConfig, VBox};
+use pnstm::{child, stripe_of, CommitPath, ParallelismDegree, ReadPathMode, Stm, StmConfig, VBox};
 
 /// One randomly generated top-level transaction: a list of per-slot deltas;
 /// each delta is applied read-modify-write, some of them via parallel
@@ -101,6 +101,23 @@ fn run_history_on(
         h.join().unwrap();
     }
     boxes.iter().map(|b| stm.read_atomic(b)).collect()
+}
+
+/// All permutations of `items` (items.len() ≤ 4 in our use, so at most 24).
+fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        let mut rest = items.to_vec();
+        let head = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head.clone());
+            out.push(tail);
+        }
+    }
+    out
 }
 
 /// Expected final state: deltas are commutative additions, so any serial
@@ -243,5 +260,82 @@ proptest! {
         let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
         let global = run_history_on(&stm, &boxes, &specs, 3);
         prop_assert_eq!(striped, global);
+    }
+
+    /// Closed-nesting visibility under random sibling interleavings, on both
+    /// read paths:
+    ///
+    /// 1. **Read-your-ancestors** — every child observes the parent's
+    ///    pre-`parallel()` write of the marker box.
+    /// 2. **Sibling isolation until commit** — each child writes a poison
+    ///    sentinel to its slot before the real value; a sibling observing
+    ///    uncommitted state would fold the sentinel into its product.
+    /// 3. **Serializability of siblings** — the child ops `x := x*m + a` are
+    ///    non-commutative, so the final state is legal only if it equals
+    ///    applying the children in *some* sequential order; the oracle
+    ///    enumerates all k! orders (k ≤ 4).
+    #[test]
+    fn closed_nesting_visibility_matches_a_sequential_child_order(
+        children in proptest::collection::vec((0usize..2, 2i64..=5, -7i64..=7), 1..5),
+        degree_c in 1usize..=4,
+        locked in 0usize..2,
+    ) {
+        let read_path = if locked == 1 { ReadPathMode::Locked } else { ReadPathMode::LockFree };
+        let stm = Stm::new(StmConfig {
+            degree: ParallelismDegree::new(2, degree_c),
+            worker_threads: 2,
+            read_path,
+            ..StmConfig::default()
+        });
+        let slots: Arc<Vec<VBox<i64>>> =
+            Arc::new((0..2).map(|i| stm.new_vbox(10 + i as i64)).collect());
+        let marker = stm.new_vbox(0i64);
+
+        let marker2 = marker.clone();
+        let slots2 = Arc::clone(&slots);
+        let children2 = children.clone();
+        let markers_seen = stm
+            .atomic(move |tx| {
+                tx.write(&marker2, 99);
+                let tasks = children2
+                    .iter()
+                    .map(|&(slot, m, a)| {
+                        let slots = Arc::clone(&slots2);
+                        let marker = marker2.clone();
+                        child(move |ct| {
+                            let seen = ct.read(&marker);
+                            let v = ct.read(&slots[slot]);
+                            // Tentative garbage a sibling must never see...
+                            ct.write(&slots[slot], i64::MIN / 2);
+                            // ...overwritten by the real value before commit.
+                            ct.write(&slots[slot], v * m + a);
+                            Ok(seen)
+                        })
+                    })
+                    .collect();
+                tx.parallel(tasks)
+            })
+            .unwrap();
+
+        prop_assert!(
+            markers_seen.iter().all(|&s| s == 99),
+            "a child missed its ancestor's write: {:?}", markers_seen
+        );
+
+        let legal: HashSet<Vec<i64>> = permutations(&children)
+            .into_iter()
+            .map(|order| {
+                let mut state = vec![10i64, 11];
+                for (slot, m, a) in order {
+                    state[slot] = state[slot] * m + a;
+                }
+                state
+            })
+            .collect();
+        let got: Vec<i64> = slots.iter().map(|b| stm.read_atomic(b)).collect();
+        prop_assert!(
+            legal.contains(&got),
+            "final {:?} matches no sequential order of the children; legal: {:?}", got, legal
+        );
     }
 }

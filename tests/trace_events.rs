@@ -129,6 +129,7 @@ fn live_session_emits_parseable_jsonl_trace() {
         "tx_abort",
         "sem_wait",
         "commit_stripe_contention",
+        "read_path",
         "reconfigure",
         "window_open",
         "window_sample",
