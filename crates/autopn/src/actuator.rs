@@ -12,15 +12,21 @@ pub trait Actuator {
     fn current(&self) -> Config;
 }
 
-/// Actuator over a live [`pnstm::Stm`] instance: reconfigures the semaphore
-/// throttle, mirroring the paper's transparent interception of transaction
-/// begins.
+/// Actuator over a live [`pnstm::Stm`] instance: reconfigures the admission
+/// throttle **and** reprovisions the shared child-task scheduler, mirroring
+/// the paper's transparent interception of transaction begins.
 ///
 /// The "ad-hoc API" of §VI — letting applications query the tuned optimum —
 /// is [`PnstmActuator::current`] plus [`pnstm::Stm::degree`] on the wrapped
 /// instance.
 pub struct PnstmActuator {
     stm: pnstm::Stm,
+}
+
+/// Worker-thread demand of a `(t, c)` configuration: `t` trees, each with
+/// the parent as one executor plus up to `c - 1` pool helpers.
+pub fn helper_demand(cfg: Config) -> usize {
+    cfg.t * cfg.c.saturating_sub(1)
 }
 
 impl PnstmActuator {
@@ -37,6 +43,11 @@ impl PnstmActuator {
 impl Actuator for PnstmActuator {
     fn apply(&mut self, cfg: Config) {
         self.stm.set_degree(cfg.into());
+        // Reprovision the execution layer to the new degree's worker demand:
+        // with the lock-free scheduler/admission pair this no longer
+        // quiesces in-flight batches through a lock, so it is safe to do on
+        // every apply.
+        self.stm.resize_pool(helper_demand(cfg));
     }
 
     fn current(&self) -> Config {
@@ -66,5 +77,17 @@ mod tests {
         act.apply(Config::new(2, 2));
         act.apply(Config::new(2, 2));
         assert_eq!(act.current(), Config::new(2, 2));
+    }
+
+    #[test]
+    fn apply_reprovisions_the_scheduler() {
+        assert_eq!(helper_demand(Config::new(4, 3)), 8);
+        assert_eq!(helper_demand(Config::new(8, 1)), 0, "c=1 needs no helpers");
+        let stm = Stm::new(StmConfig { worker_threads: 1, ..StmConfig::default() });
+        let mut act = PnstmActuator::new(stm.clone());
+        act.apply(Config::new(2, 3));
+        assert_eq!(stm.pool_size(), 4, "pool retargeted to t*(c-1)");
+        act.apply(Config::new(2, 1));
+        assert_eq!(stm.pool_size(), 0);
     }
 }

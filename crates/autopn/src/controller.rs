@@ -227,6 +227,12 @@ impl Controller {
 
     /// Attempt `try_apply` up to `opts.apply_attempts` times with exponential
     /// wall-clock backoff. Returns the last error if every attempt failed.
+    ///
+    /// Live systems reprovision the whole execution layer inside `try_apply`
+    /// — admission capacity *and* scheduler worker count (see
+    /// `PnstmActuator::apply` / `LiveStmSystem`) — and do so only after the
+    /// degree switch succeeds, so a failed attempt leaves both the `(t, c)`
+    /// configuration and the worker pool exactly as they were.
     fn apply_with_retry(
         system: &mut dyn TunableSystem,
         cfg: Config,

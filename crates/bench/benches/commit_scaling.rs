@@ -141,8 +141,11 @@ fn run(path: CommitPath, threads: usize, txns: u64, hold_us: u64) -> f64 {
             })
         })
         .collect();
-    barrier.wait();
+    // Clock starts *before* the barrier release: started after, a
+    // descheduled main thread could stamp the start after the workers
+    // already finished, and `best_of` would keep the absurd sample.
     let start = Instant::now();
+    barrier.wait();
     for h in handles {
         h.join().unwrap();
     }
@@ -201,5 +204,13 @@ fn main() {
              (striped/global = {raw_ratio:.3})"
         );
         println!("CHECK PASSED: {speedup:.2}x at t={t}, raw t=1 ratio {raw_ratio:.3}");
+        let config = format!(
+            "t={t}, txns/thread={}, hold_us={}, raw t=1 ratio {raw_ratio:.3}",
+            cfg.txns, cfg.hold_us
+        );
+        match bench::write_bench_report("commit_scaling", &config, striped, speedup) {
+            Ok(path) => println!("# report: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write bench report: {e}"),
+        }
     }
 }

@@ -184,5 +184,13 @@ fn main() {
              (lockfree/locked = {raw_ratio:.3})"
         );
         println!("CHECK PASSED: {speedup:.2}x at c={c}, raw c=1 ratio {raw_ratio:.3}");
+        let config = format!(
+            "c={c}, reads/child={}, hold_us={}, raw c=1 ratio {raw_ratio:.3}",
+            cfg.reads, cfg.hold_us
+        );
+        match bench::write_bench_report("read_scaling", &config, lockfree, speedup) {
+            Ok(path) => println!("# report: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write bench report: {e}"),
+        }
     }
 }

@@ -235,6 +235,65 @@ pub fn banner(title: &str) {
     println!("{}", "=".repeat(78));
 }
 
+// ---------------------------------------------------------------------
+// Gated-bench reports
+// ---------------------------------------------------------------------
+
+/// The commit of the working tree, or `"unknown"` outside a git checkout.
+fn git_head_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Minimal JSON string escaping for the report fields we control.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Write the machine-readable record of a `--check` bench run to
+/// `BENCH_<name>.json` at the repository root, so CI artifacts, the README
+/// and future sessions all cite the same measured numbers.
+///
+/// `config` is a human-readable one-liner of the run's parameters,
+/// `ops_per_sec` the headline throughput of the new path at the largest
+/// scale point, and `ratio_vs_baseline` the gated speedup over the ladder's
+/// baseline implementation at that point.
+pub fn write_bench_report(
+    name: &str,
+    config: &str,
+    ops_per_sec: f64,
+    ratio_vs_baseline: f64,
+) -> std::io::Result<std::path::PathBuf> {
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let path = root.join(format!("BENCH_{name}.json"));
+    let body = format!(
+        "{{\"name\":\"{}\",\"config\":\"{}\",\"ops_per_sec\":{:.1},\
+         \"ratio_vs_baseline\":{:.3},\"git_sha\":\"{}\"}}\n",
+        json_escape(name),
+        json_escape(config),
+        ops_per_sec,
+        ratio_vs_baseline,
+        json_escape(&git_head_sha()),
+    );
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +376,19 @@ mod tests {
         let args =
             Args::parse(["--fault-plan".to_string(), "no-such-kind=0.5".to_string()].into_iter());
         let _ = fault_plan_from_args(&args);
+    }
+
+    #[test]
+    fn bench_report_lands_at_repo_root_with_sha() {
+        let path = write_bench_report("selftest", "t=1,c=1 \"quoted\"", 1234.56, 4.2)
+            .expect("report written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(path.ends_with("BENCH_selftest.json"));
+        assert!(text.contains("\"name\":\"selftest\""));
+        assert!(text.contains("\"config\":\"t=1,c=1 \\\"quoted\\\"\""));
+        assert!(text.contains("\"ops_per_sec\":1234.6"));
+        assert!(text.contains("\"ratio_vs_baseline\":4.200"));
+        assert!(text.contains("\"git_sha\":\""));
     }
 }

@@ -48,8 +48,11 @@ pub enum FaultKind {
     /// lock instead and back-pressures every committer.
     /// Site: `Txn::commit_top`.
     CommitHold,
-    /// Sleep before executing a child-transaction task (stalled child /
-    /// slow pool worker). Site: `ChildPool` task execution.
+    /// Sleep at child-task dispatch (stalled child / slow dispatch). Site:
+    /// the scheduler's task-claim path — inside the queue critical section
+    /// under `SchedMode::Mutex` (a stalled dispatch holds the batch queue),
+    /// after the lock-free claim under `SchedMode::WorkStealing` (stalled
+    /// dispatches overlap); the contrast is what `sched_scaling` measures.
     ChildStall,
     /// Sleep before acquiring the top-level admission semaphore (admission
     /// starvation). Site: `Stm::atomic`. The sim chaos wrapper interprets

@@ -24,9 +24,12 @@
 //!   top-level ancestor commits. Nesting may be arbitrarily deep.
 //! * **Runtime-adjustable parallelism degree**: the number of concurrent
 //!   top-level transactions `t` and the number of concurrent child
-//!   transactions per transaction tree `c` are gated by resizable semaphores
-//!   ([`throttle::Throttle`]) so that an external controller (AutoPN's
-//!   actuator) can reconfigure `(t, c)` while the application runs.
+//!   transactions per transaction tree `c` are gated by resizable admission
+//!   gates ([`throttle::Throttle`]) so that an external controller (AutoPN's
+//!   actuator) can reconfigure `(t, c)` while the application runs. The
+//!   execution layer — child-task scheduler plus admission gate — is
+//!   pluggable ([`SchedMode`]): the default mutex-based pool/semaphore pair,
+//!   or a work-stealing scheduler with a lock-free packed admission gate.
 //! * **KPI instrumentation**: commit/abort counters and a commit-event hook
 //!   ([`stats::Stats`]) feed the AutoPN monitor.
 //!
@@ -74,6 +77,7 @@ pub mod collections;
 pub mod error;
 pub mod fault;
 pub mod pool;
+pub mod sched;
 pub mod stats;
 pub mod stripes;
 pub mod throttle;
@@ -86,10 +90,12 @@ mod runtime;
 pub use collections::{TArray, TCounter, TMap};
 pub use error::{StmError, TxError, TxResult};
 pub use fault::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};
+pub use pool::ChildPool;
 pub use runtime::{CommitPath, ReadPathMode, ReadTxn, Stm, StmConfig};
+pub use sched::{Admission, SchedMode, Scheduler, Task, WorkStealingPool};
 pub use stats::{CommitEvent, Stats, StatsSnapshot, TxKind, SEM_WAIT_BUCKETS};
 pub use stripes::{stripe_of, STRIPE_COUNT};
-pub use throttle::{ParallelismDegree, ReconfigError, Throttle};
+pub use throttle::{PackedGate, ParallelismDegree, ReconfigError, ResizableSemaphore, Throttle};
 pub use trace::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
 pub use txn::{child, ChildTask, Txn};
 pub use vbox::VBox;

@@ -14,6 +14,12 @@
 //! 2. **Runtime resizability.** The pool can grow and shrink while batches
 //!    are in flight, so the actuator can reprovision worker threads when the
 //!    `(t, c)` configuration changes.
+//!
+//! This is the [`crate::sched::SchedMode::Mutex`] implementation of the
+//! [`Scheduler`] trait: every dispatch crosses the per-batch tasks mutex and
+//! batch discovery crosses the pool-wide batches lock. It is retained as the
+//! differential-testing oracle and bench baseline for the work-stealing
+//! scheduler in [`crate::sched`].
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -23,16 +29,18 @@ use std::thread;
 use std::time::Duration;
 
 use crate::fault::{FaultCtx, FaultKind};
-
-pub(crate) type Task = Box<dyn FnOnce() + Send>;
+use crate::sched::{Scheduler, Task};
 
 /// A batch of child-transaction tasks belonging to one `parallel()` call.
 pub(crate) struct Batch {
     tasks: Mutex<VecDeque<Task>>,
     /// Queue length mirror, so [`Batch::wants_helpers`] — called by idle
     /// workers while holding the pool's batches lock — never touches the
-    /// tasks mutex. May lag the queue by a pop (a worker then grabs `None`
-    /// once and moves on); it only ever over-reports.
+    /// tasks mutex. Decremented *before* the matching pop (both under the
+    /// tasks lock), so it only ever **under**-reports: a lock-free reader
+    /// can see fewer queued tasks than exist (the caller drains those
+    /// anyway) but never more, which is what used to wake idle workers into
+    /// taking the batches lock only to pop `None` from a drained batch.
     queued: AtomicUsize,
     /// Tasks submitted but not yet finished executing.
     remaining: AtomicUsize,
@@ -58,11 +66,23 @@ impl Batch {
         })
     }
 
-    fn pop_task(&self) -> Option<Task> {
+    /// Take one task off the queue. This is the dispatch point, so the
+    /// [`FaultKind::ChildStall`] site lives here — *inside* the critical
+    /// section, because under this scheduler a dispatch stall holds the
+    /// queue just like real dispatch cost does (the work-stealing scheduler
+    /// takes the same stall after its lock-free claim instead; the contrast
+    /// is what `sched_scaling` measures).
+    fn pop_task(&self, fault: &FaultCtx) -> Option<Task> {
         let mut q = self.tasks.lock();
+        if q.is_empty() {
+            return None;
+        }
+        // Mirror before pop: under-report only (see the `queued` docs).
+        self.queued.fetch_sub(1, Ordering::AcqRel);
         let task = q.pop_front();
-        if task.is_some() {
-            self.queued.store(q.len(), Ordering::Release);
+        debug_assert!(task.is_some());
+        if let Some(action) = fault.inject(FaultKind::ChildStall) {
+            action.stall();
         }
         task
     }
@@ -82,6 +102,34 @@ impl Batch {
         self.helpers.load(Ordering::Acquire) < self.helper_limit
             && self.queued.load(Ordering::Acquire) > 0
     }
+
+    /// Atomically claim a helper slot: CAS-increment bounded by
+    /// `helper_limit`, then re-check that work is still queued — a batch
+    /// drained between the scan and the increment is backed out of, so no
+    /// helper ever joins a drained batch.
+    fn try_claim_helper(&self) -> bool {
+        let mut cur = self.helpers.load(Ordering::Acquire);
+        loop {
+            if cur >= self.helper_limit {
+                return false;
+            }
+            match self.helpers.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if self.queued.load(Ordering::Acquire) > 0 {
+                        return true;
+                    }
+                    self.helpers.fetch_sub(1, Ordering::AcqRel);
+                    return false;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
 }
 
 struct PoolShared {
@@ -95,7 +143,7 @@ struct PoolShared {
 }
 
 /// Marks the task finished on drop, so a panicking task still decrements the
-/// batch's remaining count: without this, `run_batch` would wait forever on
+/// batch's remaining count: without this, `execute` would wait forever on
 /// a batch whose task unwound past its `finish_task` call.
 struct FinishGuard<'a>(&'a Batch);
 
@@ -105,13 +153,10 @@ impl Drop for FinishGuard<'_> {
     }
 }
 
-/// Execute one task of `batch`, consulting the fault layer first
-/// ([`FaultKind::ChildStall`] delays child execution) and guaranteeing the
-/// batch accounting survives a panic.
-fn run_task(batch: &Batch, task: Task, fault: &FaultCtx) {
-    if let Some(action) = fault.inject(FaultKind::ChildStall) {
-        action.stall();
-    }
+/// Execute one task of `batch`, guaranteeing the batch accounting survives a
+/// panic. (The [`FaultKind::ChildStall`] site moved to [`Batch::pop_task`],
+/// the dispatch point.)
+fn run_task(batch: &Batch, task: Task) {
     let _finish = FinishGuard(batch);
     task();
 }
@@ -130,7 +175,7 @@ impl ChildPool {
         Self::with_instruments(size, FaultCtx::disabled())
     }
 
-    /// A pool whose task execution consults the given fault context.
+    /// A pool whose task dispatch consults the given fault context.
     pub fn with_instruments(size: usize, fault: FaultCtx) -> Self {
         let shared = Arc::new(PoolShared {
             batches: Mutex::new(Vec::new()),
@@ -143,26 +188,6 @@ impl ChildPool {
         let pool = Self { shared, handles: Mutex::new(Vec::new()) };
         pool.spawn_up_to(size);
         pool
-    }
-
-    /// Number of worker threads the pool is currently targeting.
-    pub fn size(&self) -> usize {
-        self.shared.target_size.load(Ordering::Acquire)
-    }
-
-    /// Live worker threads right now (lags `size()` during resize).
-    pub fn live_workers(&self) -> usize {
-        self.shared.live_workers.load(Ordering::Acquire)
-    }
-
-    /// Resize the pool. Growth spawns threads immediately; shrink lets excess
-    /// workers retire after their current task.
-    pub fn resize(&self, size: usize) {
-        self.shared.target_size.store(size, Ordering::Release);
-        self.spawn_up_to(size);
-        // Wake idle workers so surplus ones can observe the shrink and exit.
-        let _g = self.shared.batches.lock();
-        self.shared.work_cv.notify_all();
     }
 
     fn spawn_up_to(&self, size: usize) {
@@ -184,7 +209,7 @@ impl ChildPool {
     /// Execute `batch` to completion. The calling thread works on the batch
     /// alongside at most `helper_limit` pool workers and returns when every
     /// task has finished.
-    pub(crate) fn run_batch(&self, batch: Arc<Batch>) {
+    pub(crate) fn execute(&self, batch: Arc<Batch>) {
         if batch.is_done() {
             return; // empty batch
         }
@@ -200,10 +225,10 @@ impl ChildPool {
         // batch mid-flight: hold the first panic and re-raise it only after
         // the batch has fully drained (mirrors `Txn::parallel`).
         let mut caller_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        while let Some(task) = batch.pop_task() {
-            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_task(&batch, task, &self.shared.fault)
-            })) {
+        while let Some(task) = batch.pop_task(&self.shared.fault) {
+            if let Err(payload) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_task(&batch, task)))
+            {
                 caller_panic.get_or_insert(payload);
             }
         }
@@ -221,6 +246,28 @@ impl ChildPool {
         if let Some(payload) = caller_panic {
             std::panic::resume_unwind(payload);
         }
+    }
+}
+
+impl Scheduler for ChildPool {
+    fn run_batch(&self, tasks: Vec<Task>, helper_limit: usize) {
+        self.execute(Batch::new(tasks, helper_limit));
+    }
+
+    fn resize(&self, size: usize) {
+        self.shared.target_size.store(size, Ordering::Release);
+        self.spawn_up_to(size);
+        // Wake idle workers so surplus ones can observe the shrink and exit.
+        let _g = self.shared.batches.lock();
+        self.shared.work_cv.notify_all();
+    }
+
+    fn size(&self) -> usize {
+        self.shared.target_size.load(Ordering::Acquire)
+    }
+
+    fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::Acquire)
     }
 }
 
@@ -246,25 +293,22 @@ fn worker_loop(shared: Arc<PoolShared>) {
             shared.live_workers.fetch_sub(1, Ordering::AcqRel);
             return;
         }
-        // Claim a helper slot on some batch that still has queued tasks.
+        // Claim a helper slot on some batch that still has queued tasks. The
+        // claim itself is the CAS in `try_claim_helper`, not the scan — the
+        // scan is only a hint.
         let claimed: Option<Arc<Batch>> = {
             let batches = shared.batches.lock();
             batches.iter().find(|b| b.wants_helpers()).map(Arc::clone)
         };
-        match claimed {
+        match claimed.filter(|b| b.try_claim_helper()) {
             Some(batch) => {
-                batch.helpers.fetch_add(1, Ordering::AcqRel);
-                // Re-check the limit: another worker may have claimed the
-                // last helper slot between our scan and the increment.
-                if batch.helpers.load(Ordering::Acquire) <= batch.helper_limit {
-                    while let Some(task) = batch.pop_task() {
-                        // A panicking task must not kill the shared worker:
-                        // absorb the unwind (the txn layer has its own panic
-                        // channel; see `Txn::parallel`) and keep serving.
-                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            run_task(&batch, task, &shared.fault)
-                        }));
-                    }
+                while let Some(task) = batch.pop_task(&shared.fault) {
+                    // A panicking task must not kill the shared worker:
+                    // absorb the unwind (the txn layer has its own panic
+                    // channel; see `Txn::parallel`) and keep serving.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_task(&batch, task)
+                    }));
                 }
                 batch.helpers.fetch_sub(1, Ordering::AcqRel);
             }
@@ -299,7 +343,7 @@ mod tests {
         let pool = ChildPool::new(0);
         let counter = Arc::new(AtomicI64::new(0));
         let batch = Batch::new(make_tasks(10, &counter), 0);
-        pool.run_batch(batch);
+        pool.execute(batch);
         assert_eq!(counter.load(Ordering::SeqCst), 10);
     }
 
@@ -308,7 +352,7 @@ mod tests {
         let pool = ChildPool::new(3);
         let counter = Arc::new(AtomicI64::new(0));
         let batch = Batch::new(make_tasks(64, &counter), 3);
-        pool.run_batch(batch);
+        pool.execute(batch);
         assert_eq!(counter.load(Ordering::SeqCst), 64);
     }
 
@@ -316,7 +360,7 @@ mod tests {
     fn empty_batch_returns_immediately() {
         let pool = ChildPool::new(1);
         let batch = Batch::new(vec![], 1);
-        pool.run_batch(batch);
+        pool.execute(batch);
     }
 
     #[test]
@@ -337,7 +381,7 @@ mod tests {
             .collect();
         // helper_limit 1 + the caller = at most 2 concurrent executors.
         let batch = Batch::new(tasks, 1);
-        pool.run_batch(batch);
+        pool.execute(batch);
         assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
     }
 
@@ -349,7 +393,7 @@ mod tests {
         assert_eq!(pool.size(), 4);
         // Give spawned workers a moment, then shrink.
         let counter = Arc::new(AtomicI64::new(0));
-        pool.run_batch(Batch::new(make_tasks(16, &counter), 3));
+        pool.execute(Batch::new(make_tasks(16, &counter), 3));
         assert_eq!(counter.load(Ordering::SeqCst), 16);
         pool.resize(1);
         assert_eq!(pool.size(), 1);
@@ -377,12 +421,12 @@ mod tests {
         // panic either lands on a pool worker (absorbed) or the caller; run
         // inside catch_unwind so both outcomes pass.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run_batch(batch);
+            pool.execute(batch);
         }));
         assert_eq!(counter.load(Ordering::SeqCst), 16);
         // The pool still works afterwards.
         let batch = Batch::new(make_tasks(8, &counter), 2);
-        pool.run_batch(batch);
+        pool.execute(batch);
         assert_eq!(counter.load(Ordering::SeqCst), 24);
         assert!(pool.live_workers() >= 1, "workers must survive task panics");
     }
@@ -398,7 +442,7 @@ mod tests {
         let pool =
             ChildPool::with_instruments(0, FaultCtx::new(Some(Arc::clone(&plan)), TraceBus::new()));
         let counter = Arc::new(AtomicI64::new(0));
-        pool.run_batch(Batch::new(make_tasks(5, &counter), 0));
+        pool.execute(Batch::new(make_tasks(5, &counter), 0));
         assert_eq!(counter.load(Ordering::SeqCst), 5);
         assert_eq!(plan.injected(FaultKind::ChildStall), 5);
     }
@@ -414,7 +458,7 @@ mod tests {
             joins.push(thread::spawn(move || {
                 for _ in 0..5 {
                     let batch = Batch::new(make_tasks(8, &counter), 2);
-                    pool.run_batch(batch);
+                    pool.execute(batch);
                 }
             }));
         }
@@ -422,5 +466,68 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 4 * 5 * 8);
+    }
+
+    #[test]
+    fn no_helper_joins_a_drained_batch() {
+        // Regression for the queued-mirror over-report: drain a batch
+        // completely, then hammer the claim path from several threads. Every
+        // claim must fail and the helper count must end at zero — before the
+        // decrement-before-pop fix, a lagging mirror could leave
+        // `wants_helpers` true after the last pop and wake workers into a
+        // drained batch.
+        let fault = FaultCtx::disabled();
+        let counter = Arc::new(AtomicI64::new(0));
+        let batch = Batch::new(make_tasks(4, &counter), 3);
+        while let Some(t) = batch.pop_task(&fault) {
+            run_task(&batch, t);
+        }
+        assert!(!batch.wants_helpers());
+        let mut joins = vec![];
+        for _ in 0..4 {
+            let batch = Arc::clone(&batch);
+            joins.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    assert!(!batch.try_claim_helper(), "helper joined a drained batch");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(batch.helpers.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn helper_scan_never_sees_an_in_flight_last_pop_as_wanting() {
+        use crate::fault::{FaultPlan, FaultRule};
+        use crate::trace::TraceBus;
+
+        // Pin the decrement-before-pop ordering: stall a popper *inside* the
+        // queue critical section (the ChildStall site sits after the mirror
+        // decrement) while it takes the last task. During the stall the
+        // batch must already read as drained, so no idle worker wakes for a
+        // task that is being claimed. The old ordering (mirror store after
+        // the pop) advertised the batch for the whole dispatch window.
+        let plan = Arc::new(FaultPlan::new(9).with_rule(
+            FaultKind::ChildStall,
+            FaultRule::with_probability(1.0).delay_ns(50_000_000),
+        ));
+        let fault = FaultCtx::new(Some(plan), TraceBus::new());
+        let counter = Arc::new(AtomicI64::new(0));
+        let batch = Batch::new(make_tasks(1, &counter), 4);
+        let popper = {
+            let batch = Arc::clone(&batch);
+            thread::spawn(move || {
+                let task = batch.pop_task(&fault).expect("one task queued");
+                run_task(&batch, task);
+            })
+        };
+        // Let the popper reach the stall window with the task claimed.
+        thread::sleep(Duration::from_millis(10));
+        assert!(!batch.wants_helpers(), "in-flight last pop still advertises work");
+        assert!(!batch.try_claim_helper());
+        popper.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
 }

@@ -10,9 +10,10 @@ use crate::clock::{GlobalClock, SnapshotRegistry};
 use crate::error::{StmError, TxError, TxResult};
 use crate::fault::{FaultCtx, FaultKind, FaultPlan};
 use crate::pool::ChildPool;
+use crate::sched::{Admission, SchedMode, Scheduler, WorkStealingPool};
 use crate::stats::{Stats, TxKind};
 use crate::stripes::StripeTable;
-use crate::throttle::{ParallelismDegree, ReconfigError, Throttle};
+use crate::throttle::{PackedGate, ParallelismDegree, ReconfigError, ResizableSemaphore, Throttle};
 use crate::trace::{self, TraceBus, TraceEvent};
 use crate::txn::Txn;
 use crate::vbox::{AnyVBox, VBox};
@@ -77,6 +78,9 @@ pub struct StmConfig {
     pub commit_path: CommitPath,
     /// Read-path implementation (see [`ReadPathMode`]).
     pub read_path: ReadPathMode,
+    /// Execution-layer implementation pair — child-task scheduler plus
+    /// top-level admission gate (see [`SchedMode`]).
+    pub sched_mode: SchedMode,
 }
 
 impl Default for StmConfig {
@@ -92,6 +96,7 @@ impl Default for StmConfig {
             fault: None,
             commit_path: CommitPath::default(),
             read_path: ReadPathMode::default(),
+            sched_mode: SchedMode::default(),
         }
     }
 }
@@ -103,7 +108,7 @@ pub(crate) struct StmShared {
     registry: Arc<SnapshotRegistry>,
     stats: Arc<Stats>,
     throttle: Throttle,
-    pool: ChildPool,
+    pool: Arc<dyn Scheduler>,
     boxes: Mutex<Vec<Weak<dyn AnyVBox>>>,
     config: StmConfig,
     commits_since_gc: AtomicU64,
@@ -127,8 +132,8 @@ impl StmShared {
     pub(crate) fn throttle(&self) -> &Throttle {
         &self.throttle
     }
-    pub(crate) fn pool(&self) -> &ChildPool {
-        &self.pool
+    pub(crate) fn pool(&self) -> &dyn Scheduler {
+        &*self.pool
     }
     pub(crate) fn config(&self) -> &StmConfig {
         &self.config
@@ -203,15 +208,33 @@ impl Stm {
     pub fn new(config: StmConfig) -> Self {
         let trace = TraceBus::new();
         let fault = FaultCtx::new(config.fault.clone(), trace.clone());
+        let stats = Arc::new(Stats::new());
+        // The execution-layer ladder: scheduler + admission gate are chosen
+        // as a pair, mirroring the commit-path and read-path mode switches.
+        let (pool, gate): (Arc<dyn Scheduler>, Arc<dyn Admission>) = match config.sched_mode {
+            SchedMode::Mutex => (
+                Arc::new(ChildPool::with_instruments(config.worker_threads, fault.clone())),
+                Arc::new(ResizableSemaphore::new(config.degree.top_level)),
+            ),
+            SchedMode::WorkStealing => (
+                Arc::new(WorkStealingPool::with_instruments(
+                    config.worker_threads,
+                    fault.clone(),
+                    Arc::clone(&stats),
+                    trace.clone(),
+                )),
+                Arc::new(PackedGate::with_stats(config.degree.top_level, Arc::clone(&stats))),
+            ),
+        };
         Self {
             shared: Arc::new(StmShared {
                 clock: GlobalClock::new(),
                 commit_lock: Mutex::new(()),
                 stripes: StripeTable::new(),
                 registry: Arc::new(SnapshotRegistry::new()),
-                stats: Arc::new(Stats::new()),
-                throttle: Throttle::with_instruments(config.degree, trace.clone(), fault.clone()),
-                pool: ChildPool::with_instruments(config.worker_threads, fault.clone()),
+                stats,
+                throttle: Throttle::with_gate(config.degree, trace.clone(), fault.clone(), gate),
+                pool,
                 boxes: Mutex::new(Vec::new()),
                 config,
                 commits_since_gc: AtomicU64::new(0),
@@ -411,6 +434,17 @@ impl Stm {
     /// Resize the shared child-transaction worker pool.
     pub fn resize_pool(&self, workers: usize) {
         self.shared.pool.resize(workers);
+    }
+
+    /// The worker-thread count the scheduler currently targets.
+    pub fn pool_size(&self) -> usize {
+        self.shared.pool.size()
+    }
+
+    /// Live scheduler worker threads right now (lags [`Stm::pool_size`]
+    /// while a resize converges).
+    pub fn pool_live_workers(&self) -> usize {
+        self.shared.pool.live_workers()
     }
 
     /// Garbage-collect box versions no live snapshot can read. Returns the

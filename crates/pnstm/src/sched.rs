@@ -1,0 +1,895 @@
+//! The pluggable execution layer: scheduler and admission contracts, plus the
+//! work-stealing child-task scheduler.
+//!
+//! PR 3 made the commit path swappable ([`crate::CommitPath`]) and PR 4 the
+//! read path ([`crate::ReadPathMode`]); this module does the same for the two
+//! remaining global serialization points — child-task dispatch and top-level
+//! admission — behind a [`Scheduler`] / [`Admission`] trait pair selected by
+//! [`SchedMode`]:
+//!
+//! * [`SchedMode::Mutex`] (the default) keeps the original structures: the
+//!   single-queue [`crate::pool::ChildPool`] and the
+//!   [`crate::throttle::ResizableSemaphore`]. They survive as the
+//!   differential-testing oracle and the `sched_scaling` bench baseline,
+//!   mirroring `CommitPath::GlobalLock` / `ReadPathMode::Locked`.
+//! * [`SchedMode::WorkStealing`] selects [`WorkStealingPool`] — per-batch
+//!   lock-free deques (the owning parent pops LIFO from one end, helper
+//!   threads steal FIFO from the other), batch handles registered in a
+//!   sharded injector so idle workers discover work without one global lock,
+//!   and the per-tree `helper_limit` enforced by an atomic helper counter —
+//!   plus the packed-atomic [`crate::throttle::PackedGate`] admission gate.
+//!
+//! Both schedulers preserve the deadlock-freedom argument of
+//! [`crate::pool`]: the thread that submits a batch is always the `c`-th
+//! executor, so a blocked parent drains its own children even when every
+//! pool worker is busy in other trees, at any nesting depth.
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::fault::{FaultCtx, FaultKind};
+use crate::stats::Stats;
+use crate::trace::{self, TraceBus, TraceEvent};
+
+/// One child-transaction task as submitted by `Txn::parallel`.
+pub type Task = Box<dyn FnOnce() + Send>;
+
+/// Which execution-layer implementation pair an [`crate::Stm`] instance runs
+/// (child-task scheduler + top-level admission gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// The original structures: the single-queue child pool (one mutex-held
+    /// `VecDeque` per batch, one batches lock + condvar for dispatch) and
+    /// the mutex-based resizable admission semaphore. The default; retained
+    /// as the differential-testing oracle and the `sched_scaling` baseline.
+    #[default]
+    Mutex,
+    /// Work-stealing child-task scheduler (per-batch lock-free deques,
+    /// sharded injector, atomic helper counter) and the packed-atomic
+    /// admission gate with parker lists.
+    WorkStealing,
+}
+
+/// A child-task scheduler: executes batches of nested-transaction tasks with
+/// a per-batch helper cap, on a resizable set of worker threads.
+///
+/// Contract (both implementations):
+///
+/// * `run_batch` returns only when every task has run exactly once.
+/// * The *calling* thread always executes tasks alongside at most
+///   `helper_limit` pool workers — this is what makes deep nesting
+///   deadlock-free (a blocked parent drains its own children) and what lets
+///   `helper_limit = 0` degenerate to sequential execution.
+/// * A panic in a caller-executed task is re-raised on the caller only after
+///   the batch has fully drained; a panic on a worker is absorbed (the txn
+///   layer carries its own panic channel).
+/// * `resize` may be called concurrently with in-flight batches; shrinking
+///   lets surplus workers retire between tasks and never strands a batch.
+pub trait Scheduler: Send + Sync {
+    /// Execute `tasks` to completion with at most `helper_limit` pool
+    /// workers helping the calling thread.
+    fn run_batch(&self, tasks: Vec<Task>, helper_limit: usize);
+
+    /// Retarget the worker-thread count. Growth spawns immediately; shrink
+    /// retires surplus workers after their current task.
+    fn resize(&self, size: usize);
+
+    /// The worker-thread count currently targeted.
+    fn size(&self) -> usize;
+
+    /// Live worker threads right now (lags [`Scheduler::size`] during
+    /// resize).
+    fn live_workers(&self) -> usize;
+}
+
+/// A top-level admission gate: a counting semaphore with runtime-adjustable
+/// capacity and a shutdown-aware close/reopen protocol.
+///
+/// Contract (both implementations):
+///
+/// * `acquire` blocks until a permit is granted and returns `true`, or
+///   returns `false` — without a permit — if the gate is, or becomes,
+///   closed. A thread parked in `acquire` is guaranteed to wake and observe
+///   a close (this is what turns shutdown-under-starvation into
+///   [`crate::StmError::Shutdown`] instead of a hang).
+/// * `set_capacity` may shrink below the number of permits currently held;
+///   the availability simply goes negative and releases are absorbed until
+///   it recovers — at no point are more than `capacity` *new* admissions
+///   granted.
+/// * `close`/`reopen` only gate *new* permits; held permits and their
+///   releases are unaffected.
+pub trait Admission: Send + Sync + std::fmt::Debug {
+    /// Block for a permit; `false` means the gate is closed.
+    fn acquire(&self) -> bool;
+    /// Take a permit only if one is immediately available and the gate is
+    /// open.
+    fn try_acquire(&self) -> bool;
+    /// Return a permit.
+    fn release(&self);
+    /// Refuse new permits and wake every parked acquirer empty-handed.
+    fn close(&self);
+    /// Re-admit after a [`Admission::close`].
+    fn reopen(&self);
+    /// Whether the gate currently refuses new permits.
+    fn is_closed(&self) -> bool;
+    /// Change the capacity (clamped to at least 1); outstanding permits are
+    /// unaffected.
+    fn set_capacity(&self, capacity: usize);
+    /// Currently configured capacity.
+    fn capacity(&self) -> usize;
+    /// Permits currently held (never negative in a quiescent state).
+    fn in_use(&self) -> usize;
+}
+
+/// Tasks per batch held in the fixed lock-free deque; a larger batch spills
+/// the excess into a mutex-held vector (counted as `deque_overflow` in
+/// [`crate::StatsSnapshot`]). 256 covers any plausible `c` — the per-tree
+/// fan-out the tuner explores is bounded by the core count.
+const DEQUE_CAP: usize = 256;
+
+/// Shards of the injector's batch registry. Dispatch of concurrent trees
+/// spreads round-robin over the shards, so publishing a batch no longer
+/// funnels every tree through one lock.
+const INJECTOR_SHARDS: usize = 8;
+
+/// One pre-filled slot of a [`StealDeque`].
+///
+/// SAFETY invariant: a slot's `Option<Task>` is written once at construction
+/// (published by the `Arc` that shares the batch) and taken at most once, by
+/// the unique thread whose claim CAS on the deque's control word returned
+/// that slot's index. No two threads ever touch the same slot concurrently.
+struct TaskSlot(UnsafeCell<Option<Task>>);
+
+// SAFETY: see the invariant on [`TaskSlot`]; cross-thread access is
+// serialized by the AcqRel claim CAS in `StealDeque`.
+unsafe impl Sync for TaskSlot {}
+
+/// Fixed-size lock-free deque over the tasks of one batch.
+///
+/// All tasks of a `parallel()` batch exist up front, so no growable ring is
+/// needed: the slots are filled at construction and a single packed control
+/// word tracks the two claim cursors. The high 32 bits hold `tail` — the
+/// owner end, exclusive; the owner pops LIFO by claiming `tail - 1`. The low
+/// 32 bits hold `head` — the thief end; helpers steal FIFO by claiming
+/// `head`. Slots in `[head, tail)` are unclaimed; the deque is empty when
+/// the cursors meet. A successful claim CAS hands the claimant a slot index
+/// no other thread can observe as claimable again, making the subsequent
+/// slot take race-free.
+struct StealDeque {
+    ctrl: AtomicU64,
+    slots: Box<[TaskSlot]>,
+}
+
+fn deque_pack(head: u32, tail: u32) -> u64 {
+    ((tail as u64) << 32) | head as u64
+}
+
+fn deque_unpack(v: u64) -> (u32, u32) {
+    (v as u32, (v >> 32) as u32)
+}
+
+impl StealDeque {
+    fn new(tasks: Vec<Task>) -> Self {
+        let n = tasks.len();
+        debug_assert!(n <= DEQUE_CAP);
+        let slots: Box<[TaskSlot]> =
+            tasks.into_iter().map(|t| TaskSlot(UnsafeCell::new(Some(t)))).collect();
+        Self { ctrl: AtomicU64::new(deque_pack(0, n as u32)), slots }
+    }
+
+    /// Unclaimed tasks right now. Exact (derived from one atomic load of the
+    /// control word), unlike the mutex pool's lagging queue mirror.
+    fn len(&self) -> usize {
+        let (head, tail) = deque_unpack(self.ctrl.load(Ordering::Acquire));
+        tail.saturating_sub(head) as usize
+    }
+
+    /// Claim a slot index by CASing the control word with `advance`, which
+    /// maps `(head, tail)` to (new pair, claimed index) or `None` if empty.
+    fn claim(&self, advance: impl Fn(u32, u32) -> Option<((u32, u32), u32)>) -> Option<Task> {
+        let mut cur = self.ctrl.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = deque_unpack(cur);
+            let ((nh, nt), idx) = advance(head, tail)?;
+            match self.ctrl.compare_exchange_weak(
+                cur,
+                deque_pack(nh, nt),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                // SAFETY: the CAS granted `idx` to this thread exclusively
+                // (see `TaskSlot`); the slot was filled before the batch was
+                // shared.
+                Ok(_) => return unsafe { (*self.slots[idx as usize].0.get()).take() },
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Owner pop: LIFO from the tail end.
+    fn pop(&self) -> Option<Task> {
+        self.claim(|head, tail| (head < tail).then(|| ((head, tail - 1), tail - 1)))
+    }
+
+    /// Thief steal: FIFO from the head end.
+    fn steal(&self) -> Option<Task> {
+        self.claim(|head, tail| (head < tail).then(|| ((head + 1, tail), head)))
+    }
+}
+
+/// One `parallel()` batch under the work-stealing scheduler.
+struct WsBatch {
+    deque: StealDeque,
+    /// Overflow tasks beyond [`DEQUE_CAP`], drained after the deque.
+    spill: Mutex<Vec<Task>>,
+    /// Length mirror of `spill`, decremented *before* the pop so it only
+    /// ever under-reports (the same discipline as the mutex pool's queued
+    /// mirror after its over-report fix — an under-reporting mirror can at
+    /// worst make a helper skip a batch the caller will drain anyway).
+    spilled: AtomicUsize,
+    /// Tasks spilled at construction (immutable; for stats/trace).
+    overflowed: usize,
+    /// Tasks submitted but not yet finished executing.
+    remaining: AtomicUsize,
+    /// Pool workers currently helping on this batch. The `helper_limit` cap
+    /// is enforced by the CAS claim in [`WsBatch::try_claim_helper`] alone —
+    /// no batches lock is involved, unlike the mutex pool.
+    helpers: AtomicUsize,
+    helper_limit: usize,
+    /// Tasks executed by helpers (stolen), for `steal_count` and the
+    /// `sched_batch` trace event.
+    stolen: AtomicUsize,
+    done_mx: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl WsBatch {
+    fn new(mut tasks: Vec<Task>, helper_limit: usize) -> Arc<Self> {
+        let n = tasks.len();
+        let spill = if n > DEQUE_CAP { tasks.split_off(DEQUE_CAP) } else { Vec::new() };
+        let overflowed = spill.len();
+        Arc::new(Self {
+            deque: StealDeque::new(tasks),
+            spilled: AtomicUsize::new(overflowed),
+            spill: Mutex::new(spill),
+            overflowed,
+            remaining: AtomicUsize::new(n),
+            helpers: AtomicUsize::new(0),
+            helper_limit,
+            stolen: AtomicUsize::new(0),
+            done_mx: Mutex::new(()),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    fn spill_pop(&self) -> Option<Task> {
+        if self.spilled.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut s = self.spill.lock();
+        if s.is_empty() {
+            return None;
+        }
+        // Decrement the mirror before removing the task: under-report only.
+        self.spilled.fetch_sub(1, Ordering::AcqRel);
+        s.pop()
+    }
+
+    /// Owner-side take: LIFO from the deque, then the spill.
+    fn pop_owner(&self) -> Option<Task> {
+        self.deque.pop().or_else(|| self.spill_pop())
+    }
+
+    /// Helper-side take: FIFO steal from the deque, then the spill.
+    fn pop_thief(&self) -> Option<Task> {
+        self.deque.steal().or_else(|| self.spill_pop())
+    }
+
+    fn queued(&self) -> usize {
+        self.deque.len() + self.spilled.load(Ordering::Acquire)
+    }
+
+    fn finish_task(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.done_mx.lock();
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    fn wants_helpers(&self) -> bool {
+        self.helpers.load(Ordering::Acquire) < self.helper_limit && self.queued() > 0
+    }
+
+    /// Atomically claim a helper slot: CAS-increment bounded by
+    /// `helper_limit`, then re-check that work is still queued — a batch
+    /// drained between the scan and the increment is backed out of, so no
+    /// helper ever joins a drained batch.
+    fn try_claim_helper(&self) -> bool {
+        let mut cur = self.helpers.load(Ordering::Acquire);
+        loop {
+            if cur >= self.helper_limit {
+                return false;
+            }
+            match self.helpers.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if self.queued() > 0 {
+                        return true;
+                    }
+                    self.helpers.fetch_sub(1, Ordering::AcqRel);
+                    return false;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release_helper(&self) {
+        self.helpers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Marks the task finished on drop, so a panicking task still decrements the
+/// batch's remaining count (mirrors `pool::FinishGuard`).
+struct WsFinishGuard<'a>(&'a WsBatch);
+
+impl Drop for WsFinishGuard<'_> {
+    fn drop(&mut self) {
+        self.0.finish_task();
+    }
+}
+
+/// Sharded registry of in-flight batches that still want helpers. Dispatch
+/// registers round-robin; idle workers scan the shards. Only batch
+/// *discovery* takes these short locks — task claims are lock-free on the
+/// batch itself.
+struct Injector {
+    shards: Box<[Mutex<Vec<Arc<WsBatch>>>]>,
+    next: AtomicUsize,
+}
+
+impl Injector {
+    fn new() -> Self {
+        Self {
+            shards: (0..INJECTOR_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Register `batch`, returning the shard index for unregistration.
+    fn register(&self, batch: &Arc<WsBatch>) -> usize {
+        let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard].lock().push(Arc::clone(batch));
+        shard
+    }
+
+    fn unregister(&self, shard: usize, batch: &Arc<WsBatch>) {
+        self.shards[shard].lock().retain(|b| !Arc::ptr_eq(b, batch));
+    }
+
+    /// Find some registered batch that still wants helpers.
+    fn find_wanting(&self) -> Option<Arc<WsBatch>> {
+        for shard in self.shards.iter() {
+            let g = shard.lock();
+            if let Some(b) = g.iter().find(|b| b.wants_helpers()) {
+                return Some(Arc::clone(b));
+            }
+        }
+        None
+    }
+}
+
+struct WsShared {
+    injector: Injector,
+    /// Idle-worker parking. `sleepers` is checked by dispatch before taking
+    /// the wake lock, so publishing a batch while every worker is busy costs
+    /// two atomic ops and no lock. A registration racing a worker's
+    /// pre-sleep re-scan is recovered by the 50 ms wait timeout at worst.
+    idle_mx: Mutex<()>,
+    idle_cv: Condvar,
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+    target_size: AtomicUsize,
+    live_workers: AtomicUsize,
+    fault: FaultCtx,
+    stats: Arc<Stats>,
+    trace: TraceBus,
+}
+
+impl WsShared {
+    fn wake_idle(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.idle_mx.lock();
+            self.idle_cv.notify_all();
+        }
+    }
+}
+
+/// Work-stealing child-task scheduler ([`SchedMode::WorkStealing`]).
+///
+/// Dispatching a batch registers it in the sharded injector and wakes idle
+/// workers; the dispatching (parent) thread immediately starts executing
+/// from the lock-free deque's owner end while helpers steal from the other.
+/// Task claims never take a lock, the helper cap is a CAS on the batch's
+/// helper counter, and cross-tree dispatch spreads over injector shards —
+/// the three serialization points of the mutex pool, removed in order.
+pub struct WorkStealingPool {
+    shared: Arc<WsShared>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl WorkStealingPool {
+    /// Create a pool with `size` worker threads (0 is allowed: batches then
+    /// run entirely on their calling threads).
+    pub fn new(size: usize) -> Self {
+        Self::with_instruments(size, FaultCtx::disabled(), Arc::new(Stats::new()), TraceBus::new())
+    }
+
+    /// A pool wired to the runtime's fault context, stats counters
+    /// (`steal_count` / `deque_overflow`) and trace bus (`sched_batch`
+    /// events).
+    pub fn with_instruments(
+        size: usize,
+        fault: FaultCtx,
+        stats: Arc<Stats>,
+        trace: TraceBus,
+    ) -> Self {
+        let shared = Arc::new(WsShared {
+            injector: Injector::new(),
+            idle_mx: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            target_size: AtomicUsize::new(size),
+            live_workers: AtomicUsize::new(0),
+            fault,
+            stats,
+            trace,
+        });
+        let pool = Self { shared, handles: Mutex::new(Vec::new()) };
+        pool.spawn_up_to(size);
+        pool
+    }
+
+    fn spawn_up_to(&self, size: usize) {
+        let mut handles = self.handles.lock();
+        while self.shared.live_workers.load(Ordering::Acquire) < size {
+            self.shared.live_workers.fetch_add(1, Ordering::AcqRel);
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                thread::Builder::new()
+                    .name("pnstm-ws-worker".into())
+                    .spawn(move || ws_worker_loop(shared))
+                    .expect("failed to spawn pnstm worker thread"),
+            );
+        }
+        handles.retain(|h| !h.is_finished());
+    }
+}
+
+/// Run one claimed task: consult the dispatch fault site
+/// ([`FaultKind::ChildStall`]; under this scheduler the stall is taken
+/// *after* the lock-free claim, so stalled dispatches overlap instead of
+/// serializing), then execute under a finish guard so panics keep the batch
+/// accounting intact.
+fn ws_run_task(batch: &WsBatch, task: Task, fault: &FaultCtx) {
+    if let Some(action) = fault.inject(FaultKind::ChildStall) {
+        action.stall();
+    }
+    let _finish = WsFinishGuard(batch);
+    task();
+}
+
+impl Scheduler for WorkStealingPool {
+    fn run_batch(&self, tasks: Vec<Task>, helper_limit: usize) {
+        let n = tasks.len();
+        if n == 0 {
+            return;
+        }
+        let batch = WsBatch::new(tasks, helper_limit);
+        if batch.overflowed > 0 {
+            self.shared.stats.record_deque_overflow(batch.overflowed as u64);
+        }
+        let registered = (helper_limit > 0).then(|| {
+            let shard = self.shared.injector.register(&batch);
+            self.shared.wake_idle();
+            shard
+        });
+        // The caller is always an executor (deadlock freedom; see the trait
+        // contract). A caller-side panic is held and re-raised after the
+        // batch drains, exactly like the mutex pool.
+        let mut caller_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        while let Some(task) = batch.pop_owner() {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ws_run_task(&batch, task, &self.shared.fault)
+            })) {
+                caller_panic.get_or_insert(payload);
+            }
+        }
+        {
+            let mut g = batch.done_mx.lock();
+            while !batch.is_done() {
+                batch.done_cv.wait_for(&mut g, Duration::from_millis(50));
+            }
+        }
+        if let Some(shard) = registered {
+            self.shared.injector.unregister(shard, &batch);
+        }
+        let stolen = batch.stolen.load(Ordering::Relaxed);
+        if stolen > 0 {
+            self.shared.stats.record_steals(stolen as u64);
+        }
+        if self.shared.trace.is_enabled() {
+            self.shared.trace.emit(TraceEvent::SchedBatch {
+                tasks: n as u32,
+                stolen: stolen as u32,
+                overflowed: batch.overflowed as u32,
+                at_ns: trace::now_ns(),
+            });
+        }
+        if let Some(payload) = caller_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    fn resize(&self, size: usize) {
+        self.shared.target_size.store(size, Ordering::Release);
+        self.spawn_up_to(size);
+        // Wake idle workers so surplus ones can observe the shrink and exit.
+        let _g = self.shared.idle_mx.lock();
+        self.shared.idle_cv.notify_all();
+    }
+
+    fn size(&self) -> usize {
+        self.shared.target_size.load(Ordering::Acquire)
+    }
+
+    fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.idle_mx.lock();
+            self.shared.idle_cv.notify_all();
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn ws_worker_loop(shared: Arc<WsShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire)
+            || shared.live_workers.load(Ordering::Acquire)
+                > shared.target_size.load(Ordering::Acquire)
+        {
+            shared.live_workers.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        let claimed = shared.injector.find_wanting().filter(|b| b.try_claim_helper());
+        match claimed {
+            Some(batch) => {
+                while let Some(task) = batch.pop_thief() {
+                    batch.stolen.fetch_add(1, Ordering::Relaxed);
+                    // A panicking task must not kill the shared worker:
+                    // absorb the unwind (the txn layer has its own panic
+                    // channel) and keep serving.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        ws_run_task(&batch, task, &shared.fault)
+                    }));
+                }
+                batch.release_helper();
+            }
+            None => {
+                shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                let mut g = shared.idle_mx.lock();
+                // Re-scan under the wake lock: a batch registered after the
+                // first scan but before the sleeper increment would notify
+                // nobody. A registration racing this re-scan is caught by
+                // `wake_idle` (it sees the incremented sleeper count) or, at
+                // worst, by the wait timeout.
+                if shared.injector.find_wanting().is_none()
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    shared.idle_cv.wait_for(&mut g, Duration::from_millis(50));
+                }
+                drop(g);
+                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64;
+
+    fn make_tasks(n: usize, counter: &Arc<AtomicI64>) -> Vec<Task> {
+        (0..n)
+            .map(|_| {
+                let c = Arc::clone(counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deque_owner_pops_lifo_thieves_steal_fifo() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let tasks: Vec<Task> = (0..4)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                Box::new(move || order.lock().push(i)) as Task
+            })
+            .collect();
+        let d = StealDeque::new(tasks);
+        assert_eq!(d.len(), 4);
+        d.steal().unwrap()(); // FIFO end: task 0
+        d.pop().unwrap()(); // LIFO end: task 3
+        d.steal().unwrap()(); // task 1
+        d.pop().unwrap()(); // task 2
+        assert!(d.pop().is_none());
+        assert!(d.steal().is_none());
+        assert_eq!(*order.lock(), vec![0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn deque_concurrent_claims_take_every_task_exactly_once() {
+        for _ in 0..50 {
+            let counter = Arc::new(AtomicI64::new(0));
+            let d = Arc::new(StealDeque::new(make_tasks(64, &counter)));
+            let mut joins = vec![];
+            for who in 0..4 {
+                let d = Arc::clone(&d);
+                joins.push(thread::spawn(move || {
+                    let mut taken = 0;
+                    loop {
+                        let t = if who % 2 == 0 { d.pop() } else { d.steal() };
+                        match t {
+                            Some(task) => {
+                                task();
+                                taken += 1;
+                            }
+                            None => return taken,
+                        }
+                    }
+                }));
+            }
+            let total: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+            assert_eq!(total, 64, "claims lost or duplicated");
+            assert_eq!(counter.load(Ordering::SeqCst), 64);
+        }
+    }
+
+    #[test]
+    fn caller_runs_everything_with_no_helpers() {
+        let pool = WorkStealingPool::new(0);
+        let counter = Arc::new(AtomicI64::new(0));
+        pool.run_batch(make_tasks(10, &counter), 0);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn helpers_participate_and_steals_are_counted() {
+        let stats = Arc::new(Stats::new());
+        let pool = WorkStealingPool::with_instruments(
+            3,
+            FaultCtx::disabled(),
+            Arc::clone(&stats),
+            TraceBus::new(),
+        );
+        let counter = Arc::new(AtomicI64::new(0));
+        // Slow tasks so helpers reliably win some claims.
+        let tasks: Vec<Task> = (0..64)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    thread::sleep(Duration::from_micros(200));
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect();
+        pool.run_batch(tasks, 3);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert!(stats.snapshot().steal_count > 0, "helpers executed nothing");
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = WorkStealingPool::new(1);
+        pool.run_batch(vec![], 1);
+    }
+
+    #[test]
+    fn per_batch_concurrency_respects_helper_limit() {
+        let pool = WorkStealingPool::new(4);
+        let active = Arc::new(AtomicI64::new(0));
+        let peak = Arc::new(AtomicI64::new(0));
+        let tasks: Vec<Task> = (0..32)
+            .map(|_| {
+                let (active, peak) = (Arc::clone(&active), Arc::clone(&peak));
+                Box::new(move || {
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_micros(300));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect();
+        // helper_limit 1 + the caller = at most 2 concurrent executors.
+        pool.run_batch(tasks, 1);
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn oversized_batch_spills_and_still_runs_every_task() {
+        let stats = Arc::new(Stats::new());
+        let pool = WorkStealingPool::with_instruments(
+            2,
+            FaultCtx::disabled(),
+            Arc::clone(&stats),
+            TraceBus::new(),
+        );
+        let counter = Arc::new(AtomicI64::new(0));
+        let n = DEQUE_CAP + 37;
+        pool.run_batch(make_tasks(n, &counter), 2);
+        assert_eq!(counter.load(Ordering::SeqCst), n as i64);
+        assert_eq!(stats.snapshot().deque_overflow, 37);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let pool = WorkStealingPool::new(1);
+        assert_eq!(pool.size(), 1);
+        pool.resize(4);
+        assert_eq!(pool.size(), 4);
+        let counter = Arc::new(AtomicI64::new(0));
+        pool.run_batch(make_tasks(16, &counter), 3);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        pool.resize(1);
+        assert_eq!(pool.size(), 1);
+        for _ in 0..100 {
+            if pool.live_workers() <= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(pool.live_workers() <= 1, "live {}", pool.live_workers());
+    }
+
+    #[test]
+    fn panicking_task_neither_hangs_batch_nor_kills_worker() {
+        let pool = WorkStealingPool::new(2);
+        let counter = Arc::new(AtomicI64::new(0));
+        let mut tasks = make_tasks(8, &counter);
+        tasks.push(Box::new(|| panic!("injected task panic")) as Task);
+        tasks.extend(make_tasks(8, &counter));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(tasks, 2);
+        }));
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        let more = make_tasks(8, &counter);
+        pool.run_batch(more, 2);
+        assert_eq!(counter.load(Ordering::SeqCst), 24);
+        assert!(pool.live_workers() >= 1, "workers must survive task panics");
+    }
+
+    #[test]
+    fn child_stall_fault_is_consulted_per_task() {
+        use crate::fault::{FaultPlan, FaultRule};
+
+        let plan = Arc::new(
+            FaultPlan::new(4).with_rule(FaultKind::ChildStall, FaultRule::with_probability(1.0)),
+        );
+        let pool = WorkStealingPool::with_instruments(
+            0,
+            FaultCtx::new(Some(Arc::clone(&plan)), TraceBus::new()),
+            Arc::new(Stats::new()),
+            TraceBus::new(),
+        );
+        let counter = Arc::new(AtomicI64::new(0));
+        pool.run_batch(make_tasks(5, &counter), 0);
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(plan.injected(FaultKind::ChildStall), 5);
+    }
+
+    #[test]
+    fn no_helper_joins_a_drained_batch() {
+        // Drain a batch completely, then hammer the helper-claim path: the
+        // claim must fail from every thread and the helper count must end at
+        // zero. The CAS claim re-checks `queued` after publishing the
+        // increment, so a drained batch can never hold a claimed helper.
+        let counter = Arc::new(AtomicI64::new(0));
+        let batch = WsBatch::new(make_tasks(4, &counter), 3);
+        while let Some(t) = batch.pop_owner() {
+            let _g = WsFinishGuard(&batch);
+            t();
+        }
+        assert!(!batch.wants_helpers());
+        let mut joins = vec![];
+        for _ in 0..4 {
+            let batch = Arc::clone(&batch);
+            joins.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    assert!(!batch.try_claim_helper(), "helper joined a drained batch");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(batch.helpers.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_batches_all_complete() {
+        let pool = Arc::new(WorkStealingPool::new(2));
+        let counter = Arc::new(AtomicI64::new(0));
+        let mut joins = vec![];
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            joins.push(thread::spawn(move || {
+                for _ in 0..5 {
+                    pool.run_batch(make_tasks(8, &counter), 2);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4 * 5 * 8);
+    }
+
+    #[test]
+    fn sched_batch_event_reports_dispatch_shape() {
+        use crate::trace::TestSink;
+
+        let bus = TraceBus::new();
+        let sink = Arc::new(TestSink::new());
+        bus.subscribe(sink.clone());
+        let pool = WorkStealingPool::with_instruments(
+            2,
+            FaultCtx::disabled(),
+            Arc::new(Stats::new()),
+            bus,
+        );
+        let counter = Arc::new(AtomicI64::new(0));
+        pool.run_batch(make_tasks(6, &counter), 2);
+        let events = sink.events();
+        let batch_events: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SchedBatch { tasks, stolen, overflowed, .. } => {
+                    Some((*tasks, *stolen, *overflowed))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batch_events.len(), 1);
+        let (tasks, stolen, overflowed) = batch_events[0];
+        assert_eq!(tasks, 6);
+        assert!(stolen <= 6);
+        assert_eq!(overflowed, 0);
+    }
+}

@@ -57,6 +57,9 @@ pub struct Stats {
     read_filter_hits: AtomicU64,
     read_filter_misses: AtomicU64,
     read_slow_path: AtomicU64,
+    steal_count: AtomicU64,
+    deque_overflow: AtomicU64,
+    park_count: AtomicU64,
     /// The commit hook as a raw `Box<CommitHook>` pointer (null = none), so
     /// the per-commit fast path is a single `Acquire` load instead of a
     /// reader-writer lock acquisition plus an `Arc` clone.
@@ -83,6 +86,9 @@ impl Default for Stats {
             read_filter_hits: AtomicU64::new(0),
             read_filter_misses: AtomicU64::new(0),
             read_slow_path: AtomicU64::new(0),
+            steal_count: AtomicU64::new(0),
+            deque_overflow: AtomicU64::new(0),
+            park_count: AtomicU64::new(0),
             hook: AtomicPtr::new(std::ptr::null_mut()),
             retired: Mutex::new(Vec::new()),
         }
@@ -164,6 +170,28 @@ impl Stats {
         }
     }
 
+    /// Record `n` batch tasks executed by stealing helpers (work-stealing
+    /// scheduler; flushed once per batch, not per steal).
+    pub fn record_steals(&self, n: u64) {
+        if n > 0 {
+            self.steal_count.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` batch tasks that overflowed the fixed steal deque into the
+    /// mutex-held spill vector (batch fan-out exceeded the deque capacity).
+    pub fn record_deque_overflow(&self, n: u64) {
+        if n > 0 {
+            self.deque_overflow.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one admission-gate park (a top-level begin that had to block
+    /// on the lock-free gate).
+    pub fn record_park(&self) {
+        self.park_count.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Histogram bucket for a wait of `wait_ns` (see [`SEM_WAIT_BUCKETS`]).
     pub fn sem_wait_bucket(wait_ns: u64) -> usize {
         let us = wait_ns / 1_000;
@@ -204,6 +232,9 @@ impl Stats {
             read_filter_hits: self.read_filter_hits.load(Ordering::Relaxed),
             read_filter_misses: self.read_filter_misses.load(Ordering::Relaxed),
             read_slow_path: self.read_slow_path.load(Ordering::Relaxed),
+            steal_count: self.steal_count.load(Ordering::Relaxed),
+            deque_overflow: self.deque_overflow.load(Ordering::Relaxed),
+            park_count: self.park_count.load(Ordering::Relaxed),
         }
     }
 }
@@ -261,6 +292,15 @@ pub struct StatsSnapshot {
     pub read_filter_misses: u64,
     /// Reads that performed at least one ancestor fallback lookup.
     pub read_slow_path: u64,
+    /// Batch tasks executed by stealing helpers (work-stealing scheduler
+    /// only; the mutex pool dispatches through its batch queue instead).
+    pub steal_count: u64,
+    /// Batch tasks that overflowed the fixed steal deque into the spill
+    /// vector (fan-out larger than the deque capacity).
+    pub deque_overflow: u64,
+    /// Top-level admissions that parked on the lock-free gate (work-stealing
+    /// mode only; the mutex semaphore blocks on its condvar instead).
+    pub park_count: u64,
 }
 
 impl StatsSnapshot {
@@ -318,6 +358,9 @@ impl StatsSnapshot {
             read_filter_hits: self.read_filter_hits.saturating_sub(earlier.read_filter_hits),
             read_filter_misses: self.read_filter_misses.saturating_sub(earlier.read_filter_misses),
             read_slow_path: self.read_slow_path.saturating_sub(earlier.read_slow_path),
+            steal_count: self.steal_count.saturating_sub(earlier.steal_count),
+            deque_overflow: self.deque_overflow.saturating_sub(earlier.deque_overflow),
+            park_count: self.park_count.saturating_sub(earlier.park_count),
         }
     }
 }
@@ -373,6 +416,24 @@ mod tests {
         assert_eq!(d.read_filter_hits, 4);
         assert_eq!(d.read_filter_misses, 10);
         assert_eq!(d.read_slow_path, 3);
+    }
+
+    #[test]
+    fn scheduler_counters_accumulate() {
+        let s = Stats::new();
+        s.record_steals(3);
+        s.record_steals(0); // zero flush is a no-op
+        s.record_deque_overflow(5);
+        s.record_park();
+        s.record_park();
+        let snap = s.snapshot();
+        assert_eq!(snap.steal_count, 3);
+        assert_eq!(snap.deque_overflow, 5);
+        assert_eq!(snap.park_count, 2);
+        let d = snap.delta_since(&StatsSnapshot::default());
+        assert_eq!(d.steal_count, 3);
+        assert_eq!(d.deque_overflow, 5);
+        assert_eq!(d.park_count, 2);
     }
 
     #[test]

@@ -11,12 +11,25 @@
 //! changed while threads hold permits: shrinking simply drives the available
 //! count negative, so the semaphore naturally "absorbs" outstanding permits
 //! until enough releases bring it back above zero.
+//!
+//! Both admission gates implement [`Admission`] (see [`crate::sched`]):
+//! [`ResizableSemaphore`] is the [`crate::SchedMode::Mutex`] gate (every
+//! acquire/release crosses one mutex), [`PackedGate`] the
+//! [`crate::SchedMode::WorkStealing`] gate — the whole
+//! closed/capacity/available state packed into one atomic word, with sharded
+//! parker lists touched only by threads that actually block, so the
+//! actuator's `set_capacity` during a live `(t, c)` reprovisioning no longer
+//! quiesces admissions through a lock.
 
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
 
 use crate::fault::{FaultCtx, FaultKind};
+use crate::sched::Admission;
+use crate::stats::Stats;
 use crate::trace::{TraceBus, TraceEvent};
 
 /// A `(t, c)` parallelism-degree configuration as defined in §III-B.
@@ -158,17 +171,261 @@ impl ResizableSemaphore {
     }
 }
 
-/// RAII permit for a [`ResizableSemaphore`].
+impl Admission for ResizableSemaphore {
+    fn acquire(&self) -> bool {
+        ResizableSemaphore::acquire(self)
+    }
+    fn try_acquire(&self) -> bool {
+        ResizableSemaphore::try_acquire(self)
+    }
+    fn release(&self) {
+        ResizableSemaphore::release(self)
+    }
+    fn close(&self) {
+        ResizableSemaphore::close(self)
+    }
+    fn reopen(&self) {
+        ResizableSemaphore::reopen(self)
+    }
+    fn is_closed(&self) -> bool {
+        ResizableSemaphore::is_closed(self)
+    }
+    fn set_capacity(&self, capacity: usize) {
+        ResizableSemaphore::set_capacity(self, capacity)
+    }
+    fn capacity(&self) -> usize {
+        ResizableSemaphore::capacity(self)
+    }
+    fn in_use(&self) -> usize {
+        ResizableSemaphore::in_use(self)
+    }
+}
+
+/// Shards of the [`PackedGate`] parker lists. Only threads that actually
+/// block touch a shard; the fast path is one CAS on the packed word.
+const GATE_SHARDS: usize = 4;
+
+/// Closed flag of the [`PackedGate`] word (bit 63).
+const GATE_CLOSED: u64 = 1 << 63;
+
+/// Decoded [`PackedGate`] word: `(closed, capacity, available)`.
+fn gate_unpack(w: u64) -> (bool, usize, i64) {
+    let closed = w & GATE_CLOSED != 0;
+    let capacity = ((w >> 32) & (u32::MAX >> 1) as u64) as usize;
+    let available = (w as u32 as i32) as i64;
+    (closed, capacity, available)
+}
+
+/// Pack `(closed, capacity, available)` into one [`PackedGate`] word:
+/// bit 63 = closed, bits 32–62 = capacity (u31), bits 0–31 = available as a
+/// two's-complement i32 (negative after a shrink while permits are held).
+fn gate_pack(closed: bool, capacity: usize, available: i64) -> u64 {
+    debug_assert!(capacity < (1 << 31));
+    debug_assert!(i32::try_from(available).is_ok());
+    (if closed { GATE_CLOSED } else { 0 })
+        | ((capacity as u64) << 32)
+        | (available as i32 as u32 as u64)
+}
+
+/// Lock-free admission gate ([`crate::SchedMode::WorkStealing`]).
+///
+/// The entire semaphore state — closed flag, capacity, available count —
+/// lives in one atomic word, so acquire/release/`set_capacity` are a CAS
+/// each and never contend on a mutex. The state is deliberately *not*
+/// sharded into per-core token pools: after a capacity shrink a sharded
+/// count can transiently admit more than the new capacity (one shard still
+/// positive while another is negative), and the actuator's contract is that
+/// at no point are more than `t` new top-level admissions granted. Only the
+/// *parker lists* are sharded: a thread that must block registers itself in
+/// one of [`GATE_SHARDS`] lists and parks (with the repo-standard 50 ms
+/// timeout backstop against lost-wakeup races); releases unpark one parker,
+/// close / reopen / capacity growth unpark all.
+#[derive(Debug)]
+pub struct PackedGate {
+    word: AtomicU64,
+    parkers: Box<[Mutex<Vec<thread::Thread>>]>,
+    next_shard: AtomicUsize,
+    /// Counts parks into `park_count` when attached ([`Stats::record_park`]).
+    stats: Option<Arc<Stats>>,
+}
+
+impl PackedGate {
+    pub fn new(capacity: usize) -> Self {
+        Self::build(capacity, None)
+    }
+
+    /// A gate that records parked acquisitions into `stats`.
+    pub fn with_stats(capacity: usize, stats: Arc<Stats>) -> Self {
+        Self::build(capacity, Some(stats))
+    }
+
+    fn build(capacity: usize, stats: Option<Arc<Stats>>) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            word: AtomicU64::new(gate_pack(false, capacity, capacity as i64)),
+            parkers: (0..GATE_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            next_shard: AtomicUsize::new(0),
+            stats,
+        }
+    }
+
+    /// CAS-update the word with `f`, which returns the new decoded state (or
+    /// `None` to abort). Returns the *previous* decoded state on success.
+    fn update(
+        &self,
+        mut f: impl FnMut(bool, usize, i64) -> Option<(bool, usize, i64)>,
+    ) -> Option<(bool, usize, i64)> {
+        let mut cur = self.word.load(Ordering::Acquire);
+        loop {
+            let (closed, cap, avail) = gate_unpack(cur);
+            let (nc, ncap, navail) = f(closed, cap, avail)?;
+            match self.word.compare_exchange_weak(
+                cur,
+                gate_pack(nc, ncap, navail),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((closed, cap, avail)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn unpark_one(&self) {
+        for shard in self.parkers.iter() {
+            let popped = shard.lock().pop();
+            if let Some(t) = popped {
+                t.unpark();
+                return;
+            }
+        }
+    }
+
+    fn unpark_all(&self) {
+        for shard in self.parkers.iter() {
+            for t in shard.lock().drain(..) {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Park protocol: register in a shard, re-check the word (a grant or
+    /// close racing the registration is caught here), then park with the
+    /// timeout backstop, then deregister (a release may already have popped
+    /// this entry — that's the wakeup).
+    fn park_for_change(&self) {
+        let me = thread::current();
+        let id = me.id();
+        let shard =
+            &self.parkers[self.next_shard.fetch_add(1, Ordering::Relaxed) % self.parkers.len()];
+        shard.lock().push(me);
+        let (closed, _, avail) = gate_unpack(self.word.load(Ordering::Acquire));
+        if closed || avail > 0 {
+            shard.lock().retain(|t| t.id() != id);
+            return;
+        }
+        if let Some(stats) = &self.stats {
+            stats.record_park();
+        }
+        thread::park_timeout(Duration::from_millis(50));
+        shard.lock().retain(|t| t.id() != id);
+    }
+}
+
+impl Admission for PackedGate {
+    fn acquire(&self) -> bool {
+        loop {
+            let took = self.update(|closed, cap, avail| {
+                if closed || avail <= 0 {
+                    None
+                } else {
+                    Some((closed, cap, avail - 1))
+                }
+            });
+            if took.is_some() {
+                return true;
+            }
+            let (closed, _, avail) = gate_unpack(self.word.load(Ordering::Acquire));
+            if closed {
+                return false;
+            }
+            if avail <= 0 {
+                self.park_for_change();
+            }
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.update(
+            |closed, cap, avail| {
+                if closed || avail <= 0 {
+                    None
+                } else {
+                    Some((closed, cap, avail - 1))
+                }
+            },
+        )
+        .is_some()
+    }
+
+    fn release(&self) {
+        let prev = self.update(|closed, cap, avail| Some((closed, cap, avail + 1)));
+        // The permit we just returned is grantable: wake one parker.
+        if prev.is_some_and(|(_, _, avail)| avail + 1 > 0) {
+            self.unpark_one();
+        }
+    }
+
+    fn close(&self) {
+        self.word.fetch_or(GATE_CLOSED, Ordering::AcqRel);
+        self.unpark_all();
+    }
+
+    fn reopen(&self) {
+        let prev = self.word.fetch_and(!GATE_CLOSED, Ordering::AcqRel);
+        if gate_unpack(prev).2 > 0 {
+            self.unpark_all();
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        gate_unpack(self.word.load(Ordering::Acquire)).0
+    }
+
+    fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let prev = self.update(|closed, cap, avail| {
+            let delta = capacity as i64 - cap as i64;
+            Some((closed, capacity, avail + delta))
+        });
+        if let Some((_, cap, avail)) = prev {
+            if avail + (capacity as i64 - cap as i64) > 0 {
+                self.unpark_all();
+            }
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        gate_unpack(self.word.load(Ordering::Acquire)).1
+    }
+
+    fn in_use(&self) -> usize {
+        let (_, cap, avail) = gate_unpack(self.word.load(Ordering::Acquire));
+        (cap as i64 - avail).max(0) as usize
+    }
+}
+
+/// RAII permit for an [`Admission`] gate.
 #[derive(Debug)]
 pub struct Permit {
-    sem: Arc<ResizableSemaphore>,
+    gate: Arc<dyn Admission>,
 }
 
 impl Permit {
-    /// Block until the semaphore grants a permit; `None` if it is closed.
-    pub fn acquire(sem: &Arc<ResizableSemaphore>) -> Option<Self> {
-        if sem.acquire() {
-            Some(Self { sem: Arc::clone(sem) })
+    /// Block until the gate grants a permit; `None` if it is closed.
+    pub fn acquire(gate: &Arc<dyn Admission>) -> Option<Self> {
+        if gate.acquire() {
+            Some(Self { gate: Arc::clone(gate) })
         } else {
             None
         }
@@ -177,7 +434,7 @@ impl Permit {
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        self.sem.release();
+        self.gate.release();
     }
 }
 
@@ -188,7 +445,7 @@ impl Drop for Permit {
 /// when spawning children.
 #[derive(Debug)]
 pub struct Throttle {
-    top_gate: Arc<ResizableSemaphore>,
+    top_gate: Arc<dyn Admission>,
     /// The published `(t, c)` configuration, packed as `t << 32 | c` so
     /// readers get a *consistent pair* from one atomic load. (Keeping the
     /// two halves behind separate locks allowed a torn read: a concurrent
@@ -237,14 +494,23 @@ impl Throttle {
         Self::with_instruments(degree, trace, FaultCtx::disabled())
     }
 
-    /// A throttle with both tracing and fault injection attached.
+    /// A throttle with both tracing and fault injection attached, gating
+    /// admissions through the default mutex-based semaphore.
     pub fn with_instruments(degree: ParallelismDegree, trace: TraceBus, fault: FaultCtx) -> Self {
-        Self {
-            top_gate: Arc::new(ResizableSemaphore::new(degree.top_level)),
-            degree: AtomicU64::new(pack(degree)),
-            trace,
-            fault,
-        }
+        Self::with_gate(degree, trace, fault, Arc::new(ResizableSemaphore::new(degree.top_level)))
+    }
+
+    /// A throttle over an explicit [`Admission`] gate (the runtime passes a
+    /// [`PackedGate`] under [`crate::SchedMode::WorkStealing`]). The gate's
+    /// capacity is forced to `degree.top_level`.
+    pub fn with_gate(
+        degree: ParallelismDegree,
+        trace: TraceBus,
+        fault: FaultCtx,
+        gate: Arc<dyn Admission>,
+    ) -> Self {
+        gate.set_capacity(degree.top_level);
+        Self { top_gate: gate, degree: AtomicU64::new(pack(degree)), trace, fault }
     }
 
     /// Block until a top-level slot is free; the permit is released when the
@@ -558,5 +824,116 @@ mod tests {
         let prev = t.reconfigure(ParallelismDegree::new(2, 3));
         assert_eq!(prev, ParallelismDegree::new(4, 2));
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn packed_gate_basic_acquire_release() {
+        let g = PackedGate::new(2);
+        assert!(g.try_acquire());
+        assert!(g.try_acquire());
+        assert!(!g.try_acquire());
+        assert_eq!(g.in_use(), 2);
+        g.release();
+        assert!(g.try_acquire());
+        assert_eq!(g.capacity(), 2);
+    }
+
+    #[test]
+    fn packed_gate_grow_unblocks_waiter() {
+        let g: Arc<dyn Admission> = Arc::new(PackedGate::new(1));
+        assert!(g.acquire());
+        let g2 = Arc::clone(&g);
+        let woke = Arc::new(AtomicUsize::new(0));
+        let woke2 = Arc::clone(&woke);
+        let h = thread::spawn(move || {
+            assert!(g2.acquire());
+            woke2.store(1, Ordering::SeqCst);
+            g2.release();
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(woke.load(Ordering::SeqCst), 0, "waiter must be blocked");
+        g.set_capacity(2);
+        h.join().unwrap();
+        assert_eq!(woke.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn packed_gate_shrink_absorbs_releases() {
+        let g = PackedGate::new(3);
+        assert!(g.acquire());
+        assert!(g.acquire());
+        assert!(g.acquire());
+        g.set_capacity(1); // available = -2
+        g.release(); // -1
+        g.release(); // 0
+        assert!(!g.try_acquire(), "still over the shrunk capacity");
+        g.release(); // 1
+        assert!(g.try_acquire());
+    }
+
+    #[test]
+    fn packed_gate_close_wakes_parked_acquirer_and_reopen_restores() {
+        let g: Arc<dyn Admission> = Arc::new(PackedGate::new(1));
+        assert!(g.acquire()); // exhaust the only permit
+        let g2 = Arc::clone(&g);
+        let h = thread::spawn(move || g2.acquire());
+        thread::sleep(Duration::from_millis(30)); // let it park
+        g.close();
+        assert!(!h.join().unwrap(), "parked acquirer must wake empty-handed");
+        assert!(!g.try_acquire(), "closed gate grants nothing");
+        g.release();
+        g.reopen();
+        assert!(!g.is_closed());
+        assert!(g.acquire(), "reopened gate grants again");
+    }
+
+    /// The strict actuator contract under concurrency: at no point more than
+    /// `t` admissions — the reason the token count is one packed word
+    /// instead of sharded per-core pools (see the [`PackedGate`] docs).
+    #[test]
+    fn packed_gate_throttle_caps_concurrent_admissions() {
+        let t = Arc::new(Throttle::with_gate(
+            ParallelismDegree::new(3, 1),
+            TraceBus::new(),
+            FaultCtx::disabled(),
+            Arc::new(PackedGate::new(3)),
+        ));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..12 {
+            let (t, peak, cur) = (Arc::clone(&t), Arc::clone(&peak), Arc::clone(&cur));
+            handles.push(thread::spawn(move || {
+                for _ in 0..20 {
+                    let _p = t.admit_top_level().unwrap();
+                    let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_micros(200));
+                    cur.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak {} exceeded t=3",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(t.top_level_in_use(), 0);
+    }
+
+    #[test]
+    fn packed_gate_records_parks() {
+        let stats = Arc::new(Stats::new());
+        let g: Arc<dyn Admission> = Arc::new(PackedGate::with_stats(1, Arc::clone(&stats)));
+        assert!(g.acquire());
+        let g2 = Arc::clone(&g);
+        let h = thread::spawn(move || assert!(g2.acquire()));
+        thread::sleep(Duration::from_millis(30)); // let it park at least once
+        g.release();
+        h.join().unwrap();
+        assert!(stats.snapshot().park_count >= 1);
     }
 }

@@ -60,6 +60,12 @@ pub enum TraceEvent {
     /// and reads that performed at least one ancestor fallback lookup
     /// (`slow_path`). Emitted only when at least one counter is nonzero.
     ReadPath { filter_hits: u64, filter_misses: u64, slow_path: u64, at_ns: u64 },
+    /// The work-stealing scheduler completed a `parallel()` batch of `tasks`
+    /// child tasks, `stolen` of which were executed by helper workers and
+    /// `overflowed` of which spilled past the fixed deque capacity. Emitted
+    /// once per batch at completion (the mutex pool emits nothing — its
+    /// dispatch shape is visible through lock contention instead).
+    SchedBatch { tasks: u32, stolen: u32, overflowed: u32, at_ns: u64 },
     /// The actuator switched the parallelism degree `from` → `to` `(t, c)`.
     Reconfigure { from: (u32, u32), to: (u32, u32) },
     /// The monitor opened a measurement window.
@@ -139,6 +145,7 @@ impl TraceEvent {
             TraceEvent::SemWait { .. } => "sem_wait",
             TraceEvent::CommitStripeContention { .. } => "commit_stripe_contention",
             TraceEvent::ReadPath { .. } => "read_path",
+            TraceEvent::SchedBatch { .. } => "sched_batch",
             TraceEvent::Reconfigure { .. } => "reconfigure",
             TraceEvent::WindowOpen { .. } => "window_open",
             TraceEvent::WindowSample { .. } => "window_sample",
@@ -189,6 +196,12 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"filter_hits\":{filter_hits},\"filter_misses\":{filter_misses},\"slow_path\":{slow_path},\"at_ns\":{at_ns}"
+                );
+            }
+            TraceEvent::SchedBatch { tasks, stolen, overflowed, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"tasks\":{tasks},\"stolen\":{stolen},\"overflowed\":{overflowed},\"at_ns\":{at_ns}"
                 );
             }
             TraceEvent::Reconfigure { from, to } => {
@@ -544,6 +557,7 @@ mod tests {
             TraceEvent::SemWait { wait_ns: 1500 },
             TraceEvent::CommitStripeContention { stripes: 4, contended: 1, at_ns: 6 },
             TraceEvent::ReadPath { filter_hits: 2, filter_misses: 30, slow_path: 2, at_ns: 8 },
+            TraceEvent::SchedBatch { tasks: 8, stolen: 3, overflowed: 0, at_ns: 9 },
             TraceEvent::Reconfigure { from: (4, 1), to: (2, 2) },
             TraceEvent::WindowOpen { at_ns: 1 },
             TraceEvent::WindowSample { at_ns: 2, cv: Some(0.25) },
@@ -599,6 +613,10 @@ mod tests {
             TraceEvent::ReadPath { filter_hits: 2, filter_misses: 30, slow_path: 2, at_ns: 8 }
                 .to_json(),
             r#"{"ev":"read_path","filter_hits":2,"filter_misses":30,"slow_path":2,"at_ns":8}"#
+        );
+        assert_eq!(
+            TraceEvent::SchedBatch { tasks: 8, stolen: 3, overflowed: 0, at_ns: 9 }.to_json(),
+            r#"{"ev":"sched_batch","tasks":8,"stolen":3,"overflowed":0,"at_ns":9}"#
         );
         assert_eq!(
             TraceEvent::FaultInjected {

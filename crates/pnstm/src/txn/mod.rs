@@ -342,7 +342,7 @@ impl Txn {
         let (tx_results, rx_results) = crossbeam::channel::bounded(n_tasks);
         let panic_payload: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
 
-        let wrapped: Vec<crate::pool::Task> = tasks
+        let wrapped: Vec<crate::sched::Task> = tasks
             .into_iter()
             .enumerate()
             .map(|(idx, mut body)| {
@@ -365,13 +365,12 @@ impl Txn {
                     );
                     // The receiver outlives the batch, so send cannot fail.
                     let _ = results.send((idx, outcome));
-                }) as crate::pool::Task
+                }) as crate::sched::Task
             })
             .collect();
         drop(tx_results);
 
-        let batch = crate::pool::Batch::new(wrapped, helper_limit);
-        self.shared.pool().run_batch(batch);
+        self.shared.pool().run_batch(wrapped, helper_limit);
 
         // The batch has drained: every child (and its scope clone) is gone.
         // Drop our own snapshot handle so the fold below mutates the write

@@ -24,7 +24,11 @@
 //! every pointer a reader can follow is published with a `Release` store
 //! (paired with `Acquire` loads on the reader side). Nodes are only freed
 //! when the whole index drops — a `NestCtx` lives for one `parallel()` batch
-//! — so readers never race reclamation.
+//! — so readers never race reclamation. This argument is scheduler-agnostic:
+//! whichever [`crate::sched::Scheduler`] executes the batch (mutex pool
+//! helpers, work-stealing thieves, or the parent thread itself), the
+//! batch-drain barrier in `run_batch` is what bounds every reader's lifetime
+//! to the index's, and sibling commits still serialize on `commit_mx`.
 //!
 //! Visibility contract: a nested commit **installs its nodes first and
 //! publishes the nest clock after** ([`NestCtx::publish`], `Release`). A

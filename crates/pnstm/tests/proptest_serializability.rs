@@ -6,7 +6,9 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread;
 
-use pnstm::{child, stripe_of, CommitPath, ParallelismDegree, ReadPathMode, Stm, StmConfig, VBox};
+use pnstm::{
+    child, stripe_of, CommitPath, ParallelismDegree, ReadPathMode, SchedMode, Stm, StmConfig, VBox,
+};
 
 /// One randomly generated top-level transaction: a list of per-slot deltas;
 /// each delta is applied read-modify-write, some of them via parallel
@@ -38,6 +40,10 @@ fn run_history(
 
 fn stm_with(degree: ParallelismDegree, commit_path: CommitPath) -> Stm {
     Stm::new(StmConfig { degree, worker_threads: 2, commit_path, ..StmConfig::default() })
+}
+
+fn stm_sched(degree: ParallelismDegree, sched_mode: SchedMode) -> Stm {
+    Stm::new(StmConfig { degree, worker_threads: 2, sched_mode, ..StmConfig::default() })
 }
 
 /// Allocate `n` boxes that all hash to the same commit stripe (rejection
@@ -260,6 +266,39 @@ proptest! {
         let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
         let global = run_history_on(&stm, &boxes, &specs, 3);
         prop_assert_eq!(striped, global);
+    }
+
+    /// Differential replay across the execution-layer ladder: the same specs
+    /// produce the same history whether child batches run on the retained
+    /// mutex pool or the work-stealing scheduler. Commit semantics live
+    /// entirely above the [`pnstm::Scheduler`] trait, so the two rungs must
+    /// agree outcome-for-outcome single-threaded and state-for-state
+    /// concurrently.
+    #[test]
+    fn work_stealing_replays_mutex_histories(
+        specs in proptest::collection::vec(tx_spec(4), 1..10),
+    ) {
+        let slots = 4;
+        // Deterministic single-threaded replay: outcome-for-outcome equal.
+        let mut single = Vec::new();
+        for mode in [SchedMode::WorkStealing, SchedMode::Mutex] {
+            let stm = stm_sched(ParallelismDegree::new(1, 1), mode);
+            let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
+            let state = run_history_on(&stm, &boxes, &specs, 1);
+            let snap = stm.stats().snapshot();
+            single.push((state, snap.top_commits, snap.top_aborts, stm.clock_now()));
+        }
+        prop_assert_eq!(&single[0], &single[1], "single-threaded histories diverged");
+        prop_assert_eq!(single[0].2, 0, "uncontended history must not abort");
+
+        // Concurrent replay: serializability pins the final state.
+        let mut states = Vec::new();
+        for mode in [SchedMode::WorkStealing, SchedMode::Mutex] {
+            let stm = stm_sched(ParallelismDegree::new(4, 2), mode);
+            let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
+            states.push(run_history_on(&stm, &boxes, &specs, 3));
+        }
+        prop_assert_eq!(&states[0], &states[1], "concurrent final states diverged");
     }
 
     /// Closed-nesting visibility under random sibling interleavings, on both

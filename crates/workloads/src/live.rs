@@ -127,6 +127,13 @@ impl LiveStmSystem {
         self.panics.load(Ordering::Acquire)
     }
 
+    /// Retarget the child-task scheduler to the worker demand of `cfg`:
+    /// `t` trees, each with the parent as one executor plus up to `c - 1`
+    /// pool helpers.
+    fn resize_scheduler(&self, cfg: Config) {
+        self.stm.resize_pool(cfg.t * cfg.c.saturating_sub(1));
+    }
+
     /// Stop the application threads and detach the commit hook.
     ///
     /// Closing STM admission before joining is what makes this hang-free: a
@@ -198,6 +205,7 @@ impl Drop for LiveStmSystem {
 impl TunableSystem for LiveStmSystem {
     fn apply(&mut self, cfg: Config) {
         self.stm.set_degree(cfg.into());
+        self.resize_scheduler(cfg);
         // Old commit events belong to the previous configuration; flush them
         // so the next window measures only the new one.
         while self.commits.try_recv().is_ok() {}
@@ -205,9 +213,11 @@ impl TunableSystem for LiveStmSystem {
 
     fn try_apply(&mut self, cfg: Config) -> Result<(), ApplyError> {
         // Fault site: a vetoed semaphore reconfiguration (reconfig-fail).
-        // Failure leaves the previous degree in force and the commit stream
-        // untouched; the controller's retry/fallback ladder takes over.
+        // Failure leaves the previous degree in force, the scheduler pool
+        // unresized and the commit stream untouched; the controller's
+        // retry/fallback ladder takes over.
         self.stm.try_set_degree(cfg.into()).map_err(|err| ApplyError::new(err.to_string()))?;
+        self.resize_scheduler(cfg);
         while self.commits.try_recv().is_ok() {}
         Ok(())
     }

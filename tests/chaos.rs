@@ -13,7 +13,7 @@ use autopn::{
     TuneOptions,
 };
 use pnstm::trace::TraceEvent;
-use pnstm::{stripe_of, ParallelismDegree, Stm, StmConfig, TestSink, TraceBus};
+use pnstm::{stripe_of, ParallelismDegree, SchedMode, Stm, StmConfig, TestSink, TraceBus};
 use proptest::prelude::*;
 use simtm::{MachineParams, SimWorkload};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,11 +23,23 @@ use workloads::{LiveStmSystem, SimSystem};
 /// Run one live tuning session with `plan` armed inside the STM and return
 /// (the trace, injections of `kind`, whether the session reported degraded).
 fn live_tune_under(plan: FaultPlan, kind: FaultKind) -> (Vec<TraceEvent>, u64, bool) {
+    live_tune_under_sched(plan, kind, SchedMode::Mutex)
+}
+
+/// [`live_tune_under`] on an explicit rung of the scheduler ladder: the
+/// chaos contract (sessions complete, every injection traced, shutdown
+/// bounded) must hold under both execution layers.
+fn live_tune_under_sched(
+    plan: FaultPlan,
+    kind: FaultKind,
+    sched_mode: SchedMode,
+) -> (Vec<TraceEvent>, u64, bool) {
     let plan = Arc::new(plan);
     let stm = Stm::new(StmConfig {
         degree: ParallelismDegree::new(1, 1),
         worker_threads: 2,
         fault: Some(plan.clone()),
+        sched_mode,
         ..StmConfig::default()
     });
     let sink = Arc::new(TestSink::default());
@@ -217,6 +229,32 @@ fn tuning_completes_under_admission_stalls() {
 }
 
 #[test]
+fn tuning_completes_under_child_stalls_work_stealing() {
+    // Same plan as the mutex-pool variant, but the stall now lands *after*
+    // the lock-free claim in `ws_run_task` instead of inside the queue
+    // critical section. The chaos contract is unchanged: the session
+    // completes and every injection is traced.
+    let kind = FaultKind::ChildStall;
+    let plan = FaultPlan::new(44)
+        .with_rule(kind, FaultRule::with_probability(0.3).delay_ns(200_000).budget(400));
+    let (events, injected, _) = live_tune_under_sched(plan, kind, SchedMode::WorkStealing);
+    assert!(injected > 0, "no child stalls were injected");
+    assert_eq!(count_injected(&events, kind), injected);
+}
+
+#[test]
+fn tuning_completes_under_admission_stalls_work_stealing() {
+    // Admission here is the packed-gate CAS path rather than the semaphore
+    // mutex; the stall site in `Stm::atomic` is scheduler-independent.
+    let kind = FaultKind::AdmissionStall;
+    let plan = FaultPlan::new(45)
+        .with_rule(kind, FaultRule::with_probability(0.4).delay_ns(500_000).budget(300));
+    let (events, injected, _) = live_tune_under_sched(plan, kind, SchedMode::WorkStealing);
+    assert!(injected > 0, "no admission stalls were injected");
+    assert_eq!(count_injected(&events, kind), injected);
+}
+
+#[test]
 fn tuning_completes_under_worker_panics() {
     let kind = FaultKind::WorkerPanic;
     // Low probability + the default restart budget: workers keep being
@@ -289,6 +327,49 @@ fn shutdown_is_bounded_while_admission_is_starved() {
         start.elapsed()
     );
     // The STM stays usable after shutdown (admission reopened).
+    let cell = stm.new_vbox(0i32);
+    stm.atomic({
+        let cell = cell.clone();
+        move |tx| {
+            tx.write(&cell, 1);
+            Ok(())
+        }
+    })
+    .expect("STM usable after shutdown");
+}
+
+#[test]
+fn shutdown_is_bounded_while_admission_is_starved_work_stealing() {
+    // The packed admission gate's shutdown contract: `close()` must wake
+    // workers parked on the gate's sharded parker lists with
+    // `StmError::Shutdown`, exactly as the semaphore's condvar broadcast
+    // does — a lost wakeup would wedge this shutdown.
+    let plan = Arc::new(FaultPlan::new(49).with_rule(
+        FaultKind::AdmissionStall,
+        FaultRule::with_probability(1.0).delay_ns(2_000_000),
+    ));
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(1, 1),
+        worker_threads: 2,
+        fault: Some(plan),
+        sched_mode: SchedMode::WorkStealing,
+        ..StmConfig::default()
+    });
+    let wl = Arc::new(ArrayWorkload::new(
+        &stm,
+        "chaos-shutdown-ws",
+        ArrayParams { size: 64, write_fraction: 0.5, chunks: 2 },
+    ));
+    let mut system = LiveStmSystem::start(stm.clone(), wl, 4).expect("spawn live workers");
+    std::thread::sleep(Duration::from_millis(100));
+    let start = Instant::now();
+    system.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} with workers parked on the packed gate",
+        start.elapsed()
+    );
+    // The STM stays usable after shutdown (gate reopened).
     let cell = stm.new_vbox(0i32);
     stm.atomic({
         let cell = cell.clone();
