@@ -38,6 +38,18 @@ impl PnstmActuator {
     pub fn stm(&self) -> &pnstm::Stm {
         &self.stm
     }
+
+    /// Switch the STM's contention-management policy. Like [`Actuator::apply`]
+    /// this takes effect for *subsequent* abort decisions; transactions
+    /// mid-backoff finish their current wait under the old policy.
+    pub fn set_policy(&self, policy: crate::space::CmPolicy) {
+        self.stm.set_cm_mode(policy.into());
+    }
+
+    /// The contention-management policy currently in force.
+    pub fn policy(&self) -> crate::space::CmPolicy {
+        self.stm.cm_mode().into()
+    }
 }
 
 impl Actuator for PnstmActuator {
@@ -77,6 +89,19 @@ mod tests {
         act.apply(Config::new(2, 2));
         act.apply(Config::new(2, 2));
         assert_eq!(act.current(), Config::new(2, 2));
+    }
+
+    #[test]
+    fn policy_actuation_round_trips() {
+        use crate::space::CmPolicy;
+        let stm = Stm::new(StmConfig::default());
+        let act = PnstmActuator::new(stm.clone());
+        assert_eq!(act.policy(), CmPolicy::Immediate);
+        act.set_policy(CmPolicy::Karma);
+        assert_eq!(act.policy(), CmPolicy::Karma);
+        assert_eq!(stm.cm_mode(), pnstm::CmMode::Karma);
+        act.set_policy(CmPolicy::Immediate);
+        assert_eq!(act.policy(), CmPolicy::Immediate);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod model;
 pub mod monitor;
 pub mod multi;
 pub mod optimizer;
+pub mod policy;
 pub mod sampling;
 pub mod smbo;
 pub mod space;
@@ -69,6 +70,7 @@ pub use multi::{MultiAutoPn, MultiAutoPnConfig, MultiConfig};
 pub use optimizer::{AutoPn, AutoPnConfig, Tuner};
 pub use pnstm::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};
 pub use pnstm::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
+pub use policy::{sweep_policies, PolicySweepOutcome};
 pub use sampling::InitialSampling;
-pub use space::{Config, SearchSpace};
+pub use space::{CmPolicy, Config, SearchSpace};
 pub use stopping::StopCondition;

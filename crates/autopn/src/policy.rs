@@ -1,0 +1,203 @@
+//! Co-tuning the contention-management policy with `(t, c)`.
+//!
+//! The CM policy ([`CmPolicy`]) is a categorical axis: it has no numeric
+//! neighbourhood for the model-based `(t, c)` search to exploit, and the
+//! best `(t, c)` genuinely depends on the policy (backoff flattens the
+//! abort cliff at high `t`, so the throughput surface moves). The sweep
+//! therefore runs one *full* tuning session per policy — fresh tuner and
+//! fresh monitor each time, since AutoPN keeps no cross-workload knowledge
+//! by design (§V-B) and a policy switch is a workload change from the
+//! monitor's perspective — and picks the `(policy, t, c)` triple with the
+//! best measured throughput.
+
+use crate::controller::{Controller, TunableSystem, TuneOptions, TuningOutcome};
+use crate::monitor::MonitorPolicy;
+use crate::optimizer::Tuner;
+use crate::space::{CmPolicy, Config};
+use pnstm::TraceBus;
+
+/// Outcome of a `{policy} × (t, c)` sweep: every per-policy session, plus
+/// the winning triple (re-applied to the system before returning).
+#[derive(Debug, Clone)]
+pub struct PolicySweepOutcome {
+    /// One completed tuning session per swept policy, in sweep order.
+    pub sessions: Vec<(CmPolicy, TuningOutcome)>,
+    /// The policy of the winning session.
+    pub best_policy: CmPolicy,
+    /// The winning session's best `(t, c)`.
+    pub best: Config,
+    /// Its measured throughput.
+    pub best_throughput: f64,
+    /// Any per-policy session degraded (see [`TuningOutcome::degraded`]).
+    pub degraded: bool,
+}
+
+/// Run one `(t, c)` tuning session per policy in `policies` (the full
+/// ladder when empty) and leave the system on the best `(policy, t, c)`.
+///
+/// `set_policy` enacts a policy on the tuned system (live STM:
+/// `|p| stm.set_cm_mode(p.into())`, or [`crate::PnstmActuator::set_policy`]).
+/// `make_tuner` / `make_monitor` build a fresh optimizer and measurement
+/// policy per session.
+pub fn sweep_policies(
+    system: &mut dyn TunableSystem,
+    policies: &[CmPolicy],
+    set_policy: &mut dyn FnMut(CmPolicy),
+    make_tuner: &mut dyn FnMut(CmPolicy) -> Box<dyn Tuner>,
+    make_monitor: &mut dyn FnMut(CmPolicy) -> Box<dyn MonitorPolicy>,
+    trace: &TraceBus,
+    opts: &TuneOptions,
+) -> PolicySweepOutcome {
+    let policies: Vec<CmPolicy> =
+        if policies.is_empty() { CmPolicy::ALL.to_vec() } else { policies.to_vec() };
+    let mut sessions: Vec<(CmPolicy, TuningOutcome)> = Vec::with_capacity(policies.len());
+    let mut degraded = false;
+    for &p in &policies {
+        set_policy(p);
+        let mut tuner = make_tuner(p);
+        let mut monitor = make_monitor(p);
+        let outcome =
+            Controller::tune_traced_with(system, tuner.as_mut(), monitor.as_mut(), trace, opts);
+        degraded |= outcome.degraded;
+        sessions.push((p, outcome));
+    }
+    // Winner by measured throughput; ties resolve to the earlier (more
+    // conservative, ladder-ordered) policy. `sessions` is non-empty: the
+    // policy list defaults to the full ladder above.
+    let (best_policy, best, best_throughput) = sessions
+        .iter()
+        .map(|(p, o)| (*p, o.best, o.best_throughput))
+        .reduce(|a, b| if b.2 > a.2 { b } else { a })
+        .expect("at least one policy session ran");
+    // Each session parks the system on its own best; re-enact the winning
+    // triple now that the whole sweep has finished. Best effort, as with the
+    // controller's own fallback path: a veto here leaves the last session's
+    // configuration in force.
+    set_policy(best_policy);
+    if system.try_apply(best).is_err() {
+        degraded = true;
+    }
+    PolicySweepOutcome { sessions, best_policy, best, best_throughput, degraded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::AdaptiveMonitor;
+    use crate::optimizer::{AutoPn, AutoPnConfig};
+    use crate::space::SearchSpace;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Deterministic fake: commit period depends on `(t, c)` *and* on the
+    /// currently enacted policy (Karma is the clear winner, Immediate the
+    /// clear loser), with the optimum at (6, 2) in all cases.
+    struct PolicyFakeSystem {
+        now: u64,
+        period_ns: u64,
+        cfg: Config,
+        policy_idx: Arc<AtomicUsize>,
+    }
+
+    impl PolicyFakeSystem {
+        fn policy_penalty(idx: usize) -> u64 {
+            match CmPolicy::ALL[idx] {
+                CmPolicy::Immediate => 600_000,
+                CmPolicy::ExpBackoff => 200_000,
+                CmPolicy::Karma => 0,
+                CmPolicy::Greedy => 300_000,
+            }
+        }
+        fn period_for(cfg: Config, idx: usize) -> u64 {
+            let penalty =
+                (cfg.t as f64 - 6.0).powi(2) * 40_000.0 + (cfg.c as f64 - 2.0).powi(2) * 90_000.0;
+            (200_000.0 + penalty) as u64 + Self::policy_penalty(idx)
+        }
+        fn refresh(&mut self) {
+            self.period_ns = Self::period_for(self.cfg, self.policy_idx.load(Ordering::Relaxed));
+        }
+    }
+
+    impl TunableSystem for PolicyFakeSystem {
+        fn apply(&mut self, cfg: Config) {
+            self.cfg = cfg;
+            self.refresh();
+        }
+        fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+            self.refresh();
+            if self.period_ns <= max_wait_ns {
+                self.now += self.period_ns;
+                Some(self.now)
+            } else {
+                self.now += max_wait_ns;
+                None
+            }
+        }
+        fn now_ns(&self) -> u64 {
+            self.now
+        }
+    }
+
+    #[test]
+    fn sweep_finds_the_best_policy_and_config() {
+        let policy_idx = Arc::new(AtomicUsize::new(0));
+        let mut sys = PolicyFakeSystem {
+            now: 0,
+            period_ns: 1_000_000,
+            cfg: Config::new(1, 1),
+            policy_idx: Arc::clone(&policy_idx),
+        };
+        let knob = Arc::clone(&policy_idx);
+        let outcome = sweep_policies(
+            &mut sys,
+            &CmPolicy::ALL,
+            &mut |p| {
+                knob.store(CmPolicy::ALL.iter().position(|&q| q == p).unwrap(), Ordering::Relaxed)
+            },
+            &mut |_| Box::new(AutoPn::new(SearchSpace::new(16), AutoPnConfig::default())),
+            &mut |_| Box::new(AdaptiveMonitor::default()),
+            &TraceBus::default(),
+            &TuneOptions::default(),
+        );
+        assert_eq!(outcome.sessions.len(), 4, "one full session per policy");
+        assert_eq!(outcome.best_policy, CmPolicy::Karma);
+        assert!(
+            (outcome.best.t as i64 - 6).abs() <= 1 && (outcome.best.c as i64 - 2).abs() <= 1,
+            "best {} too far from (6,2)",
+            outcome.best
+        );
+        assert!(!outcome.degraded);
+        // The system was left on the winning triple.
+        assert_eq!(policy_idx.load(Ordering::Relaxed), 2, "karma re-enacted after the sweep");
+        assert_eq!(sys.cfg, outcome.best);
+        // Throughputs actually separate the policies as constructed.
+        let tp =
+            |p: CmPolicy| outcome.sessions.iter().find(|(q, _)| *q == p).unwrap().1.best_throughput;
+        assert!(tp(CmPolicy::Karma) > tp(CmPolicy::Immediate));
+    }
+
+    #[test]
+    fn empty_policy_list_defaults_to_the_full_ladder() {
+        let policy_idx = Arc::new(AtomicUsize::new(0));
+        let mut sys = PolicyFakeSystem {
+            now: 0,
+            period_ns: 1_000_000,
+            cfg: Config::new(1, 1),
+            policy_idx: Arc::clone(&policy_idx),
+        };
+        let knob = Arc::clone(&policy_idx);
+        let outcome = sweep_policies(
+            &mut sys,
+            &[],
+            &mut |p| {
+                knob.store(CmPolicy::ALL.iter().position(|&q| q == p).unwrap(), Ordering::Relaxed)
+            },
+            &mut |_| Box::new(AutoPn::new(SearchSpace::new(8), AutoPnConfig::default())),
+            &mut |_| Box::new(AdaptiveMonitor::default()),
+            &TraceBus::default(),
+            &TuneOptions::default(),
+        );
+        let swept: Vec<CmPolicy> = outcome.sessions.iter().map(|(p, _)| *p).collect();
+        assert_eq!(swept, CmPolicy::ALL.to_vec());
+    }
+}

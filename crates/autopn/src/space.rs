@@ -1,6 +1,65 @@
-//! The configuration search space `S = {(t, c) : t·c ≤ n}` (§III-B).
+//! The configuration search space `S = {(t, c) : t·c ≤ n}` (§III-B), plus
+//! the discrete contention-policy axis ([`CmPolicy`]) that extends it to
+//! `{policy} × (t, c)` co-tuning.
 
 use serde::impl_serde;
+
+/// Typed discrete knob for the STM's contention-management policy — the
+/// tuner-facing mirror of [`pnstm::CmMode`]. Unlike `(t, c)` this axis is
+/// categorical (no neighbourhood structure), so the sweep driver
+/// ([`crate::policy`]) enumerates it exhaustively and runs a full `(t, c)`
+/// session per value rather than folding it into the numeric search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum CmPolicy {
+    /// Retry instantly on abort (the STM default).
+    #[default]
+    Immediate,
+    /// Jittered exponential backoff per failed attempt.
+    ExpBackoff,
+    /// Karma: aborted work accrues priority; poorer transactions wait.
+    Karma,
+    /// Greedy: timestamp seniority; juniors wait at most once.
+    Greedy,
+}
+
+impl CmPolicy {
+    /// Every policy, in ladder order (the sweep default).
+    pub const ALL: [CmPolicy; 4] =
+        [CmPolicy::Immediate, CmPolicy::ExpBackoff, CmPolicy::Karma, CmPolicy::Greedy];
+
+    /// Stable lower-case tag (matches [`pnstm::CmMode::tag`]).
+    pub fn tag(&self) -> &'static str {
+        pnstm::CmMode::from(*self).tag()
+    }
+}
+
+impl From<CmPolicy> for pnstm::CmMode {
+    fn from(p: CmPolicy) -> Self {
+        match p {
+            CmPolicy::Immediate => pnstm::CmMode::Immediate,
+            CmPolicy::ExpBackoff => pnstm::CmMode::ExpBackoff,
+            CmPolicy::Karma => pnstm::CmMode::Karma,
+            CmPolicy::Greedy => pnstm::CmMode::Greedy,
+        }
+    }
+}
+
+impl From<pnstm::CmMode> for CmPolicy {
+    fn from(m: pnstm::CmMode) -> Self {
+        match m {
+            pnstm::CmMode::Immediate => CmPolicy::Immediate,
+            pnstm::CmMode::ExpBackoff => CmPolicy::ExpBackoff,
+            pnstm::CmMode::Karma => CmPolicy::Karma,
+            pnstm::CmMode::Greedy => CmPolicy::Greedy,
+        }
+    }
+}
+
+impl std::fmt::Display for CmPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
 
 /// One parallelism-degree configuration: `t` concurrent top-level
 /// transactions, `c` concurrent nested transactions per transaction tree.
@@ -235,5 +294,17 @@ mod tests {
     fn conversion_to_parallelism_degree() {
         let d: pnstm::ParallelismDegree = Config::new(3, 5).into();
         assert_eq!(d, pnstm::ParallelismDegree::new(3, 5));
+    }
+
+    #[test]
+    fn cm_policy_round_trips_through_cm_mode() {
+        assert_eq!(CmPolicy::ALL.len(), pnstm::CM_POLICIES);
+        for p in CmPolicy::ALL {
+            let mode: pnstm::CmMode = p.into();
+            assert_eq!(CmPolicy::from(mode), p);
+            assert_eq!(p.tag(), mode.tag());
+            assert_eq!(p.to_string(), mode.tag());
+        }
+        assert_eq!(CmPolicy::default(), CmPolicy::Immediate);
     }
 }

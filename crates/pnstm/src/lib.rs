@@ -30,6 +30,11 @@
 //!   execution layer — child-task scheduler plus admission gate — is
 //!   pluggable ([`SchedMode`]): the default mutex-based pool/semaphore pair,
 //!   or a work-stealing scheduler with a lock-free packed admission gate.
+//! * **Pluggable contention management** ([`cm`], [`CmMode`]): the delay
+//!   before an aborted transaction retries is a policy — immediate (the
+//!   default), jittered exponential backoff, karma, or greedy seniority —
+//!   consulted at every abort site and switchable at runtime so the tuner
+//!   can co-tune it alongside `(t, c)`.
 //! * **KPI instrumentation**: commit/abort counters and a commit-event hook
 //!   ([`stats::Stats`]) feed the AutoPN monitor.
 //!
@@ -73,6 +78,7 @@
 //! ```
 
 pub mod clock;
+pub mod cm;
 pub mod collections;
 pub mod error;
 pub mod fault;
@@ -87,6 +93,7 @@ pub mod vbox;
 
 mod runtime;
 
+pub use cm::{AbortSite, CmMode, CmTx, ContentionManager, CM_POLICIES};
 pub use collections::{TArray, TCounter, TMap};
 pub use error::{StmError, TxError, TxResult};
 pub use fault::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};

@@ -7,13 +7,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use crate::clock::{GlobalClock, SnapshotRegistry};
+use crate::cm::{self, AbortSite, CmEngine, CmMode, CmTxGuard};
 use crate::error::{StmError, TxError, TxResult};
 use crate::fault::{FaultCtx, FaultKind, FaultPlan};
 use crate::pool::ChildPool;
 use crate::sched::{Admission, SchedMode, Scheduler, WorkStealingPool};
 use crate::stats::{Stats, TxKind};
 use crate::stripes::StripeTable;
-use crate::throttle::{PackedGate, ParallelismDegree, ReconfigError, ResizableSemaphore, Throttle};
+use crate::throttle::{
+    PackedGate, ParallelismDegree, Permit, ReconfigError, ResizableSemaphore, Throttle,
+};
 use crate::trace::{self, TraceBus, TraceEvent};
 use crate::txn::Txn;
 use crate::vbox::{AnyVBox, VBox};
@@ -66,10 +69,16 @@ pub struct StmConfig {
     /// Run version garbage collection every this many top-level commits
     /// (0 disables automatic GC; [`Stm::gc`] can still be called manually).
     pub gc_interval: u64,
-    /// Base delay of exponential post-abort backoff for top-level
-    /// transactions (doubling per consecutive abort, capped at 2⁶×;
-    /// `ZERO` disables). Damps retry storms under heavy contention.
+    /// Deprecated: absorbed by the contention manager. A nonzero value is
+    /// routed into the [`CmMode::ExpBackoff`] rung as its base delay (and,
+    /// when `cm_mode` is still [`CmMode::Immediate`], switches the instance
+    /// to `ExpBackoff` to preserve the field's old damping semantics).
+    /// Prefer setting [`StmConfig::cm_mode`] directly.
     pub retry_backoff: std::time::Duration,
+    /// Contention-management policy deciding the delay before an aborted
+    /// transaction retries, at every abort site (see [`crate::cm`]).
+    /// Switchable at runtime via [`Stm::set_cm_mode`].
+    pub cm_mode: CmMode,
     /// Deterministic fault-injection plan for chaos testing
     /// ([`crate::fault`]). `None` (the default) disables the layer: every
     /// injection site then costs a single branch.
@@ -93,6 +102,7 @@ impl Default for StmConfig {
             max_nested_retries: 10_000,
             gc_interval: 256,
             retry_backoff: std::time::Duration::ZERO,
+            cm_mode: CmMode::default(),
             fault: None,
             commit_path: CommitPath::default(),
             read_path: ReadPathMode::default(),
@@ -114,6 +124,7 @@ pub(crate) struct StmShared {
     commits_since_gc: AtomicU64,
     trace: TraceBus,
     fault: FaultCtx,
+    cm: CmEngine,
 }
 
 impl StmShared {
@@ -143,6 +154,9 @@ impl StmShared {
     }
     pub(crate) fn fault(&self) -> &FaultCtx {
         &self.fault
+    }
+    pub(crate) fn cm(&self) -> &CmEngine {
+        &self.cm
     }
 
     pub(crate) fn register_vbox<T: TxValue>(&self, initial: T) -> VBox<T> {
@@ -226,6 +240,17 @@ impl Stm {
                 Arc::new(PackedGate::with_stats(config.degree.top_level, Arc::clone(&stats))),
             ),
         };
+        // Absorb the deprecated `retry_backoff` field into the contention
+        // manager: a nonzero value becomes the backoff rung's base delay,
+        // and — if no explicit policy was chosen — selects `ExpBackoff` so
+        // configs written against the old field keep their damping.
+        let retry_ns = config.retry_backoff.as_nanos().min(u64::MAX as u128) as u64;
+        let cm_mode = if config.cm_mode == CmMode::Immediate && retry_ns > 0 {
+            CmMode::ExpBackoff
+        } else {
+            config.cm_mode
+        };
+        let cm = CmEngine::new(cm_mode, retry_ns);
         Self {
             shared: Arc::new(StmShared {
                 clock: GlobalClock::new(),
@@ -240,6 +265,7 @@ impl Stm {
                 commits_since_gc: AtomicU64::new(0),
                 trace,
                 fault,
+                cm,
             }),
         }
     }
@@ -260,61 +286,120 @@ impl Stm {
             action.stall();
         }
         let wait_start = std::time::Instant::now();
-        let Some(_permit) = self.shared.throttle.admit_top_level() else {
+        let Some(permit) = self.shared.throttle.admit_top_level() else {
             return Err(StmError::Shutdown);
         };
+        let mut permit = Some(permit);
         let wait_ns = wait_start.elapsed().as_nanos() as u64;
         self.shared.stats.record_sem_wait(wait_ns);
         if trace.is_enabled() {
             trace.emit(TraceEvent::SemWait { wait_ns });
             trace.emit(TraceEvent::TxBegin { kind: TxKind::TopLevel, at_ns: trace::now_ns() });
         }
+        let mut cm_tx = self.shared.cm.begin_guard();
         let mut aborts: u64 = 0;
         loop {
-            let _snap = self.shared.registry.register_current(&self.shared.clock);
-            let read_version = _snap.version();
-            let mut tx = Txn::top(Arc::clone(&self.shared), read_version);
-            match body(&mut tx) {
-                Ok(value) => match tx.commit_top() {
-                    Ok(()) => {
-                        self.shared.stats.record_commit_top();
+            // Re-admit if a long contention-manager wait released the slot.
+            if permit.is_none() {
+                let wait_start = std::time::Instant::now();
+                let Some(p) = self.shared.throttle.admit_top_level() else {
+                    return Err(StmError::Shutdown);
+                };
+                let wait_ns = wait_start.elapsed().as_nanos() as u64;
+                self.shared.stats.record_sem_wait(wait_ns);
+                if trace.is_enabled() {
+                    trace.emit(TraceEvent::SemWait { wait_ns });
+                }
+                permit = Some(p);
+            }
+            // The attempt runs in its own scope so the snapshot registration
+            // and the attempt's `Txn` are dropped before any backoff wait —
+            // a sleeping loser must not pin the GC watermark.
+            let (site, work) = {
+                let _snap = self.shared.registry.register_current(&self.shared.clock);
+                let read_version = _snap.version();
+                let mut tx = Txn::top(Arc::clone(&self.shared), read_version);
+                match body(&mut tx) {
+                    Ok(value) => match tx.commit_top() {
+                        Ok(()) => {
+                            self.shared.stats.record_commit_top();
+                            if trace.is_enabled() {
+                                trace.emit(TraceEvent::TxCommit {
+                                    kind: TxKind::TopLevel,
+                                    retries: aborts,
+                                    at_ns: trace::now_ns(),
+                                });
+                            }
+                            self.shared.maybe_auto_gc();
+                            return Ok(value);
+                        }
+                        Err(TxError::Conflict) => {
+                            let (r, w) = tx.footprint();
+                            (AbortSite::Commit, r + w)
+                        }
+                        Err(_) => unreachable!("commit_top only fails with Conflict"),
+                    },
+                    Err(TxError::UserAbort) => {
+                        self.shared.stats.record_abort_top();
                         if trace.is_enabled() {
-                            trace.emit(TraceEvent::TxCommit {
+                            trace.emit(TraceEvent::TxAbort {
                                 kind: TxKind::TopLevel,
-                                retries: aborts,
+                                retries: aborts + 1,
                                 at_ns: trace::now_ns(),
                             });
                         }
-                        self.shared.maybe_auto_gc();
-                        return Ok(value);
+                        return Err(StmError::UserAborted);
                     }
-                    Err(TxError::Conflict) => {
-                        self.record_top_abort_traced(&mut aborts)?;
-                        tx.reset();
-                        self.backoff(aborts);
+                    Err(TxError::Conflict) | Err(TxError::ChildPanic) => {
+                        // A child exhausted its sibling-conflict budget (or
+                        // the body surfaced a conflict): abort the tree.
+                        let (r, w) = tx.footprint();
+                        (AbortSite::Top, r + w)
                     }
-                    Err(_) => unreachable!("commit_top only fails with Conflict"),
-                },
-                Err(TxError::UserAbort) => {
-                    self.shared.stats.record_abort_top();
-                    if trace.is_enabled() {
-                        trace.emit(TraceEvent::TxAbort {
-                            kind: TxKind::TopLevel,
-                            retries: aborts + 1,
-                            at_ns: trace::now_ns(),
-                        });
-                    }
-                    return Err(StmError::UserAborted);
                 }
-                Err(TxError::Conflict) | Err(TxError::ChildPanic) => {
-                    // A child exhausted its sibling-conflict budget (or the
-                    // body surfaced a conflict): abort the tree and retry.
-                    self.record_top_abort_traced(&mut aborts)?;
-                    tx.reset();
-                    self.backoff(aborts);
-                }
-            }
+            };
+            self.record_top_abort_traced(&mut aborts)?;
+            self.cm_pause_top(&mut cm_tx, site, aborts, work, &mut permit)?;
         }
+    }
+
+    /// Consult the contention manager after a top-level abort and execute
+    /// its decision. Long waits release the admission permit first (the
+    /// retry loop re-admits); admission shutdown cuts any wait short with
+    /// [`StmError::Shutdown`], so backing-off transactions drain as promptly
+    /// as parked ones.
+    fn cm_pause_top(
+        &self,
+        cm_tx: &mut CmTxGuard<'_>,
+        site: AbortSite,
+        attempt: u64,
+        work: usize,
+        permit: &mut Option<Permit>,
+    ) -> Result<(), StmError> {
+        let (policy, wait) = cm_tx.decide(site, attempt, work);
+        if wait.is_zero() {
+            return Ok(());
+        }
+        if wait.as_nanos() as u64 >= cm::PERMIT_RELEASE_THRESHOLD_NS {
+            *permit = None; // don't occupy an admission slot while asleep
+        }
+        let throttle = &self.shared.throttle;
+        let (waited_ns, cancelled) = cm::sleep_interruptible(wait, || throttle.is_closed());
+        self.shared.stats.record_cm_wait(policy.index(), waited_ns);
+        let trace = &self.shared.trace;
+        if trace.is_enabled() {
+            trace.emit(TraceEvent::CmDecision {
+                policy,
+                site,
+                waited_ns,
+                attempt,
+                at_ns: trace::now_ns(),
+            });
+        }
+        if cancelled {
+            return Err(StmError::Shutdown);
+        }
+        Ok(())
     }
 
     /// Shared conflict-abort bookkeeping of the retry loop: count the abort,
@@ -335,15 +420,6 @@ impl Stm {
             return Err(StmError::RetriesExhausted { attempts: *aborts });
         }
         Ok(())
-    }
-
-    /// Exponential post-abort backoff (no-op when disabled).
-    fn backoff(&self, aborts: u64) {
-        let base = self.shared.config.retry_backoff;
-        if base > std::time::Duration::ZERO && aborts > 0 {
-            let factor = 1u32 << (aborts - 1).min(6) as u32;
-            std::thread::sleep(base * factor);
-        }
     }
 
     /// Run a read-only transaction. Never aborts and takes no admission
@@ -429,6 +505,19 @@ impl Stm {
     /// The `(t, c)` configuration currently in force.
     pub fn degree(&self) -> ParallelismDegree {
         self.shared.throttle.current()
+    }
+
+    /// The contention-management policy currently in force.
+    pub fn cm_mode(&self) -> CmMode {
+        self.shared.cm.mode()
+    }
+
+    /// Switch the contention-management policy live. Running transactions
+    /// keep their accrued per-chain state and consult the new policy from
+    /// their next abort on — this is the actuation point for tuners that
+    /// treat the policy as a discrete knob.
+    pub fn set_cm_mode(&self, mode: CmMode) {
+        self.shared.cm.set_mode(mode);
     }
 
     /// Resize the shared child-transaction worker pool.

@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::cm::CM_POLICIES;
+
 /// Which kind of transaction an event refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxKind {
@@ -60,6 +62,9 @@ pub struct Stats {
     steal_count: AtomicU64,
     deque_overflow: AtomicU64,
     park_count: AtomicU64,
+    cm_policy_waits: [AtomicU64; CM_POLICIES],
+    cm_wait_total_ns: AtomicU64,
+    cm_wait_hist: [AtomicU64; SEM_WAIT_BUCKETS],
     /// The commit hook as a raw `Box<CommitHook>` pointer (null = none), so
     /// the per-commit fast path is a single `Acquire` load instead of a
     /// reader-writer lock acquisition plus an `Arc` clone.
@@ -89,6 +94,9 @@ impl Default for Stats {
             steal_count: AtomicU64::new(0),
             deque_overflow: AtomicU64::new(0),
             park_count: AtomicU64::new(0),
+            cm_policy_waits: std::array::from_fn(|_| AtomicU64::new(0)),
+            cm_wait_total_ns: AtomicU64::new(0),
+            cm_wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             hook: AtomicPtr::new(std::ptr::null_mut()),
             retired: Mutex::new(Vec::new()),
         }
@@ -192,6 +200,15 @@ impl Stats {
         self.park_count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one contention-manager backoff wait of `wait_ns` decided by
+    /// the policy at [`crate::CmMode::index`] `policy`. Zero-wait decisions
+    /// (the `Immediate` rung, winners under karma/greedy) are not recorded.
+    pub fn record_cm_wait(&self, policy: usize, wait_ns: u64) {
+        self.cm_policy_waits[policy.min(CM_POLICIES - 1)].fetch_add(1, Ordering::Relaxed);
+        self.cm_wait_total_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.cm_wait_hist[Self::sem_wait_bucket(wait_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Histogram bucket for a wait of `wait_ns` (see [`SEM_WAIT_BUCKETS`]).
     pub fn sem_wait_bucket(wait_ns: u64) -> usize {
         let us = wait_ns / 1_000;
@@ -235,6 +252,11 @@ impl Stats {
             steal_count: self.steal_count.load(Ordering::Relaxed),
             deque_overflow: self.deque_overflow.load(Ordering::Relaxed),
             park_count: self.park_count.load(Ordering::Relaxed),
+            cm_policy_waits: std::array::from_fn(|i| {
+                self.cm_policy_waits[i].load(Ordering::Relaxed)
+            }),
+            cm_wait_total_ns: self.cm_wait_total_ns.load(Ordering::Relaxed),
+            cm_wait_hist: std::array::from_fn(|i| self.cm_wait_hist[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -301,6 +323,15 @@ pub struct StatsSnapshot {
     /// Top-level admissions that parked on the lock-free gate (work-stealing
     /// mode only; the mutex semaphore blocks on its condvar instead).
     pub park_count: u64,
+    /// Contention-manager backoff waits per policy, indexed by
+    /// [`crate::CmMode::index`]. Zero-wait decisions are not counted, so
+    /// the `Immediate` slot stays 0.
+    pub cm_policy_waits: [u64; CM_POLICIES],
+    /// Total nanoseconds spent in contention-manager backoff waits.
+    pub cm_wait_total_ns: u64,
+    /// Log2 histogram of contention-manager backoff waits (same bucketing
+    /// as the admission-wait histogram, see [`SEM_WAIT_BUCKETS`]).
+    pub cm_wait_hist: [u64; SEM_WAIT_BUCKETS],
 }
 
 impl StatsSnapshot {
@@ -322,6 +353,11 @@ impl StatsSnapshot {
         } else {
             self.nested_aborts as f64 / total as f64
         }
+    }
+
+    /// Total contention-manager backoff waits across all policies.
+    pub fn cm_wait_count(&self) -> u64 {
+        self.cm_policy_waits.iter().sum()
     }
 
     /// Mean top-level admission wait in nanoseconds (0 when none recorded).
@@ -361,6 +397,13 @@ impl StatsSnapshot {
             steal_count: self.steal_count.saturating_sub(earlier.steal_count),
             deque_overflow: self.deque_overflow.saturating_sub(earlier.deque_overflow),
             park_count: self.park_count.saturating_sub(earlier.park_count),
+            cm_policy_waits: std::array::from_fn(|i| {
+                self.cm_policy_waits[i].saturating_sub(earlier.cm_policy_waits[i])
+            }),
+            cm_wait_total_ns: self.cm_wait_total_ns.saturating_sub(earlier.cm_wait_total_ns),
+            cm_wait_hist: std::array::from_fn(|i| {
+                self.cm_wait_hist[i].saturating_sub(earlier.cm_wait_hist[i])
+            }),
         }
     }
 }
@@ -434,6 +477,27 @@ mod tests {
         assert_eq!(d.steal_count, 3);
         assert_eq!(d.deque_overflow, 5);
         assert_eq!(d.park_count, 2);
+    }
+
+    #[test]
+    fn cm_wait_counters_accumulate() {
+        let s = Stats::new();
+        let backoff = crate::cm::CmMode::ExpBackoff.index();
+        let karma = crate::cm::CmMode::Karma.index();
+        s.record_cm_wait(backoff, 3_000);
+        s.record_cm_wait(backoff, 500);
+        s.record_cm_wait(karma, 2_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.cm_policy_waits[backoff], 2);
+        assert_eq!(snap.cm_policy_waits[karma], 1);
+        assert_eq!(snap.cm_policy_waits[crate::cm::CmMode::Immediate.index()], 0);
+        assert_eq!(snap.cm_wait_count(), 3);
+        assert_eq!(snap.cm_wait_total_ns, 5_500);
+        assert_eq!(snap.cm_wait_hist[0], 1); // 500 ns
+        assert_eq!(snap.cm_wait_hist[1], 2); // 2 µs and 3 µs
+        let d = snap.delta_since(&StatsSnapshot::default());
+        assert_eq!(d.cm_wait_count(), 3);
+        assert_eq!(d.cm_wait_total_ns, 5_500);
     }
 
     #[test]

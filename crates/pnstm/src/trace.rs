@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use crate::cm::{AbortSite, CmMode};
 use crate::fault::FaultKind;
 use crate::stats::TxKind;
 
@@ -118,6 +119,11 @@ pub enum TraceEvent {
     /// The measurement watchdog force-closed a window that outlived its hard
     /// deadline (the adaptive timeout never fired — e.g. a stalled system).
     WatchdogFired { at_ns: u64 },
+    /// The contention manager delayed a retry: `policy` decided a wait of
+    /// `waited_ns` at abort site `site`, `attempt` aborts into the chain.
+    /// Emitted only for nonzero waits — the `Immediate` rung (and winners
+    /// under karma/greedy) stay off the bus.
+    CmDecision { policy: CmMode, site: AbortSite, waited_ns: u64, attempt: u64, at_ns: u64 },
 }
 
 fn push_f64(out: &mut String, x: f64) {
@@ -159,6 +165,7 @@ impl TraceEvent {
             TraceEvent::WorkerPanicked { .. } => "worker_panicked",
             TraceEvent::ApplyDegraded { .. } => "apply_degraded",
             TraceEvent::WatchdogFired { .. } => "watchdog_fired",
+            TraceEvent::CmDecision { .. } => "cm_decision",
         }
     }
 
@@ -269,6 +276,14 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"t\":{t},\"c\":{c},\"fb_t\":{fb_t},\"fb_c\":{fb_c},\"attempts\":{attempts}"
+                );
+            }
+            TraceEvent::CmDecision { policy, site, waited_ns, attempt, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"policy\":\"{}\",\"site\":\"{}\",\"waited_ns\":{waited_ns},\"attempt\":{attempt},\"at_ns\":{at_ns}",
+                    policy.tag(),
+                    site.tag()
                 );
             }
         }
@@ -591,6 +606,13 @@ mod tests {
             TraceEvent::WorkerPanicked { worker: 2, restarts: 5, at_ns: 60 },
             TraceEvent::ApplyDegraded { t: 8, c: 4, fb_t: 2, fb_c: 1, attempts: 4 },
             TraceEvent::WatchdogFired { at_ns: 70 },
+            TraceEvent::CmDecision {
+                policy: CmMode::ExpBackoff,
+                site: AbortSite::Commit,
+                waited_ns: 40_000,
+                attempt: 2,
+                at_ns: 80,
+            },
         ];
         for ev in evs {
             let json = ev.to_json();
@@ -627,6 +649,17 @@ mod tests {
             }
             .to_json(),
             r#"{"ev":"fault_injected","kind":"commit-hold","seq":1,"delay_ns":250,"at_ns":9}"#
+        );
+        assert_eq!(
+            TraceEvent::CmDecision {
+                policy: CmMode::Greedy,
+                site: AbortSite::Nested,
+                waited_ns: 200_000,
+                attempt: 1,
+                at_ns: 12,
+            }
+            .to_json(),
+            r#"{"ev":"cm_decision","policy":"greedy","site":"nested","waited_ns":200000,"attempt":1,"at_ns":12}"#
         );
     }
 

@@ -581,12 +581,6 @@ impl Txn {
         debug_assert_eq!(published, version, "commit lock serializes clock ticks");
         Ok(())
     }
-
-    /// Discard all tentative state ahead of a retry.
-    pub(crate) fn reset(&mut self) {
-        self.ws = Arc::new(WriteSet::new());
-        self.rs.clear();
-    }
 }
 
 impl Drop for Txn {
@@ -614,6 +608,11 @@ impl Drop for Txn {
 
 /// Run one child task to completion: retry on sibling conflicts (with a fresh
 /// nest-clock cap each attempt), propagate user aborts, capture panics.
+///
+/// Between attempts the contention manager is consulted
+/// ([`crate::cm::AbortSite::Nested`]): under the backoff/karma/greedy rungs
+/// a losing child sleeps instead of hot-spinning its way through
+/// `max_nested_retries` immediate re-executions against the same winner.
 fn run_child<R>(
     shared: &Arc<StmShared>,
     root_rv: u64,
@@ -631,6 +630,7 @@ fn run_child<R>(
             at_ns: crate::trace::now_ns(),
         });
     }
+    let mut cm_tx = shared.cm().begin_guard();
     let mut attempts: u64 = 0;
     loop {
         let mut scope = Vec::with_capacity(1 + inherited.len());
@@ -673,6 +673,32 @@ fn run_child<R>(
                     if attempts >= max_retries {
                         return Err(TxError::Conflict);
                     }
+                    let (r, w) = tx.footprint();
+                    // Drop the attempt (and its scope handles) before any
+                    // wait: a sleeping child must not keep the published
+                    // parent snapshot alive longer than necessary.
+                    drop(tx);
+                    let (policy, wait) =
+                        cm_tx.decide(crate::cm::AbortSite::Nested, attempts, r + w);
+                    if !wait.is_zero() {
+                        // A closed admission gate cuts the wait short: the
+                        // conflict then escalates through the normal retry
+                        // machinery instead of stalling shutdown.
+                        let throttle = shared.throttle();
+                        let (waited_ns, _cancelled) =
+                            crate::cm::sleep_interruptible(wait, || throttle.is_closed());
+                        shared.stats().record_cm_wait(policy.index(), waited_ns);
+                        if trace.is_enabled() {
+                            trace.emit(crate::trace::TraceEvent::CmDecision {
+                                policy,
+                                site: crate::cm::AbortSite::Nested,
+                                waited_ns,
+                                attempt: attempts,
+                                at_ns: crate::trace::now_ns(),
+                            });
+                        }
+                    }
+                    continue;
                 }
                 Err(other) => return Err(other),
             },

@@ -110,10 +110,6 @@ impl ReadSet {
             self.entries.entry(*id).or_insert_with(|| Arc::clone(vbox));
         }
     }
-
-    pub(crate) fn clear(&mut self) {
-        self.entries.clear();
-    }
 }
 
 #[cfg(test)]

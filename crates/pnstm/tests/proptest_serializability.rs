@@ -7,7 +7,8 @@ use std::sync::Arc;
 use std::thread;
 
 use pnstm::{
-    child, stripe_of, CommitPath, ParallelismDegree, ReadPathMode, SchedMode, Stm, StmConfig, VBox,
+    child, stripe_of, CmMode, CommitPath, ParallelismDegree, ReadPathMode, SchedMode, Stm,
+    StmConfig, VBox,
 };
 
 /// One randomly generated top-level transaction: a list of per-slot deltas;
@@ -295,6 +296,56 @@ proptest! {
         let mut states = Vec::new();
         for mode in [SchedMode::WorkStealing, SchedMode::Mutex] {
             let stm = stm_sched(ParallelismDegree::new(4, 2), mode);
+            let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
+            states.push(run_history_on(&stm, &boxes, &specs, 3));
+        }
+        prop_assert_eq!(&states[0], &states[1], "concurrent final states diverged");
+    }
+
+    /// Differential replay across the contention-manager ladder: an
+    /// explicitly-Immediate instance is byte-identical to the pre-CM default
+    /// — the CM begin/decide calls on the hot path must be observably free
+    /// when the policy is Immediate. Single-threaded the histories are fully
+    /// defined, so states, commit/abort counts and the clock must agree
+    /// exactly; concurrently the additive deltas commute, so the final
+    /// states must agree (also exercised under ExpBackoff, whose waits may
+    /// reorder but never lose updates).
+    #[test]
+    fn immediate_cm_replays_seed_histories(
+        specs in proptest::collection::vec(tx_spec(4), 1..10),
+    ) {
+        let slots = 4;
+        let stm_cm = |degree, cm_mode| Stm::new(StmConfig {
+            degree, worker_threads: 2, cm_mode, ..StmConfig::default()
+        });
+        // Deterministic single-threaded replay: outcome-for-outcome equal.
+        let mut single = Vec::new();
+        for explicit in [true, false] {
+            let stm = if explicit {
+                stm_cm(ParallelismDegree::new(1, 1), CmMode::Immediate)
+            } else {
+                // The seed configuration, CM left entirely to its default.
+                Stm::new(StmConfig {
+                    degree: ParallelismDegree::new(1, 1),
+                    worker_threads: 2,
+                    ..StmConfig::default()
+                })
+            };
+            prop_assert_eq!(stm.cm_mode(), CmMode::Immediate);
+            let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
+            let state = run_history_on(&stm, &boxes, &specs, 1);
+            let snap = stm.stats().snapshot();
+            prop_assert_eq!(snap.cm_wait_count(), 0, "Immediate must never wait");
+            single.push((state, snap.top_commits, snap.top_aborts, stm.clock_now()));
+        }
+        prop_assert_eq!(&single[0], &single[1], "single-threaded histories diverged");
+        prop_assert_eq!(single[0].2, 0, "uncontended history must not abort");
+
+        // Concurrent replay: serializability pins the final state, on the
+        // oracle rung and on a waiting rung.
+        let mut states = Vec::new();
+        for cm_mode in [CmMode::Immediate, CmMode::ExpBackoff] {
+            let stm = stm_cm(ParallelismDegree::new(4, 2), cm_mode);
             let boxes = Arc::new((0..slots).map(|_| stm.new_vbox(0i64)).collect::<Vec<_>>());
             states.push(run_history_on(&stm, &boxes, &specs, 3));
         }

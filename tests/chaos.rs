@@ -167,10 +167,13 @@ fn stalled_stripe_does_not_block_disjoint_commits() {
 fn shutdown_is_bounded_under_stripe_holds() {
     // Every commit attempt stalls 2 ms on its stripe locks, up to a 400-
     // injection budget: the system crawls but must not wedge — shutdown
-    // completes promptly and in-flight stalled commits drain. (The budget
-    // matters: long unbounded holds inflate the conflict window enough to
-    // livelock two retrying writers against each other indefinitely, which
-    // is a contention-management property, not a shutdown property.)
+    // completes promptly and in-flight stalled commits drain. The budget
+    // keeps this focused on the shutdown property: under the default
+    // Immediate CM, unbounded holds inflate the conflict window enough to
+    // livelock retrying writers against each other. That livelock is a
+    // contention-management property with its own regression coverage —
+    // `tests/contention.rs` runs the *unbudgeted* plan to completion under
+    // the ExpBackoff and Greedy rungs.
     let plan = Arc::new(FaultPlan::new(51).with_rule(
         FaultKind::CommitHold,
         FaultRule::with_probability(1.0).delay_ns(2_000_000).budget(400),
