@@ -50,6 +50,29 @@ impl PnstmActuator {
     pub fn policy(&self) -> crate::space::CmPolicy {
         self.stm.cm_mode().into()
     }
+
+    /// Retarget the background collector's slice budget (boxes pruned per
+    /// slice before it yields). Takes effect from the collector's next slice.
+    pub fn set_gc_budget(&self, budget: crate::space::GcBudget) {
+        self.stm.set_gc_slice_boxes(budget.slice_boxes);
+    }
+
+    /// The GC slice budget currently in force.
+    pub fn gc_budget(&self) -> crate::space::GcBudget {
+        crate::space::GcBudget::new(self.stm.gc_slice_boxes())
+    }
+
+    /// Move the memory ladder's soft ceiling (retained versions above which
+    /// the runtime enters urgent collection and shortens snapshot leases).
+    /// Re-evaluates the ladder immediately against the new ceiling.
+    pub fn set_soft_ceiling(&self, versions: u64) {
+        self.stm.set_mem_soft_ceiling(versions);
+    }
+
+    /// The memory ladder's soft ceiling currently in force.
+    pub fn soft_ceiling(&self) -> u64 {
+        self.stm.mem_soft_ceiling()
+    }
 }
 
 impl Actuator for PnstmActuator {
@@ -102,6 +125,21 @@ mod tests {
         assert_eq!(stm.cm_mode(), pnstm::CmMode::Karma);
         act.set_policy(CmPolicy::Immediate);
         assert_eq!(act.policy(), CmPolicy::Immediate);
+    }
+
+    #[test]
+    fn mem_knob_actuation_round_trips() {
+        use crate::space::GcBudget;
+        let stm = Stm::new(StmConfig::default());
+        let act = PnstmActuator::new(stm.clone());
+        assert_eq!(act.gc_budget(), GcBudget::default());
+        act.set_gc_budget(GcBudget::new(256));
+        assert_eq!(act.gc_budget(), GcBudget::new(256));
+        assert_eq!(stm.gc_slice_boxes(), 256);
+        let soft = act.soft_ceiling();
+        act.set_soft_ceiling(soft / 2);
+        assert_eq!(act.soft_ceiling(), soft / 2);
+        act.set_soft_ceiling(soft);
     }
 
     #[test]

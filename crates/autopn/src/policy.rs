@@ -13,8 +13,50 @@
 use crate::controller::{Controller, TunableSystem, TuneOptions, TuningOutcome};
 use crate::monitor::MonitorPolicy;
 use crate::optimizer::Tuner;
-use crate::space::{CmPolicy, Config};
+use crate::space::{CmPolicy, Config, GcBudget};
 use pnstm::TraceBus;
+
+/// One full `(t, c)` session per value of a categorical axis. Shared driver
+/// behind [`sweep_policies`] and [`sweep_gc_budgets`]: fresh tuner and
+/// monitor per session (a knob switch is a workload change from the
+/// monitor's perspective), winner by measured throughput with ties resolving
+/// to the earlier (ladder-ordered) value, winning pair re-enacted at the end.
+fn sweep_axis<K: Copy>(
+    system: &mut dyn TunableSystem,
+    values: &[K],
+    set: &mut dyn FnMut(K),
+    make_tuner: &mut dyn FnMut(K) -> Box<dyn Tuner>,
+    make_monitor: &mut dyn FnMut(K) -> Box<dyn MonitorPolicy>,
+    trace: &TraceBus,
+    opts: &TuneOptions,
+) -> (Vec<(K, TuningOutcome)>, K, Config, f64, bool) {
+    assert!(!values.is_empty(), "axis sweep needs at least one value");
+    let mut sessions: Vec<(K, TuningOutcome)> = Vec::with_capacity(values.len());
+    let mut degraded = false;
+    for &k in values {
+        set(k);
+        let mut tuner = make_tuner(k);
+        let mut monitor = make_monitor(k);
+        let outcome =
+            Controller::tune_traced_with(system, tuner.as_mut(), monitor.as_mut(), trace, opts);
+        degraded |= outcome.degraded;
+        sessions.push((k, outcome));
+    }
+    let (best_key, best, best_throughput) = sessions
+        .iter()
+        .map(|(k, o)| (*k, o.best, o.best_throughput))
+        .reduce(|a, b| if b.2 > a.2 { b } else { a })
+        .expect("at least one session ran");
+    // Each session parks the system on its own best; re-enact the winning
+    // pair now that the whole sweep has finished. Best effort, as with the
+    // controller's own fallback path: a veto here leaves the last session's
+    // configuration in force.
+    set(best_key);
+    if system.try_apply(best).is_err() {
+        degraded = true;
+    }
+    (sessions, best_key, best, best_throughput, degraded)
+}
 
 /// Outcome of a `{policy} × (t, c)` sweep: every per-policy session, plus
 /// the winning triple (re-applied to the system before returning).
@@ -50,34 +92,51 @@ pub fn sweep_policies(
 ) -> PolicySweepOutcome {
     let policies: Vec<CmPolicy> =
         if policies.is_empty() { CmPolicy::ALL.to_vec() } else { policies.to_vec() };
-    let mut sessions: Vec<(CmPolicy, TuningOutcome)> = Vec::with_capacity(policies.len());
-    let mut degraded = false;
-    for &p in &policies {
-        set_policy(p);
-        let mut tuner = make_tuner(p);
-        let mut monitor = make_monitor(p);
-        let outcome =
-            Controller::tune_traced_with(system, tuner.as_mut(), monitor.as_mut(), trace, opts);
-        degraded |= outcome.degraded;
-        sessions.push((p, outcome));
-    }
-    // Winner by measured throughput; ties resolve to the earlier (more
-    // conservative, ladder-ordered) policy. `sessions` is non-empty: the
-    // policy list defaults to the full ladder above.
-    let (best_policy, best, best_throughput) = sessions
-        .iter()
-        .map(|(p, o)| (*p, o.best, o.best_throughput))
-        .reduce(|a, b| if b.2 > a.2 { b } else { a })
-        .expect("at least one policy session ran");
-    // Each session parks the system on its own best; re-enact the winning
-    // triple now that the whole sweep has finished. Best effort, as with the
-    // controller's own fallback path: a veto here leaves the last session's
-    // configuration in force.
-    set_policy(best_policy);
-    if system.try_apply(best).is_err() {
-        degraded = true;
-    }
+    let (sessions, best_policy, best, best_throughput, degraded) =
+        sweep_axis(system, &policies, set_policy, make_tuner, make_monitor, trace, opts);
     PolicySweepOutcome { sessions, best_policy, best, best_throughput, degraded }
+}
+
+/// Outcome of a `{gc budget} × (t, c)` sweep; see [`sweep_gc_budgets`].
+#[derive(Debug, Clone)]
+pub struct GcBudgetSweepOutcome {
+    /// One completed tuning session per swept budget, in sweep order.
+    pub sessions: Vec<(GcBudget, TuningOutcome)>,
+    /// The slice budget of the winning session.
+    pub best_budget: GcBudget,
+    /// The winning session's best `(t, c)`.
+    pub best: Config,
+    /// Its measured throughput.
+    pub best_throughput: f64,
+    /// Any per-budget session degraded (see [`TuningOutcome::degraded`]).
+    pub degraded: bool,
+}
+
+/// Run one `(t, c)` tuning session per GC slice budget in `budgets` (the
+/// default [`GcBudget::SWEEP`] ladder when empty) and leave the system on
+/// the best `(budget, t, c)`.
+///
+/// The budget trades commit-path interference against reclamation latency:
+/// a small slice keeps collector pauses between yields short but lets the
+/// version heap ride higher (more cache pressure on readers), a large slice
+/// reclaims eagerly at the cost of longer boxes-lock holds. The surface is
+/// workload-dependent, so like the CM policy it is swept as a categorical
+/// axis. `set_budget` enacts a budget on the tuned system (live STM:
+/// [`crate::PnstmActuator::set_gc_budget`]).
+pub fn sweep_gc_budgets(
+    system: &mut dyn TunableSystem,
+    budgets: &[GcBudget],
+    set_budget: &mut dyn FnMut(GcBudget),
+    make_tuner: &mut dyn FnMut(GcBudget) -> Box<dyn Tuner>,
+    make_monitor: &mut dyn FnMut(GcBudget) -> Box<dyn MonitorPolicy>,
+    trace: &TraceBus,
+    opts: &TuneOptions,
+) -> GcBudgetSweepOutcome {
+    let budgets: Vec<GcBudget> =
+        if budgets.is_empty() { GcBudget::SWEEP.to_vec() } else { budgets.to_vec() };
+    let (sessions, best_budget, best, best_throughput, degraded) =
+        sweep_axis(system, &budgets, set_budget, make_tuner, make_monitor, trace, opts);
+    GcBudgetSweepOutcome { sessions, best_budget, best, best_throughput, degraded }
 }
 
 #[cfg(test)]
@@ -174,6 +233,73 @@ mod tests {
         let tp =
             |p: CmPolicy| outcome.sessions.iter().find(|(q, _)| *q == p).unwrap().1.best_throughput;
         assert!(tp(CmPolicy::Karma) > tp(CmPolicy::Immediate));
+    }
+
+    /// Deterministic fake for the GC-budget axis: commit period is parabolic
+    /// in the enacted slice budget with the optimum at 128 boxes, on top of
+    /// the usual `(t, c)` bowl at (6, 2).
+    struct BudgetFakeSystem {
+        now: u64,
+        cfg: Config,
+        budget: Arc<AtomicUsize>,
+    }
+
+    impl BudgetFakeSystem {
+        fn period(&self) -> u64 {
+            let cfg = self.cfg;
+            let bowl =
+                (cfg.t as f64 - 6.0).powi(2) * 40_000.0 + (cfg.c as f64 - 2.0).powi(2) * 90_000.0;
+            let b = self.budget.load(Ordering::Relaxed) as f64;
+            let budget_penalty = (b.log2() - 7.0).powi(2) * 150_000.0;
+            (200_000.0 + bowl + budget_penalty) as u64
+        }
+    }
+
+    impl TunableSystem for BudgetFakeSystem {
+        fn apply(&mut self, cfg: Config) {
+            self.cfg = cfg;
+        }
+        fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+            let period = self.period();
+            if period <= max_wait_ns {
+                self.now += period;
+                Some(self.now)
+            } else {
+                self.now += max_wait_ns;
+                None
+            }
+        }
+        fn now_ns(&self) -> u64 {
+            self.now
+        }
+    }
+
+    #[test]
+    fn gc_budget_sweep_finds_the_best_budget() {
+        let budget = Arc::new(AtomicUsize::new(GcBudget::default().slice_boxes));
+        let mut sys =
+            BudgetFakeSystem { now: 0, cfg: Config::new(1, 1), budget: Arc::clone(&budget) };
+        let knob = Arc::clone(&budget);
+        let outcome = sweep_gc_budgets(
+            &mut sys,
+            &[],
+            &mut |b| knob.store(b.slice_boxes, Ordering::Relaxed),
+            &mut |_| Box::new(AutoPn::new(SearchSpace::new(16), AutoPnConfig::default())),
+            &mut |_| Box::new(AdaptiveMonitor::default()),
+            &TraceBus::default(),
+            &TuneOptions::default(),
+        );
+        assert_eq!(outcome.sessions.len(), GcBudget::SWEEP.len(), "empty list sweeps the ladder");
+        assert_eq!(outcome.best_budget, GcBudget::new(128));
+        assert_eq!(budget.load(Ordering::Relaxed), 128, "winner re-enacted after the sweep");
+        assert!(
+            (outcome.best.t as i64 - 6).abs() <= 1 && (outcome.best.c as i64 - 2).abs() <= 1,
+            "best {} too far from (6,2)",
+            outcome.best
+        );
+        let tp =
+            |b: GcBudget| outcome.sessions.iter().find(|(q, _)| *q == b).unwrap().1.best_throughput;
+        assert!(tp(GcBudget::new(128)) > tp(GcBudget::new(32)));
     }
 
     #[test]

@@ -61,6 +61,46 @@ impl std::fmt::Display for CmPolicy {
     }
 }
 
+/// Typed discrete knob for the STM's background-GC slice budget (boxes
+/// pruned per collector slice) — the tuner-facing mirror of
+/// [`pnstm::Stm::set_gc_slice_boxes`]. Like [`CmPolicy`] it is swept as a
+/// discrete axis rather than folded into the numeric `(t, c)` space: the
+/// throughput surface over slice budgets is a shallow trade (finer
+/// interleaving vs per-slice overhead) with workload-dependent optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GcBudget {
+    /// Boxes pruned per GC slice before the collector yields.
+    pub slice_boxes: usize,
+}
+
+impl GcBudget {
+    /// The default sweep ladder, ascending (powers of two around the
+    /// [`pnstm::MemConfig`] default of 128).
+    pub const SWEEP: [GcBudget; 5] = [
+        GcBudget { slice_boxes: 32 },
+        GcBudget { slice_boxes: 64 },
+        GcBudget { slice_boxes: 128 },
+        GcBudget { slice_boxes: 256 },
+        GcBudget { slice_boxes: 512 },
+    ];
+
+    pub fn new(slice_boxes: usize) -> Self {
+        Self { slice_boxes: slice_boxes.max(1) }
+    }
+}
+
+impl Default for GcBudget {
+    fn default() -> Self {
+        Self { slice_boxes: pnstm::MemConfig::default().gc_slice_boxes }
+    }
+}
+
+impl std::fmt::Display for GcBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gc:{}", self.slice_boxes)
+    }
+}
+
 /// One parallelism-degree configuration: `t` concurrent top-level
 /// transactions, `c` concurrent nested transactions per transaction tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -294,6 +334,17 @@ mod tests {
     fn conversion_to_parallelism_degree() {
         let d: pnstm::ParallelismDegree = Config::new(3, 5).into();
         assert_eq!(d, pnstm::ParallelismDegree::new(3, 5));
+    }
+
+    #[test]
+    fn gc_budget_axis_is_well_formed() {
+        assert_eq!(GcBudget::default().slice_boxes, pnstm::MemConfig::default().gc_slice_boxes);
+        assert_eq!(GcBudget::new(0).slice_boxes, 1, "budget clamps to 1");
+        assert_eq!(GcBudget::new(64).to_string(), "gc:64");
+        let mut sorted = GcBudget::SWEEP.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, GcBudget::SWEEP.to_vec(), "sweep ladder is ascending");
+        assert!(GcBudget::SWEEP.contains(&GcBudget::default()), "sweep covers the default");
     }
 
     #[test]

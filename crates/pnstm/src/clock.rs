@@ -3,8 +3,9 @@
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Monotonically increasing global version clock.
 ///
@@ -78,15 +79,75 @@ impl GlobalClock {
     }
 }
 
+/// Lease-disabled sentinel for [`SnapshotRegistry::set_lease`] (nanoseconds).
+const NO_LEASE: u64 = u64::MAX;
+
+/// One registered snapshot: its lease deadline (if leased) and the eviction
+/// flag shared with the owning [`SnapshotGuard`].
+#[derive(Debug)]
+struct SnapEntry {
+    /// Lease deadline. `None` means the registration never expires (the
+    /// pre-lease behaviour, still used by raw [`SnapshotRegistry::register`]).
+    deadline: Option<Instant>,
+    /// Set (by the watermark computation) once the lease expired and the
+    /// registry stopped counting this snapshot as pinning. The owning
+    /// transaction polls this through its guard and must abort.
+    evicted: Arc<AtomicBool>,
+}
+
+impl SnapEntry {
+    /// Whether this entry still pins the watermark at time `now`. Expired
+    /// entries are marked evicted as a side effect (idempotent).
+    fn pins(&self, now: Instant, newly_evicted: &mut usize) -> bool {
+        if self.evicted.load(Ordering::Relaxed) {
+            return false;
+        }
+        match self.deadline {
+            Some(d) if d <= now => {
+                self.evicted.store(true, Ordering::Release);
+                *newly_evicted += 1;
+                false
+            }
+            _ => true,
+        }
+    }
+}
+
 /// Registry of snapshot versions currently in use by live transactions.
 ///
 /// Multi-version STMs must retain any box version that a live snapshot may
 /// still read. The registry is a refcounted multiset of active snapshot
 /// versions; its minimum is the GC watermark: every box can drop versions
 /// strictly older than the newest version `<=` watermark.
-#[derive(Debug, Default)]
+///
+/// **Leases.** Each registration taken through
+/// [`SnapshotRegistry::register_current`] carries a lease deadline (from
+/// [`SnapshotRegistry::set_lease`]; disabled by default). A lease-expired
+/// snapshot no longer pins the watermark: the next watermark computation
+/// marks it *evicted* and skips it, so one stalled reader cannot hold the
+/// version heap hostage. The owning transaction observes the eviction through
+/// [`SnapshotGuard::is_evicted`] and must abort (`StmError::SnapshotEvicted`)
+/// rather than trust any further reads.
+#[derive(Debug)]
 pub struct SnapshotRegistry {
-    active: Mutex<BTreeMap<u64, usize>>,
+    active: Mutex<BTreeMap<u64, Vec<SnapEntry>>>,
+    /// Current lease duration in nanoseconds for new leased registrations;
+    /// [`NO_LEASE`] disables leasing. Runtime-adjustable: the memory ladder
+    /// shortens it under pressure.
+    lease_ns: AtomicU64,
+    /// Total snapshots ever evicted (monotonic; mirrored into stats by the
+    /// GC driver via the watermark return value).
+    evictions: AtomicU64,
+}
+
+impl Default for SnapshotRegistry {
+    fn default() -> Self {
+        Self {
+            active: Mutex::new(BTreeMap::new()),
+            lease_ns: AtomicU64::new(NO_LEASE),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 impl SnapshotRegistry {
@@ -94,15 +155,59 @@ impl SnapshotRegistry {
         Self::default()
     }
 
+    /// Set the lease duration applied to *subsequent* leased registrations;
+    /// `None` disables leasing. Existing registrations keep their deadlines
+    /// (see [`SnapshotRegistry::clamp_deadlines`] for the urgent path).
+    pub fn set_lease(&self, lease: Option<Duration>) {
+        let ns = lease.map(|d| u64::try_from(d.as_nanos()).unwrap_or(NO_LEASE)).unwrap_or(NO_LEASE);
+        self.lease_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The lease currently applied to new leased registrations.
+    pub fn lease(&self) -> Option<Duration> {
+        match self.lease_ns.load(Ordering::Relaxed) {
+            NO_LEASE => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Clamp every *leased* registration's deadline to at most
+    /// `max_remaining` from now. The urgent rung of the memory ladder uses
+    /// this so already-running stragglers feel a shortened lease too;
+    /// unleased registrations (deadline `None`) are left alone.
+    pub fn clamp_deadlines(&self, max_remaining: Duration) {
+        let cap = Instant::now() + max_remaining;
+        let mut map = self.active.lock();
+        for entries in map.values_mut() {
+            for e in entries.iter_mut() {
+                if let Some(d) = e.deadline {
+                    e.deadline = Some(d.min(cap));
+                }
+            }
+        }
+    }
+
+    fn current_deadline(&self) -> Option<Instant> {
+        match self.lease_ns.load(Ordering::Relaxed) {
+            NO_LEASE => None,
+            ns => Some(Instant::now() + Duration::from_nanos(ns)),
+        }
+    }
+
     /// Register a transaction reading at `version`; returns a guard that
-    /// deregisters on drop.
+    /// deregisters on drop. Raw registrations are unleased (they never
+    /// expire) — runtime snapshots go through
+    /// [`SnapshotRegistry::register_current`], which leases.
     pub fn register(self: &Arc<Self>, version: u64) -> SnapshotGuard {
-        *self.active.lock().entry(version).or_insert(0) += 1;
-        SnapshotGuard { registry: Arc::clone(self), version }
+        let evicted = Arc::new(AtomicBool::new(false));
+        let entry = SnapEntry { deadline: None, evicted: Arc::clone(&evicted) };
+        self.active.lock().entry(version).or_default().push(entry);
+        SnapshotGuard { registry: Arc::clone(self), version, evicted }
     }
 
     /// Register a transaction at `clock`'s *current* version, reading the
-    /// clock while holding the registry lock.
+    /// clock while holding the registry lock, with the registry's current
+    /// lease applied.
     ///
     /// This closes a race that [`SnapshotRegistry::register`] leaves open
     /// when the caller reads the clock itself: between the clock read and the
@@ -115,39 +220,85 @@ impl SnapshotRegistry {
     /// across the lock's release/acquire edge), and one computed after sees
     /// the registration.
     pub fn register_current(self: &Arc<Self>, clock: &GlobalClock) -> SnapshotGuard {
+        let deadline = self.current_deadline();
+        let evicted = Arc::new(AtomicBool::new(false));
         let mut map = self.active.lock();
         let version = clock.now();
-        *map.entry(version).or_insert(0) += 1;
+        map.entry(version).or_default().push(SnapEntry { deadline, evicted: Arc::clone(&evicted) });
         drop(map);
-        SnapshotGuard { registry: Arc::clone(self), version }
+        SnapshotGuard { registry: Arc::clone(self), version, evicted }
     }
 
     /// The GC watermark: the oldest version any live *or future* snapshot can
-    /// read — `min(oldest registered, clock now)`, with the clock read under
-    /// the registry lock (see [`SnapshotRegistry::register_current`]). Every
-    /// box may drop versions strictly older than the newest entry `<=` this.
+    /// read — `min(oldest unexpired registered, clock now)`, with the clock
+    /// read under the registry lock (see
+    /// [`SnapshotRegistry::register_current`]). Every box may drop versions
+    /// strictly older than the newest entry `<=` this. Registrations whose
+    /// lease has expired are marked evicted here and stop pinning.
     pub fn gc_watermark(&self, clock: &GlobalClock) -> u64 {
-        let map = self.active.lock();
-        let now = clock.now();
-        map.keys().next().map(|&m| m.min(now)).unwrap_or(now)
+        self.gc_watermark_evicting(clock).0
     }
 
-    /// Oldest snapshot version still in use, if any transaction is live.
+    /// [`SnapshotRegistry::gc_watermark`], also returning how many snapshots
+    /// were newly marked evicted by this computation (for stats/tracing).
+    pub fn gc_watermark_evicting(&self, clock: &GlobalClock) -> (u64, usize) {
+        let mut newly_evicted = 0usize;
+        let wall = Instant::now();
+        let map = self.active.lock();
+        let now = clock.now();
+        let mut watermark = now;
+        for (&version, entries) in map.iter() {
+            if version >= watermark {
+                break;
+            }
+            let mut pinning = false;
+            for e in entries {
+                // No early break: every expired entry of the version must be
+                // marked so its owner observes the eviction.
+                pinning |= e.pins(wall, &mut newly_evicted);
+            }
+            if pinning {
+                watermark = version;
+                break;
+            }
+        }
+        drop(map);
+        if newly_evicted > 0 {
+            self.evictions.fetch_add(newly_evicted as u64, Ordering::Relaxed);
+        }
+        (watermark, newly_evicted)
+    }
+
+    /// Total snapshots evicted over the registry's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Oldest snapshot version still registered (evicted-but-undropped
+    /// registrations included), if any transaction is live.
     pub fn min_active(&self) -> Option<u64> {
         self.active.lock().keys().next().copied()
     }
 
-    /// Number of live registered snapshots.
+    /// Number of live registered snapshots (including evicted ones whose
+    /// owners have not yet noticed and dropped their guards).
     pub fn live_count(&self) -> usize {
-        self.active.lock().values().sum()
+        self.active.lock().values().map(Vec::len).sum()
     }
 
-    fn deregister(&self, version: u64) {
+    fn deregister(&self, version: u64, evicted: &Arc<AtomicBool>) {
         let mut map = self.active.lock();
         match map.get_mut(&version) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                map.remove(&version);
+            Some(entries) => {
+                match entries.iter().position(|e| Arc::ptr_eq(&e.evicted, evicted)) {
+                    Some(i) => {
+                        entries.swap_remove(i);
+                    }
+                    None => debug_assert!(false, "deregistering unknown snapshot {version}"),
+                }
+                if entries.is_empty() {
+                    map.remove(&version);
+                }
             }
             None => debug_assert!(false, "deregistering unknown snapshot {version}"),
         }
@@ -159,6 +310,7 @@ impl SnapshotRegistry {
 pub struct SnapshotGuard {
     registry: Arc<SnapshotRegistry>,
     version: u64,
+    evicted: Arc<AtomicBool>,
 }
 
 impl SnapshotGuard {
@@ -166,11 +318,24 @@ impl SnapshotGuard {
     pub fn version(&self) -> u64 {
         self.version
     }
+
+    /// Whether the lease expired and the GC stopped honouring this snapshot.
+    /// Once true, versions this snapshot needs may be pruned at any moment;
+    /// the owning transaction must abort with `StmError::SnapshotEvicted`.
+    pub fn is_evicted(&self) -> bool {
+        self.evicted.load(Ordering::Acquire)
+    }
+
+    /// Shared eviction flag, for embedding in transaction state so the hot
+    /// read path can poll it without holding the guard itself.
+    pub fn evicted_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.evicted)
+    }
 }
 
 impl Drop for SnapshotGuard {
     fn drop(&mut self) {
-        self.registry.deregister(self.version);
+        self.registry.deregister(self.version, &self.evicted);
     }
 }
 
@@ -259,6 +424,58 @@ mod tests {
         let r = Arc::new(SnapshotRegistry::new());
         let g = r.register(42);
         assert_eq!(g.version(), 42);
+    }
+
+    #[test]
+    fn expired_lease_stops_pinning_and_marks_eviction() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let c = GlobalClock::new();
+        c.tick();
+        r.set_lease(Some(Duration::from_millis(1)));
+        assert_eq!(r.lease(), Some(Duration::from_millis(1)));
+        let g = r.register_current(&c);
+        assert_eq!(g.version(), 1);
+        c.tick();
+        assert_eq!(r.gc_watermark(&c), 1, "unexpired lease pins the watermark");
+        std::thread::sleep(Duration::from_millis(10));
+        let (wm, newly) = r.gc_watermark_evicting(&c);
+        assert_eq!(wm, 2, "expired lease no longer pins");
+        assert_eq!(newly, 1);
+        assert!(g.is_evicted());
+        assert_eq!(r.evictions(), 1);
+        assert_eq!(r.gc_watermark_evicting(&c).1, 0, "eviction is marked once");
+        // The registration itself lives until the guard drops.
+        assert_eq!(r.live_count(), 1);
+        drop(g);
+        assert_eq!(r.live_count(), 0);
+    }
+
+    #[test]
+    fn unleased_registrations_never_expire() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let c = GlobalClock::new();
+        c.tick();
+        let g = r.register(1);
+        c.tick();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(r.gc_watermark(&c), 1, "raw registrations pin forever");
+        assert!(!g.is_evicted());
+        drop(g);
+        assert_eq!(r.gc_watermark(&c), 2);
+    }
+
+    #[test]
+    fn clamp_deadlines_shortens_existing_leases() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let c = GlobalClock::new();
+        c.tick();
+        r.set_lease(Some(Duration::from_secs(3600)));
+        let g = r.register_current(&c);
+        c.tick();
+        assert_eq!(r.gc_watermark(&c), 1);
+        r.clamp_deadlines(Duration::ZERO);
+        assert_eq!(r.gc_watermark(&c), 2, "clamped lease expires immediately");
+        assert!(g.is_evicted());
     }
 
     #[test]

@@ -141,6 +141,11 @@ pub enum AbortSite {
     Commit,
     /// The nested sibling-conflict retry loop in the child driver.
     Nested,
+    /// The top-level retry loop, for an attempt whose snapshot lease expired
+    /// under memory pressure and was evicted from the registry. The retry
+    /// begins on a fresh snapshot; the conflict is with the GC, not another
+    /// transaction.
+    Evicted,
 }
 
 impl AbortSite {
@@ -150,6 +155,7 @@ impl AbortSite {
             AbortSite::Top => "top",
             AbortSite::Commit => "commit",
             AbortSite::Nested => "nested",
+            AbortSite::Evicted => "evicted",
         }
     }
 }
@@ -483,6 +489,7 @@ mod tests {
         assert_eq!(AbortSite::Top.tag(), "top");
         assert_eq!(AbortSite::Commit.tag(), "commit");
         assert_eq!(AbortSite::Nested.tag(), "nested");
+        assert_eq!(AbortSite::Evicted.tag(), "evicted");
     }
 
     #[test]

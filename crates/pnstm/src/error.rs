@@ -53,6 +53,14 @@ pub enum StmError {
     /// (typically worker loops) should treat this as a stop signal, not as a
     /// transactional failure.
     Shutdown,
+    /// The transaction's snapshot lease expired and the GC advanced the
+    /// watermark past it (see `pnstm::mem`): the versions the snapshot needs
+    /// may already be pruned, so the attempt cannot produce a consistent
+    /// result. Writable [`crate::Stm::atomic`] transactions absorb this
+    /// internally (the abort is routed through the contention manager and the
+    /// body retries on a fresh snapshot); it surfaces terminally only from
+    /// read-only contexts, which have no retry loop of their own.
+    SnapshotEvicted,
 }
 
 impl fmt::Display for StmError {
@@ -63,6 +71,9 @@ impl fmt::Display for StmError {
                 write!(f, "transaction aborted {attempts} times; retry budget exhausted")
             }
             StmError::Shutdown => write!(f, "transaction rejected: STM admission is closed"),
+            StmError::SnapshotEvicted => {
+                write!(f, "transaction snapshot evicted: lease expired under memory pressure")
+            }
         }
     }
 }
@@ -81,6 +92,7 @@ mod tests {
         assert_eq!(StmError::UserAborted.to_string(), "transaction aborted by user code");
         assert!(StmError::RetriesExhausted { attempts: 3 }.to_string().contains("3 times"));
         assert!(StmError::Shutdown.to_string().contains("admission is closed"));
+        assert!(StmError::SnapshotEvicted.to_string().contains("lease expired"));
     }
 
     #[test]

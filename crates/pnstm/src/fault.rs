@@ -74,10 +74,17 @@ pub enum FaultKind {
     /// sibling reading through that level; under the default lock-free path
     /// sibling stalls overlap. Site: `Txn::read` ancestor-level probe.
     ReadHold,
+    /// Sleep inside the background GC's slice loop (a stalled collector:
+    /// retained versions accumulate, but commits must keep flowing — the GC
+    /// thread never holds a lock across a slice). Site: the GC slice loop in
+    /// `runtime.rs` (both the background thread and inline sweeps consult
+    /// it). The chaos suite uses this to prove a wedged collector degrades
+    /// memory, not throughput.
+    GcStall,
 }
 
 /// Number of distinct fault kinds (array sizing).
-pub const FAULT_KINDS: usize = 8;
+pub const FAULT_KINDS: usize = 9;
 
 impl FaultKind {
     /// Every kind, in stable order (index = position).
@@ -90,6 +97,7 @@ impl FaultKind {
         FaultKind::ClockJitter,
         FaultKind::ReconfigFail,
         FaultKind::ReadHold,
+        FaultKind::GcStall,
     ];
 
     /// Stable dense index of this kind.
@@ -104,6 +112,7 @@ impl FaultKind {
             FaultKind::ClockJitter => 5,
             FaultKind::ReconfigFail => 6,
             FaultKind::ReadHold => 7,
+            FaultKind::GcStall => 8,
         }
     }
 
@@ -119,6 +128,7 @@ impl FaultKind {
             FaultKind::ClockJitter => "clock-jitter",
             FaultKind::ReconfigFail => "reconfig-fail",
             FaultKind::ReadHold => "read-hold",
+            FaultKind::GcStall => "gc-stall",
         }
     }
 }

@@ -82,6 +82,7 @@ pub mod cm;
 pub mod collections;
 pub mod error;
 pub mod fault;
+pub mod mem;
 pub mod pool;
 pub mod sched;
 pub mod stats;
@@ -97,6 +98,7 @@ pub use cm::{AbortSite, CmMode, CmTx, ContentionManager, CM_POLICIES};
 pub use collections::{TArray, TCounter, TMap};
 pub use error::{StmError, TxError, TxResult};
 pub use fault::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};
+pub use mem::{GcMode, MemConfig, MemLevel, VersionHeapGauge};
 pub use pool::ChildPool;
 pub use runtime::{CommitPath, ReadPathMode, ReadTxn, Stm, StmConfig};
 pub use sched::{Admission, SchedMode, Scheduler, Task, WorkStealingPool};

@@ -2,14 +2,17 @@
 //! stats, throttle, child pool, box registry / GC, and the top-level retry
 //! driver.
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 
-use crate::clock::{GlobalClock, SnapshotRegistry};
+use crate::clock::{GlobalClock, SnapshotGuard, SnapshotRegistry};
 use crate::cm::{self, AbortSite, CmEngine, CmMode, CmTxGuard};
 use crate::error::{StmError, TxError, TxResult};
 use crate::fault::{FaultCtx, FaultKind, FaultPlan};
+use crate::mem::{GcMode, MemConfig, MemLevel, MemState, VersionHeapGauge};
 use crate::pool::ChildPool;
 use crate::sched::{Admission, SchedMode, Scheduler, WorkStealingPool};
 use crate::stats::{Stats, TxKind};
@@ -90,6 +93,9 @@ pub struct StmConfig {
     /// Execution-layer implementation pair — child-task scheduler plus
     /// top-level admission gate (see [`SchedMode`]).
     pub sched_mode: SchedMode,
+    /// Memory-robustness configuration: GC driver, slice budget, snapshot
+    /// leases, and the degradation-ladder ceilings (see [`MemConfig`]).
+    pub mem: MemConfig,
 }
 
 impl Default for StmConfig {
@@ -107,7 +113,45 @@ impl Default for StmConfig {
             commit_path: CommitPath::default(),
             read_path: ReadPathMode::default(),
             sched_mode: SchedMode::default(),
+            mem: MemConfig::default(),
         }
+    }
+}
+
+/// Wakeup channel between committers and the background collector thread.
+#[derive(Default)]
+struct GcCtl {
+    state: Mutex<GcCtlState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GcCtlState {
+    /// A cycle has been requested since the collector last ran.
+    pending: bool,
+    /// The pending request came from the degradation ladder.
+    urgent: bool,
+    /// The owning [`Stm`] is dropping; the collector must exit.
+    shutdown: bool,
+}
+
+/// How often the idle collector wakes up anyway, so lease expiry is noticed
+/// (and evicted snapshots stop pinning the watermark) even when no commits
+/// arrive to nudge it.
+const GC_IDLE_WAKEUP: Duration = Duration::from_millis(50);
+
+impl GcCtl {
+    fn nudge(&self, urgent: bool) {
+        let mut st = self.state.lock();
+        st.pending = true;
+        st.urgent |= urgent;
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cv.notify_one();
     }
 }
 
@@ -125,6 +169,14 @@ pub(crate) struct StmShared {
     trace: TraceBus,
     fault: FaultCtx,
     cm: CmEngine,
+    mem_state: MemState,
+    gc_ctl: Arc<GcCtl>,
+    /// Serializes GC cycles (background thread vs manual [`Stm::gc`] vs
+    /// inline committers): the sweep cursor is cycle-local, so two
+    /// interleaved sweeps over a mutating registry could skip boxes.
+    /// Committers never take this lock.
+    gc_cycle_lock: Mutex<()>,
+    gc_join: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl StmShared {
@@ -160,38 +212,158 @@ impl StmShared {
     }
 
     pub(crate) fn register_vbox<T: TxValue>(&self, initial: T) -> VBox<T> {
-        let vbox = VBox::new_raw(initial);
+        let vbox = VBox::new_raw_gauged(initial, Arc::clone(self.stats.gauge()));
         let erased: Arc<dyn AnyVBox> = vbox.body.clone();
         self.boxes.lock().push(Arc::downgrade(&erased));
         vbox
     }
 
-    fn gc(&self) -> usize {
-        // Any version a live snapshot (or a snapshot taken from now on) can
-        // read must survive; everything older is pruned. The watermark reads
-        // the clock under the registry lock so it cannot race a transaction
-        // that has read the clock but not yet registered its snapshot.
-        let watermark = self.registry.gc_watermark(&self.clock);
-        // Drain-and-requeue: take the registry, sweep it unlocked, put the
-        // survivors back. `register_vbox` never blocks behind a sweep — new
-        // registrations land in the emptied vec and are merged on requeue
-        // (a box registered mid-sweep has nothing to prune yet anyway).
-        let mut drained = std::mem::take(&mut *self.boxes.lock());
-        let mut pruned_boxes = 0;
-        drained.retain(|w| {
-            let Some(b) = w.upgrade() else { return false };
-            let before = b.chain_len();
-            b.prune_below(watermark);
-            if b.chain_len() < before {
-                pruned_boxes += 1;
+    /// One full GC pass over the box registry, in bounded slices of at most
+    /// [`MemState::gc_slice_boxes`] boxes. The registry lock is held only
+    /// while a slice's strong references are collected (O(slice)), never
+    /// while chains are pruned, and the collector yields the CPU between
+    /// slices — so neither `register_vbox` nor any commit waits behind a
+    /// whole-heap sweep. Returns the number of boxes whose chains shrank.
+    ///
+    /// Both GC drivers run this same function ([`GcMode::Inline`] calls it
+    /// synchronously from the committer) — the modes can only differ in
+    /// *when* versions are pruned, never in *which*.
+    fn run_gc_cycle(&self, urgent: bool) -> usize {
+        let _cycle = self.gc_cycle_lock.lock();
+        let mut cursor = 0usize;
+        let mut slices: u64 = 0;
+        let mut pruned_versions: u64 = 0;
+        let mut pruned_boxes = 0usize;
+        loop {
+            // Chaos site: a stalled collector must only delay pruning, never
+            // block commits or admissions (it holds no lock while stalled).
+            if let Some(action) = self.fault.inject(FaultKind::GcStall) {
+                action.stall();
             }
-            true
-        });
-        self.boxes.lock().append(&mut drained);
+            let slice_max = self.mem_state.gc_slice_boxes();
+            let mut slice: Vec<Arc<dyn AnyVBox>> = Vec::with_capacity(slice_max);
+            {
+                let mut boxes = self.boxes.lock();
+                while cursor < boxes.len() && slice.len() < slice_max {
+                    match boxes[cursor].upgrade() {
+                        Some(b) => {
+                            slice.push(b);
+                            cursor += 1;
+                        }
+                        // Dropped box: compact, then re-examine the element
+                        // swapped in from the tail (the cursor stays put).
+                        None => {
+                            boxes.swap_remove(cursor);
+                        }
+                    }
+                }
+            }
+            if slice.is_empty() {
+                break;
+            }
+            slices += 1;
+            // The watermark is recomputed per slice (it only grows, so later
+            // slices may prune more — never less safely). Computing it also
+            // expires overdue leases, whose snapshots stop pinning it; the
+            // clock is read under the registry lock so an in-flight
+            // registration cannot be overtaken.
+            let (watermark, evicted) = self.registry.gc_watermark_evicting(&self.clock);
+            self.stats.record_snapshot_evictions(evicted as u64);
+            for b in &slice {
+                let pruned = b.prune_below(watermark);
+                if pruned > 0 {
+                    pruned_versions += pruned as u64;
+                    pruned_boxes += 1;
+                }
+            }
+            std::thread::yield_now();
+        }
+        self.stats.record_gc_cycle(slices, pruned_versions);
+        if self.trace.is_enabled() {
+            let gauge = self.stats.gauge();
+            self.trace.emit(TraceEvent::MemPressure {
+                retained_versions: gauge.retained_versions(),
+                retained_bytes: gauge.retained_bytes(),
+                pruned: pruned_versions,
+                slices,
+                urgent,
+                at_ns: trace::now_ns(),
+            });
+        }
+        // A cycle is the natural recovery point: the gauge just shrank.
+        // (`in_gc_cycle` — an Inline escalation here must not recurse into
+        // another cycle while this one holds the cycle lock; this sweep
+        // already was the urgent GC.)
+        self.check_mem_pressure_at(true);
         pruned_boxes
     }
 
+    /// Evaluate the degradation ladder against the live gauge; the winner of
+    /// a level transition enacts its side effects. One relaxed load and a
+    /// compare on the no-transition path.
+    pub(crate) fn check_mem_pressure(&self) {
+        self.check_mem_pressure_at(false);
+    }
+
+    fn check_mem_pressure_at(&self, in_gc_cycle: bool) {
+        let retained = self.stats.gauge().retained_versions();
+        if let Some((from, to)) = self.mem_state.transition(retained) {
+            self.enact_mem_transition(from, to, retained, in_gc_cycle);
+        }
+    }
+
+    fn enact_mem_transition(&self, from: MemLevel, to: MemLevel, retained: u64, in_gc_cycle: bool) {
+        self.stats.record_mem_degraded(to);
+        if self.trace.is_enabled() {
+            self.trace.emit(TraceEvent::MemDegraded {
+                from,
+                to,
+                retained_versions: retained,
+                at_ns: trace::now_ns(),
+            });
+        }
+        match to {
+            MemLevel::Normal => {
+                self.throttle.clear_pressure_cap();
+                self.registry.set_lease(self.config.mem.snapshot_lease);
+            }
+            MemLevel::Soft | MemLevel::Hard => {
+                if to == MemLevel::Hard {
+                    // Backpressure: one top-level transaction at a time.
+                    // In-flight transactions drain under their old admission.
+                    self.throttle.set_pressure_cap(1);
+                } else {
+                    self.throttle.clear_pressure_cap();
+                }
+                if from < to {
+                    // Escalation: shorten the lease for new snapshots and
+                    // clamp in-flight ones, then demand an urgent cycle so
+                    // the newly unpinned versions are actually reclaimed.
+                    // Unleased registrations (leases disabled) are exempt —
+                    // the ladder then degrades throughput but never
+                    // correctness.
+                    let urgent = self.config.mem.urgent_lease;
+                    self.registry.set_lease(Some(urgent));
+                    self.registry.clamp_deadlines(urgent);
+                    match self.config.mem.gc_mode {
+                        GcMode::Background => self.gc_ctl.nudge(true),
+                        // Escalation detected *during* a sweep needs no new
+                        // sweep — the current one reclaims under the
+                        // just-shortened leases on its next slices.
+                        GcMode::Inline if in_gc_cycle => {}
+                        GcMode::Inline => {
+                            self.run_gc_cycle(true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn maybe_auto_gc(&self) {
+        // Ladder check on every commit: a relaxed load and a compare unless
+        // a ceiling was crossed.
+        self.check_mem_pressure();
         let interval = self.config.gc_interval;
         if interval == 0 {
             return;
@@ -203,7 +375,62 @@ impl StmShared {
                 .compare_exchange(n, 0, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
         {
-            self.gc();
+            match self.config.mem.gc_mode {
+                // O(1) commit-path pause: wake the collector and move on.
+                GcMode::Background => self.gc_ctl.nudge(false),
+                GcMode::Inline => {
+                    self.run_gc_cycle(false);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for StmShared {
+    fn drop(&mut self) {
+        self.gc_ctl.shutdown();
+        if let Some(handle) = self.gc_join.get_mut().take() {
+            // The collector holds only a `Weak` to this struct, but it
+            // upgrades per cycle — if the user dropped their last handle
+            // mid-cycle, *this* drop runs on the collector thread itself.
+            // Detach instead of self-joining; the loop exits on the shutdown
+            // flag it can no longer miss.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Body of the background collector thread: wait for a nudge (or the idle
+/// wakeup, so lease expiry is detected without commit traffic), run one
+/// supervised cycle, repeat until shutdown. A panicking cycle is absorbed
+/// and counted ([`StatsSnapshot::gc_thread_panics`]) — the supervisor
+/// loop itself is the watchdog restart.
+fn gc_thread_main(ctl: Arc<GcCtl>, weak: Weak<StmShared>) {
+    loop {
+        let urgent = {
+            let mut st = ctl.state.lock();
+            if !st.pending && !st.shutdown {
+                ctl.cv.wait_for(&mut st, GC_IDLE_WAKEUP);
+            }
+            if st.shutdown {
+                return;
+            }
+            let urgent = st.urgent;
+            st.pending = false;
+            st.urgent = false;
+            urgent
+        };
+        // Upgrade per cycle: holding a strong reference across the wait
+        // would turn the collector into a leak (the registry can never drop).
+        let Some(shared) = weak.upgrade() else { return };
+        if catch_unwind(AssertUnwindSafe(|| {
+            shared.run_gc_cycle(urgent);
+        }))
+        .is_err()
+        {
+            shared.stats.record_gc_thread_panic();
         }
     }
 }
@@ -251,23 +478,39 @@ impl Stm {
             config.cm_mode
         };
         let cm = CmEngine::new(cm_mode, retry_ns);
-        Self {
-            shared: Arc::new(StmShared {
-                clock: GlobalClock::new(),
-                commit_lock: Mutex::new(()),
-                stripes: StripeTable::new(),
-                registry: Arc::new(SnapshotRegistry::new()),
-                stats,
-                throttle: Throttle::with_gate(config.degree, trace.clone(), fault.clone(), gate),
-                pool,
-                boxes: Mutex::new(Vec::new()),
-                config,
-                commits_since_gc: AtomicU64::new(0),
-                trace,
-                fault,
-                cm,
-            }),
+        let registry = Arc::new(SnapshotRegistry::new());
+        registry.set_lease(config.mem.snapshot_lease);
+        let mem_state = MemState::new(&config.mem);
+        let gc_mode = config.mem.gc_mode;
+        let shared = Arc::new(StmShared {
+            clock: GlobalClock::new(),
+            commit_lock: Mutex::new(()),
+            stripes: StripeTable::new(),
+            registry,
+            stats,
+            throttle: Throttle::with_gate(config.degree, trace.clone(), fault.clone(), gate),
+            pool,
+            boxes: Mutex::new(Vec::new()),
+            config,
+            commits_since_gc: AtomicU64::new(0),
+            trace,
+            fault,
+            cm,
+            mem_state,
+            gc_ctl: Arc::new(GcCtl::default()),
+            gc_cycle_lock: Mutex::new(()),
+            gc_join: Mutex::new(None),
+        });
+        if gc_mode == GcMode::Background {
+            let ctl = Arc::clone(&shared.gc_ctl);
+            let weak = Arc::downgrade(&shared);
+            let handle = std::thread::Builder::new()
+                .name("pnstm-gc".into())
+                .spawn(move || gc_thread_main(ctl, weak))
+                .expect("spawn GC thread");
+            *shared.gc_join.lock() = Some(handle);
         }
+        Self { shared }
     }
 
     /// Create a new transactional box holding `initial`.
@@ -318,7 +561,8 @@ impl Stm {
             let (site, work) = {
                 let _snap = self.shared.registry.register_current(&self.shared.clock);
                 let read_version = _snap.version();
-                let mut tx = Txn::top(Arc::clone(&self.shared), read_version);
+                let mut tx =
+                    Txn::top(Arc::clone(&self.shared), read_version, Some(_snap.evicted_flag()));
                 match body(&mut tx) {
                     Ok(value) => match tx.commit_top() {
                         Ok(()) => {
@@ -334,8 +578,13 @@ impl Stm {
                             return Ok(value);
                         }
                         Err(TxError::Conflict) => {
+                            let site = if tx.snapshot_evicted() {
+                                AbortSite::Evicted
+                            } else {
+                                AbortSite::Commit
+                            };
                             let (r, w) = tx.footprint();
-                            (AbortSite::Commit, r + w)
+                            (site, r + w)
                         }
                         Err(_) => unreachable!("commit_top only fails with Conflict"),
                     },
@@ -352,12 +601,19 @@ impl Stm {
                     }
                     Err(TxError::Conflict) | Err(TxError::ChildPanic) => {
                         // A child exhausted its sibling-conflict budget (or
-                        // the body surfaced a conflict): abort the tree.
+                        // the body surfaced a conflict): abort the tree. An
+                        // evicted tree escalates here too — the retry below
+                        // re-registers on a fresh (live) snapshot.
+                        let site =
+                            if tx.snapshot_evicted() { AbortSite::Evicted } else { AbortSite::Top };
                         let (r, w) = tx.footprint();
-                        (AbortSite::Top, r + w)
+                        (site, r + w)
                     }
                 }
             };
+            if site == AbortSite::Evicted {
+                self.shared.stats.record_evicted_abort();
+            }
             self.record_top_abort_traced(&mut aborts)?;
             self.cm_pause_top(&mut cm_tx, site, aborts, work, &mut permit)?;
         }
@@ -422,11 +678,13 @@ impl Stm {
         Ok(())
     }
 
-    /// Run a read-only transaction. Never aborts and takes no admission
-    /// permit (multi-version reads are invisible to writers).
+    /// Run a read-only transaction. Takes no admission permit (multi-version
+    /// reads are invisible to writers) and never conflicts; under snapshot
+    /// leasing a *long-running* reader can however be evicted — use
+    /// [`ReadTxn::try_read`] to observe that instead of panicking.
     pub fn read_only<R>(&self, body: impl FnOnce(&mut ReadTxn) -> R) -> R {
-        let _snap = self.shared.registry.register_current(&self.shared.clock);
-        let mut tx = ReadTxn { read_version: _snap.version() };
+        let snap = self.shared.registry.register_current(&self.shared.clock);
+        let mut tx = ReadTxn { shared: Arc::clone(&self.shared), snap };
         body(&mut tx)
     }
 
@@ -536,10 +794,79 @@ impl Stm {
         self.shared.pool.live_workers()
     }
 
-    /// Garbage-collect box versions no live snapshot can read. Returns the
-    /// number of boxes whose chains were shortened.
+    /// Garbage-collect box versions no live snapshot can read, synchronously
+    /// on this thread regardless of [`GcMode`] (expired leases are evicted
+    /// as a side effect). Returns the number of boxes whose chains were
+    /// shortened.
     pub fn gc(&self) -> usize {
-        self.shared.gc()
+        self.shared.run_gc_cycle(false)
+    }
+
+    /// Wake the background collector (no-op under [`GcMode::Inline`]).
+    /// Returns immediately; use [`Stm::gc`] for a synchronous sweep.
+    pub fn request_gc(&self) {
+        if self.shared.config.mem.gc_mode == GcMode::Background {
+            self.shared.gc_ctl.nudge(false);
+        }
+    }
+
+    /// The GC driver this instance runs.
+    pub fn gc_mode(&self) -> GcMode {
+        self.shared.config.mem.gc_mode
+    }
+
+    /// The degradation-ladder level currently in force.
+    pub fn mem_level(&self) -> MemLevel {
+        self.shared.mem_state.level()
+    }
+
+    /// The live version-heap gauge (shared with [`Stats::gauge`]).
+    pub fn heap_gauge(&self) -> &Arc<VersionHeapGauge> {
+        self.shared.stats.gauge()
+    }
+
+    /// The background-GC slice budget currently in force.
+    pub fn gc_slice_boxes(&self) -> usize {
+        self.shared.mem_state.gc_slice_boxes()
+    }
+
+    /// Retune the GC slice budget live (clamped to ≥ 1). An actuation point
+    /// for tuners: smaller slices interleave more finely with mutators,
+    /// larger ones amortize per-slice overhead.
+    pub fn set_gc_slice_boxes(&self, boxes: usize) {
+        self.shared.mem_state.set_gc_slice_boxes(boxes);
+    }
+
+    /// The ladder's soft ceiling (retained versions) currently in force.
+    pub fn mem_soft_ceiling(&self) -> u64 {
+        self.shared.mem_state.soft_ceiling()
+    }
+
+    /// Retune the soft ceiling live (`u64::MAX` disables the rung). An
+    /// actuation point for tuners trading memory headroom against GC work.
+    pub fn set_mem_soft_ceiling(&self, versions: u64) {
+        self.shared.mem_state.set_soft_ceiling(versions);
+        self.shared.check_mem_pressure();
+    }
+
+    /// Retune the hard ceiling live (`u64::MAX` disables the rung).
+    pub fn set_mem_hard_ceiling(&self, versions: u64) {
+        self.shared.mem_state.set_hard_ceiling(versions);
+        self.shared.check_mem_pressure();
+    }
+
+    /// The snapshot lease currently in force (`None` = leasing disabled).
+    /// While the ladder is degraded this reads the urgent lease.
+    pub fn snapshot_lease(&self) -> Option<Duration> {
+        self.shared.registry.lease()
+    }
+
+    /// Change the lease applied to snapshots registered from now on
+    /// (`None` disables leasing). In-flight registrations keep their
+    /// deadlines. Note a later ladder recovery restores the *configured*
+    /// lease, not this override.
+    pub fn set_snapshot_lease(&self, lease: Option<Duration>) {
+        self.shared.registry.set_lease(lease);
     }
 
     /// Number of live registered snapshots (running transactions).
@@ -559,18 +886,61 @@ impl std::fmt::Debug for Stm {
 }
 
 /// A read-only transaction: a pinned snapshot with non-blocking reads.
+///
+/// Under snapshot leasing ([`MemConfig::snapshot_lease`]) the pin is not
+/// unconditional: a reader that outlives its lease is evicted and subsequent
+/// reads of pruned chains fail with [`StmError::SnapshotEvicted`]. Reads
+/// that still find a version ≤ the snapshot keep succeeding — eviction
+/// *permits* pruning, it doesn't rewind chains.
 pub struct ReadTxn {
-    read_version: u64,
+    shared: Arc<StmShared>,
+    snap: SnapshotGuard,
 }
 
 impl ReadTxn {
     /// Read `vbox` at this transaction's snapshot.
+    ///
+    /// Panics if the snapshot was evicted *and* the GC has already pruned
+    /// past it on this box; long-running readers that must survive eviction
+    /// use [`ReadTxn::try_read`].
     pub fn read<T: TxValue>(&mut self, vbox: &VBox<T>) -> T {
-        vbox.body.read_at(self.read_version)
+        self.try_read(vbox).unwrap_or_else(|e| {
+            panic!("ReadTxn::read at snapshot {}: {e} (use try_read)", self.snap.version())
+        })
+    }
+
+    /// Read `vbox` at this transaction's snapshot, surfacing lease eviction
+    /// as [`StmError::SnapshotEvicted`] instead of panicking.
+    pub fn try_read<T: TxValue>(&mut self, vbox: &VBox<T>) -> Result<T, StmError> {
+        match vbox.body.read_at(self.snap.version()) {
+            Ok(v) => Ok(v),
+            Err(floor) => {
+                if self.snap.is_evicted() {
+                    return Err(StmError::SnapshotEvicted);
+                }
+                // A registered, unexpired snapshot must always find a
+                // version: the watermark is its lower bound. Anything else
+                // is a GC bug — count it, then fail loudly.
+                self.shared.stats.record_read_below_floor();
+                panic!(
+                    "vbox {}: no version <= registered snapshot {} (oldest retained: {}); \
+                     GC invariant violated",
+                    vbox.id(),
+                    self.snap.version(),
+                    floor.oldest
+                );
+            }
+        }
+    }
+
+    /// Whether this reader's snapshot lease has expired and been evicted
+    /// (reads may still succeed until the GC prunes past the snapshot).
+    pub fn is_evicted(&self) -> bool {
+        self.snap.is_evicted()
     }
 
     /// The snapshot version being read.
     pub fn version(&self) -> u64 {
-        self.read_version
+        self.snap.version()
     }
 }

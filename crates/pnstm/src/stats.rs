@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::cm::CM_POLICIES;
+use crate::mem::VersionHeapGauge;
 
 /// Which kind of transaction an event refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,19 @@ pub struct Stats {
     cm_policy_waits: [AtomicU64; CM_POLICIES],
     cm_wait_total_ns: AtomicU64,
     cm_wait_hist: [AtomicU64; SEM_WAIT_BUCKETS],
+    evicted_reads: AtomicU64,
+    read_below_floor: AtomicU64,
+    snapshot_evictions: AtomicU64,
+    evicted_aborts: AtomicU64,
+    gc_cycles: AtomicU64,
+    gc_slices: AtomicU64,
+    gc_pruned_versions: AtomicU64,
+    gc_thread_panics: AtomicU64,
+    mem_soft_events: AtomicU64,
+    mem_hard_events: AtomicU64,
+    /// Live retained-version/byte gauge shared with every [`crate::VBox`]
+    /// registered on the owning [`crate::Stm`].
+    gauge: Arc<VersionHeapGauge>,
     /// The commit hook as a raw `Box<CommitHook>` pointer (null = none), so
     /// the per-commit fast path is a single `Acquire` load instead of a
     /// reader-writer lock acquisition plus an `Arc` clone.
@@ -97,6 +111,17 @@ impl Default for Stats {
             cm_policy_waits: std::array::from_fn(|_| AtomicU64::new(0)),
             cm_wait_total_ns: AtomicU64::new(0),
             cm_wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            evicted_reads: AtomicU64::new(0),
+            read_below_floor: AtomicU64::new(0),
+            snapshot_evictions: AtomicU64::new(0),
+            evicted_aborts: AtomicU64::new(0),
+            gc_cycles: AtomicU64::new(0),
+            gc_slices: AtomicU64::new(0),
+            gc_pruned_versions: AtomicU64::new(0),
+            gc_thread_panics: AtomicU64::new(0),
+            mem_soft_events: AtomicU64::new(0),
+            mem_hard_events: AtomicU64::new(0),
+            gauge: Arc::new(VersionHeapGauge::default()),
             hook: AtomicPtr::new(std::ptr::null_mut()),
             retired: Mutex::new(Vec::new()),
         }
@@ -209,6 +234,68 @@ impl Stats {
         self.cm_wait_hist[Self::sem_wait_bucket(wait_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The live version-heap gauge. [`crate::Stm::new_vbox`] attaches every
+    /// box to this gauge, so it tracks the total retained versions/bytes of
+    /// the owning STM instance.
+    pub fn gauge(&self) -> &Arc<VersionHeapGauge> {
+        &self.gauge
+    }
+
+    /// Record a read served from the chain floor because the attempt's
+    /// snapshot lease expired and was evicted (the attempt is doomed and
+    /// will abort at commit).
+    pub fn record_evicted_read(&self) {
+        self.evicted_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a read that found no version ≤ its snapshot while the snapshot
+    /// was still registered — a GC watermark invariant violation.
+    pub fn record_read_below_floor(&self) {
+        self.read_below_floor.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` snapshot-lease evictions performed by a watermark sweep.
+    pub fn record_snapshot_evictions(&self, n: u64) {
+        if n > 0 {
+            self.snapshot_evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a top-level abort caused by snapshot eviction (counted in
+    /// addition to the ordinary top-abort counter).
+    pub fn record_evicted_abort(&self) {
+        self.evicted_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one completed GC cycle that ran `slices` bounded slices and
+    /// pruned `pruned` versions in total.
+    pub fn record_gc_cycle(&self, slices: u64, pruned: u64) {
+        self.gc_cycles.fetch_add(1, Ordering::Relaxed);
+        self.gc_slices.fetch_add(slices, Ordering::Relaxed);
+        if pruned > 0 {
+            self.gc_pruned_versions.fetch_add(pruned, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a panic absorbed by the background GC supervisor (the thread
+    /// keeps running; the counter is the watchdog's restart evidence).
+    pub fn record_gc_thread_panic(&self) {
+        self.gc_thread_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a degradation-ladder escalation to `level`.
+    pub fn record_mem_degraded(&self, level: crate::mem::MemLevel) {
+        match level {
+            crate::mem::MemLevel::Soft => {
+                self.mem_soft_events.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::mem::MemLevel::Hard => {
+                self.mem_hard_events.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::mem::MemLevel::Normal => {}
+        }
+    }
+
     /// Histogram bucket for a wait of `wait_ns` (see [`SEM_WAIT_BUCKETS`]).
     pub fn sem_wait_bucket(wait_ns: u64) -> usize {
         let us = wait_ns / 1_000;
@@ -257,6 +344,18 @@ impl Stats {
             }),
             cm_wait_total_ns: self.cm_wait_total_ns.load(Ordering::Relaxed),
             cm_wait_hist: std::array::from_fn(|i| self.cm_wait_hist[i].load(Ordering::Relaxed)),
+            evicted_reads: self.evicted_reads.load(Ordering::Relaxed),
+            read_below_floor: self.read_below_floor.load(Ordering::Relaxed),
+            snapshot_evictions: self.snapshot_evictions.load(Ordering::Relaxed),
+            evicted_aborts: self.evicted_aborts.load(Ordering::Relaxed),
+            gc_cycles: self.gc_cycles.load(Ordering::Relaxed),
+            gc_slices: self.gc_slices.load(Ordering::Relaxed),
+            gc_pruned_versions: self.gc_pruned_versions.load(Ordering::Relaxed),
+            gc_thread_panics: self.gc_thread_panics.load(Ordering::Relaxed),
+            mem_soft_events: self.mem_soft_events.load(Ordering::Relaxed),
+            mem_hard_events: self.mem_hard_events.load(Ordering::Relaxed),
+            retained_versions: self.gauge.retained_versions(),
+            retained_bytes: self.gauge.retained_bytes(),
         }
     }
 }
@@ -332,6 +431,33 @@ pub struct StatsSnapshot {
     /// Log2 histogram of contention-manager backoff waits (same bucketing
     /// as the admission-wait histogram, see [`SEM_WAIT_BUCKETS`]).
     pub cm_wait_hist: [u64; SEM_WAIT_BUCKETS],
+    /// Reads served from the chain floor by a doomed attempt whose snapshot
+    /// lease expired and was evicted.
+    pub evicted_reads: u64,
+    /// Reads that found no version ≤ a still-registered snapshot — GC
+    /// watermark invariant violations (always 0 in a correct build).
+    pub read_below_floor: u64,
+    /// Snapshot registrations evicted because their lease expired.
+    pub snapshot_evictions: u64,
+    /// Top-level aborts attributed to snapshot eviction.
+    pub evicted_aborts: u64,
+    /// Completed version-heap GC cycles (background or inline).
+    pub gc_cycles: u64,
+    /// Bounded GC slices executed across all cycles.
+    pub gc_slices: u64,
+    /// Versions pruned from box chains by the GC.
+    pub gc_pruned_versions: u64,
+    /// Panics absorbed by the background GC supervisor loop.
+    pub gc_thread_panics: u64,
+    /// Degradation-ladder escalations into [`crate::MemLevel::Soft`].
+    pub mem_soft_events: u64,
+    /// Degradation-ladder escalations into [`crate::MemLevel::Hard`].
+    pub mem_hard_events: u64,
+    /// Point-in-time retained version count (gauge, not a counter — the
+    /// delta of a gauge is a saturating difference, not a rate).
+    pub retained_versions: u64,
+    /// Point-in-time retained bytes (shallow entry sizes; same gauge caveat).
+    pub retained_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -404,6 +530,18 @@ impl StatsSnapshot {
             cm_wait_hist: std::array::from_fn(|i| {
                 self.cm_wait_hist[i].saturating_sub(earlier.cm_wait_hist[i])
             }),
+            evicted_reads: self.evicted_reads.saturating_sub(earlier.evicted_reads),
+            read_below_floor: self.read_below_floor.saturating_sub(earlier.read_below_floor),
+            snapshot_evictions: self.snapshot_evictions.saturating_sub(earlier.snapshot_evictions),
+            evicted_aborts: self.evicted_aborts.saturating_sub(earlier.evicted_aborts),
+            gc_cycles: self.gc_cycles.saturating_sub(earlier.gc_cycles),
+            gc_slices: self.gc_slices.saturating_sub(earlier.gc_slices),
+            gc_pruned_versions: self.gc_pruned_versions.saturating_sub(earlier.gc_pruned_versions),
+            gc_thread_panics: self.gc_thread_panics.saturating_sub(earlier.gc_thread_panics),
+            mem_soft_events: self.mem_soft_events.saturating_sub(earlier.mem_soft_events),
+            mem_hard_events: self.mem_hard_events.saturating_sub(earlier.mem_hard_events),
+            retained_versions: self.retained_versions.saturating_sub(earlier.retained_versions),
+            retained_bytes: self.retained_bytes.saturating_sub(earlier.retained_bytes),
         }
     }
 }
@@ -498,6 +636,42 @@ mod tests {
         let d = snap.delta_since(&StatsSnapshot::default());
         assert_eq!(d.cm_wait_count(), 3);
         assert_eq!(d.cm_wait_total_ns, 5_500);
+    }
+
+    #[test]
+    fn mem_counters_accumulate() {
+        let s = Stats::new();
+        s.record_evicted_read();
+        s.record_evicted_read();
+        s.record_read_below_floor();
+        s.record_snapshot_evictions(3);
+        s.record_snapshot_evictions(0); // zero flush is a no-op
+        s.record_evicted_abort();
+        s.record_gc_cycle(4, 17);
+        s.record_gc_cycle(1, 0);
+        s.record_gc_thread_panic();
+        s.record_mem_degraded(crate::mem::MemLevel::Soft);
+        s.record_mem_degraded(crate::mem::MemLevel::Hard);
+        s.record_mem_degraded(crate::mem::MemLevel::Normal); // recovery: not an escalation
+        s.gauge().add(5, 80);
+        s.gauge().sub(2, 32);
+        let snap = s.snapshot();
+        assert_eq!(snap.evicted_reads, 2);
+        assert_eq!(snap.read_below_floor, 1);
+        assert_eq!(snap.snapshot_evictions, 3);
+        assert_eq!(snap.evicted_aborts, 1);
+        assert_eq!(snap.gc_cycles, 2);
+        assert_eq!(snap.gc_slices, 5);
+        assert_eq!(snap.gc_pruned_versions, 17);
+        assert_eq!(snap.gc_thread_panics, 1);
+        assert_eq!(snap.mem_soft_events, 1);
+        assert_eq!(snap.mem_hard_events, 1);
+        assert_eq!(snap.retained_versions, 3);
+        assert_eq!(snap.retained_bytes, 48);
+        let d = snap.delta_since(&StatsSnapshot::default());
+        assert_eq!(d.evicted_reads, 2);
+        assert_eq!(d.gc_pruned_versions, 17);
+        assert_eq!(d.retained_versions, 3);
     }
 
     #[test]

@@ -452,6 +452,12 @@ pub struct Throttle {
     /// reconfiguration from, say, `(8, 1)` to `(1, 8)` could be observed as
     /// `(8, 8)` — an over-subscribed configuration that never existed.)
     degree: AtomicU64,
+    /// Memory-pressure ceiling on the *effective* top-level capacity
+    /// (`usize::MAX` = none). The ladder sets this instead of calling
+    /// `set_capacity` directly so a concurrent tuner `reconfigure` cannot
+    /// silently undo the backpressure: both paths apply
+    /// `min(t, pressure_cap)`.
+    pressure_cap: AtomicUsize,
     trace: TraceBus,
     fault: FaultCtx,
 }
@@ -510,7 +516,13 @@ impl Throttle {
         gate: Arc<dyn Admission>,
     ) -> Self {
         gate.set_capacity(degree.top_level);
-        Self { top_gate: gate, degree: AtomicU64::new(pack(degree)), trace, fault }
+        Self {
+            top_gate: gate,
+            degree: AtomicU64::new(pack(degree)),
+            pressure_cap: AtomicUsize::new(usize::MAX),
+            trace,
+            fault,
+        }
     }
 
     /// Block until a top-level slot is free; the permit is released when the
@@ -551,7 +563,7 @@ impl Throttle {
     /// begins/batches observe the new limits.
     pub fn reconfigure(&self, degree: ParallelismDegree) -> ParallelismDegree {
         let prev = unpack(self.degree.swap(pack(degree), Ordering::AcqRel));
-        self.top_gate.set_capacity(degree.top_level);
+        self.apply_effective_capacity();
         if prev != degree {
             self.trace.emit(TraceEvent::Reconfigure {
                 from: (prev.top_level as u32, prev.nested_per_tree as u32),
@@ -585,6 +597,38 @@ impl Throttle {
     pub fn top_level_in_use(&self) -> usize {
         self.top_gate.in_use()
     }
+
+    /// Cap the effective top-level capacity at `cap` regardless of the
+    /// configured `t` (memory-pressure backpressure). The configured degree
+    /// is untouched; [`Throttle::clear_pressure_cap`] restores it.
+    pub fn set_pressure_cap(&self, cap: usize) {
+        self.pressure_cap.store(cap.max(1), Ordering::Release);
+        self.apply_effective_capacity();
+    }
+
+    /// Remove the memory-pressure cap and restore the configured capacity.
+    pub fn clear_pressure_cap(&self) {
+        self.pressure_cap.store(usize::MAX, Ordering::Release);
+        self.apply_effective_capacity();
+    }
+
+    /// The memory-pressure cap in force (`None` when uncapped).
+    pub fn pressure_cap(&self) -> Option<usize> {
+        match self.pressure_cap.load(Ordering::Acquire) {
+            usize::MAX => None,
+            cap => Some(cap),
+        }
+    }
+
+    /// Re-derive the gate capacity from the configured degree and the
+    /// pressure cap. Called after either input changes; last writer wins,
+    /// and both orderings converge on `min(t, cap)` because each writer
+    /// re-reads the other's input after publishing its own.
+    fn apply_effective_capacity(&self) {
+        let t = unpack(self.degree.load(Ordering::Acquire)).top_level;
+        let cap = self.pressure_cap.load(Ordering::Acquire);
+        self.top_gate.set_capacity(t.min(cap));
+    }
 }
 
 #[cfg(test)]
@@ -600,6 +644,35 @@ mod tests {
         assert_eq!(d, ParallelismDegree { top_level: 1, nested_per_tree: 1 });
         assert_eq!(d.cores_used(), 1);
         assert_eq!(d.to_string(), "(1,1)");
+    }
+
+    #[test]
+    fn pressure_cap_bounds_effective_capacity() {
+        let th = Throttle::new(ParallelismDegree::new(4, 1));
+        let p1 = th.admit_top_level().unwrap();
+        let p2 = th.admit_top_level().unwrap();
+        assert_eq!(th.top_level_in_use(), 2);
+
+        // Cap to 1: in-flight permits are unaffected, but no new admission
+        // succeeds until usage drops below the cap.
+        th.set_pressure_cap(1);
+        assert_eq!(th.pressure_cap(), Some(1));
+        assert!(!th.top_gate.try_acquire(), "capped gate admits nothing new");
+        drop(p1);
+        drop(p2);
+        let _p = th.admit_top_level().unwrap();
+        assert!(!th.top_gate.try_acquire(), "cap of 1 holds");
+
+        // A tuner reconfigure does not undo the cap...
+        th.reconfigure(ParallelismDegree::new(8, 2));
+        assert!(!th.top_gate.try_acquire(), "reconfigure respects the cap");
+        assert_eq!(th.current(), ParallelismDegree::new(8, 2), "configured degree is preserved");
+
+        // ...and clearing the cap restores the configured capacity.
+        th.clear_pressure_cap();
+        assert_eq!(th.pressure_cap(), None);
+        assert!(th.top_gate.try_acquire());
+        th.top_gate.release();
     }
 
     #[test]

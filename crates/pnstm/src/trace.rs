@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use crate::cm::{AbortSite, CmMode};
 use crate::fault::FaultKind;
+use crate::mem::MemLevel;
 use crate::stats::TxKind;
 
 /// Nanoseconds since the process-wide trace epoch (first call wins). All
@@ -124,6 +125,20 @@ pub enum TraceEvent {
     /// Emitted only for nonzero waits — the `Immediate` rung (and winners
     /// under karma/greedy) stay off the bus.
     CmDecision { policy: CmMode, site: AbortSite, waited_ns: u64, attempt: u64, at_ns: u64 },
+    /// A GC cycle finished: the version-heap gauge stood at
+    /// `retained_versions`/`retained_bytes` after pruning `pruned` versions
+    /// over `slices` bounded slices. `urgent` marks ladder-triggered cycles.
+    MemPressure {
+        retained_versions: u64,
+        retained_bytes: u64,
+        pruned: u64,
+        slices: u64,
+        urgent: bool,
+        at_ns: u64,
+    },
+    /// The memory degradation ladder moved between levels (escalation or
+    /// recovery) at a gauge reading of `retained_versions`.
+    MemDegraded { from: MemLevel, to: MemLevel, retained_versions: u64, at_ns: u64 },
 }
 
 fn push_f64(out: &mut String, x: f64) {
@@ -166,6 +181,8 @@ impl TraceEvent {
             TraceEvent::ApplyDegraded { .. } => "apply_degraded",
             TraceEvent::WatchdogFired { .. } => "watchdog_fired",
             TraceEvent::CmDecision { .. } => "cm_decision",
+            TraceEvent::MemPressure { .. } => "mem_pressure",
+            TraceEvent::MemDegraded { .. } => "mem_degraded",
         }
     }
 
@@ -284,6 +301,27 @@ impl TraceEvent {
                     ",\"policy\":\"{}\",\"site\":\"{}\",\"waited_ns\":{waited_ns},\"attempt\":{attempt},\"at_ns\":{at_ns}",
                     policy.tag(),
                     site.tag()
+                );
+            }
+            TraceEvent::MemPressure {
+                retained_versions,
+                retained_bytes,
+                pruned,
+                slices,
+                urgent,
+                at_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"retained_versions\":{retained_versions},\"retained_bytes\":{retained_bytes},\"pruned\":{pruned},\"slices\":{slices},\"urgent\":{urgent},\"at_ns\":{at_ns}"
+                );
+            }
+            TraceEvent::MemDegraded { from, to, retained_versions, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":\"{}\",\"to\":\"{}\",\"retained_versions\":{retained_versions},\"at_ns\":{at_ns}",
+                    from.tag(),
+                    to.tag()
                 );
             }
         }
@@ -613,6 +651,20 @@ mod tests {
                 attempt: 2,
                 at_ns: 80,
             },
+            TraceEvent::MemPressure {
+                retained_versions: 1024,
+                retained_bytes: 16_384,
+                pruned: 12,
+                slices: 3,
+                urgent: false,
+                at_ns: 90,
+            },
+            TraceEvent::MemDegraded {
+                from: MemLevel::Normal,
+                to: MemLevel::Soft,
+                retained_versions: 2048,
+                at_ns: 91,
+            },
         ];
         for ev in evs {
             let json = ev.to_json();
@@ -660,6 +712,28 @@ mod tests {
             }
             .to_json(),
             r#"{"ev":"cm_decision","policy":"greedy","site":"nested","waited_ns":200000,"attempt":1,"at_ns":12}"#
+        );
+        assert_eq!(
+            TraceEvent::MemPressure {
+                retained_versions: 7,
+                retained_bytes: 112,
+                pruned: 4,
+                slices: 2,
+                urgent: true,
+                at_ns: 13,
+            }
+            .to_json(),
+            r#"{"ev":"mem_pressure","retained_versions":7,"retained_bytes":112,"pruned":4,"slices":2,"urgent":true,"at_ns":13}"#
+        );
+        assert_eq!(
+            TraceEvent::MemDegraded {
+                from: MemLevel::Soft,
+                to: MemLevel::Hard,
+                retained_versions: 99,
+                at_ns: 14,
+            }
+            .to_json(),
+            r#"{"ev":"mem_degraded","from":"soft","to":"hard","retained_versions":99,"at_ns":14}"#
         );
     }
 

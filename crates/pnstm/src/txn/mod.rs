@@ -33,11 +33,12 @@ pub(crate) mod sets;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::error::{TxError, TxResult};
 use crate::runtime::StmShared;
-use crate::vbox::{filter_bits, VBox};
+use crate::vbox::{filter_bits, BelowFloor, VBox};
 use crate::TxValue;
 use nest::NestCtx;
 use sets::{ReadSet, WriteSet};
@@ -114,10 +115,23 @@ pub struct Txn {
     /// Stands in for the removed own-write-set mutex in `Locked` mode.
     own_ws_mx: Mutex<()>,
     reads: ReadPathCounters,
+    /// Eviction flag of the root snapshot's lease registration (shared by
+    /// the whole transaction tree; `None` for unleased contexts). Set by the
+    /// GC watermark computation once the lease expired — see
+    /// [`crate::clock::SnapshotRegistry`].
+    evicted: Option<Arc<AtomicBool>>,
+    /// Latched true once this attempt observed its snapshot's eviction (a
+    /// below-floor read it had to paper over): the attempt must abort at
+    /// commit regardless of what the flag reads later.
+    doomed: bool,
 }
 
 impl Txn {
-    pub(crate) fn top(shared: Arc<StmShared>, root_read_version: u64) -> Self {
+    pub(crate) fn top(
+        shared: Arc<StmShared>,
+        root_read_version: u64,
+        evicted: Option<Arc<AtomicBool>>,
+    ) -> Self {
         let locked_reads =
             matches!(shared.config().read_path, crate::runtime::ReadPathMode::Locked);
         Self {
@@ -130,6 +144,8 @@ impl Txn {
             locked_reads,
             own_ws_mx: Mutex::new(()),
             reads: ReadPathCounters::default(),
+            evicted,
+            doomed: false,
         }
     }
 
@@ -138,6 +154,7 @@ impl Txn {
         root_read_version: u64,
         scope: Vec<ScopeEntry>,
         depth: u32,
+        evicted: Option<Arc<AtomicBool>>,
     ) -> Self {
         let locked_reads =
             matches!(shared.config().read_path, crate::runtime::ReadPathMode::Locked);
@@ -151,7 +168,16 @@ impl Txn {
             locked_reads,
             own_ws_mx: Mutex::new(()),
             reads: ReadPathCounters::default(),
+            evicted,
+            doomed: false,
         }
+    }
+
+    /// Whether the tree's snapshot has been evicted (lease expired, GC no
+    /// longer honours it). Checked by the commit protocols and the retry
+    /// drivers; true also once this attempt hit a below-floor read.
+    pub(crate) fn snapshot_evicted(&self) -> bool {
+        self.doomed || self.evicted.as_ref().is_some_and(|f| f.load(Ordering::Acquire))
     }
 
     /// The global snapshot version this transaction tree reads at.
@@ -258,7 +284,35 @@ impl Txn {
         }
         // 3. Global snapshot.
         self.rs.record(vbox.as_any());
-        vbox.body.read_at(self.root_read_version)
+        match vbox.body.read_at(self.root_read_version) {
+            Ok(v) => v,
+            Err(floor) => self.read_below_floor(vbox, floor),
+        }
+    }
+
+    /// A global-snapshot read found every retained version newer than the
+    /// tree's snapshot. For an evicted snapshot this is expected (the GC
+    /// pruned past the expired lease): the attempt is doomed — it will abort
+    /// at commit and the driver retries on a fresh snapshot — and the read is
+    /// served from the oldest retained version so the body can run to its
+    /// next abort point. (Such a read may be mutually inconsistent with
+    /// earlier reads; the doomed attempt can never commit them.) Anywhere
+    /// else it is a GC watermark bug: counted as a hard error and panicked,
+    /// never masked.
+    #[cold]
+    fn read_below_floor<T: TxValue>(&mut self, vbox: &VBox<T>, floor: BelowFloor) -> T {
+        if self.snapshot_evicted() {
+            self.doomed = true;
+            self.shared.stats().record_evicted_read();
+            return vbox.body.read_floor();
+        }
+        self.shared.stats().record_read_below_floor();
+        panic!(
+            "vbox {}: no version <= snapshot {} (oldest retained: {}); GC invariant violated",
+            vbox.id(),
+            self.root_read_version,
+            floor.oldest
+        );
     }
 
     /// Tentatively write `value` to `vbox`. Takes effect for other
@@ -353,6 +407,7 @@ impl Txn {
                 let inherited = inherited.clone();
                 let results = tx_results.clone();
                 let panic_payload = Arc::clone(&panic_payload);
+                let evicted = self.evicted.clone();
                 Box::new(move || {
                     let outcome = run_child(
                         &shared,
@@ -360,6 +415,7 @@ impl Txn {
                         depth,
                         &parent_proto,
                         &inherited,
+                        evicted,
                         &mut body,
                         &panic_payload,
                     );
@@ -408,6 +464,10 @@ impl Txn {
     /// Commit a nested transaction into its parent. Returns
     /// `Err(TxError::Conflict)` on a sibling conflict.
     fn commit_nested(&mut self) -> TxResult<()> {
+        if self.snapshot_evicted() {
+            self.doomed = true;
+            return Err(TxError::Conflict);
+        }
         let parent = self.scope.first().expect("nested txn has a parent scope");
         let commit_guard = parent.nest.commit_mx.lock();
         // Sibling validation: no sibling may have installed a newer version
@@ -443,6 +503,14 @@ impl Txn {
     /// STM instance was configured with.
     pub(crate) fn commit_top(&mut self) -> TxResult<()> {
         debug_assert_eq!(self.depth, 0, "commit_top on a nested transaction");
+        // An evicted snapshot aborts at its commit point: the versions it
+        // read may already be pruned, and committing would legitimize reads
+        // the GC stopped protecting. The driver maps this conflict to an
+        // eviction abort (fresh snapshot on retry).
+        if self.snapshot_evicted() {
+            self.doomed = true;
+            return Err(TxError::Conflict);
+        }
         match self.shared.config().commit_path {
             crate::runtime::CommitPath::Striped => self.commit_top_striped(),
             crate::runtime::CommitPath::GlobalLock => self.commit_top_global(),
@@ -613,12 +681,14 @@ impl Drop for Txn {
 /// ([`crate::cm::AbortSite::Nested`]): under the backoff/karma/greedy rungs
 /// a losing child sleeps instead of hot-spinning its way through
 /// `max_nested_retries` immediate re-executions against the same winner.
+#[allow(clippy::too_many_arguments)]
 fn run_child<R>(
     shared: &Arc<StmShared>,
     root_rv: u64,
     depth: u32,
     parent_proto: &ScopeEntry,
     inherited: &[ScopeEntry],
+    evicted: Option<Arc<AtomicBool>>,
     body: &mut (dyn FnMut(&mut Txn) -> TxResult<R> + Send),
     panic_payload: &Arc<Mutex<Option<Box<dyn Any + Send>>>>,
 ) -> TxResult<R> {
@@ -636,7 +706,7 @@ fn run_child<R>(
         let mut scope = Vec::with_capacity(1 + inherited.len());
         scope.push(ScopeEntry { cap: parent_proto.nest.now(), ..parent_proto.clone() });
         scope.extend_from_slice(inherited);
-        let mut tx = Txn::nested(Arc::clone(shared), root_rv, scope, depth);
+        let mut tx = Txn::nested(Arc::clone(shared), root_rv, scope, depth, evicted.clone());
 
         let ran = panic::catch_unwind(AssertUnwindSafe(|| body(&mut tx)));
         match ran {
@@ -671,6 +741,12 @@ fn run_child<R>(
                         });
                     }
                     if attempts >= max_retries {
+                        return Err(TxError::Conflict);
+                    }
+                    // A sibling retry cannot save an evicted tree: the whole
+                    // attempt re-runs on a fresh snapshot anyway. Escalate
+                    // immediately instead of burning the nested retry budget.
+                    if tx.snapshot_evicted() {
                         return Err(TxError::Conflict);
                     }
                     let (r, w) = tx.footprint();

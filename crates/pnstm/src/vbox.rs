@@ -10,6 +10,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::mem::VersionHeapGauge;
 use crate::TxValue;
 
 /// Unique identifier of a box, assigned at creation.
@@ -59,10 +60,20 @@ pub(crate) trait AnyVBox: Send + Sync {
     /// `version` per box.
     fn install_erased(&self, value: &ErasedValue, version: u64);
     /// Drop versions that no live snapshot can read: keep everything newer
-    /// than `watermark` plus the newest entry `<= watermark`.
-    fn prune_below(&self, watermark: u64);
+    /// than `watermark` plus the newest entry `<= watermark`. Returns the
+    /// number of versions dropped.
+    fn prune_below(&self, watermark: u64) -> usize;
     /// Number of retained versions (for GC tests and introspection).
     fn chain_len(&self) -> usize;
+}
+
+/// A read could not be served: every retained version of the box is newer
+/// than the requested snapshot. Legal only for an evicted snapshot (the GC
+/// pruned past an expired lease); anywhere else it is a watermark bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BelowFloor {
+    /// Oldest version still retained by the box.
+    pub oldest: u64,
 }
 
 #[derive(Debug)]
@@ -70,26 +81,45 @@ pub(crate) struct VBoxBody<T> {
     id: BoxId,
     /// Version chain, ascending by version. Never empty.
     chain: RwLock<Vec<(u64, T)>>,
+    /// Version-heap gauge this box reports retained-entry deltas to: the
+    /// owning STM instance's gauge for registered boxes, a detached private
+    /// one for raw test boxes.
+    gauge: Arc<VersionHeapGauge>,
+}
+
+/// Shallow bytes of one retained chain entry of a `T` box (the accounting
+/// unit of [`VersionHeapGauge`]; heap payloads behind `T` are not traversed).
+#[inline]
+fn entry_bytes<T>() -> u64 {
+    std::mem::size_of::<(u64, T)>() as u64
 }
 
 impl<T: TxValue> VBoxBody<T> {
-    /// Read the newest value with version `<= snapshot`.
-    ///
-    /// # Panics
-    /// Panics if every retained version is newer than `snapshot`, which would
-    /// indicate a GC watermark bug (a live snapshot's versions were pruned).
-    pub(crate) fn read_at(&self, snapshot: u64) -> T {
+    /// Read the newest value with version `<= snapshot`, or [`BelowFloor`]
+    /// if every retained version is newer — which the caller must treat as a
+    /// snapshot eviction (expired lease, GC pruned past it) or, when the
+    /// snapshot was never evicted, a GC watermark bug.
+    pub(crate) fn read_at(&self, snapshot: u64) -> Result<T, BelowFloor> {
         let chain = self.chain.read();
         match chain.binary_search_by(|(v, _)| v.cmp(&snapshot)) {
-            Ok(i) => chain[i].1.clone(),
-            Err(0) => panic!(
-                "vbox {}: no version <= snapshot {} (oldest retained: {}); GC invariant violated",
-                self.id,
-                snapshot,
-                chain.first().map(|(v, _)| *v).unwrap_or(u64::MAX)
-            ),
-            Err(i) => chain[i - 1].1.clone(),
+            Ok(i) => Ok(chain[i].1.clone()),
+            Err(0) => Err(BelowFloor { oldest: chain.first().expect("chain never empty").0 }),
+            Err(i) => Ok(chain[i - 1].1.clone()),
         }
+    }
+
+    /// The oldest retained value (the chain floor). Only meaningful for a
+    /// doomed evicted-snapshot read, which needs *a* `T` to keep the body
+    /// running to its abort point.
+    pub(crate) fn read_floor(&self) -> T {
+        self.chain.read().first().expect("chain never empty").1.clone()
+    }
+}
+
+impl<T> Drop for VBoxBody<T> {
+    fn drop(&mut self) {
+        let len = self.chain.read().len() as u64;
+        self.gauge.sub(len, len * entry_bytes::<T>());
     }
 }
 
@@ -117,9 +147,11 @@ impl<T: TxValue> AnyVBox for VBoxBody<T> {
             newest
         );
         chain.push((version, v.clone()));
+        drop(chain);
+        self.gauge.add(1, entry_bytes::<T>());
     }
 
-    fn prune_below(&self, watermark: u64) {
+    fn prune_below(&self, watermark: u64) -> usize {
         let mut chain = self.chain.write();
         // Index of the newest entry with version <= watermark; everything
         // strictly before it is unreadable by any live or future snapshot.
@@ -131,6 +163,11 @@ impl<T: TxValue> AnyVBox for VBoxBody<T> {
         if keep_from > 0 {
             chain.drain(..keep_from);
         }
+        drop(chain);
+        if keep_from > 0 {
+            self.gauge.sub(keep_from as u64, keep_from as u64 * entry_bytes::<T>());
+        }
+        keep_from
     }
 
     fn chain_len(&self) -> usize {
@@ -155,13 +192,23 @@ impl<T> Clone for VBox<T> {
 }
 
 impl<T: TxValue> VBox<T> {
-    /// Create a detached box with `initial` installed at version 0.
+    /// Create a detached box with `initial` installed at version 0,
+    /// reporting retained-entry accounting to a private gauge.
     ///
     /// Crate-internal: users go through [`crate::Stm::new_vbox`], which also
-    /// registers the box for garbage collection.
+    /// registers the box for garbage collection and attaches the instance's
+    /// shared gauge.
+    #[cfg(test)]
     pub(crate) fn new_raw(initial: T) -> Self {
+        Self::new_raw_gauged(initial, Arc::new(VersionHeapGauge::new()))
+    }
+
+    /// [`VBox::new_raw`] with an explicit [`VersionHeapGauge`] to report
+    /// retained-entry deltas to (the STM instance's gauge).
+    pub(crate) fn new_raw_gauged(initial: T, gauge: Arc<VersionHeapGauge>) -> Self {
         let id = NEXT_BOX_ID.fetch_add(1, Ordering::Relaxed);
-        Self { body: Arc::new(VBoxBody { id, chain: RwLock::new(vec![(0, initial)]) }) }
+        gauge.add(1, entry_bytes::<T>());
+        Self { body: Arc::new(VBoxBody { id, chain: RwLock::new(vec![(0, initial)]), gauge }) }
     }
 
     /// The box's unique id.
@@ -203,12 +250,12 @@ mod tests {
         let b = VBox::new_raw(10i32);
         b.body.install_erased(&erase(20i32), 5);
         b.body.install_erased(&erase(30i32), 9);
-        assert_eq!(b.body.read_at(0), 10);
-        assert_eq!(b.body.read_at(4), 10);
-        assert_eq!(b.body.read_at(5), 20);
-        assert_eq!(b.body.read_at(8), 20);
-        assert_eq!(b.body.read_at(9), 30);
-        assert_eq!(b.body.read_at(u64::MAX), 30);
+        assert_eq!(b.body.read_at(0), Ok(10));
+        assert_eq!(b.body.read_at(4), Ok(10));
+        assert_eq!(b.body.read_at(5), Ok(20));
+        assert_eq!(b.body.read_at(8), Ok(20));
+        assert_eq!(b.body.read_at(9), Ok(30));
+        assert_eq!(b.body.read_at(u64::MAX), Ok(30));
     }
 
     #[test]
@@ -243,28 +290,45 @@ mod tests {
         assert_eq!(b.version_count(), 5);
         // Watermark 5: oldest live snapshot is at version 5, which reads the
         // entry installed at 4. Entries at 0 and 2 are unreachable.
-        b.body.prune_below(5);
+        assert_eq!(b.body.prune_below(5), 2);
         assert_eq!(b.version_count(), 3);
-        assert_eq!(b.body.read_at(5), 2);
-        assert_eq!(b.body.read_at(8), 4);
+        assert_eq!(b.body.read_at(5), Ok(2));
+        assert_eq!(b.body.read_at(8), Ok(4));
     }
 
     #[test]
     fn prune_with_low_watermark_is_noop() {
         let b = VBox::new_raw(0i32);
         b.body.install_erased(&erase(1), 4);
-        b.body.prune_below(0);
+        assert_eq!(b.body.prune_below(0), 0);
         assert_eq!(b.version_count(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "GC invariant violated")]
-    fn read_below_oldest_panics() {
+    fn read_below_oldest_reports_the_floor() {
         let b = VBox::new_raw(0i32);
         b.body.install_erased(&erase(1), 4);
         b.body.prune_below(10);
         // Only the version-4 entry remains; snapshot 3 cannot be served.
-        let _ = b.body.read_at(3);
+        assert_eq!(b.body.read_at(3), Err(BelowFloor { oldest: 4 }));
+    }
+
+    #[test]
+    fn gauge_tracks_install_prune_and_drop() {
+        let gauge = Arc::new(VersionHeapGauge::new());
+        let per = std::mem::size_of::<(u64, i32)>() as u64;
+        let b = VBox::new_raw_gauged(0i32, Arc::clone(&gauge));
+        assert_eq!(gauge.retained_versions(), 1);
+        assert_eq!(gauge.retained_bytes(), per);
+        b.body.install_erased(&erase(1), 2);
+        b.body.install_erased(&erase(2), 4);
+        assert_eq!(gauge.retained_versions(), 3);
+        assert_eq!(gauge.retained_bytes(), 3 * per);
+        b.body.prune_below(10);
+        assert_eq!(gauge.retained_versions(), 1);
+        drop(b);
+        assert_eq!(gauge.retained_versions(), 0);
+        assert_eq!(gauge.retained_bytes(), 0);
     }
 
     #[test]
@@ -293,7 +357,7 @@ mod tests {
         let a = VBox::new_raw(1i32);
         let b = a.clone();
         a.body.install_erased(&erase(7), 1);
-        assert_eq!(b.body.read_at(1), 7);
+        assert_eq!(b.body.read_at(1), Ok(7));
         assert_eq!(a.id(), b.id());
     }
 }

@@ -13,7 +13,10 @@ use autopn::{
     TuneOptions,
 };
 use pnstm::trace::TraceEvent;
-use pnstm::{stripe_of, ParallelismDegree, SchedMode, Stm, StmConfig, TestSink, TraceBus};
+use pnstm::{
+    stripe_of, GcMode, MemConfig, ParallelismDegree, SchedMode, Stm, StmConfig, StmError, TestSink,
+    TraceBus,
+};
 use proptest::prelude::*;
 use simtm::{MachineParams, SimWorkload};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -382,6 +385,161 @@ fn shutdown_is_bounded_while_admission_is_starved_work_stealing() {
         }
     })
     .expect("STM usable after shutdown");
+}
+
+#[test]
+fn stalled_collector_never_blocks_commits_and_eviction_resumes() {
+    // Exactly one seeded stall (p = 1, budget 1): the collector's first
+    // slice sleeps 1.5 s holding no lock. The memory contract under a
+    // wedged collector is "degrade memory, not throughput" — commits must
+    // keep flowing mid-stall, and once the stall passes, lease expiry of a
+    // parked reader must still be detected and pruned past.
+    let plan = Arc::new(FaultPlan::new(52).with_rule(
+        FaultKind::GcStall,
+        FaultRule::with_probability(1.0).delay_ns(1_500_000_000).budget(1),
+    ));
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(2, 1),
+        worker_threads: 2,
+        fault: Some(plan.clone()),
+        gc_interval: 1,
+        mem: MemConfig {
+            gc_mode: GcMode::Background,
+            snapshot_lease: Some(Duration::from_millis(20)),
+            ..MemConfig::default()
+        },
+        ..StmConfig::default()
+    });
+    let b = stm.new_vbox(0i64);
+    let commit = || {
+        stm.atomic(|tx| {
+            let v = tx.read(&b);
+            tx.write(&b, v + 1);
+            Ok(())
+        })
+        .unwrap()
+    };
+    stm.read_only(|snap| {
+        // Every commit nudges the collector; its first slice then stalls.
+        let start = Instant::now();
+        while plan.injected(FaultKind::GcStall) == 0 {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "collector never reached the stall site"
+            );
+            commit();
+            std::thread::yield_now();
+        }
+        // Mid-stall: commits flow freely. The stalled cycle completing
+        // before these finish would mean they waited behind it.
+        let c0 = stm.stats().snapshot().gc_cycles;
+        for _ in 0..200 {
+            commit();
+        }
+        assert_eq!(
+            stm.stats().snapshot().gc_cycles,
+            c0,
+            "200 commits outlasted a 1.5s collector stall — commits are \
+             queueing behind the GC"
+        );
+        // Post-stall: the collector resumes, the reader's expired lease is
+        // evicted and its pinned versions pruned past.
+        let start = Instant::now();
+        loop {
+            commit();
+            stm.request_gc();
+            if snap.is_evicted() && snap.try_read(&b) == Err(StmError::SnapshotEvicted) {
+                break;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "lease eviction never resumed after the collector stall"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    // Eviction and pruning are observable mid-cycle (the watermark is
+    // recomputed per slice), so the cycle counter may lag the break above.
+    let start = Instant::now();
+    while stm.stats().snapshot().gc_cycles == 0 {
+        assert!(start.elapsed() < Duration::from_secs(5), "the stalled cycle never completed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let s = stm.stats().snapshot();
+    assert_eq!(plan.injected(FaultKind::GcStall), 1);
+    assert!(s.snapshot_evictions >= 1, "the parked reader was evicted: {s:?}");
+    assert_eq!(s.read_below_floor, 0);
+}
+
+/// A value whose drop panics the first time it happens on the collector
+/// thread — a poisoned version chain for exercising the GC supervisor.
+#[derive(Clone)]
+struct GcGrenade(Arc<AtomicBool>);
+
+impl Drop for GcGrenade {
+    fn drop(&mut self) {
+        if std::thread::current().name() == Some("pnstm-gc") && self.0.swap(false, Ordering::SeqCst)
+        {
+            panic!("injected: version drop failed on the collector thread");
+        }
+    }
+}
+
+#[test]
+fn collector_panic_is_absorbed_and_the_loop_restarts() {
+    // Prune a version whose Drop panics on the collector thread: the
+    // supervisor must absorb the panic (counted, not fatal) and keep the
+    // collector loop alive — later cycles still sweep and prune.
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(2, 1),
+        worker_threads: 1,
+        gc_interval: 0,
+        mem: MemConfig { gc_mode: GcMode::Background, ..MemConfig::default() },
+        ..StmConfig::default()
+    });
+    let armed = Arc::new(AtomicBool::new(true));
+    let grenade = stm.new_vbox(GcGrenade(Arc::clone(&armed)));
+    // Two installs leave two prunable (poisoned) versions behind.
+    for _ in 0..2 {
+        let disarmed = GcGrenade(Arc::new(AtomicBool::new(false)));
+        let g = grenade.clone();
+        stm.atomic(move |tx| {
+            tx.write(&g, disarmed.clone());
+            Ok(())
+        })
+        .unwrap();
+    }
+    let start = Instant::now();
+    while stm.stats().snapshot().gc_thread_panics == 0 {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "collector never hit the poisoned version"
+        );
+        stm.request_gc();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The loop survived: commits still work and a later cycle still prunes.
+    let after = stm.stats().snapshot();
+    let counter = stm.new_vbox(0i64);
+    for _ in 0..3 {
+        stm.atomic(|tx| {
+            let v = tx.read(&counter);
+            tx.write(&counter, v + 1);
+            Ok(())
+        })
+        .unwrap();
+    }
+    let start = Instant::now();
+    while stm.stats().snapshot().gc_pruned_versions <= after.gc_pruned_versions {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "no cycle pruned after the collector panic — the loop died"
+        );
+        stm.request_gc();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(stm.read_atomic(&counter), 3);
+    assert!(stm.stats().snapshot().gc_thread_panics >= 1);
 }
 
 /// Drive one full simulated tuning session through `FaultyTunable` and

@@ -139,6 +139,10 @@ fn live_session_emits_parseable_jsonl_trace() {
         "session_start",
         "session_end",
         "change_detected",
+        "cm_decision",
+        "mem_pressure",
+        "mem_degraded",
+        "sched_batch",
     ];
     let mut seen = std::collections::HashSet::new();
     let mut saw_session_end = false;
