@@ -70,7 +70,10 @@ pub use multi::{MultiAutoPn, MultiAutoPnConfig, MultiConfig};
 pub use optimizer::{AutoPn, AutoPnConfig, Tuner};
 pub use pnstm::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};
 pub use pnstm::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
-pub use policy::{sweep_gc_budgets, sweep_policies, GcBudgetSweepOutcome, PolicySweepOutcome};
+pub use policy::{
+    sweep_block_sizes, sweep_gc_budgets, sweep_policies, BlockSizeSweepOutcome,
+    GcBudgetSweepOutcome, PolicySweepOutcome,
+};
 pub use sampling::InitialSampling;
-pub use space::{CmPolicy, Config, GcBudget, SearchSpace};
+pub use space::{BlockSize, CmPolicy, Config, GcBudget, SearchSpace};
 pub use stopping::StopCondition;

@@ -13,7 +13,7 @@
 use crate::controller::{Controller, TunableSystem, TuneOptions, TuningOutcome};
 use crate::monitor::MonitorPolicy;
 use crate::optimizer::Tuner;
-use crate::space::{CmPolicy, Config, GcBudget};
+use crate::space::{BlockSize, CmPolicy, Config, GcBudget};
 use pnstm::TraceBus;
 
 /// One full `(t, c)` session per value of a categorical axis. Shared driver
@@ -137,6 +137,49 @@ pub fn sweep_gc_budgets(
     let (sessions, best_budget, best, best_throughput, degraded) =
         sweep_axis(system, &budgets, set_budget, make_tuner, make_monitor, trace, opts);
     GcBudgetSweepOutcome { sessions, best_budget, best, best_throughput, degraded }
+}
+
+/// Outcome of a `{block size} × (t, c)` sweep; see [`sweep_block_sizes`].
+#[derive(Debug, Clone)]
+pub struct BlockSizeSweepOutcome {
+    /// One completed tuning session per swept block size, in sweep order.
+    pub sessions: Vec<(BlockSize, TuningOutcome)>,
+    /// The block size of the winning session.
+    pub best_block_size: BlockSize,
+    /// The winning session's best `(t, c)`.
+    pub best: Config,
+    /// Its measured throughput.
+    pub best_throughput: f64,
+    /// Any per-size session degraded (see [`TuningOutcome::degraded`]).
+    pub degraded: bool,
+}
+
+/// Run one `(t, c)` tuning session per ledger block size in `sizes` (the
+/// default [`BlockSize::SWEEP`] ladder when empty) and leave the system on
+/// the best `(block size, t, c)`.
+///
+/// Block size trades per-block overhead against conflict exposure: a large
+/// block amortises the index-order install and keeps the execution wave
+/// saturated, but widens the window in which a hot-account write invalidates
+/// the suffix (more incarnation re-runs); a small block bounds the
+/// re-execution bill at the cost of more commits. The surface depends on the
+/// workload's conflict level, so it is swept as a categorical axis.
+/// `set_size` enacts a size on the tuned system (live ledger:
+/// `|b| cfg.block_size = b.txns` on the executor driving the loop).
+pub fn sweep_block_sizes(
+    system: &mut dyn TunableSystem,
+    sizes: &[BlockSize],
+    set_size: &mut dyn FnMut(BlockSize),
+    make_tuner: &mut dyn FnMut(BlockSize) -> Box<dyn Tuner>,
+    make_monitor: &mut dyn FnMut(BlockSize) -> Box<dyn MonitorPolicy>,
+    trace: &TraceBus,
+    opts: &TuneOptions,
+) -> BlockSizeSweepOutcome {
+    let sizes: Vec<BlockSize> =
+        if sizes.is_empty() { BlockSize::SWEEP.to_vec() } else { sizes.to_vec() };
+    let (sessions, best_block_size, best, best_throughput, degraded) =
+        sweep_axis(system, &sizes, set_size, make_tuner, make_monitor, trace, opts);
+    BlockSizeSweepOutcome { sessions, best_block_size, best, best_throughput, degraded }
 }
 
 #[cfg(test)]
@@ -300,6 +343,74 @@ mod tests {
         let tp =
             |b: GcBudget| outcome.sessions.iter().find(|(q, _)| *q == b).unwrap().1.best_throughput;
         assert!(tp(GcBudget::new(128)) > tp(GcBudget::new(32)));
+    }
+
+    /// Deterministic fake for the block-size axis: commit period is
+    /// parabolic in log2(block size) with the optimum at 256 txns (the
+    /// ladder midpoint), on top of the usual `(t, c)` bowl at (6, 2) —
+    /// modelling the amortisation-vs-conflict-window trade-off.
+    struct BlockFakeSystem {
+        now: u64,
+        cfg: Config,
+        block: Arc<AtomicUsize>,
+    }
+
+    impl BlockFakeSystem {
+        fn period(&self) -> u64 {
+            let cfg = self.cfg;
+            let bowl =
+                (cfg.t as f64 - 6.0).powi(2) * 40_000.0 + (cfg.c as f64 - 2.0).powi(2) * 90_000.0;
+            let b = self.block.load(Ordering::Relaxed) as f64;
+            let block_penalty = (b.log2() - 8.0).powi(2) * 150_000.0;
+            (200_000.0 + bowl + block_penalty) as u64
+        }
+    }
+
+    impl TunableSystem for BlockFakeSystem {
+        fn apply(&mut self, cfg: Config) {
+            self.cfg = cfg;
+        }
+        fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+            let period = self.period();
+            if period <= max_wait_ns {
+                self.now += period;
+                Some(self.now)
+            } else {
+                self.now += max_wait_ns;
+                None
+            }
+        }
+        fn now_ns(&self) -> u64 {
+            self.now
+        }
+    }
+
+    #[test]
+    fn block_size_sweep_finds_the_best_size() {
+        let block = Arc::new(AtomicUsize::new(BlockSize::default().txns));
+        let mut sys = BlockFakeSystem { now: 0, cfg: Config::new(1, 1), block: Arc::clone(&block) };
+        let knob = Arc::clone(&block);
+        let outcome = sweep_block_sizes(
+            &mut sys,
+            &[],
+            &mut |b| knob.store(b.txns, Ordering::Relaxed),
+            &mut |_| Box::new(AutoPn::new(SearchSpace::new(16), AutoPnConfig::default())),
+            &mut |_| Box::new(AdaptiveMonitor::default()),
+            &TraceBus::default(),
+            &TuneOptions::default(),
+        );
+        assert_eq!(outcome.sessions.len(), BlockSize::SWEEP.len(), "empty list sweeps the ladder");
+        assert_eq!(outcome.best_block_size, BlockSize::new(256));
+        assert_eq!(block.load(Ordering::Relaxed), 256, "winner re-enacted after the sweep");
+        assert!(
+            (outcome.best.t as i64 - 6).abs() <= 1 && (outcome.best.c as i64 - 2).abs() <= 1,
+            "best {} too far from (6,2)",
+            outcome.best
+        );
+        let tp = |b: BlockSize| {
+            outcome.sessions.iter().find(|(q, _)| *q == b).unwrap().1.best_throughput
+        };
+        assert!(tp(BlockSize::new(256)) > tp(BlockSize::new(64)));
     }
 
     #[test]

@@ -101,6 +101,46 @@ impl std::fmt::Display for GcBudget {
     }
 }
 
+/// The ledger-mode block-size axis: how many transactions a block batches
+/// before the deterministic index-order commit. Larger blocks amortise the
+/// per-block install and validation ramp-up; smaller ones shrink the
+/// conflict window (and the re-execution bill) under contention — another
+/// discrete knob co-tuned alongside `(t, c)`, like [`CmPolicy`] and
+/// [`GcBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockSize {
+    /// Transactions per block.
+    pub txns: usize,
+}
+
+impl BlockSize {
+    /// The default sweep ladder, ascending (powers of two around the ledger
+    /// default of 256).
+    pub const SWEEP: [BlockSize; 5] = [
+        BlockSize { txns: 64 },
+        BlockSize { txns: 128 },
+        BlockSize { txns: 256 },
+        BlockSize { txns: 512 },
+        BlockSize { txns: 1024 },
+    ];
+
+    pub fn new(txns: usize) -> Self {
+        Self { txns: txns.max(1) }
+    }
+}
+
+impl Default for BlockSize {
+    fn default() -> Self {
+        Self { txns: 256 }
+    }
+}
+
+impl std::fmt::Display for BlockSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "block:{}", self.txns)
+    }
+}
+
 /// One parallelism-degree configuration: `t` concurrent top-level
 /// transactions, `c` concurrent nested transactions per transaction tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -345,6 +385,17 @@ mod tests {
         sorted.sort();
         assert_eq!(sorted, GcBudget::SWEEP.to_vec(), "sweep ladder is ascending");
         assert!(GcBudget::SWEEP.contains(&GcBudget::default()), "sweep covers the default");
+    }
+
+    #[test]
+    fn block_size_axis_is_well_formed() {
+        assert_eq!(BlockSize::default().txns, 256);
+        assert_eq!(BlockSize::new(0).txns, 1, "block size clamps to 1");
+        assert_eq!(BlockSize::new(128).to_string(), "block:128");
+        let mut sorted = BlockSize::SWEEP.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, BlockSize::SWEEP.to_vec(), "sweep ladder is ascending");
+        assert!(BlockSize::SWEEP.contains(&BlockSize::default()), "sweep covers the default");
     }
 
     #[test]

@@ -226,8 +226,7 @@ fn main() {
         raw_immediate = raw_immediate.max(i);
         ratios.push(b / i);
     }
-    ratios.sort_by(f64::total_cmp);
-    let raw_ratio = ratios[ratios.len() / 2];
+    let raw_ratio = bench::paired_median(&ratios);
     println!(
         "{{\"mode\":\"raw\",\"threads\":1,\"backoff_ops\":{raw_backoff:.0},\
          \"immediate_ops\":{raw_immediate:.0},\"ratio\":{raw_ratio:.3}}}"

@@ -202,12 +202,11 @@ fn main() {
     let unbounded = run(GcMode::Inline, false, &cfg);
     report("inline+no-leases", &unbounded);
 
-    let median = |mut xs: Vec<f64>| {
-        xs.sort_by(|a, b| a.total_cmp(b));
-        xs[xs.len() / 2]
-    };
-    let ratio = median(pairs.iter().map(|(b, i)| b.commits_per_sec / i.commits_per_sec).collect());
-    let p99_ratio = median(pairs.iter().map(|(b, i)| b.p99_us / i.p99_us).collect());
+    let ratio = bench::paired_median(
+        &pairs.iter().map(|(b, i)| b.commits_per_sec / i.commits_per_sec).collect::<Vec<_>>(),
+    );
+    let p99_ratio =
+        bench::paired_median(&pairs.iter().map(|(b, i)| b.p99_us / i.p99_us).collect::<Vec<_>>());
     let background = &pairs[0].0;
     println!(
         "{{\"mode\":\"summary\",\"throughput_ratio_vs_inline\":{ratio:.3},\

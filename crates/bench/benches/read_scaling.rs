@@ -138,6 +138,50 @@ fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
     (0..reps).map(|_| f()).fold(f64::MIN, f64::max)
 }
 
+/// Chain-walk cost (PR 7 follow-up): the same single-threaded read mix over
+/// version chains `versions` deep, before and after a synchronous
+/// [`Stm::gc`] prune. Reads resolve by binary search over the chain vec, so
+/// the expected cost of depth is logarithmic probing across a cold vec —
+/// cache locality, not a linear walk. Returns (deep reads/s, pruned
+/// reads/s, boxes the prune shortened).
+fn run_chain_walk(versions: u64, reads: u64, reps: usize) -> (f64, f64, usize) {
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(1, 1),
+        worker_threads: 1,
+        // Manual GC only: the deep chains must survive until the pruned pass.
+        gc_interval: 0,
+        ..StmConfig::default()
+    });
+    let boxes: Vec<VBox<u64>> = (0..SHARED_BOXES).map(|i| stm.new_vbox(i as u64)).collect();
+    for v in 0..versions {
+        stm.atomic(|tx| {
+            for b in &boxes {
+                tx.write(b, v);
+            }
+            Ok(())
+        })
+        .expect("chain-building commit");
+    }
+    let pass = || {
+        let start = Instant::now();
+        let acc = stm.read_only(|snap| {
+            let mut acc = 0u64;
+            for r in 0..reads {
+                acc = acc.wrapping_add(snap.read(&boxes[r as usize % boxes.len()]));
+            }
+            acc
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(acc, (versions - 1).wrapping_mul(reads), "read something stale");
+        reads as f64 / elapsed
+    };
+    let deep = best_of(reps, pass);
+    let shortened = stm.gc();
+    assert_eq!(shortened, SHARED_BOXES, "the manual sweep must prune every deep chain");
+    let pruned = best_of(reps, pass);
+    (deep, pruned, shortened)
+}
+
 fn main() {
     let cfg = parse_args();
 
@@ -168,6 +212,17 @@ fn main() {
     println!(
         "{{\"mode\":\"raw\",\"children\":1,\"lockfree_rps\":{raw_lockfree:.0},\
          \"locked_rps\":{raw_locked:.0},\"ratio\":{raw_ratio:.3}}}"
+    );
+
+    // Chain-walk cost before/after GC pruning (PR 7 follow-up, recorded in
+    // DESIGN.md §5g). Informational: no gate, the number documents what
+    // pruning buys the read path beyond bounding memory.
+    let versions = if cfg.smoke { 2_048 } else { 16_384 };
+    let (deep, pruned, shortened) = run_chain_walk(versions, cfg.raw_reads, raw_reps);
+    println!(
+        "{{\"mode\":\"chain_walk\",\"versions_per_box\":{versions},\"deep_rps\":{deep:.0},\
+         \"pruned_rps\":{pruned:.0},\"pruned_speedup\":{:.3},\"boxes_shortened\":{shortened}}}",
+        pruned / deep
     );
 
     if cfg.check {

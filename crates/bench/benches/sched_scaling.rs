@@ -171,8 +171,7 @@ fn main() {
         raw_mutex = raw_mutex.max(m);
         ratios.push(s / m);
     }
-    ratios.sort_by(f64::total_cmp);
-    let raw_ratio = ratios[ratios.len() / 2];
+    let raw_ratio = bench::paired_median(&ratios);
     println!(
         "{{\"mode\":\"raw\",\"threads\":1,\"children\":1,\"stealing_dps\":{raw_stealing:.0},\
          \"mutex_dps\":{raw_mutex:.0},\"ratio\":{raw_ratio:.3}}}"

@@ -139,6 +139,19 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Median of a slice of per-pair samples (upper median on a copy, 0 for
+/// empty input). The interleaved-pair benches collect one ratio sample per
+/// A/B pair and summarise with this rather than `mean` so a single noisy
+/// pair (scheduler hiccup, page fault) cannot drag the reported ratio.
+pub fn paired_median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
 /// Percentile via nearest-rank on a copy (p in [0, 100]).
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
@@ -306,6 +319,18 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 50.0), 3.0);
         assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn paired_median_takes_the_middle_sample() {
+        assert_eq!(paired_median(&[]), 0.0);
+        assert_eq!(paired_median(&[7.0]), 7.0);
+        assert_eq!(paired_median(&[9.0, 1.0, 5.0]), 5.0);
+        // Even length takes the upper median, matching the inlined copies
+        // this helper replaced.
+        assert_eq!(paired_median(&[4.0, 1.0, 3.0, 2.0]), 3.0);
+        // Unsorted input with a wild outlier: the median shrugs it off.
+        assert_eq!(paired_median(&[1.0, 1000.0, 2.0, 3.0, 2.5]), 2.5);
     }
 
     #[test]

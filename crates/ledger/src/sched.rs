@@ -1,0 +1,424 @@
+//! The collaborative block scheduler: Block-STM's two-wave task machine.
+//!
+//! Workers pull tasks from two monotone cursors — `execution_idx` hands out
+//! first executions (and re-executions of aborted transactions),
+//! `validation_idx` hands out validations of executed ones. Validation runs
+//! behind execution; an abort *decreases* both cursors so the waves sweep the
+//! invalidated suffix again, with the re-run tagged as a new incarnation.
+//! A transaction whose read hits an ESTIMATE suspends on the transaction
+//! that owns it and is resumed (cursor decreased back to it) when that
+//! transaction finishes re-executing.
+//!
+//! The block is done when both cursors have swept past the end, no task is
+//! in flight, and no cursor decrease raced the check (the `decrease_cnt`
+//! re-read). `halt()` short-circuits the machine for shutdown: workers drain
+//! immediately and the block reports [`pnstm::StmError::Shutdown`].
+//!
+//! This is the ledger-side twin of `pnstm::sched`: that module schedules
+//! *threads* (the work-stealing pool the block executor runs its workers
+//! on); this one schedules *transaction versions* onto those threads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+
+use parking_lot::Mutex;
+
+/// A unit of work handed to a block worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Run incarnation `incarnation` of transaction `txn_idx`.
+    Execute { txn_idx: usize, incarnation: u32 },
+    /// Re-check the read set of the executed incarnation.
+    Validate { txn_idx: usize, incarnation: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    ReadyToExecute,
+    Executing,
+    Executed,
+    /// A validator won the right to abort this incarnation and is converting
+    /// its writes to estimates; nobody else may touch the slot.
+    Aborting,
+    /// Blocked on a lower transaction's estimate; resumed by its
+    /// `finish_execution`.
+    Suspended,
+}
+
+struct Status {
+    incarnation: u32,
+    state: State,
+}
+
+/// The shared scheduler state for one block execution.
+pub struct BlockScheduler {
+    n: usize,
+    execution_idx: AtomicUsize,
+    validation_idx: AtomicUsize,
+    /// Bumped on every cursor decrease; lets `check_done` detect a decrease
+    /// racing its quiescence check.
+    decrease_cnt: AtomicUsize,
+    num_active: AtomicUsize,
+    done: AtomicBool,
+    halted: AtomicBool,
+    status: Vec<Mutex<Status>>,
+    /// Transactions suspended waiting on this index's re-execution. Guarded
+    /// by the owner's status lock (always take `status[i]` before `deps[i]`).
+    deps: Vec<Mutex<Vec<usize>>>,
+    aborts: AtomicU64,
+}
+
+impl BlockScheduler {
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            execution_idx: AtomicUsize::new(0),
+            validation_idx: AtomicUsize::new(0),
+            decrease_cnt: AtomicUsize::new(0),
+            num_active: AtomicUsize::new(0),
+            done: AtomicBool::new(n == 0),
+            halted: AtomicBool::new(false),
+            status: (0..n)
+                .map(|_| Mutex::new(Status { incarnation: 0, state: State::ReadyToExecute }))
+                .collect(),
+            deps: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    pub fn done(&self) -> bool {
+        self.done.load(SeqCst)
+    }
+
+    /// Abandon the block (shutdown): workers observe `done` and drain.
+    pub fn halt(&self) {
+        self.halted.store(true, SeqCst);
+        self.done.store(true, SeqCst);
+    }
+
+    pub fn halted(&self) -> bool {
+        self.halted.load(SeqCst)
+    }
+
+    /// Total validation aborts (== incarnation re-executions scheduled).
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(SeqCst)
+    }
+
+    /// One scheduling poll. `None` means nothing claimable *right now* —
+    /// the caller loops until [`done`](Self::done).
+    pub fn next_task(&self) -> Option<Task> {
+        if self.validation_idx.load(SeqCst) < self.execution_idx.load(SeqCst) {
+            self.next_version_to_validate()
+        } else {
+            self.next_version_to_execute()
+        }
+    }
+
+    fn next_version_to_execute(&self) -> Option<Task> {
+        if self.execution_idx.load(SeqCst) >= self.n {
+            self.check_done();
+            return None;
+        }
+        self.num_active.fetch_add(1, SeqCst);
+        let idx = self.execution_idx.fetch_add(1, SeqCst);
+        if idx < self.n {
+            if let Some(task) = self.try_incarnate(idx) {
+                return Some(task);
+            }
+        }
+        self.num_active.fetch_sub(1, SeqCst);
+        None
+    }
+
+    fn next_version_to_validate(&self) -> Option<Task> {
+        if self.validation_idx.load(SeqCst) >= self.n {
+            self.check_done();
+            return None;
+        }
+        self.num_active.fetch_add(1, SeqCst);
+        let idx = self.validation_idx.fetch_add(1, SeqCst);
+        if idx < self.n {
+            let st = self.status[idx].lock();
+            if st.state == State::Executed {
+                return Some(Task::Validate { txn_idx: idx, incarnation: st.incarnation });
+            }
+        }
+        self.num_active.fetch_sub(1, SeqCst);
+        None
+    }
+
+    /// Claim `idx` for execution if it is ready. Caller must already hold an
+    /// active-task slot.
+    fn try_incarnate(&self, idx: usize) -> Option<Task> {
+        let mut st = self.status[idx].lock();
+        if st.state == State::ReadyToExecute {
+            st.state = State::Executing;
+            Some(Task::Execute { txn_idx: idx, incarnation: st.incarnation })
+        } else {
+            None
+        }
+    }
+
+    /// The executed incarnation's writes are in the scratch. Resumes any
+    /// suspended dependents; returns a follow-on validation task for this
+    /// transaction when the validation wave has already passed it (unless it
+    /// wrote somewhere its previous incarnation did not, in which case the
+    /// whole suffix revalidates).
+    pub fn finish_execution(
+        &self,
+        txn_idx: usize,
+        incarnation: u32,
+        wrote_new_path: bool,
+    ) -> Option<Task> {
+        let resumed = {
+            let mut st = self.status[txn_idx].lock();
+            debug_assert_eq!((st.incarnation, st.state), (incarnation, State::Executing));
+            st.state = State::Executed;
+            // Still under the status lock: dependents race this transition in
+            // `suspend`, so the drain and the EXECUTED flip must be atomic.
+            std::mem::take(&mut *self.deps[txn_idx].lock())
+        };
+        if let Some(&min_dep) = resumed.iter().min() {
+            for &dep in &resumed {
+                let mut st = self.status[dep].lock();
+                debug_assert_eq!(st.state, State::Suspended);
+                st.state = State::ReadyToExecute;
+            }
+            self.decrease(&self.execution_idx, min_dep);
+        }
+        if self.validation_idx.load(SeqCst) > txn_idx {
+            if wrote_new_path {
+                self.decrease(&self.validation_idx, txn_idx);
+            } else {
+                return Some(Task::Validate { txn_idx, incarnation });
+            }
+        }
+        self.num_active.fetch_sub(1, SeqCst);
+        None
+    }
+
+    /// A validator that found a stale read claims the abort. Only one
+    /// claimant per incarnation wins; the winner converts the writes to
+    /// estimates and then calls [`finish_validation`](Self::finish_validation)
+    /// with `aborted = true`.
+    pub fn try_validation_abort(&self, txn_idx: usize, incarnation: u32) -> bool {
+        let mut st = self.status[txn_idx].lock();
+        if st.incarnation == incarnation && st.state == State::Executed {
+            st.state = State::Aborting;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Complete a validation task. On abort the next incarnation becomes
+    /// ready, the validation wave restarts above it, and — if the execution
+    /// wave is already past — this worker tries to re-execute it on the spot.
+    pub fn finish_validation(&self, txn_idx: usize, aborted: bool) -> Option<Task> {
+        if aborted {
+            self.aborts.fetch_add(1, SeqCst);
+            {
+                let mut st = self.status[txn_idx].lock();
+                debug_assert_eq!(st.state, State::Aborting);
+                st.incarnation += 1;
+                st.state = State::ReadyToExecute;
+            }
+            self.decrease(&self.validation_idx, txn_idx + 1);
+            if self.execution_idx.load(SeqCst) > txn_idx {
+                if let Some(task) = self.try_incarnate(txn_idx) {
+                    return Some(task);
+                }
+                self.decrease(&self.execution_idx, txn_idx);
+            }
+        }
+        self.num_active.fetch_sub(1, SeqCst);
+        None
+    }
+
+    /// The executing transaction read an ESTIMATE owned by `blocking_txn`
+    /// (necessarily lower-indexed). Returns false if the blocker has already
+    /// re-executed — the caller just retries the read; true if the
+    /// transaction is now suspended and the task slot released.
+    pub fn suspend(&self, txn_idx: usize, blocking_txn: usize) -> bool {
+        debug_assert!(blocking_txn < txn_idx);
+        {
+            // Lock order: lower status, then its deps, then our (higher)
+            // status — consistent with every other multi-lock path.
+            let blocker = self.status[blocking_txn].lock();
+            if blocker.state == State::Executed {
+                return false;
+            }
+            self.deps[blocking_txn].lock().push(txn_idx);
+            let mut st = self.status[txn_idx].lock();
+            debug_assert_eq!(st.state, State::Executing);
+            st.state = State::Suspended;
+            drop(blocker);
+        }
+        self.num_active.fetch_sub(1, SeqCst);
+        true
+    }
+
+    fn decrease(&self, cursor: &AtomicUsize, target: usize) {
+        let mut cur = cursor.load(SeqCst);
+        while cur > target {
+            match cursor.compare_exchange(cur, target, SeqCst, SeqCst) {
+                Ok(_) => {
+                    self.decrease_cnt.fetch_add(1, SeqCst);
+                    return;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn check_done(&self) {
+        let observed = self.decrease_cnt.load(SeqCst);
+        if self.execution_idx.load(SeqCst) >= self.n
+            && self.validation_idx.load(SeqCst) >= self.n
+            && self.num_active.load(SeqCst) == 0
+            && self.decrease_cnt.load(SeqCst) == observed
+        {
+            self.done.store(true, SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Poll until a task comes out: the validation wave returns `None` for
+    /// slots whose transaction has not executed yet (the slot is recovered
+    /// by that transaction's `finish_execution`), so single-threaded drivers
+    /// poll through those.
+    fn claim(s: &BlockScheduler) -> Task {
+        for _ in 0..100 {
+            if let Some(t) = s.next_task() {
+                return t;
+            }
+        }
+        panic!("no task claimable");
+    }
+
+    /// Single-threaded drain: claim tasks, finish them clean (no aborts),
+    /// threading follow-on tasks, until the machine reports done.
+    fn drain_clean(s: &BlockScheduler) -> Vec<Task> {
+        let mut tasks = Vec::new();
+        let mut polls = 0;
+        while !s.done() {
+            polls += 1;
+            assert!(polls < 10_000, "scheduler failed to quiesce");
+            let Some(t) = s.next_task() else { continue };
+            let mut follow = Some(t);
+            while let Some(t) = follow.take() {
+                tasks.push(t);
+                follow = match t {
+                    Task::Execute { txn_idx, incarnation } => {
+                        s.finish_execution(txn_idx, incarnation, false)
+                    }
+                    Task::Validate { txn_idx, .. } => s.finish_validation(txn_idx, false),
+                };
+            }
+        }
+        tasks
+    }
+
+    /// Drive the machine by hand: one txn executes, validates clean, done.
+    #[test]
+    fn single_txn_executes_validates_and_completes() {
+        let s = BlockScheduler::new(1);
+        let t = s.next_task().unwrap();
+        assert_eq!(t, Task::Execute { txn_idx: 0, incarnation: 0 });
+        assert_eq!(s.finish_execution(0, 0, true), None);
+        let t = s.next_task().unwrap();
+        assert_eq!(t, Task::Validate { txn_idx: 0, incarnation: 0 });
+        assert_eq!(s.finish_validation(0, false), None);
+        assert!(!s.done(), "done flips on a poll that observes quiescence");
+        assert_eq!(s.next_task(), None);
+        assert!(s.done());
+        assert_eq!(s.aborts(), 0);
+    }
+
+    /// An abort re-runs the victim as incarnation 1 and re-validates it.
+    #[test]
+    fn abort_schedules_a_new_incarnation() {
+        let s = BlockScheduler::new(2);
+        let t0 = claim(&s);
+        let t1 = claim(&s);
+        assert_eq!(t0, Task::Execute { txn_idx: 0, incarnation: 0 });
+        assert_eq!(t1, Task::Execute { txn_idx: 1, incarnation: 0 });
+        // txn 1 finishes first; txn 0's writes then land.
+        assert_eq!(s.finish_execution(1, 0, true), None);
+        assert_eq!(s.finish_execution(0, 0, true), None);
+        // Validation wave: txn 0 clean; txn 1 stale → abort.
+        let v0 = claim(&s);
+        assert_eq!(v0, Task::Validate { txn_idx: 0, incarnation: 0 });
+        assert_eq!(s.finish_validation(0, false), None);
+        let v1 = claim(&s);
+        assert_eq!(v1, Task::Validate { txn_idx: 1, incarnation: 0 });
+        assert!(s.try_validation_abort(1, 0));
+        assert!(!s.try_validation_abort(1, 0), "second claimant must lose");
+        // The worker that aborted immediately re-executes incarnation 1.
+        let re = s.finish_validation(1, true);
+        assert_eq!(re, Some(Task::Execute { txn_idx: 1, incarnation: 1 }));
+        assert_eq!(s.aborts(), 1);
+        assert_eq!(
+            s.finish_execution(1, 1, false),
+            Some(Task::Validate { txn_idx: 1, incarnation: 1 })
+        );
+        assert_eq!(s.finish_validation(1, false), None);
+        drain_clean(&s);
+        assert!(s.done());
+    }
+
+    /// A suspended transaction is resumed when its blocker re-executes.
+    #[test]
+    fn suspend_resumes_after_blocker_reexecutes() {
+        let s = BlockScheduler::new(2);
+        let _t0 = claim(&s);
+        let _t1 = claim(&s);
+        // txn 0 executes, a validator aborts it → estimates in the scratch.
+        assert_eq!(s.finish_execution(0, 0, true), None);
+        let v0 = claim(&s);
+        assert_eq!(v0, Task::Validate { txn_idx: 0, incarnation: 0 });
+        assert!(s.try_validation_abort(0, 0));
+        let re = s.finish_validation(0, true);
+        assert_eq!(re, Some(Task::Execute { txn_idx: 0, incarnation: 1 }));
+        // txn 1's execution hits txn 0's estimate and suspends.
+        assert!(s.suspend(1, 0));
+        // txn 0 re-executes; the passed-over validation of it comes back as
+        // the follow-on task, and txn 1 becomes claimable again.
+        assert_eq!(
+            s.finish_execution(0, 1, false),
+            Some(Task::Validate { txn_idx: 0, incarnation: 1 })
+        );
+        assert_eq!(s.finish_validation(0, false), None);
+        let tasks = drain_clean(&s);
+        assert!(tasks.contains(&Task::Execute { txn_idx: 1, incarnation: 0 }));
+        assert!(s.done());
+    }
+
+    /// suspend() reports false when the blocker already finished — the
+    /// caller retries the read instead of parking forever.
+    #[test]
+    fn suspend_on_executed_blocker_is_rejected() {
+        let s = BlockScheduler::new(2);
+        let _t0 = claim(&s);
+        let _t1 = claim(&s);
+        assert_eq!(s.finish_execution(0, 0, true), None);
+        assert!(!s.suspend(1, 0));
+        // The task slot was kept: finishing txn 1 still balances the books.
+        assert_eq!(s.finish_execution(1, 0, true), None);
+        drain_clean(&s);
+        assert!(s.done());
+    }
+
+    #[test]
+    fn empty_block_is_born_done_and_halt_drains() {
+        assert!(BlockScheduler::new(0).done());
+        let s = BlockScheduler::new(4);
+        assert!(!s.done());
+        s.halt();
+        assert!(s.done() && s.halted());
+    }
+}

@@ -704,6 +704,13 @@ impl Stm {
         &self.shared.stats
     }
 
+    /// An owning handle to the same counters, for host systems that wire
+    /// their own `pnstm::sched` pools to this instance's instruments (the
+    /// ledger's block executor does this).
+    pub fn stats_handle(&self) -> Arc<Stats> {
+        Arc::clone(&self.shared.stats)
+    }
+
     /// The admission controller, for the AutoPN actuator.
     pub fn throttle(&self) -> &Throttle {
         &self.shared.throttle

@@ -76,6 +76,8 @@ pub struct Stats {
     gc_thread_panics: AtomicU64,
     mem_soft_events: AtomicU64,
     mem_hard_events: AtomicU64,
+    block_commits: AtomicU64,
+    txn_reexecutions: AtomicU64,
     /// Live retained-version/byte gauge shared with every [`crate::VBox`]
     /// registered on the owning [`crate::Stm`].
     gauge: Arc<VersionHeapGauge>,
@@ -121,6 +123,8 @@ impl Default for Stats {
             gc_thread_panics: AtomicU64::new(0),
             mem_soft_events: AtomicU64::new(0),
             mem_hard_events: AtomicU64::new(0),
+            block_commits: AtomicU64::new(0),
+            txn_reexecutions: AtomicU64::new(0),
             gauge: Arc::new(VersionHeapGauge::default()),
             hook: AtomicPtr::new(std::ptr::null_mut()),
             retired: Mutex::new(Vec::new()),
@@ -296,6 +300,17 @@ impl Stats {
         }
     }
 
+    /// Record a ledger block committed in deterministic index order.
+    pub fn record_block_commit(&self) {
+        self.block_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a Block-STM validation abort: the transaction re-runs as a new
+    /// incarnation.
+    pub fn record_txn_reexecution(&self) {
+        self.txn_reexecutions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Histogram bucket for a wait of `wait_ns` (see [`SEM_WAIT_BUCKETS`]).
     pub fn sem_wait_bucket(wait_ns: u64) -> usize {
         let us = wait_ns / 1_000;
@@ -354,6 +369,8 @@ impl Stats {
             gc_thread_panics: self.gc_thread_panics.load(Ordering::Relaxed),
             mem_soft_events: self.mem_soft_events.load(Ordering::Relaxed),
             mem_hard_events: self.mem_hard_events.load(Ordering::Relaxed),
+            block_commits: self.block_commits.load(Ordering::Relaxed),
+            txn_reexecutions: self.txn_reexecutions.load(Ordering::Relaxed),
             retained_versions: self.gauge.retained_versions(),
             retained_bytes: self.gauge.retained_bytes(),
         }
@@ -453,6 +470,10 @@ pub struct StatsSnapshot {
     pub mem_soft_events: u64,
     /// Degradation-ladder escalations into [`crate::MemLevel::Hard`].
     pub mem_hard_events: u64,
+    /// Ledger blocks committed in deterministic index order (both rungs).
+    pub block_commits: u64,
+    /// Block-STM validation aborts: transactions re-run as new incarnations.
+    pub txn_reexecutions: u64,
     /// Point-in-time retained version count (gauge, not a counter — the
     /// delta of a gauge is a saturating difference, not a rate).
     pub retained_versions: u64,
@@ -540,6 +561,8 @@ impl StatsSnapshot {
             gc_thread_panics: self.gc_thread_panics.saturating_sub(earlier.gc_thread_panics),
             mem_soft_events: self.mem_soft_events.saturating_sub(earlier.mem_soft_events),
             mem_hard_events: self.mem_hard_events.saturating_sub(earlier.mem_hard_events),
+            block_commits: self.block_commits.saturating_sub(earlier.block_commits),
+            txn_reexecutions: self.txn_reexecutions.saturating_sub(earlier.txn_reexecutions),
             retained_versions: self.retained_versions.saturating_sub(earlier.retained_versions),
             retained_bytes: self.retained_bytes.saturating_sub(earlier.retained_bytes),
         }
@@ -672,6 +695,20 @@ mod tests {
         assert_eq!(d.evicted_reads, 2);
         assert_eq!(d.gc_pruned_versions, 17);
         assert_eq!(d.retained_versions, 3);
+    }
+
+    #[test]
+    fn ledger_counters_accumulate() {
+        let s = Stats::new();
+        s.record_block_commit();
+        s.record_block_commit();
+        s.record_txn_reexecution();
+        let snap = s.snapshot();
+        assert_eq!(snap.block_commits, 2);
+        assert_eq!(snap.txn_reexecutions, 1);
+        let d = snap.delta_since(&StatsSnapshot { block_commits: 1, ..Default::default() });
+        assert_eq!(d.block_commits, 1);
+        assert_eq!(d.txn_reexecutions, 1);
     }
 
     #[test]

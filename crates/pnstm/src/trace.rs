@@ -139,6 +139,13 @@ pub enum TraceEvent {
     /// The memory degradation ladder moved between levels (escalation or
     /// recovery) at a gauge reading of `retained_versions`.
     MemDegraded { from: MemLevel, to: MemLevel, retained_versions: u64, at_ns: u64 },
+    /// A ledger block of `txns` transactions committed in deterministic
+    /// index order after `reexecutions` incarnation re-runs (0 on the
+    /// sequential rung).
+    BlockCommitted { txns: u32, reexecutions: u32, at_ns: u64 },
+    /// Block-STM validation aborted a transaction: `txn_idx` will re-run as
+    /// `incarnation` (the first re-execution is incarnation 1).
+    TxnReexecuted { txn_idx: u32, incarnation: u32, at_ns: u64 },
 }
 
 fn push_f64(out: &mut String, x: f64) {
@@ -183,6 +190,8 @@ impl TraceEvent {
             TraceEvent::CmDecision { .. } => "cm_decision",
             TraceEvent::MemPressure { .. } => "mem_pressure",
             TraceEvent::MemDegraded { .. } => "mem_degraded",
+            TraceEvent::BlockCommitted { .. } => "block_committed",
+            TraceEvent::TxnReexecuted { .. } => "txn_reexecuted",
         }
     }
 
@@ -322,6 +331,18 @@ impl TraceEvent {
                     ",\"from\":\"{}\",\"to\":\"{}\",\"retained_versions\":{retained_versions},\"at_ns\":{at_ns}",
                     from.tag(),
                     to.tag()
+                );
+            }
+            TraceEvent::BlockCommitted { txns, reexecutions, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"txns\":{txns},\"reexecutions\":{reexecutions},\"at_ns\":{at_ns}"
+                );
+            }
+            TraceEvent::TxnReexecuted { txn_idx, incarnation, at_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"txn_idx\":{txn_idx},\"incarnation\":{incarnation},\"at_ns\":{at_ns}"
                 );
             }
         }
@@ -665,6 +686,8 @@ mod tests {
                 retained_versions: 2048,
                 at_ns: 91,
             },
+            TraceEvent::BlockCommitted { txns: 128, reexecutions: 7, at_ns: 92 },
+            TraceEvent::TxnReexecuted { txn_idx: 17, incarnation: 2, at_ns: 93 },
         ];
         for ev in evs {
             let json = ev.to_json();
@@ -734,6 +757,14 @@ mod tests {
             }
             .to_json(),
             r#"{"ev":"mem_degraded","from":"soft","to":"hard","retained_versions":99,"at_ns":14}"#
+        );
+        assert_eq!(
+            TraceEvent::BlockCommitted { txns: 128, reexecutions: 7, at_ns: 92 }.to_json(),
+            r#"{"ev":"block_committed","txns":128,"reexecutions":7,"at_ns":92}"#
+        );
+        assert_eq!(
+            TraceEvent::TxnReexecuted { txn_idx: 17, incarnation: 2, at_ns: 93 }.to_json(),
+            r#"{"ev":"txn_reexecuted","txn_idx":17,"incarnation":2,"at_ns":93}"#
         );
     }
 

@@ -175,8 +175,11 @@ fn shutdown_is_bounded_under_stripe_holds() {
     // Immediate CM, unbounded holds inflate the conflict window enough to
     // livelock retrying writers against each other. That livelock is a
     // contention-management property with its own regression coverage —
-    // `tests/contention.rs` runs the *unbudgeted* plan to completion under
-    // the ExpBackoff and Greedy rungs.
+    // `tests/contention.rs` pins it with a dedicated two-writer
+    // disjoint-stripe storm (seed 97, unbudgeted p = 1.0 holds of 1 ms,
+    // overlapping read sets) and shows it draining under the ExpBackoff
+    // and Greedy rungs, where this test keeps its budget and the default
+    // Immediate CM to stay a pure shutdown check.
     let plan = Arc::new(FaultPlan::new(51).with_rule(
         FaultKind::CommitHold,
         FaultRule::with_probability(1.0).delay_ns(2_000_000).budget(400),
@@ -540,6 +543,113 @@ fn collector_panic_is_absorbed_and_the_loop_restarts() {
     }
     assert_eq!(stm.read_atomic(&counter), 3);
     assert!(stm.stats().snapshot().gc_thread_panics >= 1);
+}
+
+#[test]
+fn ledger_block_completes_under_faults_with_oracle_state() {
+    // Ledger mode under the fault layer: `ChildStall` lands inside the block
+    // executor's worker pool (wired to the host STM's fault context) and
+    // `CommitHold` stalls the final index-order install's stripe locks. The
+    // blocks must still terminate, and the final balances must be identical
+    // to an unfaulted sequential replay — faults may slow a block down but
+    // never change what it commits.
+    let plan = Arc::new(
+        FaultPlan::new(53)
+            .with_rule(
+                FaultKind::ChildStall,
+                FaultRule::with_probability(0.5).delay_ns(200_000).budget(200),
+            )
+            .with_rule(
+                FaultKind::CommitHold,
+                FaultRule::with_probability(0.5).delay_ns(500_000).budget(100),
+            ),
+    );
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(4, 4),
+        worker_threads: 2,
+        fault: Some(plan.clone()),
+        ..StmConfig::default()
+    });
+    let clean = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(1, 1),
+        worker_threads: 2,
+        ..StmConfig::default()
+    });
+    let block = ledger::skewed_block(11, 96, 8, 50);
+    let initial = vec![100u64; 8];
+    let oracle = ledger::BlockExecutor::new(
+        &clean,
+        &initial,
+        ledger::LedgerConfig {
+            exec_mode: ledger::ExecMode::Sequential,
+            workers: 1,
+            ..ledger::LedgerConfig::default()
+        },
+    );
+    oracle.execute_all(&block).expect("unfaulted oracle replay");
+    let faulted = ledger::BlockExecutor::new(
+        &stm,
+        &initial,
+        ledger::LedgerConfig {
+            exec_mode: ledger::ExecMode::Parallel,
+            workers: 4,
+            block_size: 32,
+            ..ledger::LedgerConfig::default()
+        },
+    );
+    let outcomes = faulted.execute_all(&block).expect("faulted blocks still terminate");
+    assert_eq!(outcomes.len(), 3, "96 txns / 32 per block");
+    assert_eq!(faulted.balances(), oracle.balances(), "faults changed what a block committed");
+    assert!(
+        plan.injected(FaultKind::ChildStall) + plan.injected(FaultKind::CommitHold) > 0,
+        "the plan never fired — the scenario tested nothing"
+    );
+}
+
+#[test]
+fn ledger_mid_block_close_is_bounded_and_installs_nothing() {
+    // `close()` mid-block: workers poll the admission gate between tasks, so
+    // a block that still has hundreds of work-laden transactions queued must
+    // abandon promptly with `StmError::Shutdown` and leave the committed
+    // balances untouched (the multi-version scratch is never installed).
+    let stm = Stm::new(StmConfig {
+        degree: ParallelismDegree::new(4, 4),
+        worker_threads: 2,
+        ..StmConfig::default()
+    });
+    let initial = vec![1_000u64; 16];
+    let ex = ledger::BlockExecutor::new(
+        &stm,
+        &initial,
+        ledger::LedgerConfig {
+            exec_mode: ledger::ExecMode::Parallel,
+            workers: 4,
+            work: Duration::from_millis(2),
+            ..ledger::LedgerConfig::default()
+        },
+    );
+    // >= 512 * 2 ms / 4 workers = ~256 ms of mandatory work: the close below
+    // lands well inside the block.
+    let block = ledger::skewed_block(13, 512, 16, 50);
+    let worker = std::thread::spawn(move || {
+        let result = ex.execute_block(&block);
+        (ex, result)
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    let start = Instant::now();
+    stm.close_admission();
+    let (ex, result) = worker.join().expect("block worker must not panic");
+    assert!(
+        matches!(result, Err(StmError::Shutdown)),
+        "a mid-block close must abandon the block with Shutdown, got {result:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "mid-block shutdown took {:?}",
+        start.elapsed()
+    );
+    stm.reopen_admission();
+    assert_eq!(ex.balances(), initial, "an abandoned block must install nothing");
 }
 
 /// Drive one full simulated tuning session through `FaultyTunable` and

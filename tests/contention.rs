@@ -1,10 +1,13 @@
 //! Contention-management integration: the livelock regression the CM ladder
 //! exists to fix, and the `{policy} × (t, c)` co-tuning path end to end.
 //!
-//! The regression scenario is the one `tests/chaos.rs` had to fence off with
-//! an injection budget before the CM landed: an *unbudgeted* p = 1.0
-//! `CommitHold` plan inflates every commit's stripe-held window so far that
-//! two writers retrying immediately keep aborting each other. The mutual
+//! The regression scenario is the flip side of what `tests/chaos.rs` fences
+//! off with an injection budget: its stripe-hold shutdown test runs seed 51
+//! with 2 ms holds capped at 400 injections against a 4-worker
+//! `ArrayWorkload`, and keeps that budget so it stays a pure shutdown
+//! check. Here an *unbudgeted* p = 1.0 `CommitHold` plan (seed 97, 1 ms
+//! holds) inflates every commit's stripe-held window so far that two
+//! dedicated writers retrying immediately keep aborting each other. The mutual
 //! abort needs writers whose write stripes are disjoint but whose read sets
 //! overlap the other's writes: stripe acquisition itself is blocking (and
 //! sorted, so it alternates), but `read_valid` rejects any read whose stripe
