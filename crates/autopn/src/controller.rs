@@ -2,7 +2,7 @@
 //! through a [`MonitorPolicy`], tying together the optimizer, the monitor and
 //! the actuator (Fig. 2 of the paper).
 
-use crate::kpi::Measurement;
+use crate::kpi::{Measurement, SloKpi};
 use crate::monitor::{MonitorPolicy, Verdict, HARD_WINDOW_CAP_NS};
 use crate::optimizer::Tuner;
 use crate::space::Config;
@@ -61,6 +61,23 @@ pub trait TunableSystem {
     /// previous configuration have drained, so the next measurement window
     /// only observes the configuration in force. Default: no-op.
     fn quiesce(&mut self) {}
+}
+
+/// A [`TunableSystem`] that additionally serves an open-loop ingress stream
+/// and can account a service-level KPI per measurement window: goodput plus
+/// coordinated-omission-free latency percentiles (see [`SloKpi`]).
+///
+/// The controller brackets each measurement window with
+/// `begin_slo_window` / `end_slo_window`; the window's *duration* is still
+/// decided by the [`MonitorPolicy`] driving commit events, so the SLO path
+/// reuses the adaptive windowing machinery unchanged.
+pub trait SloTunableSystem: TunableSystem {
+    /// Open an SLO accounting window (typically: snapshot the ingress
+    /// counters and latency histogram).
+    fn begin_slo_window(&mut self);
+    /// Close the window opened by the last
+    /// [`SloTunableSystem::begin_slo_window`] and return its KPI.
+    fn end_slo_window(&mut self) -> SloKpi;
 }
 
 /// Hard safety deadlines around one measurement window, *beyond* the
@@ -122,6 +139,27 @@ pub struct TuningOutcome {
     /// last-known-good configuration, a watchdog terminated a window, or a
     /// measurement came back starved. The result stands but deserves less
     /// trust (mirrors the `SessionEnd.degraded` trace flag).
+    pub degraded: bool,
+}
+
+/// Result of a completed SLO tuning session ("maximize goodput subject to
+/// p99 ≤ target").
+#[derive(Debug, Clone)]
+pub struct SloTuningOutcome {
+    /// Every exploration in order: configuration, the monitor's measurement,
+    /// and the ingress window's service-level KPI.
+    pub explored: Vec<(Config, Measurement, SloKpi)>,
+    /// The configuration the tuner settled on.
+    pub best: Config,
+    /// Its scalar objective value ([`SloKpi::score`] at the session target).
+    pub best_score: f64,
+    /// The p99 target the session tuned against, in nanoseconds.
+    pub p99_target_ns: u64,
+    /// Whether the best configuration's measured window met the target.
+    pub meets_target: bool,
+    /// System time consumed by the whole session (ns).
+    pub elapsed_ns: u64,
+    /// Same meaning as [`TuningOutcome::degraded`].
     pub degraded: bool,
 }
 
@@ -361,6 +399,107 @@ impl Controller {
             explored,
             best,
             best_throughput,
+            elapsed_ns: system.now_ns().saturating_sub(started),
+            degraded,
+        }
+    }
+
+    /// Run a full SLO tuning session against a [`SloTunableSystem`]:
+    /// "maximize goodput subject to p99 ≤ `p99_target_ns`". Same ladder as
+    /// [`Controller::tune_traced_with`], but each measurement window is
+    /// bracketed with `begin_slo_window` / `end_slo_window` and the tuner
+    /// observes [`SloKpi::score`] instead of raw throughput — so a
+    /// configuration that maximizes commit throughput while blowing the tail
+    /// latency budget loses to any configuration that meets the target.
+    pub fn tune_slo(
+        system: &mut impl SloTunableSystem,
+        tuner: &mut dyn Tuner,
+        policy: &mut dyn MonitorPolicy,
+        p99_target_ns: u64,
+    ) -> SloTuningOutcome {
+        Self::tune_slo_traced_with(
+            system,
+            tuner,
+            policy,
+            p99_target_ns,
+            &TraceBus::default(),
+            &TuneOptions::default(),
+        )
+    }
+
+    /// [`Controller::tune_slo`] with an explicit trace bus and
+    /// degradation-ladder knobs.
+    pub fn tune_slo_traced_with(
+        system: &mut impl SloTunableSystem,
+        tuner: &mut dyn Tuner,
+        policy: &mut dyn MonitorPolicy,
+        p99_target_ns: u64,
+        trace: &TraceBus,
+        opts: &TuneOptions,
+    ) -> SloTuningOutcome {
+        tuner.attach_trace(trace.clone());
+        let started = system.now_ns();
+        trace.emit(TraceEvent::SessionStart { at_ns: started });
+        let mut explored: Vec<(Config, Measurement, SloKpi)> = Vec::new();
+        let mut degraded = false;
+        let mut last_good: Option<Config> = None;
+        let park_on_last_good =
+            |system: &mut dyn TunableSystem, cfg: Config, last_good: Option<Config>| {
+                let fb = last_good.unwrap_or(Config::new(1, 1));
+                trace.emit(TraceEvent::ApplyDegraded {
+                    t: cfg.t as u32,
+                    c: cfg.c as u32,
+                    fb_t: fb.t as u32,
+                    fb_c: fb.c as u32,
+                    attempts: opts.apply_attempts.max(1),
+                });
+                let _ = system.try_apply(fb);
+            };
+        while let Some(cfg) = tuner.propose() {
+            if Self::apply_with_retry(system, cfg, opts).is_err() {
+                degraded = true;
+                park_on_last_good(system, cfg, last_good);
+                tuner.observe_noisy(cfg, 0.0, None, true);
+                continue;
+            }
+            last_good = Some(cfg);
+            system.quiesce();
+            system.begin_slo_window();
+            let (m, watchdog_fired) = Self::measure_inner(system, policy, trace, &opts.watchdog);
+            let kpi = system.end_slo_window();
+            degraded |= watchdog_fired;
+            policy.measurement_taken(cfg, &m);
+            tuner.observe_noisy(cfg, kpi.score(p99_target_ns), m.cv, m.timed_out);
+            explored.push((cfg, m, kpi));
+        }
+        let (best, best_score, fallback) = match tuner.best() {
+            Some((cfg, kpi)) => (cfg, kpi, false),
+            None => (Config::new(1, 1), 0.0, true),
+        };
+        if Self::apply_with_retry(system, best, opts).is_err() {
+            degraded = true;
+            park_on_last_good(system, best, last_good);
+        }
+        let meets_target = explored
+            .iter()
+            .rev()
+            .find(|(cfg, _, _)| *cfg == best)
+            .is_some_and(|(_, _, kpi)| kpi.meets(p99_target_ns));
+        trace.emit(TraceEvent::SessionEnd {
+            at_ns: system.now_ns(),
+            best_t: best.t as u32,
+            best_c: best.c as u32,
+            throughput: best_score,
+            explored: explored.len() as u64,
+            fallback,
+            degraded,
+        });
+        SloTuningOutcome {
+            explored,
+            best,
+            best_score,
+            p99_target_ns,
+            meets_target,
             elapsed_ns: system.now_ns().saturating_sub(started),
             degraded,
         }
@@ -750,6 +889,108 @@ mod tests {
             Some(TraceEvent::SessionEnd { degraded: true, fallback: false, .. }) => {}
             other => panic!("expected degraded SessionEnd, got {other:?}"),
         }
+    }
+
+    /// Deterministic SLO surface: throughput grows with `t` (period shrinks)
+    /// but the tail latency grows quadratically in `t` — the classic
+    /// saturation shape where the throughput-maximizing degree queues
+    /// requests into a p99 no client would accept.
+    struct FakeSloSystem {
+        now: u64,
+        cfg: Config,
+    }
+
+    impl FakeSloSystem {
+        fn new() -> Self {
+            Self { now: 0, cfg: Config::new(1, 1) }
+        }
+        fn period_for(cfg: Config) -> u64 {
+            1_000_000 / cfg.t as u64
+        }
+        fn p99_for(cfg: Config) -> u64 {
+            50_000 * (cfg.t * cfg.t) as u64
+        }
+    }
+
+    impl TunableSystem for FakeSloSystem {
+        fn apply(&mut self, cfg: Config) {
+            self.cfg = cfg;
+        }
+        fn wait_commit(&mut self, max_wait_ns: u64) -> Option<u64> {
+            let period = Self::period_for(self.cfg);
+            if period <= max_wait_ns {
+                self.now += period;
+                Some(self.now)
+            } else {
+                self.now += max_wait_ns;
+                None
+            }
+        }
+        fn now_ns(&self) -> u64 {
+            self.now
+        }
+    }
+
+    impl SloTunableSystem for FakeSloSystem {
+        fn begin_slo_window(&mut self) {}
+        fn end_slo_window(&mut self) -> SloKpi {
+            let goodput = 1e9 / Self::period_for(self.cfg) as f64;
+            let p99 = Self::p99_for(self.cfg);
+            SloKpi {
+                goodput,
+                offered: goodput as u64,
+                completed: goodput as u64,
+                rejected: 0,
+                p50_ns: p99 / 4,
+                p99_ns: p99,
+                p999_ns: p99 * 2,
+                window_ns: 1_000_000_000,
+            }
+        }
+    }
+
+    /// The SLO e2e: on the same workload surface, throughput-only tuning
+    /// converges to a degree whose p99 violates the target, while SLO tuning
+    /// converges to the highest-goodput degree that meets it.
+    #[test]
+    fn slo_tuning_meets_p99_target_the_throughput_kpi_violates() {
+        const TARGET_NS: u64 = 1_000_000; // 1 ms p99 budget
+        let ladder = [(1, 1), (2, 2), (4, 2), (8, 2)];
+
+        // Throughput-only tuning is latency-blind: it picks t=8.
+        let mut sys = FakeSloSystem::new();
+        let mut policy = AdaptiveMonitor::default();
+        let tp = Controller::tune(&mut sys, &mut ListTuner::new(&ladder), &mut policy);
+        assert_eq!(tp.best, Config::new(8, 2), "throughput KPI maximizes raw commit rate");
+        assert!(
+            FakeSloSystem::p99_for(tp.best) > TARGET_NS,
+            "the throughput-chosen degree must violate the p99 target for this test to bite"
+        );
+
+        // SLO tuning over the same ladder: t=8 is infeasible (p99 3.2 ms),
+        // so the highest-goodput *feasible* degree t=4 (p99 0.8 ms) wins.
+        let mut sys = FakeSloSystem::new();
+        let mut policy = AdaptiveMonitor::default();
+        let outcome =
+            Controller::tune_slo(&mut sys, &mut ListTuner::new(&ladder), &mut policy, TARGET_NS);
+        assert_eq!(outcome.best, Config::new(4, 2), "SLO tuning picks the feasible optimum");
+        assert!(outcome.meets_target);
+        assert_eq!(outcome.p99_target_ns, TARGET_NS);
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.explored.len(), ladder.len());
+        let (_, _, best_kpi) =
+            outcome.explored.iter().find(|(c, _, _)| *c == outcome.best).unwrap();
+        assert!(best_kpi.meets(TARGET_NS));
+        assert_eq!(best_kpi.p99_ns, FakeSloSystem::p99_for(outcome.best));
+        // The feasible winner's score is its goodput; the faster-but-late
+        // t=8 config scored below it despite double the raw throughput.
+        assert!((outcome.best_score - best_kpi.goodput).abs() < 1e-9);
+        let (_, _, fast_kpi) =
+            outcome.explored.iter().find(|(c, _, _)| *c == Config::new(8, 2)).unwrap();
+        assert!(fast_kpi.goodput > best_kpi.goodput);
+        assert!(fast_kpi.score(TARGET_NS) < best_kpi.score(TARGET_NS));
+        // The session left the system parked on the SLO-feasible winner.
+        assert_eq!(sys.cfg, outcome.best);
     }
 
     #[test]

@@ -34,6 +34,76 @@ impl Measurement {
     }
 }
 
+/// One ingress monitoring window's service-level KPI: goodput plus
+/// coordinated-omission-free latency percentiles, measured from *intended
+/// arrival* (the open-loop schedule instant, not the dequeue instant).
+///
+/// This is the KPI the paper never had: the source AutoPN tunes raw
+/// closed-loop throughput, but a front door serving an open-loop stream
+/// must optimize what clients experience — "maximize goodput subject to
+/// p99 ≤ target" — where backpressure rejections count as SLO misses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloKpi {
+    /// Completed requests per second over the window.
+    pub goodput: f64,
+    /// Requests whose intended arrival fell inside the window.
+    pub offered: u64,
+    /// Requests completed inside the window.
+    pub completed: u64,
+    /// Requests rejected at the queue ceiling (typed backpressure); each
+    /// one is an SLO miss even though it has no latency sample.
+    pub rejected: u64,
+    /// Median intended-arrival latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile intended-arrival latency in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile intended-arrival latency in nanoseconds.
+    pub p999_ns: u64,
+    /// Window length in nanoseconds.
+    pub window_ns: u64,
+}
+
+impl_serde!(SloKpi { goodput, offered, completed, rejected, p50_ns, p99_ns, p999_ns, window_ns });
+
+/// Fraction of offered requests a window may reject before the whole window
+/// is treated as violating any latency target (rejections carry no latency
+/// sample, so without this rule shedding load would *improve* measured p99).
+pub const SLO_REJECT_TOLERANCE: f64 = 0.01;
+
+impl SloKpi {
+    /// The p99 the SLO comparison sees: the measured tail latency, or
+    /// `u64::MAX` when more than [`SLO_REJECT_TOLERANCE`] of offered
+    /// requests were rejected — a shedding configuration must never look
+    /// fast.
+    pub fn effective_p99(&self) -> u64 {
+        if self.offered > 0 && self.rejected as f64 > self.offered as f64 * SLO_REJECT_TOLERANCE {
+            u64::MAX
+        } else {
+            self.p99_ns
+        }
+    }
+
+    /// Whether this window met a p99 target of `target_ns`.
+    pub fn meets(&self, target_ns: u64) -> bool {
+        self.effective_p99() <= target_ns
+    }
+
+    /// Scalar objective for "maximize goodput subject to p99 ≤ target":
+    /// a feasible window scores its goodput; an infeasible one scores its
+    /// goodput scaled down by both how far it overshot the target and a
+    /// large constant penalty, so any feasible configuration strictly
+    /// dominates every infeasible one while infeasible configurations still
+    /// order by how badly they violate (the tuner can hill-climb out).
+    pub fn score(&self, target_ns: u64) -> f64 {
+        if self.meets(target_ns) {
+            self.goodput
+        } else {
+            let p99 = self.effective_p99().max(1) as f64;
+            self.goodput * (target_ns.max(1) as f64 / p99) * 1e-6
+        }
+    }
+}
+
 /// Incremental mean/variance tracker (Welford) for the per-commit throughput
 /// series the CV policy needs.
 #[derive(Debug, Clone, Default)]
@@ -181,6 +251,55 @@ mod tests {
         assert_eq!(w.cv(), None);
         w.push(5.0);
         assert_eq!(w.cv(), Some(0.0));
+    }
+
+    fn slo(goodput: f64, offered: u64, rejected: u64, p99_ns: u64) -> SloKpi {
+        SloKpi {
+            goodput,
+            offered,
+            completed: offered - rejected,
+            rejected,
+            p50_ns: p99_ns / 4,
+            p99_ns,
+            p999_ns: p99_ns * 2,
+            window_ns: 1_000_000_000,
+        }
+    }
+
+    #[test]
+    fn slo_kpi_feasible_scores_goodput() {
+        let k = slo(5_000.0, 5_000, 0, 800_000);
+        assert!(k.meets(1_000_000));
+        assert_eq!(k.effective_p99(), 800_000);
+        assert_eq!(k.score(1_000_000), 5_000.0);
+    }
+
+    #[test]
+    fn slo_kpi_feasible_dominates_infeasible() {
+        // An infeasible config with far higher goodput must still score below
+        // a modest feasible one.
+        let feasible = slo(100.0, 100, 0, 900_000);
+        let infeasible = slo(1_000_000.0, 1_000_000, 0, 50_000_000);
+        let target = 1_000_000;
+        assert!(feasible.meets(target));
+        assert!(!infeasible.meets(target));
+        assert!(feasible.score(target) > infeasible.score(target));
+        // ...and infeasible configs still order by violation depth.
+        let worse = slo(1_000_000.0, 1_000_000, 0, 500_000_000);
+        assert!(infeasible.score(target) > worse.score(target));
+    }
+
+    #[test]
+    fn slo_kpi_rejections_are_misses() {
+        // 5% rejected: the window violates any finite target even though the
+        // measured p99 of the requests it deigned to serve looks great.
+        let shedding = slo(10_000.0, 10_000, 500, 10_000);
+        assert_eq!(shedding.effective_p99(), u64::MAX);
+        assert!(!shedding.meets(u64::MAX - 1));
+        // Within tolerance (≤1%), rejections don't poison the window.
+        let ok = slo(10_000.0, 10_000, 100, 10_000);
+        assert_eq!(ok.effective_p99(), 10_000);
+        assert!(ok.meets(1_000_000));
     }
 
     #[test]

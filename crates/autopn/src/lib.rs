@@ -62,10 +62,13 @@ pub mod stopping;
 pub use actuator::{Actuator, PnstmActuator};
 pub use change::CusumDetector;
 pub use chaos::FaultyTunable;
-pub use controller::{ApplyError, Controller, TunableSystem, TuneOptions, TuningOutcome, Watchdog};
+pub use controller::{
+    ApplyError, Controller, SloTunableSystem, SloTuningOutcome, TunableSystem, TuneOptions,
+    TuningOutcome, Watchdog,
+};
 // Re-exported so controller callers can build a trace pipeline without
 // depending on pnstm directly.
-pub use kpi::Measurement;
+pub use kpi::{Measurement, SloKpi, SLO_REJECT_TOLERANCE};
 pub use multi::{MultiAutoPn, MultiAutoPnConfig, MultiConfig};
 pub use optimizer::{AutoPn, AutoPnConfig, Tuner};
 pub use pnstm::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};

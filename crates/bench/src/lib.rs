@@ -152,15 +152,24 @@ pub fn paired_median(xs: &[f64]) -> f64 {
     v[v.len() / 2]
 }
 
-/// Percentile via nearest-rank on a copy (p in [0, 100]).
+/// Percentile via nearest-rank on a copy (p in [0, 100], 0 for empty input):
+/// the smallest sample with at least `⌈p/100 · n⌉` samples at or below it.
+///
+/// The previous implementation interpolated the index as
+/// `round(p/100 · (n-1))`, which rounds *down* through the tail: with
+/// n = 100, p99 landed on rank 98 (the 98th percentile) and any p ≥ 99.5
+/// was needed to reach the maximum. Nearest-rank is the standard definition
+/// latency SLOs quote, is exact at both edges (p=0 → minimum, p=100 →
+/// maximum, any p on n=1 → the sample), and is what the ingress
+/// histogram's quantile estimator is validated against.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
-    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
-    v[rank.min(v.len() - 1)]
+    let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize;
+    v[rank.min(v.len()) - 1]
 }
 
 // ---------------------------------------------------------------------
@@ -319,6 +328,47 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 50.0), 3.0);
         assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_edges() {
+        // Empty input.
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // n = 1: every p returns the sample.
+        for p in [0.0, 0.1, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(percentile(&[7.0], p), 7.0);
+        }
+        // p = 0 is the minimum, p = 100 the maximum — exactly.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        // Nearest-rank on n = 100: p99 is the 99th sample (rank ⌈99⌉), not
+        // the 98th the old round(p·(n-1)) indexing produced; p99.9 and any
+        // p > 99 reach the maximum.
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 99.9), 100.0);
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        // Small n with a tail percentile: p99 of 4 samples is the maximum
+        // (rank ⌈3.96⌉ = 4), which round(0.99·3) = 3 → index 3 also gave —
+        // but p75 is sample 3 under nearest-rank, not sample 2.33 rounded.
+        let small = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&small, 99.0), 40.0);
+        assert_eq!(percentile(&small, 75.0), 30.0);
+        assert_eq!(percentile(&small, 76.0), 40.0);
+        assert_eq!(percentile(&small, 25.0), 10.0);
+        // Unsorted input is sorted on a copy.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 100.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let xs = [5.0, 1.0, 4.0, 4.0, 2.0, 8.0, 0.5];
+        let mut last = f64::NEG_INFINITY;
+        for p10 in 0..=1000 {
+            let v = percentile(&xs, p10 as f64 / 10.0);
+            assert!(v >= last, "percentile must be monotone in p");
+            last = v;
+        }
     }
 
     #[test]

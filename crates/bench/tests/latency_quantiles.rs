@@ -1,0 +1,69 @@
+//! Cross-validation of the two latency-percentile paths.
+//!
+//! The ingress records latencies into `pnstm`'s lock-free log2 histogram
+//! and reports quantiles from bucket upper edges; the bench harness computes
+//! exact nearest-rank percentiles over raw samples. The two must agree to
+//! within the histogram's resolution: the estimate and the true ranked
+//! sample always fall in the *same* log2 bucket, because the histogram's
+//! nearest-rank walk lands on the bucket containing the true ranked sample
+//! and reports that bucket's upper edge.
+
+use bench::percentile;
+use pnstm::{LatencyHistogram, LATENCY_BUCKETS};
+use proptest::prelude::*;
+
+fn bucket_of(ns: u64) -> usize {
+    LatencyHistogram::bucket_of(ns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// For any sample set and the SLO quantiles, the histogram estimate and
+    /// the exact nearest-rank percentile share a log2 bucket — i.e. the
+    /// estimate is within one bucket width of the truth.
+    #[test]
+    fn histogram_quantiles_agree_with_exact_percentiles(
+        samples in proptest::collection::vec(0u64..600_000_000_000, 1..400),
+    ) {
+        let hist = LatencyHistogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let snap = hist.snapshot();
+        let raw: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        for p in [50.0, 99.0, 99.9] {
+            let estimated = snap.quantile(p);
+            let exact = percentile(&raw, p) as u64;
+            prop_assert_eq!(
+                bucket_of(estimated),
+                bucket_of(exact),
+                "p{}: estimate {} and exact {} landed in different buckets",
+                p,
+                estimated,
+                exact
+            );
+            // The upper-edge convention also means the estimate never
+            // understates the truth (conservative for SLO checks)...
+            prop_assert!(estimated >= exact.min((1u64 << LATENCY_BUCKETS as u32) - 1));
+        }
+    }
+
+    /// Quantiles are monotone in p however the samples are distributed.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let hist = LatencyHistogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let snap = hist.snapshot();
+        let mut last = 0u64;
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let q = snap.quantile(p);
+            prop_assert!(q >= last, "quantile(p) must be monotone in p");
+            last = q;
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Open-loop arrival schedules.
+//!
+//! A closed-loop load generator (N workers in a request/response loop) can
+//! never observe a latency worse than its own issue rate: when the system
+//! stalls, the generator stalls with it, and the stall is silently charged
+//! to fewer requests than the offered load would have produced. An
+//! *open-loop* generator fixes the request schedule up front — each request
+//! has an **intended arrival time** drawn from the arrival process — and
+//! keeps offering requests on schedule no matter how the system is doing.
+//! Latency is then measured from the intended arrival, which is what a
+//! client outside the system would experience (coordinated-omission-free).
+//!
+//! All draws are deterministic in the seed (splitmix64, the same generator
+//! the pnstm test harnesses and the ledger block generator use), so a
+//! schedule can be replayed exactly across runs and compared across
+//! configurations.
+
+/// The inter-arrival law of the offered stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed-rate arrivals: one request every `1/rate_hz` seconds.
+    Uniform { rate_hz: f64 },
+    /// Memoryless arrivals at `rate_hz`: exponential inter-arrival gaps,
+    /// the classic M/G/k ingress model. Tail latency under Poisson load is
+    /// what the uniform schedule systematically underestimates.
+    Poisson { rate_hz: f64 },
+    /// Square-wave load: Poisson at `burst_hz` for the first
+    /// `duty` fraction of every `period_ns`, Poisson at `base_hz` for the
+    /// rest. Stresses queue drain and the controller's reaction time.
+    Burst { base_hz: f64, burst_hz: f64, period_ns: u64, duty: f64 },
+}
+
+impl ArrivalProcess {
+    /// Mean offered rate in requests/second.
+    pub fn mean_rate_hz(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Uniform { rate_hz } | ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            ArrivalProcess::Burst { base_hz, burst_hz, duty, .. } => {
+                burst_hz * duty + base_hz * (1.0 - duty)
+            }
+        }
+    }
+
+    /// The deterministic schedule for this process: an iterator of intended
+    /// arrival instants in nanoseconds since the stream's epoch,
+    /// non-decreasing by construction.
+    pub fn schedule(&self, seed: u64) -> Schedule {
+        Schedule { process: *self, state: splitmix_seed(seed), next_ns: 0, count: 0 }
+    }
+}
+
+/// Iterator of intended-arrival offsets (ns since epoch) for one seed.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    process: ArrivalProcess,
+    state: u64,
+    next_ns: u64,
+    count: u64,
+}
+
+impl Schedule {
+    /// How many arrivals have been drawn so far.
+    pub fn drawn(&self) -> u64 {
+        self.count
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 — the shared deterministic generator of the suite.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in (0, 1] — never 0, so `ln` is finite.
+    fn next_unit(&mut self) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if u == 0.0 {
+            f64::MIN_POSITIVE
+        } else {
+            u
+        }
+    }
+
+    /// Exponential inter-arrival gap at `rate_hz`, in nanoseconds.
+    fn exp_gap_ns(&mut self, rate_hz: f64) -> u64 {
+        let u = self.next_unit();
+        ((-u.ln() / rate_hz) * 1e9) as u64
+    }
+
+    fn rate_at(&self, at_ns: u64) -> f64 {
+        match self.process {
+            ArrivalProcess::Uniform { rate_hz } | ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            ArrivalProcess::Burst { base_hz, burst_hz, period_ns, duty } => {
+                let phase = at_ns % period_ns.max(1);
+                if (phase as f64) < duty * period_ns as f64 {
+                    burst_hz
+                } else {
+                    base_hz
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for Schedule {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let at = self.next_ns;
+        let gap = match self.process {
+            ArrivalProcess::Uniform { rate_hz } => (1e9 / rate_hz) as u64,
+            _ => {
+                let rate = self.rate_at(at);
+                self.exp_gap_ns(rate)
+            }
+        };
+        // A pathological rate could round the gap to 0; keep the schedule
+        // strictly advancing so `while now < intended` pacing terminates.
+        self.next_ns = at.saturating_add(gap.max(1));
+        self.count += 1;
+        Some(at)
+    }
+}
+
+fn splitmix_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let p = ArrivalProcess::Poisson { rate_hz: 10_000.0 };
+        let a: Vec<u64> = p.schedule(7).take(100).collect();
+        let b: Vec<u64> = p.schedule(7).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, p.schedule(8).take(100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedules_are_monotone_increasing() {
+        for p in [
+            ArrivalProcess::Uniform { rate_hz: 50_000.0 },
+            ArrivalProcess::Poisson { rate_hz: 50_000.0 },
+            ArrivalProcess::Burst {
+                base_hz: 1_000.0,
+                burst_hz: 100_000.0,
+                period_ns: 10_000_000,
+                duty: 0.3,
+            },
+        ] {
+            let xs: Vec<u64> = p.schedule(3).take(500).collect();
+            assert!(xs.windows(2).all(|w| w[0] < w[1]), "{p:?} schedule not increasing");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let rate = 1_000.0; // 1 kHz → 1 ms mean gap
+        let xs: Vec<u64> =
+            ArrivalProcess::Poisson { rate_hz: rate }.schedule(11).take(5000).collect();
+        let span_ns = (xs[xs.len() - 1] - xs[0]) as f64;
+        let mean_gap = span_ns / (xs.len() - 1) as f64;
+        let expected = 1e9 / rate;
+        assert!(
+            (mean_gap - expected).abs() < expected * 0.1,
+            "mean gap {mean_gap} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn uniform_is_exactly_periodic() {
+        let xs: Vec<u64> =
+            ArrivalProcess::Uniform { rate_hz: 1_000.0 }.schedule(0).take(4).collect();
+        assert_eq!(xs, vec![0, 1_000_000, 2_000_000, 3_000_000]);
+    }
+
+    #[test]
+    fn burst_phase_is_denser_than_base_phase() {
+        let period = 100_000_000u64; // 100 ms
+        let p = ArrivalProcess::Burst {
+            base_hz: 500.0,
+            burst_hz: 50_000.0,
+            period_ns: period,
+            duty: 0.5,
+        };
+        let (mut in_burst, mut in_base) = (0u64, 0u64);
+        for at in p.schedule(5).take(20_000) {
+            if at % period < period / 2 {
+                in_burst += 1;
+            } else {
+                in_base += 1;
+            }
+        }
+        assert!(
+            in_burst > in_base * 10,
+            "burst phase should dominate: burst={in_burst} base={in_base}"
+        );
+        assert!(in_base > 0, "base phase must still see arrivals");
+    }
+
+    #[test]
+    fn mean_rate_accounts_for_duty_cycle() {
+        let p = ArrivalProcess::Burst {
+            base_hz: 100.0,
+            burst_hz: 1_000.0,
+            period_ns: 1_000_000,
+            duty: 0.25,
+        };
+        assert!((p.mean_rate_hz() - (0.25 * 1_000.0 + 0.75 * 100.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ingress — an open-loop request front door for pnstm
+//!
+//! The paper (and this suite's benchmark layer up to now) evaluates AutoPN
+//! with *closed-loop* workloads: N application threads issue a transaction,
+//! wait for it, issue the next. Closed loops have a latency blind spot —
+//! **coordinated omission**: when the system stalls, the generator stalls
+//! with it, so the stall is charged to one in-flight request instead of to
+//! every request that *would have arrived* during it. Throughput numbers
+//! survive this; tail-latency numbers do not.
+//!
+//! This crate adds the missing serving story:
+//!
+//! * [`ArrivalProcess`] — deterministic open-loop arrival schedules
+//!   (uniform, Poisson, bursty square-wave), each request carrying an
+//!   **intended arrival** timestamp fixed by the schedule, not by the
+//!   system's readiness.
+//! * [`BoundedQueue`] — the bounded MPMC submission queue between the
+//!   generator and the execution workers. The producer never blocks: a full
+//!   queue is a typed [`PushError::Full`] rejection (backpressure), counted
+//!   as an SLO miss.
+//! * [`Ingress`] — the front door itself: workers drain the queue in
+//!   batches, amortize top-level admission via
+//!   [`pnstm::Throttle::admit_batch`] (one blocking acquire plus one CAS
+//!   per batch instead of one gate round-trip per request), execute through
+//!   [`pnstm::Stm::atomic_admitted`], and record per-request latency from
+//!   intended arrival into lock-free log2 histograms
+//!   ([`pnstm::LatencyHistogram`]).
+//! * SLO windows — per monitoring window the ingress publishes
+//!   p50/p99/p999 + goodput as a [`TraceEvent::IngressWindow`] and an
+//!   [`autopn::SloKpi`], and implements [`autopn::SloTunableSystem`] so the
+//!   controller can tune `(t, c)` against *"maximize goodput subject to
+//!   p99 ≤ target"* instead of raw throughput.
+//!
+//! [`TraceEvent::IngressWindow`]: pnstm::TraceEvent::IngressWindow
+
+pub mod arrival;
+pub mod queue;
+pub mod server;
+
+pub use arrival::{ArrivalProcess, Schedule};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{
+    Ingress, IngressConfig, IngressService, IngressSnapshot, IngressStats, TransferService,
+    DEFAULT_RESTART_BUDGET,
+};

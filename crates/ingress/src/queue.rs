@@ -1,0 +1,196 @@
+//! Bounded MPMC submission queue with typed backpressure.
+//!
+//! The generator must never block (blocking would close the loop and
+//! reintroduce coordinated omission), so the producer side is `try_push`
+//! only: a full queue returns the request to the caller as a typed
+//! [`PushError::Full`] rejection, which the ingress counts as an SLO miss.
+//! The consumer side pops *batches* so workers can amortize top-level
+//! admission over [`pnstm::Throttle::admit_batch`].
+//!
+//! Hand-rolled on `parking_lot::{Mutex, Condvar}` because the vendored
+//! crossbeam shim's `bounded()` channel does not actually enforce its
+//! capacity.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Why a push was refused, carrying the rejected element back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure; the caller decides whether
+    /// to shed (ingress does) or retry.
+    Full(T),
+    /// The queue was closed for shutdown; no further elements are accepted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` elements (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Non-blocking enqueue: `Err(Full)` at the ceiling, `Err(Closed)` after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue up to `max` elements, blocking up to `timeout` for the first.
+    ///
+    /// Returns an empty vector on timeout or when the queue is closed *and*
+    /// drained — a consumer loop can therefore use
+    /// `batch.is_empty() && queue.is_closed()` as its exit condition without
+    /// losing elements enqueued before the close.
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Vec<T> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock();
+        if inner.items.is_empty() && !inner.closed {
+            let result = self.not_empty.wait_for(&mut inner, timeout);
+            if result.timed_out() && inner.items.is_empty() {
+                return Vec::new();
+            }
+        }
+        let n = inner.items.len().min(max);
+        let batch: Vec<T> = inner.items.drain(..n).collect();
+        if !inner.items.is_empty() {
+            // More work remains: hand it to another parked consumer.
+            drop(inner);
+            self.not_empty.notify_one();
+        }
+        batch
+    }
+
+    /// Close the queue: further pushes fail with [`PushError::Closed`] and
+    /// every parked consumer wakes. Already-enqueued elements stay poppable.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn full_queue_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        // Draining reopens capacity.
+        assert_eq!(q.pop_batch(10, Duration::ZERO), vec![1, 2]);
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![0, 1, 2, 3]);
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![4, 5]);
+        assert!(q.pop_batch(4, Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer_and_rejects_producers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop_batch(1, Duration::from_secs(30)));
+        // Give the consumer a moment to park, then close.
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap().is_empty(), "close must wake the parked consumer");
+        assert_eq!(q.try_push(9), Err(PushError::Closed(9)));
+    }
+
+    #[test]
+    fn close_does_not_drop_enqueued_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(8, Duration::ZERO), vec![1, 2]);
+        assert!(q.is_closed() && q.is_empty());
+    }
+
+    #[test]
+    fn producers_and_consumers_agree_on_the_count() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let consumed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            handles.push(thread::spawn(move || loop {
+                let batch = q.pop_batch(4, Duration::from_millis(50));
+                consumed.fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                if batch.is_empty() && q.is_closed() {
+                    return;
+                }
+            }));
+        }
+        let mut accepted = 0u64;
+        for i in 0..1_000 {
+            if q.try_push(i).is_ok() {
+                accepted += 1;
+            }
+        }
+        q.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed.load(std::sync::atomic::Ordering::Relaxed), accepted);
+    }
+}

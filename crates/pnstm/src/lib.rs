@@ -102,9 +102,14 @@ pub use mem::{GcMode, MemConfig, MemLevel, VersionHeapGauge};
 pub use pool::ChildPool;
 pub use runtime::{CommitPath, ReadPathMode, ReadTxn, Stm, StmConfig};
 pub use sched::{Admission, SchedMode, Scheduler, Task, WorkStealingPool};
-pub use stats::{CommitEvent, Stats, StatsSnapshot, TxKind, SEM_WAIT_BUCKETS};
+pub use stats::{
+    CommitEvent, LatencyHistogram, LatencySnapshot, Stats, StatsSnapshot, TxKind, LATENCY_BUCKETS,
+    SEM_WAIT_BUCKETS,
+};
 pub use stripes::{stripe_of, STRIPE_COUNT};
-pub use throttle::{PackedGate, ParallelismDegree, ReconfigError, ResizableSemaphore, Throttle};
+pub use throttle::{
+    PackedGate, ParallelismDegree, Permit, ReconfigError, ResizableSemaphore, Throttle,
+};
 pub use trace::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
 pub use txn::{child, ChildTask, Txn};
 pub use vbox::VBox;

@@ -523,7 +523,7 @@ impl Stm {
     /// Admission is gated by the throttle's top-level semaphore: at most `t`
     /// transactions run concurrently. The body may be re-executed; it must
     /// not have non-transactional side effects it cannot repeat.
-    pub fn atomic<R>(&self, mut body: impl FnMut(&mut Txn) -> TxResult<R>) -> Result<R, StmError> {
+    pub fn atomic<R>(&self, body: impl FnMut(&mut Txn) -> TxResult<R>) -> Result<R, StmError> {
         let trace = &self.shared.trace;
         if let Some(action) = self.shared.fault.inject(FaultKind::AdmissionStall) {
             action.stall();
@@ -532,11 +532,30 @@ impl Stm {
         let Some(permit) = self.shared.throttle.admit_top_level() else {
             return Err(StmError::Shutdown);
         };
-        let mut permit = Some(permit);
         let wait_ns = wait_start.elapsed().as_nanos() as u64;
         self.shared.stats.record_sem_wait(wait_ns);
         if trace.is_enabled() {
             trace.emit(TraceEvent::SemWait { wait_ns });
+        }
+        self.atomic_admitted(permit, body)
+    }
+
+    /// Run `body` as a top-level transaction under a `permit` the caller
+    /// already holds — the batched-admission entry point: the ingress front
+    /// door acquires one [`crate::Throttle::admit_batch`] of permits per
+    /// dequeued batch (amortizing the admission gate) and runs each request
+    /// through here. The permit must come from this instance's
+    /// [`Stm::throttle`]; it is consumed (released when the transaction
+    /// finishes, or earlier if a long contention-manager wait gives the slot
+    /// up — the retry loop re-admits as usual).
+    pub fn atomic_admitted<R>(
+        &self,
+        permit: Permit,
+        mut body: impl FnMut(&mut Txn) -> TxResult<R>,
+    ) -> Result<R, StmError> {
+        let trace = &self.shared.trace;
+        let mut permit = Some(permit);
+        if trace.is_enabled() {
             trace.emit(TraceEvent::TxBegin { kind: TxKind::TopLevel, at_ns: trace::now_ns() });
         }
         let mut cm_tx = self.shared.cm.begin_guard();

@@ -123,6 +123,18 @@ pub trait Admission: Send + Sync + std::fmt::Debug {
     fn capacity(&self) -> usize;
     /// Permits currently held (never negative in a quiescent state).
     fn in_use(&self) -> usize;
+    /// Take up to `max` immediately available permits without blocking,
+    /// returning how many were granted (0 when closed or exhausted). The
+    /// default loops [`Admission::try_acquire`]; lock-free gates override it
+    /// to grant the whole batch in one CAS so batched admitters (the ingress
+    /// front door) don't pay one word-contention round per request.
+    fn try_acquire_many(&self, max: usize) -> usize {
+        let mut granted = 0;
+        while granted < max && self.try_acquire() {
+            granted += 1;
+        }
+        granted
+    }
 }
 
 /// Tasks per batch held in the fixed lock-free deque; a larger batch spills

@@ -569,6 +569,124 @@ impl StatsSnapshot {
     }
 }
 
+/// Number of log2 buckets in a [`LatencyHistogram`]: bucket `k` counts
+/// latencies in `[2^k, 2^{k+1})` nanoseconds (bucket 0 also absorbs 0 ns,
+/// the last bucket is open-ended — ≥ 2^39 ns ≈ 9.2 minutes). Nanosecond
+/// granularity at the bottom, because open-loop service latencies span from
+/// sub-microsecond commits to multi-second overload queueing.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free log2-bucketed latency histogram, following the
+/// [`Stats`]/[`StatsSnapshot`] pattern: relaxed atomic increments on the
+/// record path, point-in-time [`LatencyHistogram::snapshot`] copies, and
+/// saturating [`LatencySnapshot::delta_since`] for per-window views.
+///
+/// A log2 histogram trades resolution for a fixed footprint: any quantile
+/// estimate is exact up to the width of the bucket it lands in (the estimate
+/// and the true ranked sample always share a bucket).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Histogram bucket for a latency of `ns` nanoseconds.
+    pub fn bucket_of(ns: u64) -> usize {
+        let bucket = if ns == 0 { 0 } else { ns.ilog2() as usize };
+        bucket.min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Record one latency observation.
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the counters (individually atomic).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Per-bucket observation counts (see [`LATENCY_BUCKETS`]).
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded latencies in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl Default for LatencySnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; LATENCY_BUCKETS], count: 0, total_ns: 0 }
+    }
+}
+
+impl LatencySnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &LatencySnapshot) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            total_ns: self.total_ns.saturating_sub(earlier.total_ns),
+        }
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate in nanoseconds: the inclusive upper
+    /// edge `2^{k+1} - 1` of the bucket holding the rank-`⌈p/100·n⌉` sample
+    /// (so the estimate falls in the same bucket as the true ranked sample —
+    /// at most one bucket width high, never a bucket low). Returns 0 when
+    /// the histogram is empty. `p` is a percentage, e.g. `99.9`.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut cumulative = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return (1u64 << (k as u32 + 1)) - 1;
+            }
+        }
+        (1u64 << LATENCY_BUCKETS as u32) - 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -789,6 +907,87 @@ mod tests {
         assert_eq!(snap.sem_wait_hist[0], 1);
         assert_eq!(snap.sem_wait_hist[1], 2);
         assert!((snap.mean_sem_wait_ns() - 7_000.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_bucket_boundaries() {
+        // 0 and 1 ns share bucket 0 ([0, 2) ns).
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        // Exact powers of two open their own bucket; one below stays under.
+        for k in 1..40u32 {
+            assert_eq!(LatencyHistogram::bucket_of(1 << k), k as usize, "2^{k}");
+            assert_eq!(LatencyHistogram::bucket_of((1 << k) - 1), k as usize - 1, "2^{k}-1");
+        }
+        // The top bucket saturates: 2^40, 2^63, and u64::MAX all land in it.
+        assert_eq!(LatencyHistogram::bucket_of(1 << 40), LATENCY_BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_of(1 << 63), LATENCY_BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn latency_histogram_records_and_deltas() {
+        let h = LatencyHistogram::new();
+        h.record(1); // bucket 0
+        h.record(1_000); // bucket 9 ([512, 1024) ns... 1000 < 1024, ilog2 = 9)
+        h.record(1_500); // bucket 10
+        h.record(u64::MAX); // top bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[9], 1);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(
+            snap.total_ns,
+            1u64.wrapping_add(1_000).wrapping_add(1_500).wrapping_add(u64::MAX)
+        );
+
+        let d = snap.delta_since(&LatencySnapshot {
+            buckets: {
+                let mut b = [0; LATENCY_BUCKETS];
+                b[0] = 1;
+                b
+            },
+            count: 1,
+            total_ns: 1,
+        });
+        assert_eq!(d.count, 3);
+        assert_eq!(d.buckets[0], 0);
+        assert_eq!(d.buckets[9], 1);
+    }
+
+    #[test]
+    fn latency_quantile_nearest_rank_upper_edge() {
+        let empty = LatencySnapshot::default();
+        assert_eq!(empty.quantile(50.0), 0);
+        assert_eq!(empty.mean_ns(), 0.0);
+
+        // Single sample: every quantile is that sample's bucket edge.
+        let h = LatencyHistogram::new();
+        h.record(100); // bucket 6: [64, 128)
+        let one = h.snapshot();
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(one.quantile(p), 127, "p={p}");
+        }
+        assert_eq!(
+            LatencyHistogram::bucket_of(one.quantile(99.0)),
+            LatencyHistogram::bucket_of(100)
+        );
+
+        // 100 samples in bucket 3 ([8, 16)) and 1 in bucket 12: p50 stays in
+        // the low bucket, p99.9 must land in the tail bucket (rank 101).
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(10);
+        }
+        h.record(5_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(50.0), 15); // upper edge of bucket 3
+        assert_eq!(snap.quantile(99.0), 15); // rank 100 of 101 is still bucket 3
+        assert_eq!(snap.quantile(99.9), 8_191); // rank 101: bucket 12 edge
+        assert_eq!(snap.quantile(100.0), 8_191);
+        assert!((snap.mean_ns() - (100.0 * 10.0 + 5_000.0) / 101.0).abs() < 1e-9);
     }
 
     #[test]

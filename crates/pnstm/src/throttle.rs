@@ -245,6 +245,11 @@ pub struct PackedGate {
     word: AtomicU64,
     parkers: Box<[Mutex<Vec<thread::Thread>>]>,
     next_shard: AtomicUsize,
+    /// Rotation cursor for [`PackedGate::unpark_one`]. Without it every
+    /// release scanned the shards from index 0, so threads registered in
+    /// higher shards were woken last on every release — a starvation bias
+    /// whose park-timeout churn also inflated `park_count`.
+    next_unpark: AtomicUsize,
     /// Counts parks into `park_count` when attached ([`Stats::record_park`]).
     stats: Option<Arc<Stats>>,
 }
@@ -265,6 +270,7 @@ impl PackedGate {
             word: AtomicU64::new(gate_pack(false, capacity, capacity as i64)),
             parkers: (0..GATE_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             next_shard: AtomicUsize::new(0),
+            next_unpark: AtomicUsize::new(0),
             stats,
         }
     }
@@ -292,7 +298,11 @@ impl PackedGate {
     }
 
     fn unpark_one(&self) {
-        for shard in self.parkers.iter() {
+        // Rotate the starting shard so no shard's parkers are structurally
+        // last in line (fairness across shards, not strict FIFO within one).
+        let start = self.next_unpark.fetch_add(1, Ordering::Relaxed);
+        for i in 0..self.parkers.len() {
+            let shard = &self.parkers[(start + i) % self.parkers.len()];
             let popped = shard.lock().pop();
             if let Some(t) = popped {
                 t.unpark();
@@ -413,6 +423,28 @@ impl Admission for PackedGate {
         let (_, cap, avail) = gate_unpack(self.word.load(Ordering::Acquire));
         (cap as i64 - avail).max(0) as usize
     }
+
+    /// One CAS grants `min(max, available)` permits — the batched-admission
+    /// amortization the ingress front door relies on.
+    fn try_acquire_many(&self, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut take = 0;
+        let took = self.update(|closed, cap, avail| {
+            if closed || avail <= 0 {
+                None
+            } else {
+                take = (max as i64).min(avail) as usize;
+                Some((closed, cap, avail - take as i64))
+            }
+        });
+        if took.is_some() {
+            take
+        } else {
+            0
+        }
+    }
 }
 
 /// RAII permit for an [`Admission`] gate.
@@ -429,6 +461,13 @@ impl Permit {
         } else {
             None
         }
+    }
+
+    /// Wrap a permit the caller already acquired from `gate` (used by the
+    /// batched admission path, where `try_acquire_many` grants several
+    /// permits in one CAS).
+    fn from_acquired(gate: &Arc<dyn Admission>) -> Self {
+        Self { gate: Arc::clone(gate) }
     }
 }
 
@@ -530,6 +569,24 @@ impl Throttle {
     /// admission is closed (shutdown in progress).
     pub fn admit_top_level(&self) -> Option<Permit> {
         Permit::acquire(&self.top_gate)
+    }
+
+    /// Batched admission: block for the first permit, then take up to
+    /// `max - 1` more that are immediately available — at most one blocking
+    /// acquire plus one CAS per batch instead of one admission round per
+    /// request. Returns an empty vector iff admission is closed; otherwise
+    /// at least one permit. Each permit releases on drop as usual.
+    pub fn admit_batch(&self, max: usize) -> Vec<Permit> {
+        let Some(first) = Permit::acquire(&self.top_gate) else {
+            return Vec::new();
+        };
+        let mut permits = Vec::with_capacity(max.max(1));
+        permits.push(first);
+        let extra = self.top_gate.try_acquire_many(max.saturating_sub(1));
+        for _ in 0..extra {
+            permits.push(Permit::from_acquired(&self.top_gate));
+        }
+        permits
     }
 
     /// Stop admitting top-level transactions and wake every thread parked on
@@ -995,6 +1052,96 @@ mod tests {
             peak.load(Ordering::SeqCst)
         );
         assert_eq!(t.top_level_in_use(), 0);
+    }
+
+    /// Regression test for `unpark_one` always scanning parker shards from
+    /// index 0: a release would wake shard 0's parkers first every time, so
+    /// threads registered in higher shards were structurally last in line
+    /// and only ever woke via the 50 ms park-timeout backstop. With the
+    /// rotating cursor, consecutive releases start at consecutive shards.
+    #[test]
+    fn unpark_one_rotates_across_shards() {
+        let g = PackedGate::new(1);
+        // Plant parker entries directly: two in shard 0, one in each other
+        // shard. (White-box: `park_for_change` normally registers these.)
+        // Unparking `thread::current()` is a no-op beyond consuming the
+        // entry, which is all this test observes.
+        let me = thread::current();
+        g.parkers[0].lock().push(me.clone());
+        g.parkers[0].lock().push(me.clone());
+        for shard in g.parkers.iter().skip(1) {
+            shard.lock().push(me.clone());
+        }
+        // One release per shard count: a fair rotation visits every shard
+        // once, so each non-zero shard drains. The old scan-from-0 code
+        // would pop shard 0 twice and leave the last shard untouched.
+        for _ in 0..GATE_SHARDS {
+            g.unpark_one();
+        }
+        assert_eq!(g.parkers[0].lock().len(), 1, "shard 0 must not be drained preferentially");
+        let parked_high: usize = g.parkers.iter().skip(1).map(|s| s.lock().len()).sum();
+        assert_eq!(parked_high, 0, "higher shards must all have been visited");
+        // The leftovers drain too once more releases come in.
+        g.unpark_one();
+        g.unpark_one();
+        g.unpark_one();
+        g.unpark_one();
+        assert!(g.parkers.iter().all(|s| s.lock().is_empty()));
+    }
+
+    #[test]
+    fn packed_gate_try_acquire_many_grants_in_one_cas() {
+        let g = PackedGate::new(4);
+        assert_eq!(g.try_acquire_many(3), 3);
+        assert_eq!(g.in_use(), 3);
+        // Only one permit left: a batch request is truncated, not blocked.
+        assert_eq!(g.try_acquire_many(5), 1);
+        assert_eq!(g.try_acquire_many(2), 0, "exhausted gate grants nothing");
+        g.release();
+        g.release();
+        assert_eq!(g.try_acquire_many(0), 0);
+        assert_eq!(g.try_acquire_many(2), 2);
+        // Closed gate refuses batches entirely.
+        for _ in 0..4 {
+            g.release();
+        }
+        g.close();
+        assert_eq!(g.try_acquire_many(4), 0);
+        g.reopen();
+        assert_eq!(g.try_acquire_many(4), 4);
+    }
+
+    #[test]
+    fn admission_default_try_acquire_many_loops() {
+        // The mutex semaphore uses the default trait implementation.
+        let s = ResizableSemaphore::new(3);
+        assert_eq!(Admission::try_acquire_many(&s, 2), 2);
+        assert_eq!(Admission::try_acquire_many(&s, 2), 1);
+        assert_eq!(Admission::try_acquire_many(&s, 2), 0);
+    }
+
+    #[test]
+    fn throttle_admit_batch_amortizes_and_respects_capacity() {
+        let t = Throttle::with_gate(
+            ParallelismDegree::new(3, 1),
+            TraceBus::new(),
+            FaultCtx::disabled(),
+            Arc::new(PackedGate::new(3)),
+        );
+        let batch = t.admit_batch(8);
+        assert_eq!(batch.len(), 3, "batch is truncated to the available capacity");
+        assert_eq!(t.top_level_in_use(), 3);
+        drop(batch);
+        assert_eq!(t.top_level_in_use(), 0);
+
+        let one = t.admit_batch(1);
+        assert_eq!(one.len(), 1);
+        drop(one);
+
+        t.close();
+        assert!(t.admit_batch(4).is_empty(), "closed admission yields no permits");
+        t.reopen();
+        assert_eq!(t.admit_batch(2).len(), 2);
     }
 
     #[test]

@@ -146,6 +146,24 @@ pub enum TraceEvent {
     /// Block-STM validation aborted a transaction: `txn_idx` will re-run as
     /// `incarnation` (the first re-execution is incarnation 1).
     TxnReexecuted { txn_idx: u32, incarnation: u32, at_ns: u64 },
+    /// One ingress monitoring window closed: `offered` requests arrived
+    /// (per the open-loop schedule), `completed` finished, `rejected` hit
+    /// the queue ceiling (typed backpressure, counted as SLO misses).
+    /// Latency percentiles are measured from *intended arrival* — the
+    /// scheduled arrival instant, not the dequeue instant — so the figures
+    /// are coordinated-omission-free. `goodput` is completed requests per
+    /// second over `window_ns`.
+    IngressWindow {
+        at_ns: u64,
+        window_ns: u64,
+        offered: u64,
+        completed: u64,
+        rejected: u64,
+        goodput: f64,
+        p50_ns: u64,
+        p99_ns: u64,
+        p999_ns: u64,
+    },
 }
 
 fn push_f64(out: &mut String, x: f64) {
@@ -192,6 +210,7 @@ impl TraceEvent {
             TraceEvent::MemDegraded { .. } => "mem_degraded",
             TraceEvent::BlockCommitted { .. } => "block_committed",
             TraceEvent::TxnReexecuted { .. } => "txn_reexecuted",
+            TraceEvent::IngressWindow { .. } => "ingress_window",
         }
     }
 
@@ -344,6 +363,25 @@ impl TraceEvent {
                     out,
                     ",\"txn_idx\":{txn_idx},\"incarnation\":{incarnation},\"at_ns\":{at_ns}"
                 );
+            }
+            TraceEvent::IngressWindow {
+                at_ns,
+                window_ns,
+                offered,
+                completed,
+                rejected,
+                goodput,
+                p50_ns,
+                p99_ns,
+                p999_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"at_ns\":{at_ns},\"window_ns\":{window_ns},\"offered\":{offered},\"completed\":{completed},\"rejected\":{rejected},\"goodput\":"
+                );
+                push_f64(out, goodput);
+                let _ =
+                    write!(out, ",\"p50_ns\":{p50_ns},\"p99_ns\":{p99_ns},\"p999_ns\":{p999_ns}");
             }
         }
         out.push('}');
@@ -688,6 +726,17 @@ mod tests {
             },
             TraceEvent::BlockCommitted { txns: 128, reexecutions: 7, at_ns: 92 },
             TraceEvent::TxnReexecuted { txn_idx: 17, incarnation: 2, at_ns: 93 },
+            TraceEvent::IngressWindow {
+                at_ns: 94,
+                window_ns: 1_000_000,
+                offered: 1000,
+                completed: 990,
+                rejected: 10,
+                goodput: 990_000.0,
+                p50_ns: 2_047,
+                p99_ns: 65_535,
+                p999_ns: 524_287,
+            },
         ];
         for ev in evs {
             let json = ev.to_json();
@@ -765,6 +814,21 @@ mod tests {
         assert_eq!(
             TraceEvent::TxnReexecuted { txn_idx: 17, incarnation: 2, at_ns: 93 }.to_json(),
             r#"{"ev":"txn_reexecuted","txn_idx":17,"incarnation":2,"at_ns":93}"#
+        );
+        assert_eq!(
+            TraceEvent::IngressWindow {
+                at_ns: 94,
+                window_ns: 1_000_000,
+                offered: 1000,
+                completed: 990,
+                rejected: 10,
+                goodput: 990_000.0,
+                p50_ns: 2_047,
+                p99_ns: 65_535,
+                p999_ns: 524_287,
+            }
+            .to_json(),
+            r#"{"ev":"ingress_window","at_ns":94,"window_ns":1000000,"offered":1000,"completed":990,"rejected":10,"goodput":990000,"p50_ns":2047,"p99_ns":65535,"p999_ns":524287}"#
         );
     }
 

@@ -24,6 +24,7 @@ pub mod live;
 pub mod sim_system;
 pub mod tpcc;
 pub mod trace;
+pub mod transfer;
 pub mod vacation;
 
 pub use array::ArrayWorkload;
@@ -32,4 +33,5 @@ pub use live::{LiveStmSystem, StmWorkload};
 pub use sim_system::SimSystem;
 pub use tpcc::TpccWorkload;
 pub use trace::{load_or_build_surface, replay, ReplayTrace};
+pub use transfer::{TransferRequest, TransferWorkload};
 pub use vacation::VacationWorkload;
