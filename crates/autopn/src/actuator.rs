@@ -1,6 +1,9 @@
-//! The actuator: applying `(t, c)` configurations to a running system (§VI).
+//! The actuator: applying `(t, c)` configurations to a running system (§VI),
+//! plus the [`AxisRegistry`] that extends actuation to the typed discrete
+//! axes of a [`ConfigSpace`].
 
-use crate::space::Config;
+use crate::controller::ApplyError;
+use crate::space::{Axis, Config, ConfigSpace, SearchSpace, MAX_AXES};
 
 /// Anything that can enact a parallelism-degree configuration.
 pub trait Actuator {
@@ -75,6 +78,142 @@ impl PnstmActuator {
     }
 }
 
+/// One registered live knob: a typed [`Axis`] (the level ladder the model
+/// and search see) plus the setter that enacts a chosen level on the
+/// running system.
+struct AxisBinding {
+    axis: Axis,
+    set: Box<dyn FnMut(u32, usize) -> Result<(), ApplyError> + Send>,
+}
+
+/// A registry of live discrete tuning axes, in actuation == feature order.
+///
+/// Systems embed one of these in `try_apply`: enact the axes first, then
+/// switch the parallelism degree, so a full N-dimensional point rides the
+/// controller's apply-retry/degradation ladder atomically — an axis failure
+/// or degree veto parks the system on the *full* last-good point, because
+/// the fallback [`Config`] carries its axis levels and re-applying it
+/// re-enacts them.
+#[derive(Default)]
+pub struct AxisRegistry {
+    bindings: Vec<AxisBinding>,
+}
+
+impl AxisRegistry {
+    pub fn new() -> Self {
+        Self { bindings: Vec::new() }
+    }
+
+    /// Register `axis`, enacted by `set(raw_value, level_index)` — e.g. the
+    /// GC axis receives `(slice_boxes, ladder_index)`. Axes are enacted and
+    /// feature-encoded in registration order.
+    pub fn bind<F>(mut self, axis: Axis, set: F) -> Self
+    where
+        F: FnMut(u32, usize) -> Result<(), ApplyError> + Send + 'static,
+    {
+        assert!(self.bindings.len() < MAX_AXES, "at most {MAX_AXES} axes");
+        assert!(
+            self.bindings.iter().all(|b| b.axis.name() != axis.name()),
+            "axis {} registered twice",
+            axis.name()
+        );
+        self.bindings.push(AxisBinding { axis, set: Box::new(set) });
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// The registered axes, in actuation order.
+    pub fn axes(&self) -> Vec<Axis> {
+        self.bindings.iter().map(|b| b.axis.clone()).collect()
+    }
+
+    /// The config space these axes span over an `n_cores`-core machine —
+    /// what the system hands its tuner so proposals stay enactable.
+    pub fn space(&self, n_cores: usize) -> ConfigSpace {
+        ConfigSpace::new(SearchSpace::new(n_cores), self.axes())
+    }
+
+    /// Level indices `cfg` selects: its own when it carries one level per
+    /// registered axis, the defaults when it is a bare `(t, c)` point
+    /// (the controller's built-in `Config::new(1, 1)` fallback), an error
+    /// on any other arity — a point from a differently-shaped space.
+    fn levels_of(&self, cfg: Config) -> Result<Vec<usize>, ApplyError> {
+        if cfg.axes.is_empty() {
+            return Ok(self.bindings.iter().map(|b| b.axis.default_level()).collect());
+        }
+        if cfg.axes.len() != self.bindings.len() {
+            return Err(ApplyError::new(format!(
+                "config carries {} axis levels, registry has {}",
+                cfg.axes.len(),
+                self.bindings.len()
+            )));
+        }
+        let levels: Vec<usize> = cfg.axes.iter().collect();
+        for (b, &l) in self.bindings.iter().zip(&levels) {
+            if l >= b.axis.len() {
+                return Err(ApplyError::new(format!(
+                    "axis {}: level {l} out of range ({} levels)",
+                    b.axis.name(),
+                    b.axis.len()
+                )));
+            }
+        }
+        Ok(levels)
+    }
+
+    /// Enact `cfg`'s axis levels in registration order, failing fast on the
+    /// first setter error. Setters must be idempotent: the degradation
+    /// ladder re-enacts the last-good point on every parked retry.
+    pub fn enact(&mut self, cfg: Config) -> Result<(), ApplyError> {
+        let levels = self.levels_of(cfg)?;
+        for (b, level) in self.bindings.iter_mut().zip(levels) {
+            let value = b.axis.value_at(level);
+            (b.set)(value, level)?;
+        }
+        Ok(())
+    }
+
+    /// Trace record of `cfg`'s axis point (defaults for a bare `(t, c)`
+    /// point, empty when the arity is wrong) — for stamping `Reconfigure`
+    /// events via `pnstm::Throttle::note_axes` before the degree switch.
+    pub fn axes_trace(&self, cfg: Config) -> pnstm::AxesTrace {
+        let mut out = pnstm::AxesTrace::empty();
+        let Ok(levels) = self.levels_of(cfg) else { return out };
+        for (b, level) in self.bindings.iter().zip(levels) {
+            out.push(b.axis.name(), b.axis.value_at(level), b.axis.label_at(level));
+        }
+        out
+    }
+}
+
+/// The standard live-STM registry: contention policy and GC slice budget,
+/// the two discrete knobs switchable on a running [`pnstm::Stm`] without
+/// reconstruction.
+pub fn stm_axis_registry(stm: &pnstm::Stm) -> AxisRegistry {
+    use crate::space::CmPolicy;
+    let cm_stm = stm.clone();
+    let gc_stm = stm.clone();
+    AxisRegistry::new()
+        .bind(Axis::cm_policy(), move |value, _| {
+            let policy = *CmPolicy::ALL
+                .get(value as usize)
+                .ok_or_else(|| ApplyError::new(format!("unknown cm policy index {value}")))?;
+            cm_stm.set_cm_mode(policy.into());
+            Ok(())
+        })
+        .bind(Axis::gc_budget(), move |value, _| {
+            gc_stm.set_gc_slice_boxes(value as usize);
+            Ok(())
+        })
+}
+
 impl Actuator for PnstmActuator {
     fn apply(&mut self, cfg: Config) {
         self.stm.set_degree(cfg.into());
@@ -140,6 +279,84 @@ mod tests {
         act.set_soft_ceiling(soft / 2);
         assert_eq!(act.soft_ceiling(), soft / 2);
         act.set_soft_ceiling(soft);
+    }
+
+    #[test]
+    fn registry_enacts_in_order_and_defaults_bare_points() {
+        use std::sync::{Arc, Mutex};
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        let mut reg = AxisRegistry::new()
+            .bind(Axis::categorical("mode", &["a", "b", "c"], 0), move |v, l| {
+                l1.lock().unwrap().push(("mode", v, l));
+                Ok(())
+            })
+            .bind(Axis::integer_log2("boxes", &[64, 128, 256], 128), move |v, l| {
+                l2.lock().unwrap().push(("boxes", v, l));
+                Ok(())
+            });
+        assert_eq!(reg.len(), 2);
+        let space = reg.space(8);
+        assert_eq!(space.axes().len(), 2);
+        assert_eq!(space.dim(), 2 + 3 + 1, "t, c, one-hot mode, ordinal boxes");
+
+        let cfg = Config::with_axes(2, 3, crate::space::AxisLevels::from_slice(&[2, 0]));
+        reg.enact(cfg).unwrap();
+        assert_eq!(*log.lock().unwrap(), vec![("mode", 2, 2), ("boxes", 64, 0)]);
+
+        // Bare (t, c) point — the controller's built-in fallback — enacts
+        // the defaults.
+        log.lock().unwrap().clear();
+        reg.enact(Config::new(1, 1)).unwrap();
+        assert_eq!(*log.lock().unwrap(), vec![("mode", 0, 0), ("boxes", 128, 1)]);
+
+        // Wrong arity is an apply error, not a silent partial enactment.
+        log.lock().unwrap().clear();
+        let wrong = Config::with_axes(1, 1, crate::space::AxisLevels::from_slice(&[1]));
+        assert!(reg.enact(wrong).is_err());
+        assert!(log.lock().unwrap().is_empty());
+
+        let trace = reg.axes_trace(cfg);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.get("mode").unwrap().label, "c");
+        assert_eq!(trace.get("boxes").unwrap().value, 64);
+    }
+
+    #[test]
+    fn registry_setter_failure_propagates() {
+        let mut reg =
+            AxisRegistry::new().bind(Axis::categorical("flaky", &["ok", "boom"], 0), |_, level| {
+                if level == 1 {
+                    Err(ApplyError::new("boom"))
+                } else {
+                    Ok(())
+                }
+            });
+        let good = Config::with_axes(1, 1, crate::space::AxisLevels::from_slice(&[0]));
+        let bad = Config::with_axes(1, 1, crate::space::AxisLevels::from_slice(&[1]));
+        assert!(reg.enact(good).is_ok());
+        assert!(reg.enact(bad).is_err());
+    }
+
+    #[test]
+    fn stm_registry_switches_live_knobs() {
+        use crate::space::{AxisLevels, CmPolicy};
+        let stm = Stm::new(StmConfig::default());
+        let mut reg = stm_axis_registry(&stm);
+        let space = reg.space(4);
+        assert_eq!(space.axes().len(), 2);
+
+        let karma = CmPolicy::ALL.iter().position(|&p| p == CmPolicy::Karma).unwrap();
+        let gc256 = space.axes()[1].level_of_value(256).unwrap();
+        let cfg = Config::with_axes(2, 2, AxisLevels::from_slice(&[karma, gc256]));
+        reg.enact(cfg).unwrap();
+        assert_eq!(stm.cm_mode(), pnstm::CmMode::Karma);
+        assert_eq!(stm.gc_slice_boxes(), 256);
+
+        // Re-enacting a bare point restores both defaults.
+        reg.enact(Config::new(1, 1)).unwrap();
+        assert_eq!(stm.cm_mode(), pnstm::CmMode::from(CmPolicy::default()));
+        assert_eq!(stm.gc_slice_boxes(), crate::space::GcBudget::default().slice_boxes);
     }
 
     #[test]

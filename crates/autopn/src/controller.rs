@@ -394,6 +394,7 @@ impl Controller {
             explored: explored.len() as u64,
             fallback,
             degraded,
+            axes: tuner.config_space().map(|s| s.axes_trace(s.lift(best))).unwrap_or_default(),
         });
         TuningOutcome {
             explored,
@@ -493,6 +494,7 @@ impl Controller {
             explored: explored.len() as u64,
             fallback,
             degraded,
+            axes: tuner.config_space().map(|s| s.axes_trace(s.lift(best))).unwrap_or_default(),
         });
         SloTuningOutcome {
             explored,

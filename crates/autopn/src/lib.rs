@@ -49,6 +49,7 @@ pub mod chaos;
 pub mod controller;
 pub mod hillclimb;
 pub mod kpi;
+pub mod legacy;
 pub mod model;
 pub mod monitor;
 pub mod multi;
@@ -59,7 +60,7 @@ pub mod smbo;
 pub mod space;
 pub mod stopping;
 
-pub use actuator::{Actuator, PnstmActuator};
+pub use actuator::{stm_axis_registry, Actuator, AxisRegistry, PnstmActuator};
 pub use change::CusumDetector;
 pub use chaos::FaultyTunable;
 pub use controller::{
@@ -71,12 +72,17 @@ pub use controller::{
 pub use kpi::{Measurement, SloKpi, SLO_REJECT_TOLERANCE};
 pub use multi::{MultiAutoPn, MultiAutoPnConfig, MultiConfig};
 pub use optimizer::{AutoPn, AutoPnConfig, Tuner};
+pub use pnstm::{
+    AxesTrace, AxisValue, JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink,
+};
 pub use pnstm::{FaultAction, FaultCtx, FaultKind, FaultPlan, FaultRule};
-pub use pnstm::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
 pub use policy::{
     sweep_block_sizes, sweep_gc_budgets, sweep_policies, BlockSizeSweepOutcome,
     GcBudgetSweepOutcome, PolicySweepOutcome,
 };
 pub use sampling::InitialSampling;
-pub use space::{BlockSize, CmPolicy, Config, GcBudget, SearchSpace};
+pub use space::{
+    Axis, AxisKind, AxisLevels, BlockSize, CmPolicy, Config, ConfigSpace, GcBudget, SearchSpace,
+    MAX_AXES,
+};
 pub use stopping::StopCondition;

@@ -56,7 +56,7 @@ impl BaggedM5 {
                     .map(|_| {
                         let r = rng.gen::<f64>() * total_w;
                         let idx = cumulative.partition_point(|&c| c < r).min(samples.len() - 1);
-                        samples[idx]
+                        samples[idx].clone()
                     })
                     .collect()
             };
@@ -74,9 +74,9 @@ impl BaggedM5 {
         self.learners.is_empty()
     }
 
-    /// Predictive mean and standard deviation at `(t, c)`.
-    pub fn predict_dist(&self, t: f64, c: f64) -> (f64, f64) {
-        let preds: Vec<f64> = self.learners.iter().map(|m| m.predict(t, c)).collect();
+    /// Predictive mean and standard deviation at the encoded point `x`.
+    pub fn predict_dist(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.learners.iter().map(|m| m.predict(x)).collect();
         let n = preds.len() as f64;
         let mean = preds.iter().sum::<f64>() / n;
         let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
@@ -85,8 +85,8 @@ impl BaggedM5 {
 }
 
 impl Regressor for BaggedM5 {
-    fn predict(&self, t: f64, c: f64) -> f64 {
-        self.predict_dist(t, c).0
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.predict_dist(x).0
     }
 }
 
@@ -98,7 +98,7 @@ mod tests {
         let mut out = Vec::new();
         for t in 1..=8 {
             for c in 1..=8 {
-                out.push(Sample::new(t as f64, c as f64, f(t as f64, c as f64)));
+                out.push(Sample::point(t as f64, c as f64, f(t as f64, c as f64)));
             }
         }
         out
@@ -109,7 +109,7 @@ mod tests {
         let samples = grid(|t, c| 100.0 + 2.0 * t - c);
         let ens = BaggedM5::fit(&samples, 10, 1);
         assert_eq!(ens.len(), 10);
-        let (mu, _) = ens.predict_dist(4.0, 4.0);
+        let (mu, _) = ens.predict_dist(&[4.0, 4.0]);
         assert!((mu - 104.0).abs() < 2.0, "mu = {mu}");
     }
 
@@ -118,7 +118,7 @@ mod tests {
         // All bootstrap fits of an exactly linear function are identical.
         let samples = grid(|t, c| t + c);
         let ens = BaggedM5::fit(&samples, 8, 2);
-        let (_, sigma) = ens.predict_dist(4.0, 4.0);
+        let (_, sigma) = ens.predict_dist(&[4.0, 4.0]);
         assert!(sigma < 0.5, "sigma = {sigma}");
     }
 
@@ -127,22 +127,22 @@ mod tests {
         // Few scattered points with a bumpy target: bootstrap resamples
         // disagree away from the data.
         let samples = vec![
-            Sample::new(1.0, 1.0, 10.0),
-            Sample::new(48.0, 1.0, 200.0),
-            Sample::new(1.0, 48.0, 30.0),
-            Sample::new(8.0, 6.0, 400.0),
-            Sample::new(24.0, 2.0, 350.0),
+            Sample::point(1.0, 1.0, 10.0),
+            Sample::point(48.0, 1.0, 200.0),
+            Sample::point(1.0, 48.0, 30.0),
+            Sample::point(8.0, 6.0, 400.0),
+            Sample::point(24.0, 2.0, 350.0),
         ];
         let ens = BaggedM5::fit(&samples, 10, 3);
-        let (_, sigma) = ens.predict_dist(16.0, 3.0);
+        let (_, sigma) = ens.predict_dist(&[16.0, 3.0]);
         assert!(sigma > 0.0, "bootstrap diversity must produce variance");
     }
 
     #[test]
     fn deterministic_given_seed() {
         let samples = grid(|t, c| t * c);
-        let a = BaggedM5::fit(&samples, 10, 42).predict_dist(5.0, 5.0);
-        let b = BaggedM5::fit(&samples, 10, 42).predict_dist(5.0, 5.0);
+        let a = BaggedM5::fit(&samples, 10, 42).predict_dist(&[5.0, 5.0]);
+        let b = BaggedM5::fit(&samples, 10, 42).predict_dist(&[5.0, 5.0]);
         assert_eq!(a, b);
     }
 
@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn empty_training_set_predicts_zero() {
         let ens = BaggedM5::fit(&[], 5, 1);
-        let (mu, sigma) = ens.predict_dist(3.0, 3.0);
+        let (mu, sigma) = ens.predict_dist(&[3.0, 3.0]);
         assert_eq!(mu, 0.0);
         assert_eq!(sigma, 0.0);
     }

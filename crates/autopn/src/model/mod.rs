@@ -1,5 +1,12 @@
 //! Regression models: linear leaf models, the M5 model tree, and the bagging
 //! ensemble that supplies SMBO's predictive mean and variance.
+//!
+//! The whole layer is natively N-dimensional: a [`Sample`] carries an
+//! arbitrary-length feature vector (built by `ConfigSpace::encode`), and
+//! every model fits/predicts over `dim()` features. In the legacy 2-D
+//! `(t, c)` space the vector is exactly `[t, c]` and all arithmetic is
+//! bit-identical to the pre-generalization pipeline (pinned by
+//! `crate::legacy` and the legacy-projection proptest).
 
 pub mod bagging;
 pub mod linear;
@@ -9,31 +16,36 @@ pub use bagging::BaggedM5;
 pub use linear::LinearModel;
 pub use m5::M5Tree;
 
-/// A training observation: features `(t, c)`, the measured KPI, and a
-/// confidence weight.
+/// A training observation: a feature vector `x` (from the config space's
+/// encoding), the measured KPI `y`, and a confidence weight.
 ///
 /// The weight implements the paper's §VIII suggestion of feeding the
 /// *noisiness* of each measurement (its coefficient of variation) into the
 /// modeling phase: precise measurements get weight > 1, noisy or truncated
 /// ones < 1. `Sample::new` uses weight 1 (the paper's baseline behaviour).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
-    pub t: f64,
-    pub c: f64,
+    x: Vec<f64>,
     pub y: f64,
     /// Relative confidence in `y` (1.0 = nominal).
     pub w: f64,
 }
 
 impl Sample {
-    pub fn new(t: f64, c: f64, y: f64) -> Self {
-        Self { t, c, y, w: 1.0 }
+    pub fn new(x: Vec<f64>, y: f64) -> Self {
+        Self { x, y, w: 1.0 }
+    }
+
+    /// Legacy 2-feature convenience: the `(t, c)` point of the paper's
+    /// original space.
+    pub fn point(t: f64, c: f64, y: f64) -> Self {
+        Self::new(vec![t, c], y)
     }
 
     /// A sample with an explicit confidence weight (clamped to a sane
     /// positive range so one observation can neither vanish nor dominate).
-    pub fn weighted(t: f64, c: f64, y: f64, w: f64) -> Self {
-        Self { t, c, y, w: w.clamp(0.05, 20.0) }
+    pub fn weighted(x: Vec<f64>, y: f64, w: f64) -> Self {
+        Self { x, y, w: w.clamp(0.05, 20.0) }
     }
 
     /// Derive a confidence weight from a measurement's throughput CV:
@@ -50,20 +62,23 @@ impl Sample {
         }
     }
 
-    /// Feature accessor by index (0 = `t`, 1 = `c`).
-    pub fn feature(&self, i: usize) -> f64 {
-        match i {
-            0 => self.t,
-            1 => self.c,
-            _ => panic!("feature index {i} out of range (2 features)"),
-        }
+    /// The feature vector. Callers index it only through `0..dim()` of the
+    /// owning space, so an out-of-range access is impossible by
+    /// construction (the old fixed-arity accessor hard-panicked instead).
+    pub fn features(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Feature dimensionality of this observation.
+    pub fn dim(&self) -> usize {
+        self.x.len()
     }
 }
 
-/// Anything that predicts a KPI from a configuration.
+/// Anything that predicts a KPI from an encoded configuration point.
 pub trait Regressor {
-    /// Predicted KPI at `(t, c)`.
-    fn predict(&self, t: f64, c: f64) -> f64;
+    /// Predicted KPI at feature vector `x`.
+    fn predict(&self, x: &[f64]) -> f64;
 }
 
 pub(crate) fn mean(ys: impl Iterator<Item = f64>) -> f64 {
@@ -88,22 +103,30 @@ pub(crate) fn std_dev(samples: &[Sample]) -> f64 {
     var.sqrt()
 }
 
+/// The common feature dimensionality of a training set (0 when empty).
+pub(crate) fn common_dim(samples: &[Sample]) -> usize {
+    samples.iter().map(|s| s.dim()).max().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn sample_feature_access() {
-        let s = Sample::new(3.0, 5.0, 7.0);
-        assert_eq!(s.feature(0), 3.0);
-        assert_eq!(s.feature(1), 5.0);
+        let s = Sample::point(3.0, 5.0, 7.0);
+        assert_eq!(s.features(), &[3.0, 5.0]);
+        assert_eq!(s.dim(), 2);
         assert_eq!(s.w, 1.0);
+        let nd = Sample::new(vec![1.0, 2.0, 0.0, 1.0, 6.0], 9.0);
+        assert_eq!(nd.dim(), 5);
+        assert_eq!(nd.features()[4], 6.0);
     }
 
     #[test]
     fn weighted_sample_clamps() {
-        assert_eq!(Sample::weighted(1.0, 1.0, 1.0, 1e9).w, 20.0);
-        assert_eq!(Sample::weighted(1.0, 1.0, 1.0, 0.0).w, 0.05);
+        assert_eq!(Sample::weighted(vec![1.0, 1.0], 1.0, 1e9).w, 20.0);
+        assert_eq!(Sample::weighted(vec![1.0, 1.0], 1.0, 0.0).w, 0.05);
     }
 
     #[test]
@@ -120,17 +143,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_feature_index() {
-        let _ = Sample::new(0.0, 0.0, 0.0).feature(2);
-    }
-
-    #[test]
     fn helpers() {
         assert_eq!(mean([].into_iter()), 0.0);
         assert_eq!(mean([2.0, 4.0].into_iter()), 3.0);
-        let samples = vec![Sample::new(0.0, 0.0, 2.0), Sample::new(0.0, 0.0, 4.0)];
+        let samples = vec![Sample::point(0.0, 0.0, 2.0), Sample::point(0.0, 0.0, 4.0)];
         assert!((std_dev(&samples) - 1.0).abs() < 1e-12);
         assert_eq!(std_dev(&samples[..1]), 0.0);
+        assert_eq!(common_dim(&samples), 2);
+        assert_eq!(common_dim(&[]), 0);
     }
 }

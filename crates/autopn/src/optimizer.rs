@@ -6,7 +6,7 @@ use std::collections::{HashMap, VecDeque};
 use crate::hillclimb::HillClimber;
 use crate::sampling::InitialSampling;
 use crate::smbo;
-use crate::space::{Config, SearchSpace};
+use crate::space::{Config, ConfigSpace};
 use crate::stopping::StopCondition;
 
 /// Common ask–tell interface implemented by AutoPN and by every baseline
@@ -36,6 +36,13 @@ pub trait Tuner {
     /// ignored — baselines that don't trace need no changes.
     fn attach_trace(&mut self, trace: pnstm::TraceBus) {
         let _ = trace;
+    }
+    /// The typed configuration space this tuner searches, when it has one.
+    /// Callers (the controller's trace plumbing, the axis registry) use it to
+    /// decode a [`Config`]'s axis levels into named values. Default: `None` —
+    /// baselines that only know `(t, c)` need no changes.
+    fn config_space(&self) -> Option<&ConfigSpace> {
+        None
     }
 }
 
@@ -85,7 +92,7 @@ enum Phase {
 
 /// The AutoPN self-tuning optimizer (§V).
 pub struct AutoPn {
-    space: SearchSpace,
+    space: ConfigSpace,
     cfg: AutoPnConfig,
     phase: Phase,
     init_queue: VecDeque<Config>,
@@ -98,8 +105,11 @@ pub struct AutoPn {
 }
 
 impl AutoPn {
-    pub fn new(space: SearchSpace, cfg: AutoPnConfig) -> Self {
-        let init_queue = cfg.init.configs(&space).into();
+    /// Build a tuner over `space` — a bare [`SearchSpace`] for the paper's
+    /// `(t, c)` problem, or a full [`ConfigSpace`] to co-tune discrete axes.
+    pub fn new(space: impl Into<ConfigSpace>, cfg: AutoPnConfig) -> Self {
+        let space = space.into();
+        let init_queue = cfg.init.configs_nd(&space).into();
         Self {
             space,
             cfg,
@@ -114,8 +124,8 @@ impl AutoPn {
         }
     }
 
-    /// The search space this tuner optimizes over.
-    pub fn space(&self) -> &SearchSpace {
+    /// The configuration space this tuner optimizes over.
+    pub fn space(&self) -> &ConfigSpace {
         &self.space
     }
 
@@ -230,6 +240,7 @@ impl Tuner for AutoPn {
                     t: cfg.t as u32,
                     c: cfg.c as u32,
                     relative_ei,
+                    axes: self.space.axes_trace(cfg),
                 });
             }
         }
@@ -268,11 +279,17 @@ impl Tuner for AutoPn {
     fn attach_trace(&mut self, trace: pnstm::TraceBus) {
         self.trace = trace;
     }
+
+    fn config_space(&self) -> Option<&ConfigSpace> {
+        Some(&self.space)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sampling::InitialSampling;
+    use crate::space::SearchSpace;
 
     /// Drive a tuner against a deterministic objective until completion.
     fn run(tuner: &mut dyn Tuner, f: impl Fn(Config) -> f64, limit: usize) -> (Config, usize) {

@@ -66,11 +66,11 @@ proptest! {
         query in (1.0f64..48.0, 1.0f64..16.0),
     ) {
         let samples: Vec<Sample> =
-            points.iter().map(|&(t, c, y)| Sample::new(t, c, y)).collect();
+            points.iter().map(|&(t, c, y)| Sample::point(t, c, y)).collect();
         let tree = M5Tree::fit(&samples);
-        prop_assert!(tree.predict(query.0, query.1).is_finite());
+        prop_assert!(tree.predict(&[query.0, query.1]).is_finite());
         let ens = BaggedM5::fit(&samples, 5, 7);
-        let (mu, sigma) = ens.predict_dist(query.0, query.1);
+        let (mu, sigma) = ens.predict_dist(&[query.0, query.1]);
         prop_assert!(mu.is_finite());
         prop_assert!(sigma.is_finite() && sigma >= 0.0);
     }
@@ -78,12 +78,12 @@ proptest! {
     #[test]
     fn m5_interpolates_constants(value in -1e4f64..1e4) {
         let samples: Vec<Sample> = (1..=6)
-            .flat_map(|t| (1..=6).map(move |c| Sample::new(t as f64, c as f64, value)))
+            .flat_map(|t| (1..=6).map(move |c| Sample::point(t as f64, c as f64, value)))
             .collect();
         let tree = M5Tree::fit(&samples);
         // The ridge term in the leaf models biases large constants slightly;
         // allow a small relative tolerance.
-        prop_assert!((tree.predict(3.5, 2.5) - value).abs() < 0.01 + value.abs() * 1e-4);
+        prop_assert!((tree.predict(&[3.5, 2.5]) - value).abs() < 0.01 + value.abs() * 1e-4);
     }
 
     #[test]

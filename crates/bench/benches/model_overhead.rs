@@ -21,7 +21,7 @@ fn training_set(n: usize) -> Vec<Sample> {
             let c = (i * 3 % 8 + 1) as f64;
             let y = 5_000.0 - (t - 20.0).powi(2) * 4.0 - (c - 2.0).powi(2) * 60.0
                 + ((i * 2_654_435_761) % 100) as f64;
-            Sample::new(t, c, y)
+            Sample::point(t, c, y)
         })
         .collect()
 }
@@ -50,10 +50,10 @@ fn bench_ensemble_fit(c: &mut Criterion) {
 
 fn bench_ensemble_predict(c: &mut Criterion) {
     let model = BaggedM5::fit(&training_set(20), 10, 42);
-    c.bench_function("model/bagged10_predict", |b| b.iter(|| model.predict_dist(17.0, 3.0)));
+    c.bench_function("model/bagged10_predict", |b| b.iter(|| model.predict_dist(&[17.0, 3.0])));
     c.bench_function("model/m5_predict", |b| {
         let tree = M5Tree::fit(&training_set(20));
-        b.iter(|| tree.predict(17.0, 3.0))
+        b.iter(|| tree.predict(&[17.0, 3.0]))
     });
 }
 
@@ -65,7 +65,7 @@ fn bench_ei_sweep(c: &mut Criterion) {
         b.iter(|| {
             let mut best = f64::NEG_INFINITY;
             for cfg in space.configs() {
-                let (mu, sigma) = model.predict_dist(cfg.t as f64, cfg.c as f64);
+                let (mu, sigma) = model.predict_dist(&[cfg.t as f64, cfg.c as f64]);
                 let ei = expected_improvement(mu, sigma, 5_000.0);
                 if ei > best {
                     best = ei;

@@ -45,7 +45,7 @@ fn main() {
         // Model-update cost: one fit on a 15-sample training set plus a full
         // EI sweep (what runs once per measurement window online).
         let training: Vec<Sample> = (0..15)
-            .map(|i| Sample::new((i % 12 + 1) as f64, (i % 4 + 1) as f64, 1000.0 + i as f64))
+            .map(|i| Sample::point((i % 12 + 1) as f64, (i % 4 + 1) as f64, 1000.0 + i as f64))
             .collect();
         let started = Instant::now();
         let iters = 20;
@@ -53,7 +53,7 @@ fn main() {
             let model = BaggedM5::fit(&training, k, it);
             let mut best = f64::NEG_INFINITY;
             for cfg in space.configs() {
-                let (mu, sigma) = model.predict_dist(cfg.t as f64, cfg.c as f64);
+                let (mu, sigma) = model.predict_dist(&[cfg.t as f64, cfg.c as f64]);
                 best = best.max(autopn::smbo::expected_improvement(mu, sigma, 1015.0));
             }
         }

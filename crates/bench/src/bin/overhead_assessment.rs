@@ -102,7 +102,7 @@ fn main() {
             std::thread::spawn(move || {
                 let training: Vec<Sample> = (0..24)
                     .map(|i| {
-                        Sample::new((i % 12 + 1) as f64, (i % 4 + 1) as f64, 1000.0 + i as f64)
+                        Sample::point((i % 12 + 1) as f64, (i % 4 + 1) as f64, 1000.0 + i as f64)
                     })
                     .collect();
                 let mut refits = 0u64;
@@ -110,7 +110,7 @@ fn main() {
                     let model = BaggedM5::fit(&training, 10, refits);
                     let mut best_ei = 0.0f64;
                     for cfg in space.configs() {
-                        let (mu, sigma) = model.predict_dist(cfg.t as f64, cfg.c as f64);
+                        let (mu, sigma) = model.predict_dist(&[cfg.t as f64, cfg.c as f64]);
                         best_ei = best_ei.max(expected_improvement(mu, sigma, 1024.0));
                     }
                     refits += 1;

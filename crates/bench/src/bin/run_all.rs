@@ -22,6 +22,7 @@ fn main() {
         ("ablation_cv", vec![]),
         ("ablation_acquisition", vec![]),
         ("ext_heterogeneous", vec![]),
+        ("ingress_report", vec![]),
         ("overhead_assessment", vec!["--txns", "1000", "--rounds", "3"]),
     ];
     let exe_dir =

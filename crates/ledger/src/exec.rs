@@ -10,6 +10,7 @@
 //! the same call sites serve as bench baseline and differential oracle.
 
 use std::convert::Infallible;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -96,6 +97,10 @@ pub struct BlockExecutor {
     accounts: Arc<Vec<VBox<Amount>>>,
     cfg: LedgerConfig,
     pool: WorkStealingPool,
+    /// Live worker-count knob: how many of the pool's workers the *next*
+    /// block uses. Capped by `cfg.workers` (the pool's provisioned size);
+    /// retargetable mid-stream, taking effect at the next block boundary.
+    live_workers: AtomicUsize,
 }
 
 impl BlockExecutor {
@@ -111,7 +116,21 @@ impl BlockExecutor {
             stm.stats_handle(),
             stm.trace_bus().clone(),
         );
-        Self { stm: stm.clone(), accounts, cfg, pool }
+        let live_workers = AtomicUsize::new(cfg.workers.max(1));
+        Self { stm: stm.clone(), accounts, cfg, pool, live_workers }
+    }
+
+    /// Retarget how many workers drive subsequent blocks, clamped to
+    /// `[1, cfg.workers]` (the pool is provisioned once, at construction).
+    /// Safe to call from another thread mid-stream; the block currently
+    /// executing finishes at its old width.
+    pub fn set_workers(&self, workers: usize) {
+        self.live_workers.store(workers.clamp(1, self.cfg.workers.max(1)), Ordering::Release);
+    }
+
+    /// The worker count the next block will use.
+    pub fn workers(&self) -> usize {
+        self.live_workers.load(Ordering::Acquire)
     }
 
     /// Committed balances, as a consistent snapshot.
@@ -168,7 +187,7 @@ impl BlockExecutor {
             slots: (0..n).map(|_| Mutex::new(TxnSlot::default())).collect(),
             work: self.cfg.work,
         });
-        let workers = self.cfg.workers.max(1);
+        let workers = self.workers();
         let tasks: Vec<PoolTask> = (0..workers)
             .map(|_| {
                 let ctx = Arc::clone(&ctx);
@@ -370,6 +389,23 @@ mod tests {
         assert_eq!(outcomes.len(), 3, "20 txns / 8 per block = 3 blocks");
         assert_eq!(outcomes.iter().map(|o| o.outputs.len()).sum::<usize>(), 20);
         assert_eq!(stm.stats().snapshot().block_commits, 3);
+    }
+
+    #[test]
+    fn live_worker_knob_clamps_and_applies() {
+        let stm = stm();
+        let ex = BlockExecutor::new(&stm, &[100, 100, 100], parallel(4));
+        assert_eq!(ex.workers(), 4);
+        ex.set_workers(2);
+        assert_eq!(ex.workers(), 2);
+        ex.set_workers(0);
+        assert_eq!(ex.workers(), 1, "clamped up to 1");
+        ex.set_workers(64);
+        assert_eq!(ex.workers(), 4, "clamped to the provisioned pool");
+        // Blocks still execute correctly at a reduced width.
+        ex.set_workers(1);
+        let out = ex.execute_block(&skewed_block(3, 50, 3, 20)).unwrap();
+        assert_eq!(out.outputs.len(), 50);
     }
 
     #[test]

@@ -110,7 +110,10 @@ pub use stripes::{stripe_of, STRIPE_COUNT};
 pub use throttle::{
     PackedGate, ParallelismDegree, Permit, ReconfigError, ResizableSemaphore, Throttle,
 };
-pub use trace::{JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink};
+pub use trace::{
+    AxesTrace, AxisValue, JsonlSink, RingSink, TestSink, TraceBus, TraceEvent, TraceSink,
+    MAX_TRACE_AXES,
+};
 pub use txn::{child, ChildTask, Txn};
 pub use vbox::VBox;
 

@@ -37,6 +37,85 @@ pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
+/// Maximum number of discrete axes a trace event can carry inline. Bounded
+/// so [`TraceEvent`] stays `Copy` with no heap payload (ring-sink contract);
+/// matches the config-space limit in `autopn`.
+pub const MAX_TRACE_AXES: usize = 4;
+
+/// One discrete-axis assignment carried by a trace event: the axis `name`,
+/// its raw `value` (e.g. slice boxes, block txns, or a categorical index)
+/// and a human-readable `label` (empty for plain integer axes).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AxisValue {
+    pub name: &'static str,
+    pub value: u32,
+    pub label: &'static str,
+}
+
+/// Inline, `Copy` snapshot of the discrete-axis half of a configuration
+/// point — `(t, c)` stays in the event's own fields; this carries the rest
+/// (`cm`, `gc_boxes`, `block`, `sched`, ...). Empty for the legacy 2-D
+/// space, in which case the JSON serialization omits the `"axes"` key
+/// entirely so pre-generalization consumers see byte-identical lines.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AxesTrace {
+    n: u8,
+    entries: [AxisValue; MAX_TRACE_AXES],
+}
+
+impl AxesTrace {
+    /// The empty (legacy `(t, c)`-only) axis set.
+    pub const fn empty() -> Self {
+        Self { n: 0, entries: [AxisValue { name: "", value: 0, label: "" }; MAX_TRACE_AXES] }
+    }
+
+    /// Append one axis assignment. Panics past [`MAX_TRACE_AXES`] — the
+    /// config space enforces the same bound at construction.
+    pub fn push(&mut self, name: &'static str, value: u32, label: &'static str) {
+        assert!((self.n as usize) < MAX_TRACE_AXES, "more than {MAX_TRACE_AXES} trace axes");
+        self.entries[self.n as usize] = AxisValue { name, value, label };
+        self.n += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The recorded assignments, in axis order.
+    pub fn entries(&self) -> &[AxisValue] {
+        &self.entries[..self.n as usize]
+    }
+
+    /// Look up an axis by name.
+    pub fn get(&self, name: &str) -> Option<&AxisValue> {
+        self.entries().iter().find(|a| a.name == name)
+    }
+
+    /// Append the `,"axes":{...}` JSON fragment; nothing when empty.
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        if self.is_empty() {
+            return;
+        }
+        out.push_str(",\"axes\":{");
+        for (i, a) in self.entries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if a.label.is_empty() {
+                let _ = write!(out, "\"{}\":{}", a.name, a.value);
+            } else {
+                let _ = write!(out, "\"{}\":\"{}\"", a.name, a.label);
+            }
+        }
+        out.push('}');
+    }
+}
+
 /// One typed observation from the tune loop. `Copy`, no heap payload — a
 /// ring sink can store events without allocating.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,7 +148,9 @@ pub enum TraceEvent {
     /// dispatch shape is visible through lock contention instead).
     SchedBatch { tasks: u32, stolen: u32, overflowed: u32, at_ns: u64 },
     /// The actuator switched the parallelism degree `from` → `to` `(t, c)`.
-    Reconfigure { from: (u32, u32), to: (u32, u32) },
+    /// `axes` carries the discrete-axis half of the configuration point in
+    /// force after the switch (empty for the legacy 2-D space).
+    Reconfigure { from: (u32, u32), to: (u32, u32), axes: AxesTrace },
     /// The monitor opened a measurement window.
     WindowOpen { at_ns: u64 },
     /// A commit observed inside the window, with the policy's running CV
@@ -86,7 +167,8 @@ pub enum TraceEvent {
     },
     /// The optimizer proposed a configuration to measure; `relative_ei` is
     /// the SMBO acquisition value when the proposal came from that phase.
-    Proposal { t: u32, c: u32, relative_ei: Option<f64> },
+    /// `axes` is the discrete-axis half of the proposed point.
+    Proposal { t: u32, c: u32, relative_ei: Option<f64>, axes: AxesTrace },
     /// The optimizer moved between phases (endpoints of one `propose` call).
     OptimizerPhase { from: &'static str, to: &'static str },
     /// A tuning session started.
@@ -104,6 +186,9 @@ pub enum TraceEvent {
         explored: u64,
         fallback: bool,
         degraded: bool,
+        /// Discrete-axis half of the winning configuration point (empty for
+        /// the legacy 2-D space).
+        axes: AxesTrace,
     },
     /// The change detector reported a workload change during supervision.
     ChangeDetected { at_ns: u64 },
@@ -256,8 +341,9 @@ impl TraceEvent {
                     ",\"tasks\":{tasks},\"stolen\":{stolen},\"overflowed\":{overflowed},\"at_ns\":{at_ns}"
                 );
             }
-            TraceEvent::Reconfigure { from, to } => {
+            TraceEvent::Reconfigure { from, to, axes } => {
                 let _ = write!(out, ",\"from\":[{},{}],\"to\":[{},{}]", from.0, from.1, to.0, to.1);
+                axes.write_json(out);
             }
             TraceEvent::WindowOpen { at_ns }
             | TraceEvent::ChangeDetected { at_ns }
@@ -277,9 +363,10 @@ impl TraceEvent {
                 let _ = write!(out, ",\"timed_out\":{timed_out},\"cv\":");
                 push_opt_f64(out, cv);
             }
-            TraceEvent::Proposal { t, c, relative_ei } => {
+            TraceEvent::Proposal { t, c, relative_ei, axes } => {
                 let _ = write!(out, ",\"t\":{t},\"c\":{c},\"relative_ei\":");
                 push_opt_f64(out, relative_ei);
+                axes.write_json(out);
             }
             TraceEvent::OptimizerPhase { from, to } => {
                 let _ = write!(out, ",\"from\":\"{from}\",\"to\":\"{to}\"");
@@ -295,6 +382,7 @@ impl TraceEvent {
                 explored,
                 fallback,
                 degraded,
+                axes,
             } => {
                 let _ = write!(
                     out,
@@ -305,6 +393,7 @@ impl TraceEvent {
                     out,
                     ",\"explored\":{explored},\"fallback\":{fallback},\"degraded\":{degraded}"
                 );
+                axes.write_json(out);
             }
             TraceEvent::FaultInjected { kind, seq, delay_ns, at_ns } => {
                 let _ = write!(
@@ -670,7 +759,7 @@ mod tests {
             TraceEvent::CommitStripeContention { stripes: 4, contended: 1, at_ns: 6 },
             TraceEvent::ReadPath { filter_hits: 2, filter_misses: 30, slow_path: 2, at_ns: 8 },
             TraceEvent::SchedBatch { tasks: 8, stolen: 3, overflowed: 0, at_ns: 9 },
-            TraceEvent::Reconfigure { from: (4, 1), to: (2, 2) },
+            TraceEvent::Reconfigure { from: (4, 1), to: (2, 2), axes: AxesTrace::empty() },
             TraceEvent::WindowOpen { at_ns: 1 },
             TraceEvent::WindowSample { at_ns: 2, cv: Some(0.25) },
             TraceEvent::WindowClose {
@@ -681,7 +770,7 @@ mod tests {
                 timed_out: false,
                 cv: None,
             },
-            TraceEvent::Proposal { t: 6, c: 2, relative_ei: Some(0.5) },
+            TraceEvent::Proposal { t: 6, c: 2, relative_ei: Some(0.5), axes: AxesTrace::empty() },
             TraceEvent::OptimizerPhase { from: "smbo", to: "hill-climb" },
             TraceEvent::SessionStart { at_ns: 0 },
             TraceEvent::SessionEnd {
@@ -692,6 +781,7 @@ mod tests {
                 explored: 17,
                 fallback: false,
                 degraded: false,
+                axes: AxesTrace::empty(),
             },
             TraceEvent::ChangeDetected { at_ns: 42 },
             TraceEvent::FaultInjected {
@@ -744,9 +834,21 @@ mod tests {
             assert!(json.contains(&format!("\"ev\":\"{}\"", ev.tag())), "{json}");
         }
         assert_eq!(
-            TraceEvent::Reconfigure { from: (4, 1), to: (2, 2) }.to_json(),
-            r#"{"ev":"reconfigure","from":[4,1],"to":[2,2]}"#
+            TraceEvent::Reconfigure { from: (4, 1), to: (2, 2), axes: AxesTrace::empty() }
+                .to_json(),
+            r#"{"ev":"reconfigure","from":[4,1],"to":[2,2]}"#,
+            "empty axes must keep the legacy JSON byte-identical"
         );
+        let mut axes = AxesTrace::empty();
+        axes.push("cm", 2, "karma");
+        axes.push("gc_boxes", 64, "");
+        assert_eq!(
+            TraceEvent::Reconfigure { from: (4, 1), to: (2, 2), axes }.to_json(),
+            r#"{"ev":"reconfigure","from":[4,1],"to":[2,2],"axes":{"cm":"karma","gc_boxes":64}}"#
+        );
+        assert_eq!(axes.len(), 2);
+        assert_eq!(axes.get("gc_boxes").map(|a| a.value), Some(64));
+        assert!(axes.get("block").is_none());
         assert_eq!(
             TraceEvent::WindowSample { at_ns: 2, cv: None }.to_json(),
             r#"{"ev":"window_sample","at_ns":2,"cv":null}"#

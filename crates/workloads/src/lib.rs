@@ -20,6 +20,7 @@
 
 pub mod array;
 pub mod descriptors;
+pub mod ledger_live;
 pub mod live;
 pub mod sim_system;
 pub mod tpcc;
@@ -29,6 +30,7 @@ pub mod vacation;
 
 pub use array::ArrayWorkload;
 pub use descriptors::{paper_workloads, workload_by_name};
+pub use ledger_live::LedgerLiveSystem;
 pub use live::{LiveStmSystem, StmWorkload};
 pub use sim_system::SimSystem;
 pub use tpcc::TpccWorkload;

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use autopn::{ApplyError, Config, TunableSystem};
+use autopn::{ApplyError, AxisRegistry, Config, TunableSystem};
 use pnstm::trace::{self, TraceEvent};
 use pnstm::{FaultKind, Stm, StmError};
 
@@ -43,6 +43,10 @@ pub struct LiveStmSystem {
     /// Worker panics absorbed so far (supervision counter, shared by all
     /// workers; the restart budget is charged against it).
     panics: Arc<AtomicU64>,
+    /// Live discrete-axis actuation (contention policy, GC budget, ...).
+    /// When attached, `apply`/`try_apply` enact the config's axis levels
+    /// before switching the degree.
+    registry: Option<AxisRegistry>,
 }
 
 impl LiveStmSystem {
@@ -86,8 +90,15 @@ impl LiveStmSystem {
         }
         let stop = Arc::new(AtomicBool::new(false));
         let panics = Arc::new(AtomicU64::new(0));
-        let mut sys =
-            Self { stm: stm.clone(), epoch, commits: rx, stop, handles: Vec::new(), panics };
+        let mut sys = Self {
+            stm: stm.clone(),
+            epoch,
+            commits: rx,
+            stop,
+            handles: Vec::new(),
+            panics,
+            registry: None,
+        };
         for worker in 0..threads.max(1) {
             let stm = stm.clone();
             let workload = Arc::clone(&workload);
@@ -125,6 +136,26 @@ impl LiveStmSystem {
     /// Worker panics absorbed (and survived) so far.
     pub fn worker_panics(&self) -> u64 {
         self.panics.load(Ordering::Acquire)
+    }
+
+    /// Attach a live axis registry (e.g. [`autopn::stm_axis_registry`]):
+    /// subsequent applies enact the configuration's discrete-axis levels
+    /// *before* switching the degree, so the controller tunes the full
+    /// N-dimensional point through the same retry/degradation ladder, and
+    /// the resulting `Reconfigure` trace events carry the whole point.
+    /// Hand the tuner `registry.space(n)` so proposals stay enactable.
+    pub fn attach_axes(&mut self, registry: AxisRegistry) {
+        self.registry = Some(registry);
+    }
+
+    /// Enact `cfg`'s discrete-axis levels through the attached registry (if
+    /// any) and stamp the upcoming `Reconfigure` event with the full point.
+    fn enact_axes(&mut self, cfg: Config) -> Result<(), ApplyError> {
+        if let Some(reg) = self.registry.as_mut() {
+            reg.enact(cfg)?;
+            self.stm.throttle().note_axes(reg.axes_trace(cfg));
+        }
+        Ok(())
     }
 
     /// Retarget the child-task scheduler to the worker demand of `cfg`:
@@ -204,6 +235,9 @@ impl Drop for LiveStmSystem {
 
 impl TunableSystem for LiveStmSystem {
     fn apply(&mut self, cfg: Config) {
+        // Infallible path: axis-setter failures cannot surface here, so they
+        // are dropped; controller flows go through `try_apply` instead.
+        let _ = self.enact_axes(cfg);
         self.stm.set_degree(cfg.into());
         self.resize_scheduler(cfg);
         // Old commit events belong to the previous configuration; flush them
@@ -212,10 +246,13 @@ impl TunableSystem for LiveStmSystem {
     }
 
     fn try_apply(&mut self, cfg: Config) -> Result<(), ApplyError> {
-        // Fault site: a vetoed semaphore reconfiguration (reconfig-fail).
-        // Failure leaves the previous degree in force, the scheduler pool
-        // unresized and the commit stream untouched; the controller's
-        // retry/fallback ladder takes over.
+        // Axes first, degree last. The degree switch is the veto point
+        // (reconfig-fail fault site); if it vetoes after the axes were
+        // enacted, the controller's ladder re-applies the *full* last-good
+        // point — its `Config` carries axis levels too — so the system
+        // converges back to a consistent point rather than keeping a mixed
+        // one.
+        self.enact_axes(cfg)?;
         self.stm.try_set_degree(cfg.into()).map_err(|err| ApplyError::new(err.to_string()))?;
         self.resize_scheduler(cfg);
         while self.commits.try_recv().is_ok() {}
@@ -320,6 +357,45 @@ mod tests {
         let mut sys = LiveStmSystem::start(stm.clone(), workload, 1).unwrap();
         sys.apply(Config::new(3, 2));
         assert_eq!(stm.degree(), ParallelismDegree::new(3, 2));
+        sys.shutdown();
+    }
+
+    #[test]
+    fn try_apply_enacts_axes_and_stamps_trace() {
+        use autopn::{stm_axis_registry, AxisLevels, CmPolicy, GcBudget};
+        let stm = Stm::new(StmConfig::default());
+        let sink = Arc::new(pnstm::TestSink::new());
+        stm.trace_bus().subscribe(sink.clone());
+        let workload = Arc::new(CounterWorkload::new(&stm));
+        let mut sys = LiveStmSystem::start(stm.clone(), workload, 1).unwrap();
+        let registry = stm_axis_registry(&stm);
+        let space = registry.space(4);
+        sys.attach_axes(registry);
+
+        let karma = CmPolicy::ALL.iter().position(|&p| p == CmPolicy::Karma).unwrap();
+        let gc512 = space.axes()[1].level_of_value(512).unwrap();
+        let cfg = Config::with_axes(2, 2, AxisLevels::from_slice(&[karma, gc512]));
+        sys.try_apply(cfg).unwrap();
+        assert_eq!(stm.cm_mode(), pnstm::CmMode::Karma);
+        assert_eq!(stm.gc_slice_boxes(), 512);
+        assert_eq!(stm.degree(), ParallelismDegree::new(2, 2));
+
+        // The Reconfigure event carries the full point.
+        let axes = sink
+            .events()
+            .iter()
+            .find_map(|ev| match ev {
+                pnstm::TraceEvent::Reconfigure { to: (2, 2), axes, .. } => Some(*axes),
+                _ => None,
+            })
+            .expect("reconfigure event");
+        assert_eq!(axes.get("cm").unwrap().label, "karma");
+        assert_eq!(axes.get("gc_boxes").unwrap().value, 512);
+
+        // A bare (t, c) fallback point restores the default axis levels.
+        sys.try_apply(Config::new(1, 1)).unwrap();
+        assert_eq!(stm.cm_mode(), pnstm::CmMode::from(CmPolicy::default()));
+        assert_eq!(stm.gc_slice_boxes(), GcBudget::default().slice_boxes);
         sys.shutdown();
     }
 
